@@ -1,0 +1,72 @@
+//! Bench: estimation latency (combine counters, no data access) against the
+//! cost of exact evaluation — the quantity a query optimizer actually
+//! trades off when it consults a sketch instead of running the join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::SyntheticSpec;
+use geometry::HyperRect;
+use histograms::{EulerHistogram, GeometricHistogram, GridSpec};
+use rand::SeedableRng;
+use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
+use sketch::estimators::SketchConfig;
+use sketch::{par_insert_batch, plan};
+
+const BITS: u32 = 14;
+
+fn bench_estimates(c: &mut Criterion) {
+    let r: Vec<HyperRect<2>> = SyntheticSpec::paper(20_000, BITS, 0.0, 5).generate();
+    let s: Vec<HyperRect<2>> = SyntheticSpec::paper(20_000, BITS, 0.0, 6).generate();
+    let mean_extent = 3.0
+        * r.iter()
+            .map(|x| (x.range(0).length() + x.range(1).length()) as f64 / 2.0)
+            .sum::<f64>()
+        / r.len() as f64;
+    let max_level = plan::adaptive_max_level(mean_extent, BITS + 2);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let config = SketchConfig::new(200, 5).with_max_level(max_level);
+    let join = SpatialJoin::<2>::new(&mut rng, config, [BITS, BITS], EndpointStrategy::Transform);
+    let mut sk_r = join.new_sketch_r();
+    let mut sk_s = join.new_sketch_s();
+    par_insert_batch(&mut sk_r, &r, 8).unwrap();
+    par_insert_batch(&mut sk_s, &s, 8).unwrap();
+
+    let spec = GridSpec::new(BITS, 4);
+    let mut eh_r = EulerHistogram::new(spec);
+    let mut eh_s = EulerHistogram::new(spec);
+    let mut gh_r = GeometricHistogram::new(spec);
+    let mut gh_s = GeometricHistogram::new(spec);
+    for x in &r {
+        eh_r.insert(x);
+        gh_r.insert(x);
+    }
+    for x in &s {
+        eh_s.insert(x);
+        gh_s.insert(x);
+    }
+
+    let mut group = c.benchmark_group("join_size_query");
+    group.bench_function("sketch_estimate_1000inst", |b| {
+        b.iter(|| join.estimate(black_box(&sk_r), black_box(&sk_s)).unwrap().value)
+    });
+    group.bench_function("euler_histogram_L4", |b| {
+        b.iter(|| eh_r.estimate_join(black_box(&eh_s)))
+    });
+    group.bench_function("geometric_histogram_L4", |b| {
+        b.iter(|| gh_r.estimate_join(black_box(&gh_s)))
+    });
+    group.bench_function("exact_sweep_20k_x_20k", |b| {
+        b.iter(|| exact::rect_join_count(black_box(&r), black_box(&s)))
+    });
+    group.finish();
+
+    // Self-join estimation (feeds the Theorem-1 planner).
+    let mut group = c.benchmark_group("self_join");
+    group.bench_function("sketched_sj_estimate", |b| {
+        b.iter(|| sketch::selfjoin::estimate_self_join(black_box(&sk_r)).value)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimates);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbench: four-wise independent variable generation — the innermost
+//! operation of every sketch update. Compares the BCH construction (with
+//! and without shared cube precomputation) against the cubic-polynomial
+//! family, plus the GF(2^k) cube itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fourwise::{XiContext, XiKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_xi(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let bits = 17u32; // node space of a 2^16 dyadic domain
+    let indices: Vec<u64> = (0..1024u64).map(|i| (i * 2654435761) % (1 << bits)).collect();
+
+    let mut group = c.benchmark_group("xi_generation");
+    group.throughput(Throughput::Elements(indices.len() as u64));
+
+    for kind in [XiKind::Bch, XiKind::Poly] {
+        let ctx = XiContext::new(kind, bits);
+        let fam = ctx.family(ctx.random_seed(&mut rng));
+        let pres: Vec<_> = indices.iter().map(|&i| ctx.precompute(i)).collect();
+
+        group.bench_function(format!("{kind:?}/precomputed"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for p in &pres {
+                    acc += fam.xi_pre(black_box(*p));
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("{kind:?}/standalone"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &i in &indices {
+                    acc += fam.xi(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    // The shared per-index precomputation itself (table-hit path).
+    let ctx = XiContext::new(XiKind::Bch, bits);
+    let mut group = c.benchmark_group("cube_precompute");
+    group.throughput(Throughput::Elements(indices.len() as u64));
+    group.bench_function("tabulated", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &indices {
+                acc ^= ctx.precompute(black_box(i)).cube;
+            }
+            acc
+        })
+    });
+    // And the raw field arithmetic (what large domains pay).
+    let gf = fourwise::GfContext::new(40);
+    group.bench_function("gf_cube_40bit", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &i in &indices {
+                acc ^= gf.cube(black_box(i));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xi);
+criterion_main!(benches);

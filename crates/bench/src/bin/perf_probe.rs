@@ -1,0 +1,121 @@
+//! Build/estimate throughput probe plus quick maxLevel sanity sweeps.
+//!
+//! Usage: cargo run --release -p spatial-bench --bin perf_probe [-- --gis]
+
+use rand::SeedableRng;
+use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
+use sketch::estimators::SketchConfig;
+use sketch::{par_insert_batch, BoostShape};
+use spatial_bench::cli::Args;
+use spatial_bench::report::rel_error;
+use spatial_bench::runner::{default_threads, shape_for_words};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse(&["gis", "range"]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let threads = default_threads();
+
+    if args.has("range") {
+        use rand::Rng as _;
+        use sketch::{RangeQuery, RangeStrategy};
+        let bits = 14u32;
+        let data: Vec<geometry::HyperRect<2>> =
+            datagen::SyntheticSpec::paper(30_000, bits, 0.0, 81).generate();
+        let mut qrng = rand::rngs::StdRng::seed_from_u64(83);
+        let n = 1u64 << bits;
+        let queries: Vec<geometry::HyperRect<2>> = (0..20)
+            .map(|i| {
+                let side = ((n as f64) * (0.05 + 0.01 * i as f64)) as u64;
+                let x = qrng.gen_range(0..n - side - 1);
+                let y = qrng.gen_range(0..n - side - 1);
+                geometry::HyperRect::new([
+                    geometry::Interval::new(x, x + side),
+                    geometry::Interval::new(y, y + side),
+                ])
+            })
+            .collect();
+        for ml in [4u32, 5, 6, 7, 8, 9, 11, 13] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+            let config = SketchConfig {
+                kind: fourwise::XiKind::Bch,
+                shape: BoostShape::new(240, 5),
+                max_level: Some(ml),
+            };
+            let rq = RangeQuery::<2>::new(&mut rng, config, [bits, bits], RangeStrategy::Transform);
+            let mut sk = rq.new_sketch();
+            par_insert_batch(&mut sk, &data, threads).unwrap();
+            let mut errs = 0.0;
+            for q in &queries {
+                let truth = exact::naive::range_count(&data, q) as f64;
+                errs += rel_error(rq.estimate(&sk, q).unwrap().value, truth);
+            }
+            println!("  range maxLevel {ml}: avg rel err {:.4}", errs / queries.len() as f64);
+        }
+        return;
+    }
+
+    if args.has("gis") {
+        // maxLevel sweep on the simulated GIS join.
+        let r = datagen::landc(1);
+        let s = datagen::lando(1);
+        let bits = datagen::GIS_DOMAIN_BITS;
+        let truth = exact::rect_join_count(&r, &s) as f64;
+        let shape: BoostShape = shape_for_words(2, 9025.0);
+        println!("landc-lando truth {truth}, shape {}x{}", shape.k1, shape.k2);
+        for ml in 4..=12u32 {
+            let mut errs = Vec::new();
+            for t in 0..3u64 {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(50 + t);
+                let config = SketchConfig {
+                    kind: fourwise::XiKind::Bch,
+                    shape,
+                    max_level: Some(ml),
+                };
+                let join = SpatialJoin::<2>::new(
+                    &mut rng,
+                    config,
+                    [bits, bits],
+                    EndpointStrategy::Transform,
+                );
+                let mut sk_r = join.new_sketch_r();
+                let mut sk_s = join.new_sketch_s();
+                par_insert_batch(&mut sk_r, &r, threads).unwrap();
+                par_insert_batch(&mut sk_s, &s, threads).unwrap();
+                errs.push(rel_error(join.estimate(&sk_r, &sk_s).unwrap().value, truth));
+            }
+            let avg = errs.iter().sum::<f64>() / errs.len() as f64;
+            println!("  maxLevel {ml}: avg rel err {avg:.4} ({errs:?})");
+        }
+        return;
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
+    for (k1, k2) in [(88, 5), (440, 5), (1200, 5)] {
+        let join = SpatialJoin::<2>::new(
+            &mut rng,
+            SketchConfig::new(k1, k2),
+            [14, 14],
+            EndpointStrategy::Transform,
+        );
+        let mut r = join.new_sketch_r();
+        let t = Instant::now();
+        par_insert_batch(&mut r, &data, threads).unwrap();
+        let el = t.elapsed();
+        println!(
+            "instances {}: {:?} total, {:.1} ns/(obj.inst)",
+            k1 * k2,
+            el,
+            el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64)
+        );
+    }
+    let s: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
+    let t = Instant::now();
+    let c = exact::rect_join_count(&data, &s);
+    println!("exact join 50K x 50K: {c} pairs in {:?}", t.elapsed());
+}

@@ -1,0 +1,95 @@
+//! Minimal command-line parsing for the experiment binaries.
+//!
+//! Flags take the forms `--key value` and `--switch`; anything unparsed is
+//! an error so typos fail loudly. The dependency policy excludes argument-
+//! parsing crates, and the harness needs only a handful of options.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` / `--switch` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (after the binary name).
+    ///
+    /// `switch_names` lists the valueless flags; every other `--key` consumes
+    /// the following token as its value.
+    pub fn parse(switch_names: &[&str]) -> Result<Self, String> {
+        Self::parse_from(std::env::args().skip(1), switch_names)
+    }
+
+    /// Parses from an explicit token stream (testable).
+    pub fn parse_from(
+        tokens: impl IntoIterator<Item = String>,
+        switch_names: &[&str],
+    ) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument `{tok}` (flags start with --)"))?
+                .to_string();
+            if switch_names.contains(&key.as_str()) {
+                out.switches.push(key);
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                out.values.insert(key, value);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A string value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse_from(toks("--zipf 1 --paper-scale --trials 5"), &["paper-scale"])
+            .unwrap();
+        assert_eq!(a.get("zipf"), Some("1"));
+        assert!(a.has("paper-scale"));
+        assert_eq!(a.get_or("trials", 3u32).unwrap(), 5);
+        assert_eq!(a.get_or("threads", 8u32).unwrap(), 8);
+    }
+
+    #[test]
+    fn rejects_stray_tokens_and_missing_values() {
+        assert!(Args::parse_from(toks("positional"), &[]).is_err());
+        assert!(Args::parse_from(toks("--trials"), &[]).is_err());
+        let a = Args::parse_from(toks("--trials x"), &[]).unwrap();
+        assert!(a.get_or("trials", 3u32).is_err());
+    }
+}

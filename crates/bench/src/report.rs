@@ -1,0 +1,168 @@
+//! Result reporting: aligned console tables, CSV series files and JSON
+//! experiment records under the workspace `results/` directory.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Workspace-level results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// A rectangular table of experiment output.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Convenience: formats a numeric row.
+    pub fn push_nums(&mut self, row: &[f64]) {
+        self.push_row(row.iter().map(|v| format_num(*v)).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV into `results/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> PathBuf {
+        let path = results_dir().join(format!("{name}.csv"));
+        let mut body = self.headers.join(",");
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        fs::write(&path, body).expect("write csv");
+        path
+    }
+}
+
+/// Human-friendly numeric formatting: integers plain, small reals with
+/// four significant decimals.
+pub fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Writes a JSON experiment record into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, record: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(record).expect("serialize record");
+    fs::write(&path, body).expect("write json");
+    path
+}
+
+/// Relative error of an estimate against the truth (`|est - truth| / truth`);
+/// if the truth is zero, returns the absolute estimate (a sensible scale-free
+/// fallback for empty joins).
+pub fn rel_error(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        est.abs()
+    } else {
+        (est - truth).abs() / truth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["size", "err"]);
+        t.push_nums(&[1000.0, 0.123456]);
+        t.push_nums(&[50.0, 1.0]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("size"));
+        assert!(s.contains("0.1235"));
+        assert!(s.contains("1000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn rel_error_cases() {
+        assert_eq!(rel_error(110.0, 100.0), 0.1);
+        assert_eq!(rel_error(90.0, 100.0), 0.1);
+        assert_eq!(rel_error(5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn format_variants() {
+        assert_eq!(format_num(12.0), "12");
+        assert_eq!(format_num(0.5), "0.5000");
+        assert_eq!(format_num(1234.5), "1234.5");
+    }
+}

@@ -1,0 +1,557 @@
+//! Atomic sketch sets: the maintained counters.
+//!
+//! A [`SketchSet`] holds, for every boosting instance `i` and every word `w`
+//! in its word set, the atomic sketch value `X_w^{(i)}` — an integer counter
+//! updated by `± Π_dim component(dim)` per inserted/deleted object
+//! (Sections 3.1-3.2 of the paper). All instances share one
+//! [`SketchSchema`], so sketch sets over the same schema are combinable into
+//! join estimates.
+//!
+//! The hot loop is arranged so that per-object work shared by *all*
+//! instances (dyadic covers and the GF(2^k) index cubes) is computed once
+//! into a per-object scratch, after which each instance costs only a few dozen
+//! AND/XOR/POPCNT operations per cover node.
+
+use crate::comp::{Comp, Word};
+use crate::error::{Result, SketchError};
+use crate::schema::SketchSchema;
+use dyadic::{interval_cover_into, point_cover_into};
+use fourwise::IndexPre;
+use geometry::transform::{shrink_interval, triple, triple_interval};
+use geometry::{HyperRect, Interval};
+use std::sync::Arc;
+
+/// How object geometry is mapped into the sketch coordinate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointPolicy {
+    /// Coordinates are used as-is. Join estimates then require the paper's
+    /// Assumption 1 (no endpoint shared between the two relations) unless an
+    /// Appendix-C estimator is used.
+    Raw,
+    /// Coordinates are tripled (`x → 3x`), embedding into the enlarged
+    /// domain of Section 5.2. Used for the `R` side of transformed joins.
+    Tripled,
+    /// Coordinates are tripled and geometric components use the *shrunken*
+    /// range `[3l + 1, 3u - 1]`; leaf components keep the tripled original
+    /// endpoints (Appendix B.1). Used for the `S` side of transformed joins.
+    /// Ranges degenerate in a dimension contribute zero to that dimension's
+    /// geometric components.
+    TripledShrunk,
+}
+
+impl EndpointPolicy {
+    /// Extra domain bits this policy needs over the data domain.
+    pub fn extra_bits(&self) -> u32 {
+        match self {
+            EndpointPolicy::Raw => 0,
+            EndpointPolicy::Tripled | EndpointPolicy::TripledShrunk => 2,
+        }
+    }
+
+    /// Maps a data-domain range to (geometric range, leaf endpoint coords).
+    fn apply(&self, iv: &Interval) -> (Option<Interval>, u64, u64) {
+        match self {
+            EndpointPolicy::Raw => (Some(*iv), iv.lo(), iv.hi()),
+            EndpointPolicy::Tripled => {
+                (Some(triple_interval(iv)), triple(iv.lo()), triple(iv.hi()))
+            }
+            EndpointPolicy::TripledShrunk => {
+                (shrink_interval(iv), triple(iv.lo()), triple(iv.hi()))
+            }
+        }
+    }
+}
+
+/// Which component inputs a dimension actually needs (derived from the word
+/// set so updates skip unused cover computations).
+#[derive(Debug, Clone, Copy, Default)]
+struct DimNeeds {
+    cover: bool,
+    pcover: bool,
+    leaf: bool,
+}
+
+/// Per-dimension precomputed node lists for one object.
+#[derive(Debug, Clone)]
+pub(crate) struct DimScratch {
+    cover: Vec<IndexPre>,
+    pcover_lo: Vec<IndexPre>,
+    pcover_hi: Vec<IndexPre>,
+    leaf_lo: IndexPre,
+    leaf_hi: IndexPre,
+    geo_present: bool,
+    /// Reusable node-id buffer (avoids per-update allocation).
+    ids: Vec<u64>,
+}
+
+/// Shared per-object precomputation: node ids and their GF cubes, one set
+/// per dimension, reused across all sketch instances.
+#[derive(Debug, Clone)]
+pub(crate) struct RectScratch<const D: usize> {
+    dims: [DimScratch; D],
+}
+
+impl<const D: usize> RectScratch<D> {
+    pub(crate) fn new() -> Self {
+        Self {
+            dims: std::array::from_fn(|_| DimScratch {
+                cover: Vec::new(),
+                pcover_lo: Vec::new(),
+                pcover_hi: Vec::new(),
+                leaf_lo: IndexPre { index: 0, cube: 0 },
+                leaf_hi: IndexPre { index: 0, cube: 0 },
+                geo_present: false,
+                ids: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// Per-instance, per-dimension component values.
+#[derive(Debug, Clone, Copy)]
+struct DimVals {
+    interval: i64,
+    lo: i64,
+    hi: i64,
+    leaf_lo: i64,
+    leaf_hi: i64,
+}
+
+impl DimVals {
+    #[inline]
+    fn get(&self, comp: Comp) -> i64 {
+        match comp {
+            Comp::Interval => self.interval,
+            Comp::Endpoints => self.lo + self.hi,
+            Comp::LowerPoint => self.lo,
+            Comp::UpperPoint => self.hi,
+            Comp::LowerLeaf => self.leaf_lo,
+            Comp::UpperLeaf => self.leaf_hi,
+        }
+    }
+}
+
+/// A set of atomic sketches (one per word per instance) over one relation.
+#[derive(Debug, Clone)]
+pub struct SketchSet<const D: usize> {
+    schema: Arc<SketchSchema<D>>,
+    words: Arc<Vec<Word<D>>>,
+    policy: EndpointPolicy,
+    data_bits: [u32; D],
+    needs: [DimNeeds; D],
+    /// Counter layout: `counters[instance * words.len() + word_idx]`.
+    counters: Vec<i64>,
+    /// Net inserted object count (inserts minus deletes).
+    len: i64,
+    scratch: RectScratch<D>,
+}
+
+impl<const D: usize> SketchSet<D> {
+    /// Creates an empty sketch set.
+    ///
+    /// `words` is the set of atomic sketches to maintain; `policy` maps data
+    /// coordinates into the sketch domain. The schema's per-dimension domain
+    /// must be large enough for the policy (`data_bits = sketch_bits -
+    /// policy.extra_bits()` is the admissible input range).
+    pub fn new(
+        schema: Arc<SketchSchema<D>>,
+        words: Arc<Vec<Word<D>>>,
+        policy: EndpointPolicy,
+    ) -> Self {
+        assert!(!words.is_empty(), "sketch sets need at least one word");
+        let mut needs = [DimNeeds::default(); D];
+        for w in words.iter() {
+            for (dim, comp) in w.iter().enumerate() {
+                match comp {
+                    Comp::Interval => needs[dim].cover = true,
+                    Comp::Endpoints | Comp::LowerPoint | Comp::UpperPoint => {
+                        needs[dim].pcover = true
+                    }
+                    Comp::LowerLeaf | Comp::UpperLeaf => needs[dim].leaf = true,
+                }
+            }
+        }
+        let data_bits =
+            std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
+        let counters = vec![0i64; schema.instances() * words.len()];
+        Self {
+            schema,
+            words,
+            policy,
+            data_bits,
+            needs,
+            counters,
+            len: 0,
+            scratch: RectScratch::new(),
+        }
+    }
+
+    /// The schema this sketch was drawn from.
+    pub fn schema(&self) -> &Arc<SketchSchema<D>> {
+        &self.schema
+    }
+
+    /// The maintained words.
+    pub fn words(&self) -> &Arc<Vec<Word<D>>> {
+        &self.words
+    }
+
+    /// The endpoint policy.
+    pub fn policy(&self) -> EndpointPolicy {
+        self.policy
+    }
+
+    /// Admissible data-domain bits per dimension.
+    pub fn data_bits(&self) -> &[u32; D] {
+        &self.data_bits
+    }
+
+    /// Net number of objects currently summarized.
+    pub fn len(&self) -> i64 {
+        self.len
+    }
+
+    /// Whether no net objects are summarized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw counter of `(instance, word_idx)`.
+    pub fn counter(&self, instance: usize, word_idx: usize) -> i64 {
+        self.counters[instance * self.words.len() + word_idx]
+    }
+
+    /// All counters of one instance, ordered like [`SketchSet::words`].
+    pub fn instance_counters(&self, instance: usize) -> &[i64] {
+        let w = self.words.len();
+        &self.counters[instance * w..(instance + 1) * w]
+    }
+
+    /// Inserts an object (cost `O(instances · d · log n)`).
+    pub fn insert(&mut self, rect: &HyperRect<D>) -> Result<()> {
+        self.update(rect, 1)
+    }
+
+    /// Deletes a previously inserted object. Sketches are linear, so
+    /// deletion is exact: deleting everything inserted returns the sketch to
+    /// the all-zero state.
+    pub fn delete(&mut self, rect: &HyperRect<D>) -> Result<()> {
+        self.update(rect, -1)
+    }
+
+    /// Applies a signed update.
+    pub fn update(&mut self, rect: &HyperRect<D>, delta: i64) -> Result<()> {
+        let mut scratch = std::mem::replace(&mut self.scratch, RectScratch::new());
+        let res = self.fill_scratch(rect, &mut scratch);
+        if res.is_ok() {
+            let words = Arc::clone(&self.words);
+            for instance in 0..self.schema.instances() {
+                let row_start = instance * words.len();
+                apply_instance(
+                    &self.schema,
+                    &words,
+                    &scratch,
+                    instance,
+                    &mut self.counters[row_start..row_start + words.len()],
+                    delta,
+                );
+            }
+            self.len += delta;
+        }
+        self.scratch = scratch;
+        res
+    }
+
+    /// Validates an object and fills the shared per-object scratch.
+    pub(crate) fn fill_scratch(
+        &self,
+        rect: &HyperRect<D>,
+        scratch: &mut RectScratch<D>,
+    ) -> Result<()> {
+        for dim in 0..D {
+            let iv = rect.range(dim);
+            let max = (1u64 << self.data_bits[dim]) - 1;
+            if iv.hi() > max {
+                return Err(SketchError::DomainOverflow {
+                    coord: iv.hi(),
+                    max,
+                    dim,
+                });
+            }
+        }
+        for dim in 0..D {
+            let iv = rect.range(dim);
+            let (geo, leaf_lo, leaf_hi) = self.policy.apply(&iv);
+            let ds = &mut scratch.dims[dim];
+            let dyadic = &self.schema.dyadic()[dim];
+            let ctx = &self.schema.xi_ctx()[dim];
+            let max_level = self.schema.dims()[dim].max_level;
+            ds.cover.clear();
+            ds.pcover_lo.clear();
+            ds.pcover_hi.clear();
+            ds.geo_present = geo.is_some();
+            if let Some(g) = geo {
+                let needs = &self.needs[dim];
+                if needs.cover {
+                    ds.ids.clear();
+                    interval_cover_into(dyadic, &g, max_level, &mut ds.ids);
+                    ds.cover.extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
+                }
+                if needs.pcover {
+                    ds.ids.clear();
+                    point_cover_into(dyadic, g.lo(), max_level, &mut ds.ids);
+                    ds.pcover_lo.extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
+                    ds.ids.clear();
+                    point_cover_into(dyadic, g.hi(), max_level, &mut ds.ids);
+                    ds.pcover_hi.extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
+                }
+            }
+            if self.needs[dim].leaf {
+                ds.leaf_lo = ctx.precompute(dyadic.leaf(leaf_lo));
+                ds.leaf_hi = ctx.precompute(dyadic.leaf(leaf_hi));
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds another sketch set into this one (multiset union). Both must
+    /// share schema, words and policy; sketches are linear so the result
+    /// summarizes the concatenation of both inputs.
+    pub fn merge_from(&mut self, other: &SketchSet<D>) -> Result<()> {
+        self.check_mergeable(other)?;
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += o;
+        }
+        self.len += other.len;
+        Ok(())
+    }
+
+    /// Subtracts another sketch set (multiset difference).
+    pub fn unmerge_from(&mut self, other: &SketchSet<D>) -> Result<()> {
+        self.check_mergeable(other)?;
+        for (c, o) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c -= o;
+        }
+        self.len -= other.len;
+        Ok(())
+    }
+
+    fn check_mergeable(&self, other: &SketchSet<D>) -> Result<()> {
+        if self.schema.id() != other.schema.id() {
+            return Err(SketchError::SchemaMismatch);
+        }
+        if self.words != other.words || self.policy != other.policy {
+            return Err(SketchError::WordMismatch);
+        }
+        Ok(())
+    }
+
+    /// Whether `self` and `other` can be multiplied into an estimate
+    /// (same schema; word sets may differ).
+    pub fn same_schema(&self, other: &SketchSet<D>) -> bool {
+        self.schema.id() == other.schema.id()
+    }
+
+    /// Index of a word within this sketch's word list.
+    pub fn word_index(&self, w: &Word<D>) -> Option<usize> {
+        self.words.iter().position(|x| x == w)
+    }
+
+    /// Mutable access to the raw counter array, exposed for the parallel
+    /// batch builder. Layout: `[instance][word]`.
+    pub(crate) fn counters_mut(&mut self) -> &mut Vec<i64> {
+        &mut self.counters
+    }
+
+    /// Adjusts the net length (parallel builder bookkeeping).
+    pub(crate) fn add_len(&mut self, delta: i64) {
+        self.len += delta;
+    }
+}
+
+/// Applies one object's scratch to one instance's counter row.
+pub(crate) fn apply_instance<const D: usize>(
+    schema: &SketchSchema<D>,
+    words: &[Word<D>],
+    scratch: &RectScratch<D>,
+    instance: usize,
+    counter_row: &mut [i64],
+    delta: i64,
+) {
+    let seeds = schema.instance_seeds(instance);
+    let mut vals = [DimVals {
+        interval: 0,
+        lo: 0,
+        hi: 0,
+        leaf_lo: 0,
+        leaf_hi: 0,
+    }; D];
+    for dim in 0..D {
+        let fam = schema.xi_ctx()[dim].family(seeds[dim]);
+        let ds = &scratch.dims[dim];
+        let v = &mut vals[dim];
+        if ds.geo_present {
+            v.interval = fam.sum_pre(&ds.cover);
+            v.lo = fam.sum_pre(&ds.pcover_lo);
+            v.hi = fam.sum_pre(&ds.pcover_hi);
+        }
+        v.leaf_lo = fam.xi_pre(ds.leaf_lo);
+        v.leaf_hi = fam.xi_pre(ds.leaf_hi);
+    }
+    for (slot, w) in counter_row.iter_mut().zip(words.iter()) {
+        let mut prod = delta;
+        for dim in 0..D {
+            prod *= vals[dim].get(w[dim]);
+        }
+        *slot += prod;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comp::ie_words;
+    use crate::schema::{BoostShape, DimSpec};
+    use fourwise::XiKind;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schema2(seed: u64, k1: usize, k2: usize) -> Arc<SketchSchema<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SketchSchema::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(k1, k2),
+            [DimSpec::dyadic(8); 2],
+        )
+    }
+
+    #[test]
+    fn insert_then_delete_returns_to_zero() {
+        let schema = schema2(1, 3, 3);
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        let rects = [rect2(1, 10, 2, 20), rect2(0, 255, 0, 255), rect2(7, 9, 200, 201)];
+        for r in &rects {
+            sk.insert(r).unwrap();
+        }
+        assert_eq!(sk.len(), 3);
+        assert!(sk.counters.iter().any(|&c| c != 0));
+        for r in &rects {
+            sk.delete(r).unwrap();
+        }
+        assert_eq!(sk.len(), 0);
+        assert!(sk.counters.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn domain_overflow_rejected_and_sketch_unchanged() {
+        let schema = schema2(2, 2, 2);
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        let err = sk.insert(&rect2(0, 300, 0, 10)).unwrap_err();
+        assert!(matches!(err, SketchError::DomainOverflow { dim: 0, .. }));
+        assert_eq!(sk.len(), 0);
+        assert!(sk.counters.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn tripled_policies_shrink_admissible_domain() {
+        let schema = schema2(3, 1, 1);
+        let words = Arc::new(ie_words::<2>());
+        let sk = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Tripled);
+        assert_eq!(sk.data_bits(), &[6, 6]);
+        let mut sk = sk;
+        // 63 is the max admissible coordinate now.
+        sk.insert(&rect2(0, 63, 0, 63)).unwrap();
+        assert!(sk.insert(&rect2(0, 64, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_equal_schemas() {
+        // Same seed -> same schema RNG -> identical counters.
+        let a = {
+            let schema = schema2(7, 2, 3);
+            let mut sk = SketchSet::new(schema, Arc::new(ie_words::<2>()), EndpointPolicy::Raw);
+            sk.insert(&rect2(3, 99, 14, 200)).unwrap();
+            sk.counters.clone()
+        };
+        let b = {
+            let schema = schema2(7, 2, 3);
+            let mut sk = SketchSet::new(schema, Arc::new(ie_words::<2>()), EndpointPolicy::Raw);
+            sk.insert(&rect2(3, 99, 14, 200)).unwrap();
+            sk.counters.clone()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_is_linear() {
+        let schema = schema2(9, 2, 2);
+        let words = Arc::new(ie_words::<2>());
+        let mut all = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        let mut part1 = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        let mut part2 = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        let rs = [rect2(0, 5, 0, 5), rect2(10, 30, 10, 30), rect2(4, 200, 90, 110)];
+        all.insert(&rs[0]).unwrap();
+        all.insert(&rs[1]).unwrap();
+        all.insert(&rs[2]).unwrap();
+        part1.insert(&rs[0]).unwrap();
+        part2.insert(&rs[1]).unwrap();
+        part2.insert(&rs[2]).unwrap();
+        part1.merge_from(&part2).unwrap();
+        assert_eq!(part1.counters, all.counters);
+        assert_eq!(part1.len(), 3);
+        part1.unmerge_from(&part2).unwrap();
+        part1.unmerge_from(&{
+            let mut s = SketchSet::new(schema, words, EndpointPolicy::Raw);
+            s.insert(&rs[0]).unwrap();
+            s
+        })
+        .unwrap();
+        assert!(part1.counters.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn merge_rejects_different_schema() {
+        let words = Arc::new(ie_words::<2>());
+        let mut a = SketchSet::new(schema2(1, 2, 2), words.clone(), EndpointPolicy::Raw);
+        let b = SketchSet::new(schema2(2, 2, 2), words, EndpointPolicy::Raw);
+        assert_eq!(a.merge_from(&b).unwrap_err(), SketchError::SchemaMismatch);
+    }
+
+    #[test]
+    fn shrunk_policy_drops_degenerate_geometry_but_keeps_leaves() {
+        let schema = schema2(11, 1, 1);
+        // One word reading geometry, one reading leaves.
+        let words = Arc::new(vec![
+            [Comp::Interval, Comp::Interval],
+            [Comp::LowerLeaf, Comp::LowerLeaf],
+        ]);
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::TripledShrunk);
+        // Degenerate in dim 0: geometric word contributes 0, leaf word +-1.
+        sk.insert(&rect2(5, 5, 1, 9)).unwrap();
+        assert_eq!(sk.counter(0, 0), 0);
+        assert_ne!(sk.counter(0, 1), 0);
+    }
+
+    #[test]
+    fn counter_magnitude_bounded_by_cover_sizes() {
+        let schema = schema2(13, 1, 1);
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        sk.insert(&rect2(0, 255, 0, 255)).unwrap();
+        // Per dim: |I| <= 2*8 = 16 cover nodes, |E| <= 2*(8+1).
+        for (i, w) in ie_words::<2>().iter().enumerate() {
+            let bound: i64 = w
+                .iter()
+                .map(|c| match c {
+                    Comp::Endpoints => 18i64,
+                    _ => 16i64,
+                })
+                .product();
+            assert!(sk.counter(0, i).abs() <= bound, "word {i}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Atomic-sketch components and words.
+//!
+//! Every atomic sketch in the paper is, per dimension, one of a small set of
+//! ξ-combinations applied to an object's range in that dimension:
+//!
+//! | component | paper notation | meaning |
+//! |-----------|----------------|---------|
+//! | [`Comp::Interval`]   | `ξ̄[a,b]` (letter `I`)       | sum over the dyadic cover of the range |
+//! | [`Comp::Endpoints`]  | `ξ̄[a] + ξ̄[b]` (letter `E`) | sum over both endpoints' dyadic point covers |
+//! | [`Comp::LowerPoint`] | `ξ̄[a]`                      | lower endpoint's point cover (range queries, ε-joins, containment) |
+//! | [`Comp::UpperPoint`] | `ξ̄[b]` (the paper's `X_U`)  | upper endpoint's point cover |
+//! | [`Comp::LowerLeaf`]  | `ξ_a` (the paper's `X_L`)   | the single level-0 variable at the lower endpoint (Appendices B-C) |
+//! | [`Comp::UpperLeaf`]  | `ξ_b` (the paper's `X_U` of Appendix B) | the single level-0 variable at the upper endpoint |
+//!
+//! A *word* `w` assigns one component per dimension; the atomic sketch `X_w`
+//! adds the product of the per-dimension component values for every inserted
+//! object (Section 3.2). The 2-d join, for instance, uses the four words
+//! `II`, `IE`, `EI`, `EE`.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension ξ-combination (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Comp {
+    /// `ξ̄[a,b]`: sum over the dyadic cover of the whole range.
+    Interval,
+    /// `ξ̄[a] + ξ̄[b]`: sum over both endpoints' dyadic point covers.
+    Endpoints,
+    /// `ξ̄[a]`: lower endpoint's dyadic point cover.
+    LowerPoint,
+    /// `ξ̄[b]`: upper endpoint's dyadic point cover.
+    UpperPoint,
+    /// `ξ_a`: the level-0 (leaf) variable at the lower endpoint.
+    LowerLeaf,
+    /// `ξ_b`: the level-0 (leaf) variable at the upper endpoint.
+    UpperLeaf,
+}
+
+impl Comp {
+    /// Single-letter mnemonic used in `Debug`/display of words.
+    pub fn letter(&self) -> char {
+        match self {
+            Comp::Interval => 'I',
+            Comp::Endpoints => 'E',
+            Comp::LowerPoint => 'l',
+            Comp::UpperPoint => 'u',
+            Comp::LowerLeaf => 'L',
+            Comp::UpperLeaf => 'U',
+        }
+    }
+
+    /// Whether this component reads the object's *geometry* (range or
+    /// endpoints after any shrinking transform) as opposed to the raw
+    /// endpoint identity (leaf components, which Appendix B keeps
+    /// untransformed so they can detect exact endpoint coincidences).
+    pub fn is_geometric(&self) -> bool {
+        !matches!(self, Comp::LowerLeaf | Comp::UpperLeaf)
+    }
+}
+
+/// A word: one component per dimension.
+pub type Word<const D: usize> = [Comp; D];
+
+/// Renders a word as its letter string, e.g. `IE` for `X_IE`.
+pub fn word_name<const D: usize>(w: &Word<D>) -> String {
+    w.iter().map(Comp::letter).collect()
+}
+
+/// All `{I, E}^d` words in bitmask order (bit `i` set ⇒ `Endpoints` in
+/// dimension `i`), the words of the standard spatial-join sketch.
+pub fn ie_words<const D: usize>() -> Vec<Word<D>> {
+    let mut out = Vec::with_capacity(1 << D);
+    for mask in 0..(1u32 << D) {
+        let mut w = [Comp::Interval; D];
+        for (i, c) in w.iter_mut().enumerate() {
+            if mask >> i & 1 == 1 {
+                *c = Comp::Endpoints;
+            }
+        }
+        out.push(w);
+    }
+    out
+}
+
+/// The complement `w̄` of an `{I, E}`-word: `I ↔ E` (Theorem 3). Leaf and
+/// point components pair up as lower ↔ upper, matching Appendix B's
+/// "`U` with `L` and vice versa".
+pub fn complement<const D: usize>(w: &Word<D>) -> Word<D> {
+    let mut out = *w;
+    for c in &mut out {
+        *c = match c {
+            Comp::Interval => Comp::Endpoints,
+            Comp::Endpoints => Comp::Interval,
+            Comp::LowerPoint => Comp::UpperPoint,
+            Comp::UpperPoint => Comp::LowerPoint,
+            Comp::LowerLeaf => Comp::UpperLeaf,
+            Comp::UpperLeaf => Comp::LowerLeaf,
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ie_words_enumeration() {
+        let words = ie_words::<2>();
+        assert_eq!(words.len(), 4);
+        assert_eq!(word_name(&words[0]), "II");
+        assert_eq!(word_name(&words[1]), "EI");
+        assert_eq!(word_name(&words[2]), "IE");
+        assert_eq!(word_name(&words[3]), "EE");
+    }
+
+    #[test]
+    fn complement_pairs() {
+        let w = [Comp::Interval, Comp::Endpoints];
+        assert_eq!(complement(&w), [Comp::Endpoints, Comp::Interval]);
+        let w = [Comp::LowerLeaf, Comp::UpperPoint];
+        assert_eq!(complement(&w), [Comp::UpperLeaf, Comp::LowerPoint]);
+        // Involution.
+        for w in ie_words::<3>() {
+            assert_eq!(complement(&complement(&w)), w);
+        }
+    }
+
+    #[test]
+    fn geometric_flags() {
+        assert!(Comp::Interval.is_geometric());
+        assert!(Comp::Endpoints.is_geometric());
+        assert!(Comp::LowerPoint.is_geometric());
+        assert!(!Comp::LowerLeaf.is_geometric());
+        assert!(!Comp::UpperLeaf.is_geometric());
+    }
+
+    #[test]
+    fn letters_unique() {
+        let comps = [
+            Comp::Interval,
+            Comp::Endpoints,
+            Comp::LowerPoint,
+            Comp::UpperPoint,
+            Comp::LowerLeaf,
+            Comp::UpperLeaf,
+        ];
+        let mut letters: Vec<char> = comps.iter().map(Comp::letter).collect();
+        letters.sort_unstable();
+        letters.dedup();
+        assert_eq!(letters.len(), comps.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for sketch construction and estimation.
+
+use std::fmt;
+
+/// Errors surfaced by the sketch layer.
+///
+/// Sketches validate untrusted inputs (coordinates, combinability) and
+/// return these instead of panicking; panics are reserved for internal
+/// invariant violations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// A coordinate exceeds the data domain declared at schema creation.
+    DomainOverflow {
+        /// Offending coordinate value.
+        coord: u64,
+        /// Largest admissible coordinate.
+        max: u64,
+        /// Dimension index.
+        dim: usize,
+    },
+    /// Two sketches built from different schemas (different seeds) cannot be
+    /// combined into one estimate.
+    SchemaMismatch,
+    /// Two sketches carry different word sets for the attempted operation.
+    WordMismatch,
+    /// Estimation parameters out of range (e.g. ε or φ not in (0, 1)).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::DomainOverflow { coord, max, dim } => write!(
+                f,
+                "coordinate {coord} in dimension {dim} exceeds domain maximum {max}"
+            ),
+            SketchError::SchemaMismatch => {
+                write!(f, "sketches were built from different schemas (seeds differ)")
+            }
+            SketchError::WordMismatch => {
+                write!(f, "sketches carry incompatible atomic-sketch word sets")
+            }
+            SketchError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, SketchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SketchError::DomainOverflow { coord: 99, max: 63, dim: 1 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("dimension 1"));
+        assert!(SketchError::SchemaMismatch.to_string().contains("schemas"));
+        assert!(SketchError::InvalidParameter("eps").to_string().contains("eps"));
+    }
+}

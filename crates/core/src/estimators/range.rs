@@ -1,0 +1,419 @@
+//! Range-query selectivity estimation (Section 6.4).
+//!
+//! A range query is a join with a singleton relation, but the paper's
+//! optimized estimator stores only two atomic sketches per dimension pair —
+//! `X_I` (whole intervals) and `X_U` (upper endpoints) — and evaluates the
+//! query side *deterministically* at estimation time:
+//!
+//! ```text
+//! Z = ξ̄[u,v] · X_U + ξ̄[v] · X_I          (Lemma 9, one dimension)
+//! ```
+//!
+//! An interval `[a, b]` overlaps `q = [u, v]` iff (`b ∈ [u, v]`) xor
+//! (`v ∈ [a, b]`) under Assumption 1; the two mutually exclusive events are
+//! counted by the two terms. In d dimensions the per-dimension factor is
+//! multiplied out over `{I, U}^d` (Section 6.4: "replace X_E with X_U").
+//!
+//! The module also provides *stabbing counts* (`#{r : p ∈ r}`, closed): the
+//! all-`I` word paired with the query point's covers, which is exact without
+//! any endpoint assumption.
+
+use crate::atomic::{EndpointPolicy, SketchSet};
+use crate::boost::Estimate;
+use crate::comp::{Comp, Word};
+use crate::error::{Result, SketchError};
+use crate::estimators::SketchConfig;
+use crate::schema::{DimSpec, SketchSchema};
+use dyadic::{interval_cover, point_cover};
+use fourwise::IndexPre;
+use geometry::transform::{shrink_interval, triple};
+use geometry::{HyperRect, Interval, Point};
+use rand::Rng;
+use std::sync::Arc;
+
+/// How the estimator deals with query/data endpoint coincidences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeStrategy {
+    /// Raw domain; unbiased when the query shares no endpoint coordinate
+    /// with the data (Assumption 1 between data and query).
+    AssumeDistinct,
+    /// Section 5.2 transform: data tripled, query shrunk at estimate time;
+    /// unbiased for arbitrary queries.
+    Transform,
+}
+
+/// Estimator for `|Q(q, R)|` (Definition 3) over one maintained sketch.
+#[derive(Debug, Clone)]
+pub struct RangeQuery<const D: usize> {
+    schema: Arc<SketchSchema<D>>,
+    words: Arc<Vec<Word<D>>>,
+    strategy: RangeStrategy,
+}
+
+impl<const D: usize> RangeQuery<D> {
+    /// Creates the estimator for data domains of `2^data_bits[i]` values.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        config: SketchConfig,
+        data_bits: [u32; D],
+        strategy: RangeStrategy,
+    ) -> Self {
+        let extra = match strategy {
+            RangeStrategy::AssumeDistinct => 0,
+            RangeStrategy::Transform => 2,
+        };
+        let dims: [DimSpec; D] = std::array::from_fn(|i| {
+            let bits = data_bits[i] + extra;
+            match config.max_level {
+                Some(ml) => DimSpec::with_max_level(bits, ml),
+                None => DimSpec::dyadic(bits),
+            }
+        });
+        let schema = SketchSchema::new(rng, config.kind, config.shape, dims);
+        // Words {I, U}^D in mask order (bit set = UpperPoint).
+        let mut words = Vec::with_capacity(1 << D);
+        for mask in 0..(1u32 << D) {
+            let mut w = [Comp::Interval; D];
+            for (i, c) in w.iter_mut().enumerate() {
+                if mask >> i & 1 == 1 {
+                    *c = Comp::UpperPoint;
+                }
+            }
+            words.push(w);
+        }
+        Self {
+            schema,
+            words: Arc::new(words),
+            strategy,
+        }
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<SketchSchema<D>> {
+        &self.schema
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> RangeStrategy {
+        self.strategy
+    }
+
+    /// Creates the (single) maintained sketch over the data set.
+    pub fn new_sketch(&self) -> SketchSet<D> {
+        let policy = match self.strategy {
+            RangeStrategy::AssumeDistinct => EndpointPolicy::Raw,
+            RangeStrategy::Transform => EndpointPolicy::Tripled,
+        };
+        SketchSet::new(Arc::clone(&self.schema), Arc::clone(&self.words), policy)
+    }
+
+    fn check_sketch(&self, sketch: &SketchSet<D>) -> Result<()> {
+        if sketch.schema().id() != self.schema.id() {
+            return Err(SketchError::SchemaMismatch);
+        }
+        if **sketch.words() != *self.words {
+            return Err(SketchError::WordMismatch);
+        }
+        Ok(())
+    }
+
+    /// Estimates `|Q(q, R)|`: the number of summarized objects whose
+    /// intersection with `q` is full-dimensional.
+    ///
+    /// Degenerate queries select nothing under Definition 3 and return a
+    /// zero estimate; use [`RangeQuery::estimate_stab`] for stabbing counts.
+    #[allow(clippy::needless_range_loop)] // indexes several parallel per-dim arrays
+    pub fn estimate(&self, sketch: &SketchSet<D>, q: &HyperRect<D>) -> Result<Estimate> {
+        self.check_sketch(sketch)?;
+        for dim in 0..D {
+            let max = (1u64 << sketch.data_bits()[dim]) - 1;
+            if q.range(dim).hi() > max {
+                return Err(SketchError::DomainOverflow {
+                    coord: q.range(dim).hi(),
+                    max,
+                    dim,
+                });
+            }
+        }
+        let shape = self.schema.shape();
+        if q.is_degenerate() {
+            return Ok(Estimate::from_grid(
+                &vec![0.0; shape.instances()],
+                shape.k1,
+                shape.k2,
+            ));
+        }
+        // Per-dimension query node lists (shared across instances).
+        let mut cover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
+        let mut pcover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
+        for dim in 0..D {
+            let geo: Interval = match self.strategy {
+                RangeStrategy::AssumeDistinct => q.range(dim),
+                RangeStrategy::Transform => {
+                    shrink_interval(&q.range(dim)).expect("degenerate handled above")
+                }
+            };
+            let dyadic = &self.schema.dyadic()[dim];
+            let ctx = &self.schema.xi_ctx()[dim];
+            let ml = self.schema.dims()[dim].max_level;
+            cover_pres.push(
+                interval_cover(dyadic, &geo, ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+            pcover_pres.push(
+                point_cover(dyadic, geo.hi(), ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+        }
+
+        let mut atomic = Vec::with_capacity(shape.instances());
+        for inst in 0..shape.instances() {
+            let seeds = self.schema.instance_seeds(inst);
+            let mut q_i = [0i64; D]; // ξ̄ over the query interval cover
+            let mut q_p = [0i64; D]; // ξ̄ over the query upper endpoint cover
+            for dim in 0..D {
+                let fam = self.schema.xi_ctx()[dim].family(seeds[dim]);
+                q_i[dim] = fam.sum_pre(&cover_pres[dim]);
+                q_p[dim] = fam.sum_pre(&pcover_pres[dim]);
+            }
+            let counters = sketch.instance_counters(inst);
+            let mut z = 0.0f64;
+            for (mask, &x_w) in counters.iter().enumerate() {
+                // Word bit set = UpperPoint sketch component, which pairs
+                // with the query's *interval* value; Interval components
+                // pair with the query's upper-endpoint value.
+                let mut qprod: i64 = 1;
+                for dim in 0..D {
+                    qprod *= if mask >> dim & 1 == 1 {
+                        q_i[dim]
+                    } else {
+                        q_p[dim]
+                    };
+                }
+                z += (qprod as i128 * x_w as i128) as f64;
+            }
+            atomic.push(z);
+        }
+        Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
+    }
+
+    /// Estimates the stabbing count `#{r ∈ R : p ∈ r}` (closed containment;
+    /// exact in expectation with no endpoint assumption).
+    #[allow(clippy::needless_range_loop)] // indexes several parallel per-dim arrays
+    pub fn estimate_stab(&self, sketch: &SketchSet<D>, p: &Point<D>) -> Result<Estimate> {
+        self.check_sketch(sketch)?;
+        for dim in 0..D {
+            let max = (1u64 << sketch.data_bits()[dim]) - 1;
+            if p[dim] > max {
+                return Err(SketchError::DomainOverflow {
+                    coord: p[dim],
+                    max,
+                    dim,
+                });
+            }
+        }
+        let mut pcover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
+        for dim in 0..D {
+            let coord = match self.strategy {
+                RangeStrategy::AssumeDistinct => p[dim],
+                RangeStrategy::Transform => triple(p[dim]),
+            };
+            let dyadic = &self.schema.dyadic()[dim];
+            let ctx = &self.schema.xi_ctx()[dim];
+            let ml = self.schema.dims()[dim].max_level;
+            pcover_pres.push(
+                point_cover(dyadic, coord, ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+        }
+        let shape = self.schema.shape();
+        let all_interval_word = 0usize; // mask 0 = Interval in every dim
+        let mut atomic = Vec::with_capacity(shape.instances());
+        for inst in 0..shape.instances() {
+            let seeds = self.schema.instance_seeds(inst);
+            let mut qprod: i64 = 1;
+            for dim in 0..D {
+                let fam = self.schema.xi_ctx()[dim].family(seeds[dim]);
+                qprod *= fam.sum_pre(&pcover_pres[dim]);
+            }
+            let x_w = sketch.instance_counters(inst)[all_interval_word];
+            atomic.push((qprod as i128 * x_w as i128) as f64);
+        }
+        Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data_1d(seed: u64, n: usize, domain: u64) -> Vec<HyperRect<1>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let lo = rng.gen_range(0..domain - 16);
+                Interval::new(lo, lo + rng.gen_range(1..16u64)).into()
+            })
+            .collect()
+    }
+
+    /// Mean/SE over repeated estimation with fresh schemas (the query side
+    /// is deterministic per schema, so unbiasedness must be measured across
+    /// instances of one schema — row means of a wide flat schema work).
+    fn flat_estimate<const D: usize>(
+        rq: &RangeQuery<D>,
+        sketch: &SketchSet<D>,
+        q: &HyperRect<D>,
+    ) -> (f64, f64) {
+        let est = rq.estimate(sketch, q).unwrap();
+        let n = est.row_means.len() as f64;
+        let mean = est.row_means.iter().sum::<f64>() / n;
+        let var = est
+            .row_means
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        (mean, (var / n).sqrt())
+    }
+
+    #[test]
+    fn range_count_unbiased_transform() {
+        let mut rng = StdRng::seed_from_u64(70);
+        // k1 = 1 so each row mean is a raw instance: gives us SE over rows.
+        let rq = RangeQuery::<1>::new(
+            &mut rng,
+            SketchConfig::new(1, 1500),
+            [8],
+            RangeStrategy::Transform,
+        );
+        let data = data_1d(3, 60, 256);
+        let mut sk = rq.new_sketch();
+        for r in &data {
+            sk.insert(r).unwrap();
+        }
+        // Query sharing endpoints with data on purpose.
+        let q: HyperRect<1> = data[5].range(0).into();
+        let truth = exact::naive::range_count(&data, &q) as f64;
+        assert!(truth > 0.0);
+        let (mean, se) = flat_estimate(&rq, &sk, &q);
+        assert!(
+            (mean - truth).abs() <= 6.0 * se + 1e-9,
+            "mean {mean} vs truth {truth} (se {se})"
+        );
+    }
+
+    #[test]
+    fn range_count_2d_unbiased() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(1, 1200),
+            [6, 6],
+            RangeStrategy::Transform,
+        );
+        let mut data = Vec::new();
+        let mut grng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let x = grng.gen_range(0..50u64);
+            let y = grng.gen_range(0..50u64);
+            data.push(rect2(x, x + grng.gen_range(1..10), y, y + grng.gen_range(1..10)));
+        }
+        let mut sk = rq.new_sketch();
+        for r in &data {
+            sk.insert(r).unwrap();
+        }
+        let q = rect2(10, 30, 15, 40);
+        let truth = exact::naive::range_count(&data, &q) as f64;
+        assert!(truth > 0.0);
+        let (mean, se) = flat_estimate(&rq, &sk, &q);
+        assert!(
+            (mean - truth).abs() <= 6.0 * se + 1e-9,
+            "mean {mean} vs truth {truth} (se {se})"
+        );
+    }
+
+    #[test]
+    fn stab_count_exact_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let rq = RangeQuery::<1>::new(
+            &mut rng,
+            SketchConfig::new(1, 1500),
+            [8],
+            RangeStrategy::AssumeDistinct,
+        );
+        let data = data_1d(9, 50, 256);
+        let mut sk = rq.new_sketch();
+        for r in &data {
+            sk.insert(r).unwrap();
+        }
+        // Stab at a data endpoint (shared coordinate) — closed semantics.
+        let p = [data[7].range(0).lo()];
+        let truth = data.iter().filter(|r| r.range(0).contains(p[0])).count() as f64;
+        let est = rq.estimate_stab(&sk, &p).unwrap();
+        let n = est.row_means.len() as f64;
+        let mean = est.row_means.iter().sum::<f64>() / n;
+        let var = est
+            .row_means
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        let se = (var / n).sqrt();
+        assert!(
+            (mean - truth).abs() <= 6.0 * se + 1e-9,
+            "mean {mean} vs truth {truth} (se {se})"
+        );
+    }
+
+    #[test]
+    fn degenerate_query_returns_zero() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let rq = RangeQuery::<1>::new(
+            &mut rng,
+            SketchConfig::new(4, 3),
+            [8],
+            RangeStrategy::Transform,
+        );
+        let mut sk = rq.new_sketch();
+        sk.insert(&Interval::new(10, 50).into()).unwrap();
+        let q: HyperRect<1> = Interval::point(20).into();
+        let est = rq.estimate(&sk, &q).unwrap();
+        assert_eq!(est.value, 0.0);
+    }
+
+    #[test]
+    fn rejects_wrong_sketch_and_oob_query() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let rq1 = RangeQuery::<1>::new(
+            &mut rng,
+            SketchConfig::new(4, 3),
+            [8],
+            RangeStrategy::AssumeDistinct,
+        );
+        let rq2 = RangeQuery::<1>::new(
+            &mut rng,
+            SketchConfig::new(4, 3),
+            [8],
+            RangeStrategy::AssumeDistinct,
+        );
+        let sk = rq1.new_sketch();
+        assert!(matches!(
+            rq2.estimate(&sk, &Interval::new(0, 5).into()),
+            Err(SketchError::SchemaMismatch)
+        ));
+        assert!(matches!(
+            rq1.estimate(&sk, &Interval::new(0, 500).into()),
+            Err(SketchError::DomainOverflow { .. })
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Parallel batch construction of sketches.
+//!
+//! Sketch instances are mutually independent, so bulk-loading parallelizes
+//! perfectly across the instance axis: the per-object dyadic covers and
+//! GF(2^k) cubes are computed once (they are seed-independent), then worker
+//! threads apply them to disjoint slices of the counter array. This is how
+//! the experiment harness affords the paper's thousands-of-instances
+//! configurations.
+
+use crate::atomic::{apply_instance, RectScratch, SketchSet};
+use crate::error::Result;
+use geometry::HyperRect;
+
+/// Objects per scratch block: bounds the scratch memory (a few KB per
+/// object) while amortizing thread spawn overhead.
+const BLOCK: usize = 512;
+
+/// Applies a signed bulk update using `threads` worker threads.
+///
+/// Equivalent to calling [`SketchSet::update`] for every rectangle (all
+/// rectangles are validated up front, so either the whole batch applies or
+/// the sketch is untouched).
+pub fn par_update_batch<const D: usize>(
+    sketch: &mut SketchSet<D>,
+    rects: &[HyperRect<D>],
+    delta: i64,
+    threads: usize,
+) -> Result<()> {
+    let threads = threads.max(1);
+    // Validate everything first so failures cannot leave partial state.
+    let mut probe = RectScratch::new();
+    for r in rects {
+        sketch.fill_scratch(r, &mut probe)?;
+    }
+
+    let schema = sketch.schema().clone();
+    let words = sketch.words().clone();
+    let w = words.len();
+    let instances = schema.instances();
+    let per_thread = instances.div_ceil(threads);
+
+    let mut scratches: Vec<RectScratch<D>> = (0..BLOCK.min(rects.len().max(1)))
+        .map(|_| RectScratch::new())
+        .collect();
+
+    for block in rects.chunks(BLOCK) {
+        for (slot, rect) in scratches.iter_mut().zip(block.iter()) {
+            sketch
+                .fill_scratch(rect, slot)
+                .expect("validated above");
+        }
+        let filled = &scratches[..block.len()];
+        let counters = sketch.counters_mut();
+        crossbeam::thread::scope(|scope| {
+            for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
+                let schema = &schema;
+                let words = &words;
+                scope.spawn(move |_| {
+                    let base = t * per_thread;
+                    for (j, row) in chunk.chunks_mut(w).enumerate() {
+                        let inst = base + j;
+                        for scratch in filled {
+                            apply_instance(schema, words, scratch, inst, row, delta);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("sketch worker thread panicked");
+    }
+    sketch.add_len(delta * rects.len() as i64);
+    Ok(())
+}
+
+/// Parallel bulk insert; see [`par_update_batch`].
+pub fn par_insert_batch<const D: usize>(
+    sketch: &mut SketchSet<D>,
+    rects: &[HyperRect<D>],
+    threads: usize,
+) -> Result<()> {
+    par_update_batch(sketch, rects, 1, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::EndpointPolicy;
+    use crate::comp::ie_words;
+    use crate::schema::{BoostShape, DimSpec, SketchSchema};
+    use fourwise::XiKind;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+    use std::sync::Arc;
+
+    fn rects(n: usize, seed: u64) -> Vec<HyperRect<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0..200u64);
+                let y = rng.gen_range(0..200u64);
+                rect2(x, x + rng.gen_range(1..50), y, y + rng.gen_range(1..50))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(7, 3), // deliberately not divisible by threads
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let data = rects(600, 1); // spans multiple blocks
+        let mut seq = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        for r in &data {
+            seq.insert(r).unwrap();
+        }
+        for threads in [1usize, 2, 3, 8] {
+            let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+            par_insert_batch(&mut par, &data, threads).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for inst in 0..schema.instances() {
+                assert_eq!(
+                    par.instance_counters(inst),
+                    seq.instance_counters(inst),
+                    "threads={threads} inst={inst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_batch_leaves_sketch_untouched() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(2, 2),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        let mut data = rects(10, 2);
+        data.push(rect2(0, 10_000, 0, 5)); // out of domain
+        assert!(par_insert_batch(&mut sk, &data, 4).is_err());
+        assert_eq!(sk.len(), 0);
+        assert!((0..sk.schema().instances())
+            .all(|i| sk.instance_counters(i).iter().all(|&c| c == 0)));
+    }
+
+    #[test]
+    fn parallel_delete_batch() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(4, 3),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        let data = rects(100, 3);
+        par_insert_batch(&mut sk, &data, 4).unwrap();
+        par_update_batch(&mut sk, &data, -1, 4).unwrap();
+        assert!(sk.is_empty());
+        assert!((0..sk.schema().instances())
+            .all(|i| sk.instance_counters(i).iter().all(|&c| c == 0)));
+    }
+
+    #[test]
+    fn more_threads_than_instances() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(1, 1),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+        par_insert_batch(&mut sk, &rects(5, 4), 16).unwrap();
+        assert_eq!(sk.len(), 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Space planning from the paper's guarantees (Lemma 1, Theorems 1-3).
+//!
+//! Lemma 1: using `16·Var[Z]/(ε²·E[Z]²)·lg(1/φ)` independent copies of an
+//! unbiased estimator `Z` — arranged as `k2 = 2·lg(1/φ)` groups of
+//! `k1 = 8·Var[Z]/(ε²·E[Z]²)` averaged copies, median over groups — the
+//! estimate is within relative error `ε` of `E[Z]` with probability `1-φ`.
+//!
+//! The per-query variance bounds plug in as `Var[Z] ≤ factor · SJ(R)·SJ(S)`:
+//!
+//! | query | factor | source |
+//! |-------|--------|--------|
+//! | interval join (d=1) | 1/2 | §4.1.4 |
+//! | rectangle join (d=2) | 1/2 | Lemma 6 |
+//! | hyper-rectangle join | (3^d - 1)/4^d | Theorem 3 |
+//! | ε-join | 3^d - 1 | Lemma 8 |
+//! | range query | 2(3·log₂ n + 1)·SJ(R) (no S factor) | Lemma 9 |
+//!
+//! As the paper notes (§2.3), sizing needs a lower bound on the unknown
+//! `E[Z]` — a "sanity bound" from historic data or domain knowledge; the
+//! tighter the bound, the less space is provisioned.
+
+use crate::error::{Result, SketchError};
+use crate::schema::BoostShape;
+
+/// A target accuracy guarantee: relative error `ε` with confidence `1 - φ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Guarantee {
+    /// Relative error bound, in (0, 1).
+    pub epsilon: f64,
+    /// Failure probability, in (0, 1).
+    pub phi: f64,
+}
+
+impl Guarantee {
+    /// Creates a guarantee, validating the ranges.
+    pub fn new(epsilon: f64, phi: f64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SketchError::InvalidParameter("epsilon must be in (0, 1)"));
+        }
+        if !(phi > 0.0 && phi < 1.0) {
+            return Err(SketchError::InvalidParameter("phi must be in (0, 1)"));
+        }
+        Ok(Self { epsilon, phi })
+    }
+}
+
+/// Variance factor for the d-dimensional hyper-rectangle join
+/// (`Var[Z] ≤ (3^d - 1)/4^d · SJ(R)·SJ(S)`, Theorem 3). For d = 1 and d = 2
+/// this equals the paper's 1/2.
+pub fn join_variance_factor(d: u32) -> f64 {
+    (3f64.powi(d as i32) - 1.0) / 4f64.powi(d as i32)
+}
+
+/// Variance factor for the d-dimensional ε-join
+/// (`Var[Z] ≤ (3^d - 1)·SJ(X_E)·SJ(Y_I)`, Lemma 8).
+pub fn eps_join_variance_factor(d: u32) -> f64 {
+    3f64.powi(d as i32) - 1.0
+}
+
+/// Variance bound for the 1-d range query (`Var[Z] ≤ 2(3·log₂ n + 1)·SJ(R)`,
+/// Lemma 9); multiply by `SJ(R)` yourself since there is no `S` self-join.
+pub fn range_variance_factor(domain_bits: u32) -> f64 {
+    2.0 * (3.0 * domain_bits as f64 + 1.0)
+}
+
+/// The boosting shape required to achieve a guarantee given a variance
+/// bound `var_bound ≥ Var[Z]` and a lower ("sanity") bound `ez_lower ≤ E[Z]`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x >= 0)` deliberately rejects NaN
+pub fn required_shape(g: Guarantee, var_bound: f64, ez_lower: f64) -> Result<BoostShape> {
+    if !(var_bound >= 0.0) {
+        return Err(SketchError::InvalidParameter("variance bound must be >= 0"));
+    }
+    if !(ez_lower > 0.0) {
+        return Err(SketchError::InvalidParameter(
+            "E[Z] sanity bound must be positive",
+        ));
+    }
+    let k1 = (8.0 * var_bound / (g.epsilon * g.epsilon * ez_lower * ez_lower)).ceil() as usize;
+    let mut k2 = (2.0 * (1.0 / g.phi).log2()).ceil() as usize;
+    if k2.is_multiple_of(2) {
+        k2 += 1; // odd medians are exact
+    }
+    Ok(BoostShape::new(k1.max(1), k2.max(1)))
+}
+
+/// Shape for a d-dimensional join with self-join sizes `sj_r`, `sj_s`.
+pub fn join_shape(g: Guarantee, d: u32, sj_r: f64, sj_s: f64, ez_lower: f64) -> Result<BoostShape> {
+    required_shape(g, join_variance_factor(d) * sj_r * sj_s, ez_lower)
+}
+
+/// Storage accounting in "words" (one counter or counter-sized value), the
+/// unit the paper's Section 7 uses when giving SKETCH the same memory as the
+/// histogram baselines.
+///
+/// Per instance, a join maintains `2^d` counters for each relation plus `d`
+/// seeds shared by the pair; the paper's example (Section 4.1.5: "five
+/// values" for a 1-d join instance: one seed + X_I, X_E, Y_I, Y_E) matches
+/// `pair_words_per_instance(1) = 5`.
+pub fn pair_words_per_instance(d: u32) -> u64 {
+    2 * (1u64 << d) + d as u64
+}
+
+/// Words charged to *one dataset* per instance (half the pair cost), the
+/// per-dataset accounting of Figures 5-11.
+pub fn dataset_words_per_instance(d: u32) -> f64 {
+    pair_words_per_instance(d) as f64 / 2.0
+}
+
+/// Total per-dataset words for an instance count.
+pub fn dataset_words(d: u32, instances: usize) -> f64 {
+    instances as f64 * dataset_words_per_instance(d)
+}
+
+/// Largest instance count whose per-dataset footprint fits in `words`.
+pub fn instances_for_dataset_words(d: u32, words: f64) -> usize {
+    (words / dataset_words_per_instance(d)).floor() as usize
+}
+
+/// The Section 6.5 adaptive `maxLevel` choice from interval-length
+/// statistics.
+///
+/// Untruncated dyadic *endpoint* sketches add the ξ variables of every
+/// ancestor — including the root on every single insertion — so
+/// `SJ(X_E) = Θ(N²)` regardless of the data, and join variance explodes
+/// (this dominates Figures 5-6 scale workloads by orders of magnitude).
+/// Truncating at level `m` caps the shared high levels: endpoint self-join
+/// mass scales like `2^m`, while interval covers only pay extra when
+/// objects are longer than `2^m` (they then need `~len/2^m` level-`m`
+/// blocks). The sweet spot balances the two at roughly the mean object
+/// extent: `m* ≈ log₂(mean length)`.
+///
+/// `mean_extent` must be measured in *sketch* coordinates (after any
+/// endpoint transform, which triples lengths).
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(x > 1)` deliberately catches NaN
+pub fn adaptive_max_level(mean_extent: f64, sketch_bits: u32) -> u32 {
+    if !(mean_extent > 1.0) {
+        return 1;
+    }
+    let m = mean_extent.log2().ceil() as u32;
+    m.clamp(1, sketch_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_factors_match_paper() {
+        assert!((join_variance_factor(1) - 0.5).abs() < 1e-12);
+        assert!((join_variance_factor(2) - 0.5).abs() < 1e-12);
+        // d = 3: (27-1)/64
+        assert!((join_variance_factor(3) - 26.0 / 64.0).abs() < 1e-12);
+        assert!((eps_join_variance_factor(2) - 8.0).abs() < 1e-12);
+        // Lemma 7 is the d = 2 special case: Var <= 8 SJ SJ.
+        assert!((range_variance_factor(10) - 62.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_shape_matches_lemma1_algebra() {
+        let g = Guarantee::new(0.1, 0.01).unwrap();
+        // Var = 100, E >= 50: k1 = 8*100/(0.01*2500) = 32.
+        let shape = required_shape(g, 100.0, 50.0).unwrap();
+        assert_eq!(shape.k1, 32);
+        // k2 = ceil(2 lg 100) = 14 -> odd-adjusted 15.
+        assert_eq!(shape.k2, 15);
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_quadratically_more() {
+        let var = 1000.0;
+        let e = 100.0;
+        let s1 = required_shape(Guarantee::new(0.2, 0.05).unwrap(), var, e).unwrap();
+        let s2 = required_shape(Guarantee::new(0.1, 0.05).unwrap(), var, e).unwrap();
+        assert_eq!(s2.k1, 4 * s1.k1);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Guarantee::new(0.0, 0.1).is_err());
+        assert!(Guarantee::new(1.5, 0.1).is_err());
+        assert!(Guarantee::new(0.1, 0.0).is_err());
+        let g = Guarantee::new(0.3, 0.01).unwrap();
+        assert!(required_shape(g, -1.0, 10.0).is_err());
+        assert!(required_shape(g, 10.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn word_accounting() {
+        // 1-d join: 5 words per pair-instance, per the paper's Section 4.1.5.
+        assert_eq!(pair_words_per_instance(1), 5);
+        // 2-d join: 8 counters + 2 seeds.
+        assert_eq!(pair_words_per_instance(2), 10);
+        assert_eq!(dataset_words(2, 100), 500.0);
+        assert_eq!(instances_for_dataset_words(2, 500.0), 100);
+        assert_eq!(instances_for_dataset_words(1, 63_000.0), 25_200);
+    }
+
+    #[test]
+    fn adaptive_max_level_tracks_mean_extent() {
+        assert_eq!(adaptive_max_level(128.0, 16), 7);
+        assert_eq!(adaptive_max_level(129.0, 16), 8);
+        assert_eq!(adaptive_max_level(3.0 * 128.0, 16), 9); // tripled domain
+        assert_eq!(adaptive_max_level(0.5, 16), 1); // degenerate-ish data
+        assert_eq!(adaptive_max_level(1e12, 10), 10); // clamped to the domain
+    }
+
+    #[test]
+    fn join_shape_roundtrip() {
+        let g = Guarantee::new(0.3, 0.01).unwrap();
+        let shape = join_shape(g, 1, 1000.0, 2000.0, 300.0).unwrap();
+        // k1 = ceil(8 * 0.5 * 2e6 / (0.09 * 9e4)) = ceil(987.65) = 988
+        assert_eq!(shape.k1, 988);
+        assert_eq!(shape.k2, 15);
+    }
+}

@@ -1,0 +1,259 @@
+//! Simulated GIS datasets standing in for the paper's real-life inputs.
+//!
+//! The paper evaluates on three Wyoming map datasets at 1:10⁶ scale, obtained
+//! privately from Sun et al.:
+//!
+//! * **LANDO** — land ownership/management, 33,860 objects;
+//! * **LANDC** — land cover (vegetation types), 14,731 objects;
+//! * **SOIL** — soils, 29,662 objects.
+//!
+//! The data itself is not redistributable, so this module generates
+//! *synthetic stand-ins with the same cardinalities* and the statistical
+//! features that matter to the estimators under study: spatially clustered
+//! placement (polygon MBRs of a map are strongly correlated), long-tailed
+//! extent distributions (a few huge parcels/regions, many small ones), and
+//! near-full domain coverage. What drives relative estimator accuracy is
+//! skew, extent mix and self-join size — all controlled here — not the exact
+//! shapes of Wyoming's parcels. The substitution is recorded in DESIGN.md.
+
+use crate::rng::{derive_seed, rng_for, sample_normal};
+use crate::zipf::Zipf;
+use geometry::{HyperRect, Interval};
+use rand::Rng;
+
+/// Parameters of a clustered map-like MBR generator.
+#[derive(Debug, Clone)]
+pub struct GisSpec {
+    /// Number of objects.
+    pub count: usize,
+    /// Domain bits per dimension.
+    pub domain_bits: u32,
+    /// Number of spatial clusters.
+    pub clusters: usize,
+    /// Zipf exponent over cluster popularity.
+    pub cluster_skew: f64,
+    /// Cluster standard deviation as a fraction of the domain side.
+    pub spread: f64,
+    /// log-mean of object extent (natural log of cells).
+    pub size_log_mean: f64,
+    /// log-sigma of object extent.
+    pub size_log_sigma: f64,
+    /// Fraction of objects placed uniformly instead of in clusters
+    /// (background noise).
+    pub uniform_fraction: f64,
+    /// Fraction of *elongated* objects (roads, rivers, pipelines): one long
+    /// axis, one thin axis, random orientation. These high-aspect MBRs are
+    /// what breaks uniformity-within-cell assumptions in real map data.
+    pub elongated_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GisSpec {
+    /// Generates the dataset deterministically.
+    pub fn generate(&self) -> Vec<HyperRect<2>> {
+        let n = 1u64 << self.domain_bits;
+        let nf = n as f64;
+        let mut rng = rng_for(self.seed);
+        let mut centers = Vec::with_capacity(self.clusters);
+        for _ in 0..self.clusters {
+            centers.push((rng.gen_range(0..n) as f64, rng.gen_range(0..n) as f64));
+        }
+        let cluster_pick = Zipf::new(self.clusters.max(1), self.cluster_skew);
+        let sigma = self.spread * nf;
+
+        let mut out = Vec::with_capacity(self.count);
+        for _ in 0..self.count {
+            let (cx, cy) = if rng.gen::<f64>() < self.uniform_fraction {
+                (rng.gen_range(0..n) as f64, rng.gen_range(0..n) as f64)
+            } else {
+                let c = centers[cluster_pick.sample(&mut rng)];
+                (
+                    c.0 + sigma * sample_normal(&mut rng),
+                    c.1 + sigma * sample_normal(&mut rng),
+                )
+            };
+            let (w, h) = if rng.gen::<f64>() < self.elongated_fraction {
+                // Linear feature: long axis ~16x the typical extent, thin
+                // axis a few cells; orientation uniform.
+                let long =
+                    lognormal_extent(&mut rng, self.size_log_mean + 2.8, self.size_log_sigma * 0.7, n);
+                let thin = lognormal_extent(&mut rng, 1.0, 0.5, n);
+                if rng.gen::<bool>() {
+                    (long, thin)
+                } else {
+                    (thin, long)
+                }
+            } else {
+                (
+                    lognormal_extent(&mut rng, self.size_log_mean, self.size_log_sigma, n),
+                    lognormal_extent(&mut rng, self.size_log_mean, self.size_log_sigma, n),
+                )
+            };
+            out.push(HyperRect::new([
+                centered_range(cx, w, n),
+                centered_range(cy, h, n),
+            ]));
+        }
+        out
+    }
+}
+
+fn lognormal_extent(rng: &mut impl Rng, log_mean: f64, log_sigma: f64, n: u64) -> u64 {
+    let v = (log_mean + log_sigma * sample_normal(rng)).exp();
+    (v.round() as u64).clamp(1, n / 2)
+}
+
+fn centered_range(center: f64, extent: u64, n: u64) -> Interval {
+    let half = (extent / 2) as f64;
+    let lo = (center - half).round().clamp(0.0, (n - 2) as f64) as u64;
+    let hi = (lo + extent).min(n - 1).max(lo + 1);
+    Interval::new(lo, hi)
+}
+
+/// Domain bits the simulated Wyoming maps use (a 2^14 × 2^14 grid — about
+/// the resolution of 1:10⁶ state maps quantized to 30 m cells).
+pub const GIS_DOMAIN_BITS: u32 = 14;
+
+/// Simulated **LANDO** (land ownership): 33,860 objects; many small parcels
+/// in dense clusters (towns, subdivided land) plus a heavy tail of huge
+/// federal/state tracts.
+pub fn lando(seed: u64) -> Vec<HyperRect<2>> {
+    GisSpec {
+        count: 33_860,
+        domain_bits: GIS_DOMAIN_BITS,
+        clusters: 60,
+        cluster_skew: 0.8,
+        spread: 0.045,
+        size_log_mean: 3.4, // median extent ~30 cells
+        size_log_sigma: 1.5,
+        uniform_fraction: 0.12,
+        elongated_fraction: 0.15,
+        seed: derive_seed(seed, "lando"),
+    }
+    .generate()
+}
+
+/// Simulated **LANDC** (land cover): 14,731 objects; fewer, larger regions
+/// (vegetation zones) with moderate clustering.
+pub fn landc(seed: u64) -> Vec<HyperRect<2>> {
+    GisSpec {
+        count: 14_731,
+        domain_bits: GIS_DOMAIN_BITS,
+        clusters: 25,
+        cluster_skew: 0.5,
+        spread: 0.09,
+        size_log_mean: 4.6, // median extent ~100 cells
+        size_log_sigma: 1.2,
+        uniform_fraction: 0.2,
+        elongated_fraction: 0.1,
+        seed: derive_seed(seed, "landc"),
+    }
+    .generate()
+}
+
+/// Simulated **SOIL** (soil types): 29,662 objects; mid-size polygons tiling
+/// most of the state, mild clustering along terrain features.
+pub fn soil(seed: u64) -> Vec<HyperRect<2>> {
+    GisSpec {
+        count: 29_662,
+        domain_bits: GIS_DOMAIN_BITS,
+        clusters: 120,
+        cluster_skew: 0.4,
+        spread: 0.07,
+        size_log_mean: 4.0, // median extent ~55 cells
+        size_log_sigma: 0.9,
+        uniform_fraction: 0.25,
+        elongated_fraction: 0.08,
+        seed: derive_seed(seed, "soil"),
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_paper() {
+        assert_eq!(lando(1).len(), 33_860);
+        assert_eq!(landc(1).len(), 14_731);
+        assert_eq!(soil(1).len(), 29_662);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(lando(7), lando(7));
+        assert_ne!(lando(7), lando(8));
+    }
+
+    #[test]
+    fn objects_fit_domain_and_are_nondegenerate() {
+        let n = 1u64 << GIS_DOMAIN_BITS;
+        for data in [lando(3), landc(3), soil(3)] {
+            for r in &data {
+                for d in 0..2 {
+                    assert!(r.range(d).hi() < n);
+                    assert!(!r.range(d).is_degenerate());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extent_distribution_is_long_tailed() {
+        let data = lando(5);
+        let mut widths: Vec<u64> = data.iter().map(|r| r.range(0).length()).collect();
+        widths.sort_unstable();
+        let median = widths[widths.len() / 2] as f64;
+        let p99 = widths[widths.len() * 99 / 100] as f64;
+        assert!(
+            p99 > 8.0 * median,
+            "LANDO extents should be long-tailed: median {median}, p99 {p99}"
+        );
+    }
+
+    #[test]
+    fn clustering_is_visible() {
+        // Compare occupancy of coarse grid cells against a uniform layout:
+        // clustered data must leave many more cells (nearly) empty.
+        let data = lando(9);
+        let n = 1u64 << GIS_DOMAIN_BITS;
+        let g = 16u64;
+        let cell = n / g;
+        let mut counts = vec![0u64; (g * g) as usize];
+        for r in &data {
+            let cx = (r.range(0).lo() / cell).min(g - 1);
+            let cy = (r.range(1).lo() / cell).min(g - 1);
+            counts[(cy * g + cx) as usize] += 1;
+        }
+        let mean = data.len() as f64 / (g * g) as f64;
+        let max = *counts.iter().max().expect("cells") as f64;
+        assert!(
+            max > 4.0 * mean,
+            "clusters should create hot cells: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn joins_between_simulated_maps_are_nontrivial() {
+        // The three maps must actually overlap each other for the join
+        // experiments to make sense; check on a subsample.
+        let a = lando(1);
+        let b = soil(1);
+        let sample_a = &a[..2000];
+        let sample_b = &b[..2000];
+        let mut hits = 0u64;
+        for r in sample_a {
+            for s in sample_b {
+                if r.overlaps(s) {
+                    hits += 1;
+                }
+            }
+        }
+        // Map-like selectivities are small (~1e-5); require the subsample to
+        // produce a clearly nonzero join so full-size experiments have
+        // thousands of result pairs.
+        assert!(hits > 20, "simulated maps barely overlap: {hits}");
+    }
+}

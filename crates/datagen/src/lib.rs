@@ -1,0 +1,28 @@
+//! # datagen — deterministic workloads for the spatial-sketch experiments
+//!
+//! Every dataset in the paper's evaluation (Section 7), regenerable from a
+//! seed:
+//!
+//! * [`synthetic`] — the Section 7.1 synthetic rectangle sets (Zipfian
+//!   positions, mean extent `sqrt(domain)`), plus uniform interval/point
+//!   helpers for Figures 7-8 and the ε-join experiments;
+//! * [`gis`] — clustered stand-ins for the Wyoming LANDO/LANDC/SOIL maps of
+//!   Section 7.3 (the real data is not redistributable; see the module docs
+//!   for why the simulation preserves the relevant behaviour);
+//! * [`stream`] — insert/delete churn workloads exercising incremental
+//!   sketch maintenance;
+//! * [`zipf`], [`rng`] — the underlying samplers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gis;
+pub mod rng;
+pub mod stream;
+pub mod synthetic;
+pub mod zipf;
+
+pub use gis::{landc, lando, soil, GisSpec, GIS_DOMAIN_BITS};
+pub use stream::{churn_stream, replay, Update};
+pub use synthetic::{uniform_intervals, uniform_points, SyntheticSpec};
+pub use zipf::Zipf;

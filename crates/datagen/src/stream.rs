@@ -1,0 +1,137 @@
+//! Insert/delete update streams.
+//!
+//! Sketches are maintainable under deletions (Section 1: "handle inserts and
+//! deletes to the database incrementally"); these helpers produce
+//! deterministic mixed workloads for exercising that path, tracking the live
+//! multiset so deletions always remove an element that is actually present.
+
+use crate::rng::rng_for;
+use geometry::HyperRect;
+use rand::Rng;
+
+/// A single update against a spatial relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update<const D: usize> {
+    /// Insert the rectangle.
+    Insert(HyperRect<D>),
+    /// Delete one previously inserted copy of the rectangle.
+    Delete(HyperRect<D>),
+}
+
+impl<const D: usize> Update<D> {
+    /// The rectangle being inserted or deleted.
+    pub fn rect(&self) -> &HyperRect<D> {
+        match self {
+            Update::Insert(r) | Update::Delete(r) => r,
+        }
+    }
+
+    /// +1 for inserts, -1 for deletes — the sketch update sign.
+    pub fn delta(&self) -> i64 {
+        match self {
+            Update::Insert(_) => 1,
+            Update::Delete(_) => -1,
+        }
+    }
+}
+
+/// Builds a stream that first inserts every base object, then performs
+/// `churn` random operations with the given delete probability (deletes pick
+/// a uniformly random live object; when none are live an insert is emitted
+/// instead). Deleted objects are re-inserted from the base pool, modelling
+/// a fluctuating live set over a fixed object universe.
+pub fn churn_stream<const D: usize>(
+    base: &[HyperRect<D>],
+    churn: usize,
+    delete_prob: f64,
+    seed: u64,
+) -> Vec<Update<D>> {
+    assert!((0.0..=1.0).contains(&delete_prob), "probability in [0,1]");
+    let mut rng = rng_for(seed);
+    let mut stream = Vec::with_capacity(base.len() + churn);
+    let mut live: Vec<HyperRect<D>> = Vec::with_capacity(base.len());
+    for r in base {
+        stream.push(Update::Insert(*r));
+        live.push(*r);
+    }
+    for _ in 0..churn {
+        if !live.is_empty() && rng.gen::<f64>() < delete_prob {
+            let i = rng.gen_range(0..live.len());
+            let r = live.swap_remove(i);
+            stream.push(Update::Delete(r));
+        } else if !base.is_empty() {
+            let r = base[rng.gen_range(0..base.len())];
+            stream.push(Update::Insert(r));
+            live.push(r);
+        }
+    }
+    stream
+}
+
+/// Replays a stream into a live multiset (reference semantics for tests and
+/// for computing exact answers mid-stream).
+pub fn replay<const D: usize>(stream: &[Update<D>]) -> Vec<HyperRect<D>> {
+    let mut live: Vec<HyperRect<D>> = Vec::new();
+    for u in stream {
+        match u {
+            Update::Insert(r) => live.push(*r),
+            Update::Delete(r) => {
+                let pos = live
+                    .iter()
+                    .position(|x| x == r)
+                    .expect("stream deletes an object that is not live");
+                live.swap_remove(pos);
+            }
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+
+    fn base() -> Vec<HyperRect<2>> {
+        (0..50u64)
+            .map(|i| rect2(i, i + 5, 2 * i, 2 * i + 3))
+            .collect()
+    }
+
+    #[test]
+    fn stream_is_replayable_and_deterministic() {
+        let b = base();
+        let s1 = churn_stream(&b, 200, 0.5, 99);
+        let s2 = churn_stream(&b, 200, 0.5, 99);
+        assert_eq!(s1, s2);
+        let live = replay(&s1);
+        // Every live object comes from the base pool.
+        assert!(live.iter().all(|r| b.contains(r)));
+    }
+
+    #[test]
+    fn deletes_never_underflow() {
+        let b = base();
+        let s = churn_stream(&b, 500, 0.95, 7);
+        let live = replay(&s); // would panic on an invalid delete
+        let inserts = s.iter().filter(|u| matches!(u, Update::Insert(_))).count();
+        let deletes = s.iter().filter(|u| matches!(u, Update::Delete(_))).count();
+        assert_eq!(live.len(), inserts - deletes);
+    }
+
+    #[test]
+    fn delta_signs() {
+        let r = rect2(0, 1, 0, 1);
+        assert_eq!(Update::Insert(r).delta(), 1);
+        assert_eq!(Update::Delete(r).delta(), -1);
+        assert_eq!(Update::Delete(r).rect(), &r);
+    }
+
+    #[test]
+    fn all_insert_stream_when_delete_prob_zero() {
+        let b = base();
+        let s = churn_stream(&b, 100, 0.0, 3);
+        assert_eq!(s.len(), b.len() + 100);
+        assert!(s.iter().all(|u| matches!(u, Update::Insert(_))));
+    }
+}

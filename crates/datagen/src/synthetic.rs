@@ -1,0 +1,194 @@
+//! Synthetic rectangle workloads matching Section 7.1 of the paper.
+//!
+//! "We use synthetic two-dimensional datasets, with intervals along each
+//! dimension i generated independently according to a Zipfian distribution
+//! with Zipf parameter z_i. The average length of an object along a
+//! dimension is O(√d_i) where d_i is the size of the domain."
+
+use crate::rng::rng_for;
+use crate::zipf::{scatter, Zipf};
+use geometry::{HyperRect, Interval};
+use rand::Rng;
+
+/// Specification of a synthetic rectangle dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of rectangles.
+    pub count: usize,
+    /// Domain bits per dimension (domain size `2^bits`).
+    pub domain_bits: u32,
+    /// Zipf exponent per dimension for interval positions (0 = uniform).
+    pub zipf_z: f64,
+    /// Mean object extent per dimension; defaults to `sqrt(domain)` via
+    /// [`SyntheticSpec::paper`].
+    pub mean_length: f64,
+    /// Scatter Zipf ranks across the domain with a bijection (keeps skew
+    /// without piling every object onto coordinate 0).
+    pub scatter_ranks: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// The paper's configuration: mean extent `sqrt(domain)`, scattered ranks.
+    pub fn paper(count: usize, domain_bits: u32, zipf_z: f64, seed: u64) -> Self {
+        let domain = (1u64 << domain_bits) as f64;
+        Self {
+            count,
+            domain_bits,
+            zipf_z,
+            mean_length: domain.sqrt(),
+            scatter_ranks: true,
+            seed,
+        }
+    }
+
+    /// Generates the dataset deterministically.
+    pub fn generate<const D: usize>(&self) -> Vec<HyperRect<D>> {
+        assert!(D >= 1, "dimensionality must be at least 1");
+        let n = 1u64 << self.domain_bits;
+        let mut rng = rng_for(self.seed);
+        // Positions are drawn over the domain; for large domains, quantize
+        // the Zipf rank space to at most 2^16 positions then scale, keeping
+        // CDF construction cheap while preserving skew shape.
+        let rank_bits = self.domain_bits.min(16);
+        let ranks = 1usize << rank_bits;
+        let zipf = Zipf::new(ranks, self.zipf_z);
+        let shift = self.domain_bits - rank_bits;
+
+        let mut out = Vec::with_capacity(self.count);
+        for _ in 0..self.count {
+            let mut ranges = [Interval::point(0); D];
+            for r in &mut ranges {
+                let rank = zipf.sample(&mut rng) as u64;
+                let base = if self.scatter_ranks {
+                    scatter(rank, rank_bits)
+                } else {
+                    rank
+                } << shift;
+                // Sub-bucket jitter so quantized positions fill the domain.
+                let jitter = if shift > 0 {
+                    rng.gen_range(0..(1u64 << shift))
+                } else {
+                    0
+                };
+                let lo = (base + jitter).min(n - 2);
+                // Geometric-ish length with the requested mean, at least 1.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let len = (-u.ln() * self.mean_length).ceil() as u64;
+                let len = len.clamp(1, n - 1 - lo.min(n - 2)).max(1);
+                let hi = (lo + len).min(n - 1);
+                *r = Interval::new(lo, hi);
+            }
+            out.push(HyperRect::new(ranges));
+        }
+        out
+    }
+}
+
+/// Uniform point set over the domain (for ε-join experiments).
+pub fn uniform_points<const D: usize>(count: usize, domain_bits: u32, seed: u64) -> Vec<[u64; D]> {
+    let n = 1u64 << domain_bits;
+    let mut rng = rng_for(seed);
+    (0..count)
+        .map(|_| {
+            let mut p = [0u64; D];
+            for c in &mut p {
+                *c = rng.gen_range(0..n);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Uniform non-degenerate interval set (for the 1-d experiments of
+/// Figures 7-8: "intervals uniformly distributed over domains of sizes
+/// 16384 to 65536").
+pub fn uniform_intervals(count: usize, domain_bits: u32, mean_length: f64, seed: u64) -> Vec<Interval> {
+    let n = 1u64 << domain_bits;
+    let mut rng = rng_for(seed);
+    (0..count)
+        .map(|_| {
+            let lo = rng.gen_range(0..n - 1);
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let len = ((-u.ln() * mean_length).ceil() as u64).clamp(1, n - 1 - lo);
+            Interval::new(lo, lo + len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let spec = SyntheticSpec::paper(500, 12, 0.0, 77);
+        let a: Vec<HyperRect<2>> = spec.generate();
+        let b: Vec<HyperRect<2>> = spec.generate();
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_domain_and_nondegenerate() {
+        for z in [0.0, 1.0, 2.0] {
+            let spec = SyntheticSpec::paper(1000, 10, z, 3);
+            let data: Vec<HyperRect<2>> = spec.generate();
+            let n = 1u64 << 10;
+            for r in &data {
+                for d in 0..2 {
+                    assert!(r.range(d).hi() < n);
+                    assert!(!r.range(d).is_degenerate(), "{r:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_length_in_right_ballpark() {
+        let spec = SyntheticSpec::paper(20_000, 14, 0.0, 5);
+        let data: Vec<HyperRect<1>> = spec.generate();
+        let mean: f64 =
+            data.iter().map(|r| r.range(0).length() as f64).sum::<f64>() / data.len() as f64;
+        let want = (1u64 << 14) as f64; // domain
+        let want = want.sqrt(); // sqrt(domain) = 128
+        // Clamping at domain edges biases down slightly; accept a wide band.
+        assert!(
+            mean > 0.5 * want && mean < 1.5 * want,
+            "mean {mean} vs sqrt(domain) {want}"
+        );
+    }
+
+    #[test]
+    fn skew_shows_in_position_distribution() {
+        // With z = 1.5 + no scatter, low coordinates should be much hotter.
+        let spec = SyntheticSpec {
+            count: 5000,
+            domain_bits: 12,
+            zipf_z: 1.5,
+            mean_length: 4.0,
+            scatter_ranks: false,
+            seed: 11,
+        };
+        let data: Vec<HyperRect<1>> = spec.generate();
+        let n = 1u64 << 12;
+        let low_half = data.iter().filter(|r| r.range(0).lo() < n / 2).count();
+        assert!(
+            low_half > data.len() * 8 / 10,
+            "zipf 1.5 should concentrate low: {low_half}/{}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn uniform_point_and_interval_helpers() {
+        let pts: Vec<[u64; 2]> = uniform_points(100, 8, 4);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p[0] < 256 && p[1] < 256));
+        let ivs = uniform_intervals(100, 8, 10.0, 4);
+        assert!(ivs.iter().all(|iv| iv.hi() < 256 && !iv.is_degenerate()));
+        // Determinism
+        assert_eq!(ivs, uniform_intervals(100, 8, 10.0, 4));
+    }
+}

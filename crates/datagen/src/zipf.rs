@@ -1,0 +1,151 @@
+//! Zipfian sampling over a finite domain.
+//!
+//! The paper's synthetic experiments (Section 7.1) draw interval positions
+//! "according to a Zipfian distribution with Zipf parameter z": rank `k`
+//! (1-based) has probability proportional to `1 / k^z`, with `z = 0` being
+//! uniform and `z = 1` the "fairly high degree of skew" of Figure 6.
+//!
+//! For moderate domains a precomputed normalized CDF with binary-search
+//! inversion is exact and fast; hot ranks can optionally be scattered over
+//! the domain by a measure-preserving bijection so skew doesn't degenerate
+//! into "everything near coordinate zero".
+
+use rand::Rng;
+
+/// An inverse-CDF Zipf sampler over ranks `0 .. n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `z >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `z` is negative/non-finite.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(z >= 0.0 && z.is_finite(), "zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the rank space is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0 .. n` (rank 0 is the most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// A measure-preserving bijection on `{0, .., 2^bits - 1}` used to scatter
+/// Zipf ranks across the domain (multiplication by an odd constant mod 2^bits
+/// is invertible).
+#[inline]
+pub fn scatter(rank: u64, bits: u32) -> u64 {
+    debug_assert!((1..=63).contains(&bits));
+    let mask = (1u64 << bits) - 1;
+    rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_z_zero() {
+        let z = Zipf::new(100, 0.0);
+        for k in 0..100 {
+            assert!((z.pmf(k) - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_orders_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+        // Zipf(1) over 1000 ranks: top rank mass = 1/H_1000 ~ 0.133
+        let h1000: f64 = (1..=1000).map(|k| 1.0 / k as f64).sum();
+        assert!((z.pmf(0) - 1.0 / h1000).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_frequencies_track_pmf() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let z = Zipf::new(50, 1.0);
+        let n = 200_000;
+        let mut counts = vec![0u64; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20, 49] {
+            let emp = counts[k] as f64 / n as f64;
+            let theory = z.pmf(k);
+            assert!(
+                (emp - theory).abs() < 0.01 + 0.1 * theory,
+                "rank {k}: emp {emp} vs {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_skew_concentrates() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let z = Zipf::new(1000, 3.0);
+        let hits0 = (0..10_000).filter(|_| z.sample(&mut rng) == 0).count();
+        assert!(hits0 > 7000, "z=3 should send most mass to rank 0: {hits0}");
+    }
+
+    #[test]
+    fn scatter_is_bijective() {
+        for bits in [4u32, 8, 10] {
+            let n = 1u64 << bits;
+            let mut seen = vec![false; n as usize];
+            for r in 0..n {
+                let s = scatter(r, bits);
+                assert!(!seen[s as usize], "collision at {r}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

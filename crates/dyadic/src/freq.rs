@@ -1,0 +1,181 @@
+//! Exact cover-frequency maps and self-join sizes.
+//!
+//! Equation 5 of the paper rewrites the dyadic atomic sketches as
+//! `X_I = Σ_δ f_I(δ) ξ_δ` where `f_I(δ)` counts the input intervals whose
+//! cover contains the dyadic interval `δ` (and `f_E(δ)` the endpoints whose
+//! point cover contains `δ`). The *self-join size* `SJ(X) = E[X²] = Σ_δ f(δ)²`
+//! controls every variance bound in the paper, and therefore the space the
+//! estimators need for a target accuracy (Theorems 1-3).
+//!
+//! This module computes those `f` maps and `SJ` values exactly from the data.
+//! It is an analysis tool — sketches never materialize frequencies — used by
+//! the space planner, the experiments and the tests.
+
+use crate::cover::{interval_cover_into, point_cover_into};
+use crate::node::{DyadicDomain, NodeId};
+use geometry::Interval;
+use std::collections::HashMap;
+
+/// Exact `f_I` map: for every dyadic interval id, how many input intervals'
+/// covers contain it.
+pub fn interval_cover_freqs(
+    domain: &DyadicDomain,
+    intervals: &[Interval],
+    max_level: u32,
+) -> HashMap<NodeId, i64> {
+    let mut freqs = HashMap::new();
+    let mut buf = Vec::new();
+    for iv in intervals {
+        buf.clear();
+        interval_cover_into(domain, iv, max_level, &mut buf);
+        for &id in &buf {
+            *freqs.entry(id).or_insert(0) += 1;
+        }
+    }
+    freqs
+}
+
+/// Exact `f_E` map: for every dyadic interval id, how many input interval
+/// *endpoints* (both lower and upper; a degenerate interval's single
+/// coordinate counts twice, matching `ξ̄[a] + ξ̄[b]` with `a = b`) have point
+/// covers containing it.
+pub fn endpoint_cover_freqs(
+    domain: &DyadicDomain,
+    intervals: &[Interval],
+    max_level: u32,
+) -> HashMap<NodeId, i64> {
+    let mut freqs = HashMap::new();
+    let mut buf = Vec::new();
+    for iv in intervals {
+        for x in [iv.lo(), iv.hi()] {
+            buf.clear();
+            point_cover_into(domain, x, max_level, &mut buf);
+            for &id in &buf {
+                *freqs.entry(id).or_insert(0) += 1;
+            }
+        }
+    }
+    freqs
+}
+
+/// Self-join size `Σ f(δ)²` of a frequency map.
+pub fn self_join_size(freqs: &HashMap<NodeId, i64>) -> u128 {
+    freqs.values().map(|&f| (f as i128 * f as i128) as u128).sum()
+}
+
+/// The paper's `SJ(R) = SJ(X_I) + SJ(X_E)` for a 1-dimensional interval set
+/// (Section 4.1.4), computed exactly.
+pub fn interval_set_self_join(
+    domain: &DyadicDomain,
+    intervals: &[Interval],
+    max_level: u32,
+) -> u128 {
+    let sj_i = self_join_size(&interval_cover_freqs(domain, intervals, max_level));
+    let sj_e = self_join_size(&endpoint_cover_freqs(domain, intervals, max_level));
+    sj_i + sj_e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_frequencies() {
+        // Section 3.1: "for interval r in Figure 2 we have f_I(δ2) = 1,
+        // f_I(δ6) = 1, and f_I(δi) = 0 otherwise" — the cover of a single
+        // interval gives each of its cover nodes frequency 1.
+        let d = DyadicDomain::new(3);
+        let r = Interval::new(2, 5);
+        let f = interval_cover_freqs(&d, &[r], 3);
+        assert_eq!(f.len(), 2);
+        assert!(f.values().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn duplicate_intervals_accumulate() {
+        let d = DyadicDomain::new(4);
+        let r = Interval::new(3, 12);
+        let f = interval_cover_freqs(&d, &[r, r, r], 4);
+        assert!(f.values().all(|&v| v == 3));
+        let single = interval_cover_freqs(&d, &[r], 4);
+        assert_eq!(self_join_size(&f), 9 * self_join_size(&single));
+    }
+
+    #[test]
+    fn endpoint_freqs_count_both_ends() {
+        let d = DyadicDomain::new(3);
+        let f = endpoint_cover_freqs(&d, &[Interval::new(2, 5)], 3);
+        // Point covers of 2 and 5 each have 4 nodes (levels 0..3); they share
+        // the root (level 3) and the left half... 2 -> leaf 10, 5, 2, 1;
+        // 5 -> leaf 13, 6, 3, 1. Shared: root only.
+        let total: i64 = f.values().sum();
+        assert_eq!(total, 8);
+        assert_eq!(f[&1], 2); // root counted for both endpoints
+        // SJ = 6 nodes with f=1 plus root with f=2 -> 6 + 4 = 10
+        assert_eq!(self_join_size(&f), 10);
+    }
+
+    #[test]
+    fn degenerate_interval_counts_twice() {
+        let d = DyadicDomain::new(3);
+        let f = endpoint_cover_freqs(&d, &[Interval::point(4)], 3);
+        assert!(f.values().all(|&v| v == 2));
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn self_join_size_matches_brute_force_expectation() {
+        // SJ(X_I) must equal the number of interval pairs (i, j) whose covers
+        // share a node, summed over shared nodes — i.e. sum over nodes of
+        // f(δ)^2, which we verify by explicit double loop.
+        let d = DyadicDomain::new(4);
+        let data = [
+            Interval::new(0, 7),
+            Interval::new(4, 11),
+            Interval::new(4, 11),
+            Interval::new(13, 15),
+            Interval::new(2, 2),
+        ];
+        let f = interval_cover_freqs(&d, &data, 4);
+        let mut brute: u128 = 0;
+        for a in &data {
+            let ca = crate::cover::interval_cover(&d, a, 4);
+            for b in &data {
+                let cb = crate::cover::interval_cover(&d, b, 4);
+                brute += ca.iter().filter(|id| cb.contains(id)).count() as u128;
+            }
+        }
+        assert_eq!(self_join_size(&f), brute);
+    }
+
+    #[test]
+    fn truncation_reduces_endpoint_self_join() {
+        // Section 6.5's motivation: for many short intervals, the endpoint
+        // sketch's SJ is dominated by high-level nodes (every endpoint hits
+        // the root); lowering maxLevel removes those, shrinking SJ(X_E).
+        let d = DyadicDomain::new(10);
+        let intervals: Vec<Interval> = (0..200u64)
+            .map(|i| {
+                let lo = (i * 5) % 1000;
+                Interval::new(lo, lo + 2)
+            })
+            .collect();
+        let sj_full = self_join_size(&endpoint_cover_freqs(&d, &intervals, 10));
+        let sj_trunc = self_join_size(&endpoint_cover_freqs(&d, &intervals, 3));
+        assert!(
+            sj_trunc < sj_full,
+            "truncation should shrink endpoint SJ: {sj_trunc} vs {sj_full}"
+        );
+    }
+
+    #[test]
+    fn interval_set_self_join_is_sum() {
+        let d = DyadicDomain::new(6);
+        let data = [Interval::new(1, 30), Interval::new(10, 50)];
+        let total = interval_set_self_join(&d, &data, 6);
+        let i = self_join_size(&interval_cover_freqs(&d, &data, 6));
+        let e = self_join_size(&endpoint_cover_freqs(&d, &data, 6));
+        assert_eq!(total, i + e);
+        assert!(i > 0 && e > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dyadic — dyadic interval machinery for spatial sketches
+//!
+//! The dyadic sketches of *Approximation Techniques for Spatial Data*
+//! (Section 3.1) replace the per-coordinate ξ variables of the naive
+//! ("standard") spatial sketch with one ξ variable per *dyadic interval*,
+//! cutting the per-interval update cost from `O(n)` to `O(log n)` while
+//! preserving the point-in-interval counting identity (Lemma 4).
+//!
+//! This crate provides:
+//!
+//! * [`node::DyadicDomain`] — the complete binary tree of dyadic intervals
+//!   over a power-of-two domain, heap-indexed so covers are branch-free;
+//! * [`cover`] — interval covers (Lemma 2, the segment-tree decomposition),
+//!   point covers (Lemma 3), and the `maxLevel` truncation of Section 6.5
+//!   which interpolates between the standard sketch (`maxLevel = 0`) and the
+//!   fully dyadic sketch (`maxLevel = log2 n`);
+//! * [`freq`] — exact cover-frequency maps `f(δ)` and self-join sizes
+//!   `SJ = Σ f(δ)²` (Equation 5), the quantities that drive all of the
+//!   paper's variance bounds and space planning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod freq;
+pub mod node;
+
+pub use cover::{interval_cover, interval_cover_into, point_cover, point_cover_into};
+pub use node::{DyadicDomain, NodeId};

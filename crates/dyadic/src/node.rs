@@ -1,0 +1,218 @@
+//! Heap-indexed dyadic intervals over a power-of-two domain.
+//!
+//! For a domain `N = {0, .., n-1}` with `n = 2^h`, the paper (Section 3.1)
+//! partitions `N` at every level `0 <= i <= h` into `2^(h-i)` aligned
+//! intervals of size `2^i`. The set `D` of all dyadic intervals has
+//! `2n - 1` members and forms a complete binary tree. We number the tree
+//! heap-style:
+//!
+//! * the root (the whole domain, level `h`) has id `1`,
+//! * the children of id `v` are `2v` and `2v + 1`,
+//! * the leaf for coordinate `x` (level 0) has id `n + x`.
+//!
+//! Under this numbering the level-`l` dyadic interval containing coordinate
+//! `x` has id `(n + x) >> l`, which makes point covers and segment-tree
+//! style interval covers branch-free.
+
+use geometry::{Coord, Interval};
+
+/// A power-of-two discrete domain together with its dyadic interval tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DyadicDomain {
+    bits: u32,
+}
+
+/// Identifier of a dyadic interval (heap index, `1 ..= 2n - 1`).
+pub type NodeId = u64;
+
+impl DyadicDomain {
+    /// Maximum supported domain bits. Node ids need `bits + 1` bits and the
+    /// xi-family index space is sized accordingly.
+    pub const MAX_BITS: u32 = 40;
+
+    /// Creates the dyadic tree over `{0, .., 2^bits - 1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or exceeds [`DyadicDomain::MAX_BITS`].
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (1..=Self::MAX_BITS).contains(&bits),
+            "domain bits must be in 1..={}, got {bits}",
+            Self::MAX_BITS
+        );
+        Self { bits }
+    }
+
+    /// Smallest domain that can hold coordinates `0 ..= max_coord`.
+    pub fn for_max_coordinate(max_coord: Coord) -> Self {
+        let bits = (64 - max_coord.leading_zeros()).max(1);
+        Self::new(bits)
+    }
+
+    /// Domain bits `h` (levels run `0 ..= h`).
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Domain size `n = 2^h`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Number of dyadic intervals, `2n - 1`.
+    #[inline]
+    pub fn node_count(&self) -> u64 {
+        2 * self.size() - 1
+    }
+
+    /// Bits needed to index nodes (`node ids < 2n`), i.e. the `k` of the
+    /// xi-family domain for this dyadic space.
+    #[inline]
+    pub fn node_bits(&self) -> u32 {
+        self.bits + 1
+    }
+
+    /// Whether `x` is a valid coordinate.
+    #[inline]
+    pub fn contains_coord(&self, x: Coord) -> bool {
+        x < self.size()
+    }
+
+    /// Leaf id of coordinate `x` (the level-0 dyadic interval `[x, x]`).
+    #[inline]
+    pub fn leaf(&self, x: Coord) -> NodeId {
+        debug_assert!(self.contains_coord(x));
+        self.size() + x
+    }
+
+    /// Id of the level-`level` dyadic interval containing `x`.
+    #[inline]
+    pub fn ancestor(&self, x: Coord, level: u32) -> NodeId {
+        debug_assert!(level <= self.bits);
+        (self.size() + x) >> level
+    }
+
+    /// Level of a node (interval size is `2^level`).
+    #[inline]
+    pub fn level(&self, id: NodeId) -> u32 {
+        debug_assert!(id >= 1 && id < 2 * self.size());
+        let depth = 63 - id.leading_zeros(); // floor(log2(id))
+        self.bits - depth
+    }
+
+    /// The coordinate range covered by a node.
+    pub fn node_range(&self, id: NodeId) -> Interval {
+        let level = self.level(id);
+        let first_at_level = 1u64 << (self.bits - level);
+        let offset = id - first_at_level;
+        let lo = offset << level;
+        Interval::new(lo, lo + (1u64 << level) - 1)
+    }
+
+    /// Whether dyadic interval `id` contains coordinate `x`.
+    #[inline]
+    pub fn node_contains(&self, id: NodeId, x: Coord) -> bool {
+        self.ancestor(x, self.level(id)) == id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_shape() {
+        let d = DyadicDomain::new(3); // n = 8
+        assert_eq!(d.size(), 8);
+        assert_eq!(d.node_count(), 15);
+        assert_eq!(d.node_bits(), 4);
+        assert_eq!(d.leaf(0), 8);
+        assert_eq!(d.leaf(7), 15);
+        assert_eq!(d.level(1), 3);
+        assert_eq!(d.level(2), 2);
+        assert_eq!(d.level(8), 0);
+        assert_eq!(d.node_range(1), Interval::new(0, 7));
+        assert_eq!(d.node_range(2), Interval::new(0, 3));
+        assert_eq!(d.node_range(3), Interval::new(4, 7));
+        assert_eq!(d.node_range(13), Interval::new(5, 5));
+    }
+
+    #[test]
+    fn for_max_coordinate_fits() {
+        assert_eq!(DyadicDomain::for_max_coordinate(0).bits(), 1);
+        assert_eq!(DyadicDomain::for_max_coordinate(1).bits(), 1);
+        assert_eq!(DyadicDomain::for_max_coordinate(2).bits(), 2);
+        assert_eq!(DyadicDomain::for_max_coordinate(255).bits(), 8);
+        assert_eq!(DyadicDomain::for_max_coordinate(256).bits(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain bits")]
+    fn zero_bits_rejected() {
+        let _ = DyadicDomain::new(0);
+    }
+
+    #[test]
+    fn ancestor_consistency() {
+        let d = DyadicDomain::new(4);
+        for x in 0..16u64 {
+            assert_eq!(d.ancestor(x, 0), d.leaf(x));
+            assert_eq!(d.ancestor(x, 4), 1);
+            for level in 0..=4u32 {
+                let id = d.ancestor(x, level);
+                assert_eq!(d.level(id), level);
+                assert!(d.node_range(id).contains(x));
+                assert!(d.node_contains(id, x));
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent() {
+        let d = DyadicDomain::new(5);
+        for id in 1..d.size() {
+            let parent = d.node_range(id);
+            let left = d.node_range(2 * id);
+            let right = d.node_range(2 * id + 1);
+            assert_eq!(left.lo(), parent.lo());
+            assert_eq!(right.hi(), parent.hi());
+            assert_eq!(left.hi() + 1, right.lo());
+        }
+    }
+
+    #[test]
+    fn levels_have_correct_population() {
+        let d = DyadicDomain::new(4);
+        for level in 0..=4u32 {
+            let expected = 1u64 << (4 - level);
+            let count = (1..2 * d.size()).filter(|&id| d.level(id) == level).count() as u64;
+            assert_eq!(count, expected, "level {level}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn node_range_and_contains_agree(bits in 1u32..12, x in 0u64..4096, id_seed in 1u64..8191) {
+            let d = DyadicDomain::new(bits);
+            let x = x % d.size();
+            let id = id_seed % d.node_count() + 1;
+            prop_assert_eq!(d.node_contains(id, x), d.node_range(id).contains(x));
+        }
+
+        #[test]
+        fn exactly_one_node_per_level_contains_point(bits in 1u32..10, x in 0u64..1024) {
+            let d = DyadicDomain::new(bits);
+            let x = x % d.size();
+            for level in 0..=bits {
+                let matching = (1..=d.node_count())
+                    .filter(|&id| d.level(id) == level && d.node_contains(id, x))
+                    .count();
+                prop_assert_eq!(matching, 1);
+            }
+        }
+    }
+}

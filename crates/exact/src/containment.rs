@@ -1,0 +1,113 @@
+//! Exact containment-join counting (Appendix B.2 semantics: pairs `(r, s)`
+//! with `s ⊆ r` under closed inequalities).
+
+use crate::fenwick::Fenwick;
+use geometry::{HyperRect, Interval};
+
+/// Exact 1-d containment join: `#{(r, s) : lo_r <= lo_s and hi_s <= hi_r}`
+/// in `O((N + M) log M)` via a sweep over descending lower endpoints with a
+/// Fenwick tree over compressed upper endpoints.
+pub fn interval_containment_count(r: &[Interval], s: &[Interval]) -> u64 {
+    if r.is_empty() || s.is_empty() {
+        return 0;
+    }
+    // Compress S upper endpoints.
+    let mut his: Vec<u64> = s.iter().map(Interval::hi).collect();
+    his.sort_unstable();
+    his.dedup();
+    let rank = |v: u64| his.partition_point(|&h| h < v);
+
+    let mut s_by_lo: Vec<&Interval> = s.iter().collect();
+    s_by_lo.sort_unstable_by_key(|iv| std::cmp::Reverse(iv.lo())); // descending lo
+    let mut r_by_lo: Vec<&Interval> = r.iter().collect();
+    r_by_lo.sort_unstable_by_key(|iv| std::cmp::Reverse(iv.lo())); // descending lo
+
+    let mut bit = Fenwick::new(his.len());
+    let mut si = 0usize;
+    let mut count = 0u64;
+    for rv in r_by_lo {
+        // Activate all s with lo_s >= lo_r.
+        while si < s_by_lo.len() && s_by_lo[si].lo() >= rv.lo() {
+            bit.add(rank(s_by_lo[si].hi()), 1);
+            si += 1;
+        }
+        // Among the active, count hi_s <= hi_r.
+        let idx = his.partition_point(|&h| h <= rv.hi());
+        if idx > 0 {
+            count += bit.prefix_sum(idx - 1) as u64;
+        }
+    }
+    count
+}
+
+/// Exact d-dimensional containment join by pairwise check (adequate for the
+/// dataset sizes the containment experiments use; the 1-d fast path covers
+/// the streaming benchmarks).
+pub fn containment_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> u64 {
+    crate::naive::containment_count(r, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_1d(r: &[Interval], s: &[Interval]) -> u64 {
+        let mut c = 0;
+        for a in r {
+            for b in s {
+                if a.contains_interval(b) {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn hand_cases() {
+        let r = vec![Interval::new(0, 10), Interval::new(5, 8)];
+        let s = vec![
+            Interval::new(2, 9),   // inside r[0]
+            Interval::new(5, 8),   // inside both (closed containment)
+            Interval::new(6, 12),  // inside neither
+            Interval::point(7),    // a point: inside both
+        ];
+        assert_eq!(interval_containment_count(&r, &s), 5);
+        assert_eq!(interval_containment_count(&r, &s), naive_1d(&r, &s));
+    }
+
+    #[test]
+    fn boundary_equality_counts() {
+        // Closed semantics: identical intervals contain each other.
+        let r = vec![Interval::new(3, 7)];
+        let s = vec![Interval::new(3, 7)];
+        assert_eq!(interval_containment_count(&r, &s), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(interval_containment_count(&[], &[Interval::new(0, 1)]), 0);
+        assert_eq!(interval_containment_count(&[Interval::new(0, 1)], &[]), 0);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..40 {
+            let gen = |rng: &mut StdRng, n: usize| -> Vec<Interval> {
+                (0..n)
+                    .map(|_| {
+                        let a = rng.gen_range(0u64..100);
+                        let b = rng.gen_range(0u64..100);
+                        Interval::new(a.min(b), a.max(b))
+                    })
+                    .collect()
+            };
+            let r = gen(&mut rng, 70);
+            let s = gen(&mut rng, 50);
+            assert_eq!(interval_containment_count(&r, &s), naive_1d(&r, &s));
+        }
+    }
+}

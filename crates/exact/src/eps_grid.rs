@@ -1,0 +1,140 @@
+//! Exact ε-join counting under L∞ via grid hashing.
+//!
+//! Points of `B` are bucketed into a uniform grid with cell side `ε`; each
+//! point of `A` then only needs to examine the 3^d neighboring cells. For
+//! the workloads in this workspace (ε far below the domain side) this is
+//! `O(N + M + output-candidates)`.
+
+use geometry::distance::within_linf;
+use geometry::Point;
+use std::collections::HashMap;
+
+/// Exact `|A ⋈_ε B|` under the L∞ distance.
+pub fn eps_join_count<const D: usize>(a: &[Point<D>], b: &[Point<D>], eps: u64) -> u64 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let cell = eps.max(1);
+    let key_of = |p: &Point<D>| -> [u64; D] {
+        let mut k = [0u64; D];
+        for i in 0..D {
+            k[i] = p[i] / cell;
+        }
+        k
+    };
+    let mut grid: HashMap<[u64; D], Vec<usize>> = HashMap::new();
+    for (j, p) in b.iter().enumerate() {
+        grid.entry(key_of(p)).or_default().push(j);
+    }
+
+    let mut count = 0u64;
+    let mut neighbor = [0u64; D];
+    let combos = 3usize.pow(D as u32);
+    for p in a {
+        let center = key_of(p);
+        // Enumerate the 3^d neighborhood of the center cell via a base-3
+        // odometer over offsets {-1, 0, +1} per dimension.
+        'combo: for combo in 0..combos {
+            let mut c = combo;
+            for i in 0..D {
+                let off = (c % 3) as i128 - 1;
+                c /= 3;
+                let v = center[i] as i128 + off;
+                if v < 0 {
+                    continue 'combo;
+                }
+                neighbor[i] = v as u64;
+            }
+            if let Some(bucket) = grid.get(&neighbor) {
+                for &j in bucket {
+                    if within_linf(p, &b[j], eps) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hand_cases() {
+        let a = vec![[10u64, 10], [50, 50]];
+        let b = vec![[12u64, 9], [10, 10], [53, 47], [100, 100]];
+        assert_eq!(eps_join_count(&a, &b, 0), 1); // only the identical point
+        assert_eq!(eps_join_count(&a, &b, 2), 2);
+        assert_eq!(eps_join_count(&a, &b, 3), 3);
+        assert_eq!(eps_join_count(&a, &b, 100), 8);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a: Vec<Point<2>> = vec![];
+        let b = vec![[1u64, 1]];
+        assert_eq!(eps_join_count(&a, &b, 5), 0);
+        assert_eq!(eps_join_count(&b, &a, 5), 0);
+    }
+
+    #[test]
+    fn boundary_at_zero_coordinates() {
+        // Points near the domain origin exercise the c < 0 neighbor guard.
+        let a = vec![[0u64, 0]];
+        let b = vec![[1u64, 1], [0, 2], [3, 0]];
+        assert_eq!(eps_join_count(&a, &b, 1), 1);
+        assert_eq!(eps_join_count(&a, &b, 2), 2);
+        assert_eq!(eps_join_count(&a, &b, 3), 3);
+    }
+
+    #[test]
+    fn randomized_against_naive_2d() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let gen = |rng: &mut StdRng, n: usize| -> Vec<Point<2>> {
+                (0..n)
+                    .map(|_| [rng.gen_range(0u64..300), rng.gen_range(0u64..300)])
+                    .collect()
+            };
+            let a = gen(&mut rng, 120);
+            let b = gen(&mut rng, 100);
+            for eps in [0u64, 1, 7, 25, 90] {
+                assert_eq!(
+                    eps_join_count(&a, &b, eps),
+                    naive::eps_join_count(&a, &b, eps),
+                    "eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_against_naive_3d() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let gen = |rng: &mut StdRng, n: usize| -> Vec<Point<3>> {
+            (0..n)
+                .map(|_| {
+                    [
+                        rng.gen_range(0u64..80),
+                        rng.gen_range(0u64..80),
+                        rng.gen_range(0u64..80),
+                    ]
+                })
+                .collect()
+        };
+        let a = gen(&mut rng, 80);
+        let b = gen(&mut rng, 60);
+        for eps in [0u64, 2, 10, 40] {
+            assert_eq!(
+                eps_join_count(&a, &b, eps),
+                naive::eps_join_count(&a, &b, eps),
+                "eps={eps}"
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! A Fenwick (binary indexed) tree over `i64` counts.
+//!
+//! Used by the sweep-line join processors to count active intervals below /
+//! above a coordinate in `O(log n)`.
+
+/// Fenwick tree supporting point updates and prefix sums over `0..len`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// Creates a tree over indices `0..len`, all zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    /// Number of indexable slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` at `index`.
+    pub fn add(&mut self, index: usize, delta: i64) {
+        debug_assert!(index < self.len());
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum over `0..=index` (inclusive prefix sum).
+    pub fn prefix_sum(&self, index: usize) -> i64 {
+        let mut i = (index + 1).min(self.tree.len() - 1);
+        let mut acc = 0;
+        while i > 0 {
+            acc += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+
+    /// Sum over `0..index` (exclusive prefix sum); zero for `index == 0`.
+    pub fn prefix_sum_exclusive(&self, index: usize) -> i64 {
+        if index == 0 {
+            0
+        } else {
+            self.prefix_sum(index - 1)
+        }
+    }
+
+    /// Total of all slots.
+    pub fn total(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.prefix_sum(self.len() - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn basic_operations() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 5);
+        f.add(3, 2);
+        f.add(9, 1);
+        assert_eq!(f.prefix_sum(0), 5);
+        assert_eq!(f.prefix_sum(2), 5);
+        assert_eq!(f.prefix_sum(3), 7);
+        assert_eq!(f.prefix_sum(9), 8);
+        assert_eq!(f.prefix_sum_exclusive(0), 0);
+        assert_eq!(f.prefix_sum_exclusive(4), 7);
+        assert_eq!(f.total(), 8);
+        f.add(3, -2);
+        assert_eq!(f.prefix_sum(5), 5);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    fn randomized_against_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200;
+        let mut f = Fenwick::new(n);
+        let mut reference = vec![0i64; n];
+        for _ in 0..2000 {
+            let i = rng.gen_range(0..n);
+            let delta = rng.gen_range(-3i64..=3);
+            f.add(i, delta);
+            reference[i] += delta;
+            let q = rng.gen_range(0..n);
+            let want: i64 = reference[..=q].iter().sum();
+            assert_eq!(f.prefix_sum(q), want);
+            assert_eq!(f.prefix_sum_exclusive(q), want - reference[q]);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Exact 1-dimensional interval join counting in `O((N + M) log M)`.
+//!
+//! For non-degenerate intervals, the paper's overlap (Figure 3 cases 3-6) is
+//! `max(lo) < min(hi)`, so the number of partners of `r` in `S` is
+//!
+//! ```text
+//! #{s : lo_s < hi_r}  -  #{s : hi_s <= lo_r}
+//! ```
+//!
+//! (the second set is a subset of the first for non-degenerate intervals),
+//! which two sorted endpoint arrays answer with binary searches.
+
+use geometry::Interval;
+
+/// Sorted endpoint index over one interval set, supporting overlap counting.
+#[derive(Debug, Clone)]
+pub struct IntervalIndex {
+    los: Vec<u64>,
+    his: Vec<u64>,
+    degenerate_dropped: usize,
+}
+
+impl IntervalIndex {
+    /// Builds the index, dropping degenerate intervals (they never overlap
+    /// anything under Definition 1).
+    pub fn new(intervals: &[Interval]) -> Self {
+        let mut los = Vec::with_capacity(intervals.len());
+        let mut his = Vec::with_capacity(intervals.len());
+        let mut dropped = 0;
+        for iv in intervals {
+            if iv.is_degenerate() {
+                dropped += 1;
+                continue;
+            }
+            los.push(iv.lo());
+            his.push(iv.hi());
+        }
+        los.sort_unstable();
+        his.sort_unstable();
+        Self {
+            los,
+            his,
+            degenerate_dropped: dropped,
+        }
+    }
+
+    /// Number of indexed (non-degenerate) intervals.
+    pub fn len(&self) -> usize {
+        self.los.len()
+    }
+
+    /// Whether the index holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.los.is_empty()
+    }
+
+    /// How many degenerate inputs were dropped at construction.
+    pub fn degenerate_dropped(&self) -> usize {
+        self.degenerate_dropped
+    }
+
+    /// Number of indexed intervals overlapping `q` (Definition 1 semantics).
+    pub fn count_overlapping(&self, q: &Interval) -> u64 {
+        if q.is_degenerate() {
+            return 0;
+        }
+        let lo_lt = partition_point(&self.los, |&v| v < q.hi()) as u64;
+        let hi_le = partition_point(&self.his, |&v| v <= q.lo()) as u64;
+        lo_lt - hi_le
+    }
+
+    /// Number of indexed intervals with non-empty intersection with `q`
+    /// (`overlap+`, Definition 4). Note degenerate *inputs* were dropped at
+    /// construction, so this undercounts `overlap+` if the build input had
+    /// points; use it only on point-free sets.
+    pub fn count_overlapping_plus(&self, q: &Interval) -> u64 {
+        let lo_le = partition_point(&self.los, |&v| v <= q.hi()) as u64;
+        let hi_lt = partition_point(&self.his, |&v| v < q.lo()) as u64;
+        lo_le - hi_lt
+    }
+}
+
+fn partition_point(sorted: &[u64], pred: impl Fn(&u64) -> bool) -> usize {
+    sorted.partition_point(pred)
+}
+
+/// Exact interval join cardinality `|R ⋈_o S|`.
+pub fn interval_join_count(r: &[Interval], s: &[Interval]) -> u64 {
+    let idx = IntervalIndex::new(s);
+    r.iter().map(|iv| idx.count_overlapping(iv)).sum()
+}
+
+/// Exact extended interval join cardinality `|R ⋈+_o S|` (touching counts;
+/// degenerate intervals participate).
+pub fn interval_join_plus_count(r: &[Interval], s: &[Interval]) -> u64 {
+    // overlap+ admits degenerate intervals, so index manually.
+    let mut los: Vec<u64> = s.iter().map(Interval::lo).collect();
+    let mut his: Vec<u64> = s.iter().map(Interval::hi).collect();
+    los.sort_unstable();
+    his.sort_unstable();
+    let mut count = 0u64;
+    for q in r {
+        let lo_le = los.partition_point(|&v| v <= q.hi()) as u64;
+        let hi_lt = his.partition_point(|&v| v < q.lo()) as u64;
+        count += lo_le - hi_lt;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use geometry::HyperRect;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn as_rects(ivs: &[Interval]) -> Vec<HyperRect<1>> {
+        ivs.iter().map(|&iv| iv.into()).collect()
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let r = vec![
+            Interval::new(0, 10),
+            Interval::new(5, 8),
+            Interval::new(20, 30),
+            Interval::point(7),
+        ];
+        let s = vec![
+            Interval::new(8, 25),
+            Interval::new(10, 20),
+            Interval::new(0, 100),
+            Interval::point(9),
+        ];
+        assert_eq!(
+            interval_join_count(&r, &s),
+            naive::join_count(&as_rects(&r), &as_rects(&s))
+        );
+        assert_eq!(
+            interval_join_plus_count(&r, &s),
+            naive::join_plus_count(&as_rects(&r), &as_rects(&s))
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(interval_join_count(&[], &[Interval::new(0, 5)]), 0);
+        assert_eq!(interval_join_count(&[Interval::new(0, 5)], &[]), 0);
+        let idx = IntervalIndex::new(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_overlapping(&Interval::new(0, 5)), 0);
+    }
+
+    #[test]
+    fn degenerate_handling() {
+        let points = vec![Interval::point(5), Interval::point(6)];
+        let idx = IntervalIndex::new(&points);
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.degenerate_dropped(), 2);
+        // Points never join under strict overlap...
+        assert_eq!(interval_join_count(&points, &[Interval::new(0, 10)]), 0);
+        // ... but do under overlap+.
+        assert_eq!(interval_join_plus_count(&points, &[Interval::new(0, 10)]), 2);
+        assert_eq!(interval_join_plus_count(&points, &[Interval::new(6, 10)]), 1);
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..50 {
+            let gen = |rng: &mut StdRng| -> Vec<Interval> {
+                (0..rng.gen_range(0..60))
+                    .map(|_| {
+                        let a = rng.gen_range(0u64..200);
+                        let b = rng.gen_range(0u64..200);
+                        Interval::new(a.min(b), a.max(b))
+                    })
+                    .collect()
+            };
+            let r = gen(&mut rng);
+            let s = gen(&mut rng);
+            assert_eq!(
+                interval_join_count(&r, &s),
+                naive::join_count(&as_rects(&r), &as_rects(&s))
+            );
+            assert_eq!(
+                interval_join_plus_count(&r, &s),
+                naive::join_plus_count(&as_rects(&r), &as_rects(&s))
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn count_overlapping_matches_scan(
+            data in proptest::collection::vec((0u64..100, 0u64..100), 0..40),
+            qa in 0u64..100, qb in 0u64..100,
+        ) {
+            let ivs: Vec<Interval> = data
+                .iter()
+                .map(|&(a, b)| Interval::new(a.min(b), a.max(b)))
+                .collect();
+            let q = Interval::new(qa.min(qb), qa.max(qb));
+            let idx = IntervalIndex::new(&ivs);
+            let want = ivs.iter().filter(|iv| iv.overlaps(&q)).count() as u64;
+            prop_assert_eq!(idx.count_overlapping(&q), want);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # exact — ground-truth spatial query processors
+//!
+//! Exact counting implementations of every query the sketch estimators and
+//! histogram baselines approximate:
+//!
+//! * [`interval_join`] — 1-d interval joins in `O((N+M) log M)`;
+//! * [`rect_join`] — 2-d rectangle joins via sweep line + Fenwick trees, and
+//!   a d-dimensional sweep for the dimensionality experiments;
+//! * [`eps_grid`] — ε-joins of point sets under L∞ via grid hashing;
+//! * [`containment`] — containment joins (`s ⊆ r`);
+//! * [`naive`] — `O(N·M)` reference versions of everything, used as the
+//!   specification in differential tests;
+//! * [`fenwick`] — the binary indexed tree the sweeps are built on.
+//!
+//! These processors define the "truth" column of every experiment in
+//! EXPERIMENTS.md; their own correctness rests on the naive references plus
+//! randomized differential testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod containment;
+pub mod eps_grid;
+pub mod fenwick;
+pub mod interval_join;
+pub mod naive;
+pub mod rect_join;
+
+pub use containment::{containment_count, interval_containment_count};
+pub use eps_grid::eps_join_count;
+pub use fenwick::Fenwick;
+pub use interval_join::{interval_join_count, interval_join_plus_count, IntervalIndex};
+pub use rect_join::{nd_join_count, rect_join_count};

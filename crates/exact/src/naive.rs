@@ -1,0 +1,111 @@
+//! Naive `O(N·M)` reference implementations of every query the workspace
+//! estimates. These are the specification: every optimized processor and
+//! every sketch estimator is tested against them.
+
+use geometry::distance::within_linf;
+use geometry::{HyperRect, Point};
+
+/// Exact spatial join cardinality `|R ⋈_o S|` (Definition 1; full-dimensional
+/// intersection required).
+pub fn join_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> u64 {
+    let mut count = 0;
+    for a in r {
+        for b in s {
+            if a.overlaps(b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact extended join cardinality `|R ⋈+_o S|` (Definition 4; touching
+/// boundaries count).
+pub fn join_plus_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> u64 {
+    let mut count = 0;
+    for a in r {
+        for b in s {
+            if a.overlaps_plus(b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact containment join cardinality: pairs `(r, s)` with `s ⊆ r` (closed,
+/// Appendix B.2's `c <= a <= b <= d` per dimension).
+pub fn containment_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> u64 {
+    let mut count = 0;
+    for a in r {
+        for b in s {
+            if a.contains_rect(b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact ε-join cardinality under L∞ (Definition 2).
+pub fn eps_join_count<const D: usize>(a: &[Point<D>], b: &[Point<D>], eps: u64) -> u64 {
+    let mut count = 0;
+    for p in a {
+        for q in b {
+            if within_linf(p, q, eps) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Exact range-query cardinality `|Q(q, R)|` (Definition 3): objects whose
+/// intersection with the query is full-dimensional.
+pub fn range_count<const D: usize>(r: &[HyperRect<D>], q: &HyperRect<D>) -> u64 {
+    r.iter().filter(|a| a.overlaps(q)).count() as u64
+}
+
+/// Exact extended range-query cardinality (touching counts).
+pub fn range_plus_count<const D: usize>(r: &[HyperRect<D>], q: &HyperRect<D>) -> u64 {
+    r.iter().filter(|a| a.overlaps_plus(q)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+
+    #[test]
+    fn small_join_by_hand() {
+        let r = vec![rect2(0, 10, 0, 10), rect2(20, 30, 20, 30)];
+        let s = vec![
+            rect2(5, 15, 5, 15),   // overlaps r[0]
+            rect2(10, 20, 10, 20), // touches r[0] at a corner, touches s? overlap+ only
+            rect2(25, 28, 22, 26), // inside r[1]
+        ];
+        assert_eq!(join_count(&r, &s), 2);
+        assert_eq!(join_plus_count(&r, &s), 4); // + corner touch with r[0], edge touch s[1]-r[1]? no: s[1]=[10,20]^2 vs r[1]=[20,30]^2 touch at (20,20)
+        assert_eq!(containment_count(&r, &s), 1);
+    }
+
+    #[test]
+    fn eps_join_by_hand() {
+        let a = vec![[0u64, 0], [10, 10]];
+        let b = vec![[2u64, 2], [10, 13], [100, 100]];
+        assert_eq!(eps_join_count(&a, &b, 2), 1);
+        assert_eq!(eps_join_count(&a, &b, 3), 2);
+        assert_eq!(eps_join_count(&a, &b, 0), 0);
+        assert_eq!(eps_join_count(&a, &b, 1000), 6);
+    }
+
+    #[test]
+    fn range_counts() {
+        let r = vec![rect2(0, 10, 0, 10), rect2(5, 25, 5, 25), rect2(40, 50, 40, 50)];
+        let q = rect2(8, 12, 8, 12);
+        assert_eq!(range_count(&r, &q), 2);
+        let touching = rect2(10, 12, 0, 10);
+        assert_eq!(range_count(&r, &touching), 1); // r[1] only; touches r[0]
+        assert_eq!(range_plus_count(&r, &touching), 2);
+    }
+}

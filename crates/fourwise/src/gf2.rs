@@ -1,0 +1,419 @@
+//! Arithmetic in `GF(2)[x]` and the finite fields GF(2^k).
+//!
+//! The BCH construction of four-wise independent random variables
+//! ([`crate::bch`]) needs to compute `i^3` where `i` is interpreted as an
+//! element of GF(2^k). This module provides the required carry-less
+//! polynomial arithmetic:
+//!
+//! * [`clmul`] — carry-less (XOR) multiplication of two binary polynomials,
+//! * [`poly_rem`] / [`GfContext::reduce`] — remainder modulo a fixed
+//!   irreducible polynomial,
+//! * [`is_irreducible`] — Rabin's irreducibility test,
+//! * [`find_irreducible`] — deterministic search for the lexicographically
+//!   smallest irreducible polynomial of a given degree.
+//!
+//! Polynomials over GF(2) are represented as integers: bit `j` of the integer
+//! is the coefficient of `x^j`. A degree-`k` field modulus is stored with its
+//! leading bit set, e.g. `x^3 + x + 1` is `0b1011`. Degrees up to 63 are
+//! supported, which covers node-identifier domains of up to 2^63 values —
+//! far beyond anything a sketch over spatial data needs.
+
+/// Maximum supported field degree. A `GfContext` of degree `k` operates on
+/// elements with `k` bits, so indices must fit in 63 bits.
+pub const MAX_DEGREE: u32 = 63;
+
+/// Carry-less multiplication of two binary polynomials of degree < 64.
+///
+/// The result is the XOR-convolution of the operands and has degree up to 126,
+/// hence the `u128` return type.
+#[inline]
+pub fn clmul(a: u64, b: u64) -> u128 {
+    // Iterate over the set bits of the sparser operand; each set bit of `a`
+    // contributes a shifted copy of `b`.
+    let (mut a, b) = if a.count_ones() <= b.count_ones() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut acc: u128 = 0;
+    while a != 0 {
+        let i = a.trailing_zeros();
+        acc ^= (b as u128) << i;
+        a &= a - 1;
+    }
+    acc
+}
+
+/// Degree of a nonzero binary polynomial (`None` for the zero polynomial).
+#[inline]
+pub fn poly_degree(p: u128) -> Option<u32> {
+    if p == 0 {
+        None
+    } else {
+        Some(127 - p.leading_zeros())
+    }
+}
+
+/// Remainder of `a` modulo the binary polynomial `m` (which must be nonzero).
+#[inline]
+pub fn poly_rem(mut a: u128, m: u128) -> u128 {
+    let dm = poly_degree(m).expect("modulus must be nonzero");
+    while let Some(da) = poly_degree(a) {
+        if da < dm {
+            break;
+        }
+        a ^= m << (da - dm);
+    }
+    a
+}
+
+/// Greatest common divisor of two binary polynomials.
+pub fn poly_gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = poly_rem(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// A context for arithmetic in `GF(2^k) = GF(2)[x] / (modulus)`.
+///
+/// The modulus is an irreducible polynomial of degree `k`, stored with its
+/// leading `x^k` bit set. Field elements are `u64` values with all bits above
+/// `k` clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GfContext {
+    /// Field degree `k`; the field has `2^k` elements.
+    degree: u32,
+    /// Irreducible modulus, including the leading bit (`degree + 1` bits).
+    modulus: u64,
+}
+
+impl GfContext {
+    /// Creates a context for GF(2^k), finding the canonical (smallest)
+    /// irreducible modulus of degree `k` deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is 0 or exceeds [`MAX_DEGREE`].
+    pub fn new(degree: u32) -> Self {
+        assert!(
+            (1..=MAX_DEGREE).contains(&degree),
+            "GF(2^k) degree must be in 1..={MAX_DEGREE}, got {degree}"
+        );
+        let modulus = find_irreducible(degree);
+        Self { degree, modulus }
+    }
+
+    /// Creates a context with an explicit modulus, verifying irreducibility.
+    pub fn with_modulus(degree: u32, modulus: u64) -> Option<Self> {
+        if degree == 0 || degree > MAX_DEGREE {
+            return None;
+        }
+        if poly_degree(modulus as u128) != Some(degree) || !is_irreducible(modulus, degree) {
+            return None;
+        }
+        Some(Self { degree, modulus })
+    }
+
+    /// Field degree `k`.
+    #[inline]
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+
+    /// The irreducible modulus (with leading bit set).
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Number of elements in the field, `2^k` (saturating at `u64::MAX` is
+    /// unnecessary because `k <= 63`).
+    #[inline]
+    pub fn order(&self) -> u64 {
+        1u64 << self.degree
+    }
+
+    /// Reduces a product polynomial into the field.
+    #[inline]
+    pub fn reduce(&self, a: u128) -> u64 {
+        poly_rem(a, self.modulus as u128) as u64
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.order() && b < self.order());
+        self.reduce(clmul(a, b))
+    }
+
+    /// Field squaring.
+    #[inline]
+    pub fn square(&self, a: u64) -> u64 {
+        self.mul(a, a)
+    }
+
+    /// Field cube, `a^3`. This is the only power the BCH family needs.
+    #[inline]
+    pub fn cube(&self, a: u64) -> u64 {
+        self.mul(self.square(a), a)
+    }
+
+    /// Field exponentiation by squaring (used in tests and diagnostics).
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.square(base);
+            exp >>= 1;
+        }
+        acc
+    }
+}
+
+/// Rabin's irreducibility test for a binary polynomial `f` of degree `k`.
+///
+/// `f` is irreducible over GF(2) iff
+/// * `x^(2^k) ≡ x (mod f)`, and
+/// * for every prime `p` dividing `k`, `gcd(x^(2^(k/p)) - x, f) = 1`.
+pub fn is_irreducible(f: u64, k: u32) -> bool {
+    debug_assert_eq!(poly_degree(f as u128), Some(k));
+    // A polynomial with zero constant term is divisible by x.
+    if k > 0 && f & 1 == 0 {
+        return k == 1 && f == 0b10 // the polynomial "x" itself is irreducible
+    }
+    let fm = f as u128;
+    // frob[j] = x^(2^j) mod f, computed by repeated squaring of x.
+    let mut cur: u128 = 0b10; // the polynomial x
+    let mut frob = Vec::with_capacity(k as usize + 1);
+    frob.push(cur); // 2^0
+    for _ in 0..k {
+        // square cur mod f
+        let c = cur as u64; // cur always reduced, degree < k <= 63
+        cur = poly_rem(clmul(c, c), fm);
+        frob.push(cur);
+    }
+    // Condition 1: x^(2^k) == x.
+    if frob[k as usize] != 0b10 {
+        return false;
+    }
+    // Condition 2: for each prime divisor p of k.
+    for p in prime_divisors(k) {
+        let e = (k / p) as usize;
+        let g = frob[e] ^ 0b10; // x^(2^(k/p)) - x  (subtraction == XOR)
+        if poly_gcd(g, fm) != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Prime divisors of a small integer.
+fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Deterministically finds the smallest irreducible polynomial of degree `k`
+/// (by integer value of its representation).
+///
+/// Irreducible polynomials have density ~1/k among degree-k polynomials, so
+/// the search terminates quickly; the result is cached per-process would be
+/// unnecessary since contexts are created once per sketch schema.
+pub fn find_irreducible(k: u32) -> u64 {
+    assert!((1..=MAX_DEGREE).contains(&k));
+    if k == 1 {
+        return 0b11; // x + 1
+    }
+    let top = 1u64 << k;
+    // Constant term must be 1, otherwise divisible by x.
+    let mut c = 1u64;
+    while c < top {
+        let f = top | c;
+        if is_irreducible(f, k) {
+            return f;
+        }
+        c += 2;
+    }
+    unreachable!("an irreducible polynomial of degree {k} exists");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert_eq!(clmul(0b10, 0b111), 0b1110);
+        assert_eq!(clmul(0, 0b1011), 0);
+        assert_eq!(clmul(1, 0b1011), 0b1011);
+    }
+
+    #[test]
+    fn clmul_is_commutative_and_distributive() {
+        let xs = [0u64, 1, 2, 3, 0b1011, 0xdead_beef, u32::MAX as u64];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(clmul(a, b), clmul(b, a));
+                for &c in &xs {
+                    assert_eq!(clmul(a, b ^ c), clmul(a, b) ^ clmul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poly_rem_examples() {
+        // x^2 mod (x^2 + x + 1) = x + 1
+        assert_eq!(poly_rem(0b100, 0b111), 0b11);
+        // x^3 mod (x^3 + x + 1) = x + 1
+        assert_eq!(poly_rem(0b1000, 0b1011), 0b011);
+        assert_eq!(poly_rem(0b10, 0b111), 0b10);
+    }
+
+    #[test]
+    fn degree_and_gcd() {
+        assert_eq!(poly_degree(0), None);
+        assert_eq!(poly_degree(1), Some(0));
+        assert_eq!(poly_degree(0b1000), Some(3));
+        // gcd(x^2 + 1, x + 1) = x + 1  since x^2+1 = (x+1)^2 over GF(2)
+        assert_eq!(poly_gcd(0b101, 0b11), 0b11);
+        // coprime polynomials
+        assert_eq!(poly_gcd(0b111, 0b11), 1);
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // Classical low-degree irreducible polynomials over GF(2).
+        assert!(is_irreducible(0b111, 2)); // x^2+x+1
+        assert!(is_irreducible(0b1011, 3)); // x^3+x+1
+        assert!(is_irreducible(0b1101, 3)); // x^3+x^2+1
+        assert!(is_irreducible(0b10011, 4)); // x^4+x+1
+        assert!(is_irreducible((1 << 8) | 0b11011, 8)); // AES poly x^8+x^4+x^3+x+1
+        // Reducible examples.
+        assert!(!is_irreducible(0b101, 2)); // x^2+1 = (x+1)^2
+        assert!(!is_irreducible(0b1111, 3)); // x^3+x^2+x+1 = (x+1)(x^2+1)
+    }
+
+    #[test]
+    fn cyclotomic_degree4_is_irreducible() {
+        // x^4+x^3+x^2+x+1 is irreducible over GF(2) (2 is a primitive root mod 5).
+        assert!(is_irreducible(0b11111, 4));
+    }
+
+    #[test]
+    fn find_irreducible_brute_force_check() {
+        // Verify against brute-force trial division for small degrees.
+        for k in 1..=12u32 {
+            let f = find_irreducible(k);
+            assert_eq!(poly_degree(f as u128), Some(k));
+            // trial division by all polynomials of degree 1..=k/2
+            let mut divisible = false;
+            for d in 2u64..(1 << (k / 2 + 1)) {
+                if poly_degree(d as u128).unwrap() > k / 2 {
+                    continue;
+                }
+                if d > 1 && poly_rem(f as u128, d as u128) == 0 && (d as u128) != (f as u128) {
+                    divisible = true;
+                    break;
+                }
+            }
+            assert!(!divisible, "find_irreducible({k}) = {f:#b} is reducible");
+        }
+    }
+
+    #[test]
+    fn field_axioms_small() {
+        for k in [2u32, 3, 4, 5, 8] {
+            let gf = GfContext::new(k);
+            let n = gf.order();
+            // multiplicative identity and commutativity/associativity spot checks
+            for a in 0..n.min(64) {
+                assert_eq!(gf.mul(a, 1), a);
+                assert_eq!(gf.mul(1, a), a);
+                for b in 0..n.min(32) {
+                    assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                    for c in [3u64 % n, 7 % n, (n - 1) % n] {
+                        assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_is_invertible() {
+        // In a field, a^(2^k - 1) = 1 for nonzero a.
+        for k in [3u32, 5, 8, 11] {
+            let gf = GfContext::new(k);
+            let n = gf.order();
+            let step = (n / 97).max(1);
+            let mut a = 1;
+            while a < n {
+                assert_eq!(gf.pow(a, n - 1), 1, "k={k} a={a}");
+                a += step;
+            }
+        }
+    }
+
+    #[test]
+    fn cube_matches_pow() {
+        for k in [4u32, 9, 16, 21, 33] {
+            let gf = GfContext::new(k);
+            let n = gf.order();
+            for a in [0u64, 1, 2, 5, n / 3, n / 2, n - 1] {
+                assert_eq!(gf.cube(a), gf.pow(a, 3), "k={k} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn cube_is_injective_on_small_fields_of_odd_order_group() {
+        // The cube map x -> x^3 is a bijection on GF(2^k)* iff gcd(3, 2^k-1)=1,
+        // i.e. iff k is odd. Verify for k=5.
+        let gf = GfContext::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..gf.order() {
+            seen.insert(gf.cube(a));
+        }
+        assert_eq!(seen.len() as u64, gf.order());
+    }
+
+    #[test]
+    fn with_modulus_rejects_reducible() {
+        assert!(GfContext::with_modulus(2, 0b101).is_none());
+        assert!(GfContext::with_modulus(3, 0b1011).is_some());
+        assert!(GfContext::with_modulus(3, 0b111).is_none()); // degree mismatch
+    }
+
+    #[test]
+    fn contexts_up_to_max_degree() {
+        for k in [1u32, 13, 32, 34, 48, MAX_DEGREE] {
+            let gf = GfContext::new(k);
+            assert_eq!(poly_degree(gf.modulus() as u128), Some(k));
+            // smoke: cube of a mid-range element stays in the field
+            let a = (gf.order() - 1) / 3 + 1;
+            assert!(gf.cube(a) < gf.order());
+        }
+    }
+}

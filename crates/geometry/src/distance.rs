@@ -1,0 +1,126 @@
+//! Point distances for ε-joins (Definition 2).
+//!
+//! The paper's ε-join estimator targets the L∞ distance (Section 6.3), under
+//! which the ε-neighborhood of a point is an axis-aligned hyper-cube; other
+//! Lᵢ distances are provided for the exact processors and tests.
+
+use crate::interval::{Coord, Interval};
+use crate::rect::{HyperRect, Point};
+
+/// L∞ (Chebyshev) distance between two points.
+pub fn dist_linf<const D: usize>(a: &Point<D>, b: &Point<D>) -> u64 {
+    (0..D).map(|i| a[i].abs_diff(b[i])).max().unwrap_or(0)
+}
+
+/// L1 (Manhattan) distance between two points.
+pub fn dist_l1<const D: usize>(a: &Point<D>, b: &Point<D>) -> u64 {
+    (0..D).map(|i| a[i].abs_diff(b[i])).sum()
+}
+
+/// Squared L2 (Euclidean) distance between two points, kept exact in `u128`.
+pub fn dist_l2_sq<const D: usize>(a: &Point<D>, b: &Point<D>) -> u128 {
+    (0..D)
+        .map(|i| {
+            let d = a[i].abs_diff(b[i]) as u128;
+            d * d
+        })
+        .sum()
+}
+
+/// The ε-join predicate under L∞: `dist_∞(a, b) <= eps`.
+pub fn within_linf<const D: usize>(a: &Point<D>, b: &Point<D>, eps: u64) -> bool {
+    (0..D).all(|i| a[i].abs_diff(b[i]) <= eps)
+}
+
+/// The ε-neighborhood of a point under L∞: the hyper-cube of side `2ε`
+/// centered at `b`, clamped to the domain `[0, domain_max]` per dimension.
+///
+/// This is the object `b'` of Section 6.3: `a ∈ cube(b, ε) ⇔ dist_∞(a,b) ≤ ε`
+/// (clamping cannot exclude any domain point).
+pub fn linf_cube<const D: usize>(b: &Point<D>, eps: u64, domain_max: Coord) -> HyperRect<D> {
+    let mut ranges = [Interval::point(0); D];
+    for i in 0..D {
+        let lo = b[i].saturating_sub(eps);
+        let hi = (b[i] + eps).min(domain_max);
+        ranges[i] = Interval::new(lo, hi);
+    }
+    HyperRect::new(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distances_basic() {
+        let a = [0u64, 3];
+        let b = [4u64, 0];
+        assert_eq!(dist_linf(&a, &b), 4);
+        assert_eq!(dist_l1(&a, &b), 7);
+        assert_eq!(dist_l2_sq(&a, &b), 25);
+        assert_eq!(dist_linf(&a, &a), 0);
+    }
+
+    #[test]
+    fn within_linf_boundary() {
+        let a = [10u64, 10];
+        assert!(within_linf(&a, &[13, 8], 3));
+        assert!(within_linf(&a, &[13, 13], 3));
+        assert!(!within_linf(&a, &[14, 10], 3));
+    }
+
+    #[test]
+    fn cube_contains_iff_within() {
+        let b = [10u64, 20];
+        let eps = 5;
+        let cube = linf_cube(&b, eps, 1000);
+        for x in 0u64..30 {
+            for y in 10u64..35 {
+                let a = [x, y];
+                assert_eq!(cube.contains_point(&a), within_linf(&a, &b, eps), "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cube_clamps_to_domain() {
+        let cube = linf_cube(&[2u64, 99], 5, 100);
+        assert_eq!(cube.range(0), Interval::new(0, 7));
+        assert_eq!(cube.range(1), Interval::new(94, 100));
+        // Clamping never loses domain points within distance eps.
+        assert!(cube.contains_point(&[0, 100]));
+    }
+
+    proptest! {
+        #[test]
+        fn metric_properties_linf(
+            a0 in 0u64..1000, a1 in 0u64..1000,
+            b0 in 0u64..1000, b1 in 0u64..1000,
+            c0 in 0u64..1000, c1 in 0u64..1000,
+        ) {
+            let a = [a0, a1];
+            let b = [b0, b1];
+            let c = [c0, c1];
+            // symmetry
+            prop_assert_eq!(dist_linf(&a, &b), dist_linf(&b, &a));
+            // identity of indiscernibles
+            prop_assert_eq!(dist_linf(&a, &a), 0);
+            // triangle inequality
+            prop_assert!(dist_linf(&a, &c) <= dist_linf(&a, &b) + dist_linf(&b, &c));
+            // norm ordering: linf <= l1 <= d * linf
+            prop_assert!(dist_linf(&a, &b) <= dist_l1(&a, &b));
+            prop_assert!(dist_l1(&a, &b) <= 2 * dist_linf(&a, &b));
+        }
+
+        #[test]
+        fn cube_membership_equivalence(
+            b0 in 0u64..200, b1 in 0u64..200, eps in 0u64..50,
+            p0 in 0u64..200, p1 in 0u64..200,
+        ) {
+            let cube = linf_cube(&[b0, b1], eps, 255);
+            let p = [p0, p1];
+            prop_assert_eq!(cube.contains_point(&p), within_linf(&p, &[b0, b1], eps));
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Closed integer intervals `[lo, hi]` over a discrete coordinate domain.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete coordinate type. The paper works over a finite metric space
+/// `N = {0, 1, .., n-1}`; real-valued inputs are quantized by the caller
+/// (Section 5.1 of the paper: "there is no spatial application we know of
+/// that uses coordinates of unbounded precision").
+pub type Coord = u64;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+///
+/// A *degenerate* interval has `lo == hi` (a point). Degenerate objects never
+/// contribute to the paper's spatial join (their intersection with anything
+/// has zero length), but they are representable so that streams containing
+/// them can be processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    lo: Coord,
+    hi: Coord,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`; use [`Interval::try_new`] for fallible
+    /// construction from untrusted input.
+    #[inline]
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        assert!(lo <= hi, "interval lower endpoint {lo} exceeds upper {hi}");
+        Self { lo, hi }
+    }
+
+    /// Creates `[lo, hi]`, returning `None` when `lo > hi`.
+    #[inline]
+    pub fn try_new(lo: Coord, hi: Coord) -> Option<Self> {
+        (lo <= hi).then_some(Self { lo, hi })
+    }
+
+    /// A point interval `[x, x]`.
+    #[inline]
+    pub fn point(x: Coord) -> Self {
+        Self { lo: x, hi: x }
+    }
+
+    /// Lower endpoint `l(r)`.
+    #[inline]
+    pub fn lo(&self) -> Coord {
+        self.lo
+    }
+
+    /// Upper endpoint `u(r)`.
+    #[inline]
+    pub fn hi(&self) -> Coord {
+        self.hi
+    }
+
+    /// Number of domain points covered (`hi - lo + 1`).
+    #[inline]
+    pub fn point_count(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Geometric length (`hi - lo`); zero for degenerate intervals.
+    #[inline]
+    pub fn length(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether this is a point (`lo == hi`).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Closed containment of a coordinate: `lo <= x <= hi`.
+    ///
+    /// This is exactly the event the paper's point-in-interval sketches
+    /// count (Lemma 4 is stated for closed containment).
+    #[inline]
+    pub fn contains(&self, x: Coord) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Closed containment of another interval.
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// The paper's notion of interval overlap (Definition 1 / Figure 3,
+    /// cases (3)-(6)): the intersection must be a non-degenerate interval,
+    /// i.e. have nonzero length. Touching at a single point — case (2),
+    /// "meet" — does **not** count.
+    ///
+    /// For non-degenerate intervals this is `max(lo) < min(hi)`. Note that
+    /// Definition 1's literal formula (strict "endpoint strictly inside the
+    /// other interval" disjunction) coincides with this predicate exactly
+    /// when the two intervals share no endpoints (the paper's Assumption 1);
+    /// with shared endpoints the literal formula misclassifies cases (5) and
+    /// (6), which is the reason the assumption exists. This method implements
+    /// the *semantic* definition that Figure 3 describes.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo.max(other.lo) < self.hi.min(other.hi)
+    }
+
+    /// Extended overlap (Definition 4, `overlap+`): non-empty intersection,
+    /// which additionally admits case (2), touching boundaries, and point
+    /// intersections involving degenerate intervals.
+    #[inline]
+    pub fn overlaps_plus(&self, other: &Interval) -> bool {
+        self.lo.max(other.lo) <= self.hi.min(other.hi)
+    }
+
+    /// The intersection interval, if non-empty.
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        Interval::try_new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Definition 1's literal disjunction: some endpoint of one interval lies
+    /// *strictly* inside the other interval. Exposed for differential tests
+    /// against [`Interval::overlaps`]; under Assumption 1 (no shared
+    /// endpoints) the two predicates agree on non-degenerate intervals.
+    pub fn overlaps_def1_literal(&self, other: &Interval) -> bool {
+        let (rl, ru, sl, su) = (self.lo, self.hi, other.lo, other.hi);
+        let strictly_inside = |x: Coord, l: Coord, u: Coord| l < x && x < u;
+        strictly_inside(sl, rl, ru)
+            || strictly_inside(su, rl, ru)
+            || strictly_inside(rl, sl, su)
+            || strictly_inside(ru, sl, su)
+    }
+
+    /// Whether this interval and `other` share any endpoint coordinate —
+    /// the situation excluded by the paper's Assumption 1.
+    #[inline]
+    pub fn shares_endpoint(&self, other: &Interval) -> bool {
+        self.lo == other.lo || self.lo == other.hi || self.hi == other.lo || self.hi == other.hi
+    }
+}
+
+impl From<(Coord, Coord)> for Interval {
+    fn from((lo, hi): (Coord, Coord)) -> Self {
+        Interval::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let iv = Interval::new(3, 9);
+        assert_eq!(iv.lo(), 3);
+        assert_eq!(iv.hi(), 9);
+        assert_eq!(iv.length(), 6);
+        assert_eq!(iv.point_count(), 7);
+        assert!(!iv.is_degenerate());
+        assert!(Interval::point(5).is_degenerate());
+        assert_eq!(Interval::try_new(9, 3), None);
+        assert_eq!(Interval::try_new(3, 3), Some(Interval::point(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn invalid_construction_panics() {
+        let _ = Interval::new(10, 2);
+    }
+
+    #[test]
+    fn containment() {
+        let iv = Interval::new(2, 6);
+        assert!(iv.contains(2));
+        assert!(iv.contains(6));
+        assert!(iv.contains(4));
+        assert!(!iv.contains(1));
+        assert!(!iv.contains(7));
+        assert!(iv.contains_interval(&Interval::new(2, 6)));
+        assert!(iv.contains_interval(&Interval::new(3, 5)));
+        assert!(!iv.contains_interval(&Interval::new(3, 7)));
+    }
+
+    #[test]
+    fn figure3_cases_overlap_semantics() {
+        let r = Interval::new(10, 20);
+        // (1) disjunct
+        assert!(!r.overlaps(&Interval::new(25, 30)));
+        assert!(!r.overlaps_plus(&Interval::new(25, 30)));
+        // (2) meet: touching only — not an overlap, but overlap+
+        assert!(!r.overlaps(&Interval::new(20, 30)));
+        assert!(r.overlaps_plus(&Interval::new(20, 30)));
+        assert!(!r.overlaps(&Interval::new(5, 10)));
+        assert!(r.overlaps_plus(&Interval::new(5, 10)));
+        // (3) proper overlap
+        assert!(r.overlaps(&Interval::new(15, 30)));
+        // (4) containment (strict)
+        assert!(r.overlaps(&Interval::new(12, 18)));
+        assert!(Interval::new(12, 18).overlaps(&r));
+        // (5) containment with one shared endpoint
+        assert!(r.overlaps(&Interval::new(10, 15)));
+        assert!(r.overlaps(&Interval::new(15, 20)));
+        // (6) identical
+        assert!(r.overlaps(&r.clone()));
+    }
+
+    #[test]
+    fn degenerate_objects_never_overlap() {
+        let p = Interval::point(15);
+        let r = Interval::new(10, 20);
+        assert!(!p.overlaps(&r));
+        assert!(!r.overlaps(&p));
+        assert!(p.overlaps_plus(&r));
+        assert!(!p.overlaps(&p));
+    }
+
+    #[test]
+    fn def1_literal_agrees_without_shared_endpoints() {
+        let r = Interval::new(10, 20);
+        for s in [
+            Interval::new(1, 5),
+            Interval::new(1, 15),
+            Interval::new(12, 17),
+            Interval::new(15, 99),
+            Interval::new(21, 30),
+            Interval::new(5, 40),
+        ] {
+            assert!(!r.shares_endpoint(&s));
+            assert_eq!(r.overlaps(&s), r.overlaps_def1_literal(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn def1_literal_fails_on_identical() {
+        // The known deficiency of the literal formula that Assumption 1 works
+        // around: identical intervals do not satisfy the strict disjunction.
+        let r = Interval::new(10, 20);
+        assert!(r.overlaps(&r.clone()));
+        assert!(!r.overlaps_def1_literal(&r.clone()));
+    }
+
+    #[test]
+    fn intersection_values() {
+        let r = Interval::new(10, 20);
+        assert_eq!(
+            r.intersection(&Interval::new(15, 30)),
+            Some(Interval::new(15, 20))
+        );
+        assert_eq!(
+            r.intersection(&Interval::new(20, 30)),
+            Some(Interval::point(20))
+        );
+        assert_eq!(r.intersection(&Interval::new(25, 30)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
+            let r = Interval::new(a.min(b), a.max(b));
+            let s = Interval::new(c.min(d), c.max(d));
+            prop_assert_eq!(r.overlaps(&s), s.overlaps(&r));
+            prop_assert_eq!(r.overlaps_plus(&s), s.overlaps_plus(&r));
+        }
+
+        #[test]
+        fn overlap_matches_intersection_length(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
+            let r = Interval::new(a.min(b), a.max(b));
+            let s = Interval::new(c.min(d), c.max(d));
+            let by_len = r.intersection(&s).map(|i| i.length() > 0).unwrap_or(false);
+            prop_assert_eq!(r.overlaps(&s), by_len);
+            let by_nonempty = r.intersection(&s).is_some();
+            prop_assert_eq!(r.overlaps_plus(&s), by_nonempty);
+        }
+
+        #[test]
+        fn overlap_implies_overlap_plus(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
+            let r = Interval::new(a.min(b), a.max(b));
+            let s = Interval::new(c.min(d), c.max(d));
+            if r.overlaps(&s) {
+                prop_assert!(r.overlaps_plus(&s));
+            }
+        }
+
+        #[test]
+        fn def1_literal_equivalence_under_assumption1(
+            a in 0u64..500, b in 0u64..500, c in 0u64..500, d in 0u64..500,
+        ) {
+            let r = Interval::new(2 * a.min(b), 2 * a.max(b) + 2);
+            // Force distinct endpoint parity so endpoints can never collide.
+            let s = Interval::new(2 * c.min(d) + 1, 2 * c.max(d) + 1 + 2);
+            prop_assert!(!r.shares_endpoint(&s));
+            if !r.is_degenerate() && !s.is_degenerate() {
+                prop_assert_eq!(r.overlaps(&s), r.overlaps_def1_literal(&s));
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # geometry — discrete spatial primitives
+//!
+//! Intervals, points and axis-aligned hyper-rectangles over a finite discrete
+//! coordinate domain, with the exact predicates used by *Approximation
+//! Techniques for Spatial Data* (Das, Gehrke, Riedewald; SIGMOD 2004):
+//!
+//! * [`Interval::overlaps`] / [`HyperRect::overlaps`] — the paper's spatial
+//!   join predicate (Definition 1 / Figure 3 cases 3-6: full-dimensional
+//!   intersection),
+//! * [`Interval::overlaps_plus`] — the extended join of Definition 4
+//!   (touching counts),
+//! * [`relation::IntervalRelation`] — the six spatial relationships of
+//!   Figure 3 and their per-dimension tuples for hyper-rectangles (Figure 4),
+//! * [`transform`] — the Section 5.2 domain-tripling transform that
+//!   eliminates shared endpoints (Assumption 1) without changing any overlap
+//!   relationship,
+//! * [`distance`] — L∞/L1/L2 point distances and ε-neighborhood cubes for
+//!   ε-joins (Definition 2 / Section 6.3).
+//!
+//! Everything here is exact, integer-only and allocation-free; it is the
+//! foundation both for the sketch estimators and for the exact ground-truth
+//! query processors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Fixed-arity loops indexing multiple parallel `[T; D]` arrays read more
+// clearly with explicit indices than with zipped iterators.
+#![allow(clippy::needless_range_loop)]
+
+pub mod distance;
+pub mod interval;
+pub mod rect;
+pub mod relation;
+pub mod transform;
+
+pub use interval::{Coord, Interval};
+pub use rect::{rect2, HyperRect, Point};
+pub use relation::IntervalRelation;

@@ -1,0 +1,291 @@
+//! Points and axis-aligned hyper-rectangles in `d` dimensions.
+
+use crate::interval::{Coord, Interval};
+use crate::relation::IntervalRelation;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A point in d-dimensional discrete space.
+pub type Point<const D: usize> = [Coord; D];
+
+/// An axis-aligned hyper-rectangle: the cross product of one closed interval
+/// per dimension (Definition 1's `r = r(1) × r(2) × ... × r(d)`).
+///
+/// `D = 1` models intervals-with-rectangle-API, `D = 2` rectangles, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HyperRect<const D: usize> {
+    ranges: [Interval; D],
+}
+
+// serde cannot derive for const-generic arrays; encode as a length-D sequence.
+impl<const D: usize> Serialize for HyperRect<D> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.ranges.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de, const D: usize> Deserialize<'de> for HyperRect<D> {
+    fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+        let v: Vec<Interval> = Vec::deserialize(deserializer)?;
+        if v.len() != D {
+            return Err(De::Error::invalid_length(v.len(), &"one interval per dimension"));
+        }
+        let mut ranges = [Interval::point(0); D];
+        ranges.copy_from_slice(&v);
+        Ok(HyperRect { ranges })
+    }
+}
+
+impl<const D: usize> HyperRect<D> {
+    /// Creates a hyper-rectangle from per-dimension ranges.
+    #[inline]
+    pub fn new(ranges: [Interval; D]) -> Self {
+        Self { ranges }
+    }
+
+    /// Creates a hyper-rectangle from corner points `lo` and `hi`
+    /// (componentwise `lo[i] <= hi[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `lo[i] > hi[i]`.
+    pub fn from_corners(lo: Point<D>, hi: Point<D>) -> Self {
+        let mut ranges = [Interval::point(0); D];
+        for i in 0..D {
+            ranges[i] = Interval::new(lo[i], hi[i]);
+        }
+        Self { ranges }
+    }
+
+    /// The degenerate hyper-rectangle containing exactly one point.
+    pub fn from_point(p: Point<D>) -> Self {
+        let mut ranges = [Interval::point(0); D];
+        for i in 0..D {
+            ranges[i] = Interval::point(p[i]);
+        }
+        Self { ranges }
+    }
+
+    /// Range in dimension `i` (`r(i)` in the paper).
+    #[inline]
+    pub fn range(&self, i: usize) -> Interval {
+        self.ranges[i]
+    }
+
+    /// All per-dimension ranges.
+    #[inline]
+    pub fn ranges(&self) -> &[Interval; D] {
+        &self.ranges
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> Point<D> {
+        let mut p = [0; D];
+        for i in 0..D {
+            p[i] = self.ranges[i].lo();
+        }
+        p
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> Point<D> {
+        let mut p = [0; D];
+        for i in 0..D {
+            p[i] = self.ranges[i].hi();
+        }
+        p
+    }
+
+    /// Whether the rectangle is degenerate in *some* dimension (zero extent).
+    /// Degenerate objects cannot contribute to the paper's spatial join.
+    pub fn is_degenerate(&self) -> bool {
+        self.ranges.iter().any(Interval::is_degenerate)
+    }
+
+    /// d-dimensional volume (product of lengths); zero iff degenerate.
+    pub fn volume(&self) -> u128 {
+        self.ranges
+            .iter()
+            .map(|r| r.length() as u128)
+            .product()
+    }
+
+    /// Closed containment of a point.
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.ranges[i].contains(p[i]))
+    }
+
+    /// Closed containment of another hyper-rectangle.
+    pub fn contains_rect(&self, other: &HyperRect<D>) -> bool {
+        (0..D).all(|i| self.ranges[i].contains_interval(&other.ranges[i]))
+    }
+
+    /// The paper's spatial-join predicate: the rectangles overlap iff their
+    /// projections overlap (Figure 3 cases 3-6) in **every** dimension, i.e.
+    /// the intersection has full dimensionality.
+    pub fn overlaps(&self, other: &HyperRect<D>) -> bool {
+        (0..D).all(|i| self.ranges[i].overlaps(&other.ranges[i]))
+    }
+
+    /// Extended overlap `overlap+` (Definition 4): non-empty intersection of
+    /// any dimensionality (admits touching at faces/edges/corners).
+    pub fn overlaps_plus(&self, other: &HyperRect<D>) -> bool {
+        (0..D).all(|i| self.ranges[i].overlaps_plus(&other.ranges[i]))
+    }
+
+    /// The intersection hyper-rectangle, if non-empty.
+    pub fn intersection(&self, other: &HyperRect<D>) -> Option<HyperRect<D>> {
+        let mut ranges = [Interval::point(0); D];
+        for i in 0..D {
+            ranges[i] = self.ranges[i].intersection(&other.ranges[i])?;
+        }
+        Some(HyperRect::new(ranges))
+    }
+
+    /// Per-dimension spatial relationship tuple (Figure 4's `(i_1, .., i_d)`).
+    pub fn relation(&self, other: &HyperRect<D>) -> [IntervalRelation; D] {
+        let mut out = [IntervalRelation::Disjoint; D];
+        for i in 0..D {
+            out[i] = IntervalRelation::of(&self.ranges[i], &other.ranges[i]);
+        }
+        out
+    }
+
+    /// Whether some endpoint coordinate is shared with `other` in some
+    /// dimension (violating Assumption 1 for that dimension).
+    pub fn shares_endpoint(&self, other: &HyperRect<D>) -> bool {
+        (0..D).any(|i| self.ranges[i].shares_endpoint(&other.ranges[i]))
+    }
+}
+
+/// An interval treated as a 1-dimensional hyper-rectangle.
+impl From<Interval> for HyperRect<1> {
+    fn from(iv: Interval) -> Self {
+        HyperRect::new([iv])
+    }
+}
+
+/// Convenience constructor for 2-d rectangles `[x_lo, x_hi] × [y_lo, y_hi]`.
+pub fn rect2(x_lo: Coord, x_hi: Coord, y_lo: Coord, y_hi: Coord) -> HyperRect<2> {
+    HyperRect::new([Interval::new(x_lo, x_hi), Interval::new(y_lo, y_hi)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn corners_roundtrip() {
+        let r = HyperRect::from_corners([1, 2, 3], [4, 5, 6]);
+        assert_eq!(r.lo(), [1, 2, 3]);
+        assert_eq!(r.hi(), [4, 5, 6]);
+        assert_eq!(r.range(1), Interval::new(2, 5));
+        assert_eq!(r.volume(), 27);
+    }
+
+    #[test]
+    fn figure4_examples() {
+        // Figure 4 shows rectangle pairs with per-dimension relationship
+        // tuples; overlap iff every component is in {3,4,5,6}.
+        let r = rect2(10, 20, 10, 20);
+
+        // (2, 3): meet in x, overlap in y -> no overlap (only overlap+)
+        let s = rect2(20, 30, 15, 25);
+        assert!(!r.overlaps(&s));
+        assert!(r.overlaps_plus(&s));
+        let rel = r.relation(&s);
+        assert_eq!(rel[0].paper_case(), 2);
+        assert_eq!(rel[1].paper_case(), 3);
+
+        // (3, 3): overlap in both -> overlap
+        let s = rect2(15, 25, 15, 25);
+        assert!(r.overlaps(&s));
+        assert_eq!(r.relation(&s).map(|c| c.paper_case()), [3, 3]);
+
+        // (4, 5): contained in x, contained-with-shared-endpoint in y
+        let s = rect2(12, 18, 10, 15);
+        assert!(r.overlaps(&s));
+        assert_eq!(r.relation(&s).map(|c| c.paper_case()), [4, 5]);
+
+        // (3, 4) overlap
+        let s = rect2(15, 25, 12, 18);
+        assert!(r.overlaps(&s));
+        assert_eq!(r.relation(&s).map(|c| c.paper_case()), [3, 4]);
+    }
+
+    #[test]
+    fn corner_touch_is_overlap_plus_only() {
+        let r = rect2(0, 10, 0, 10);
+        let s = rect2(10, 20, 10, 20);
+        assert!(!r.overlaps(&s));
+        assert!(r.overlaps_plus(&s));
+        assert_eq!(
+            r.intersection(&s),
+            Some(HyperRect::from_point([10, 10]))
+        );
+    }
+
+    #[test]
+    fn point_and_rect_containment() {
+        let r = rect2(2, 8, 3, 9);
+        assert!(r.contains_point(&[2, 3]));
+        assert!(r.contains_point(&[8, 9]));
+        assert!(!r.contains_point(&[9, 5]));
+        assert!(r.contains_rect(&rect2(2, 8, 3, 9)));
+        assert!(r.contains_rect(&rect2(3, 7, 4, 8)));
+        assert!(!r.contains_rect(&rect2(3, 7, 4, 10)));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(rect2(5, 5, 0, 9).is_degenerate());
+        assert!(HyperRect::from_point([1, 2]).is_degenerate());
+        assert!(!rect2(5, 6, 0, 9).is_degenerate());
+        assert_eq!(rect2(5, 5, 0, 9).volume(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_compatibility() {
+        let iv = Interval::new(4, 9);
+        let r: HyperRect<1> = iv.into();
+        assert!(r.overlaps(&Interval::new(7, 12).into()));
+        assert!(!r.overlaps(&Interval::new(9, 12).into()));
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_symmetric_2d(
+            a in 0u64..100, b in 0u64..100, c in 0u64..100, d in 0u64..100,
+            e in 0u64..100, f in 0u64..100, g in 0u64..100, h in 0u64..100,
+        ) {
+            let r = rect2(a.min(b), a.max(b), c.min(d), c.max(d));
+            let s = rect2(e.min(f), e.max(f), g.min(h), g.max(h));
+            prop_assert_eq!(r.overlaps(&s), s.overlaps(&r));
+            prop_assert_eq!(r.overlaps_plus(&s), s.overlaps_plus(&r));
+        }
+
+        #[test]
+        fn overlap_iff_positive_intersection_volume(
+            a in 0u64..100, b in 0u64..100, c in 0u64..100, d in 0u64..100,
+            e in 0u64..100, f in 0u64..100, g in 0u64..100, h in 0u64..100,
+        ) {
+            let r = rect2(a.min(b), a.max(b), c.min(d), c.max(d));
+            let s = rect2(e.min(f), e.max(f), g.min(h), g.max(h));
+            let vol_pos = r.intersection(&s).map(|i| i.volume() > 0).unwrap_or(false);
+            prop_assert_eq!(r.overlaps(&s), vol_pos);
+            prop_assert_eq!(r.overlaps_plus(&s), r.intersection(&s).is_some());
+        }
+
+        #[test]
+        fn containment_implies_overlap_for_nondegenerate(
+            a in 0u64..50, b in 51u64..100, c in 0u64..50, d in 51u64..100,
+        ) {
+            let outer = rect2(a, b, c, d);
+            let inner = rect2(a + 1, b.max(a + 2) , c + 1, d.max(c + 2));
+            if outer.contains_rect(&inner) && !inner.is_degenerate() {
+                prop_assert!(outer.overlaps(&inner));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The six spatial relationships between intervals (Figure 3 of the paper)
+//! and their generalization to hyper-rectangles (Figure 4).
+
+use crate::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// Spatial relationship between two non-degenerate intervals `r` and `s`,
+/// following Figure 3. Directional variants are distinguished (the paper
+/// omits the swapped cases "for simplicity"); [`IntervalRelation::paper_case`]
+/// folds them back to the figure's numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntervalRelation {
+    /// Case (1): no common point.
+    Disjoint,
+    /// Case (2): touch at exactly one boundary point.
+    Meet,
+    /// Case (3): proper partial overlap (each has one endpoint strictly
+    /// inside the other).
+    Overlap,
+    /// Case (4): `r` strictly contains `s`.
+    Contains,
+    /// Case (4) swapped: `s` strictly contains `r`.
+    Inside,
+    /// Case (5): `r` contains `s` and they share exactly one endpoint.
+    ContainsMeet,
+    /// Case (5) swapped: `s` contains `r` and they share exactly one endpoint.
+    InsideMeet,
+    /// Case (6): identical intervals.
+    Identical,
+}
+
+impl IntervalRelation {
+    /// Classifies the relationship of two non-degenerate intervals.
+    ///
+    /// Degenerate (point) intervals do not fit Figure 3's taxonomy; for them
+    /// the classification degrades gracefully (a point on a boundary is
+    /// `Meet`-like) but callers interested in join semantics should rely on
+    /// [`Interval::overlaps`] directly.
+    pub fn of(r: &Interval, s: &Interval) -> Self {
+        use IntervalRelation::*;
+        if r == s {
+            return Identical;
+        }
+        if r.hi() < s.lo() || s.hi() < r.lo() {
+            return Disjoint;
+        }
+        if r.hi() == s.lo() || s.hi() == r.lo() {
+            return Meet;
+        }
+        // From here the intersection has nonzero length.
+        let share_lo = r.lo() == s.lo();
+        let share_hi = r.hi() == s.hi();
+        debug_assert!(!(share_lo && share_hi), "identical handled above");
+        if share_lo {
+            return if r.hi() > s.hi() { ContainsMeet } else { InsideMeet };
+        }
+        if share_hi {
+            return if r.lo() < s.lo() { ContainsMeet } else { InsideMeet };
+        }
+        if r.lo() < s.lo() && s.hi() < r.hi() {
+            return Contains;
+        }
+        if s.lo() < r.lo() && r.hi() < s.hi() {
+            return Inside;
+        }
+        Overlap
+    }
+
+    /// Figure 3 case number (1-6), folding directional variants.
+    pub fn paper_case(&self) -> u8 {
+        use IntervalRelation::*;
+        match self {
+            Disjoint => 1,
+            Meet => 2,
+            Overlap => 3,
+            Contains | Inside => 4,
+            ContainsMeet | InsideMeet => 5,
+            Identical => 6,
+        }
+    }
+
+    /// Whether this relationship counts as overlap in the paper's spatial
+    /// join (cases 3-6).
+    pub fn is_overlap(&self) -> bool {
+        self.paper_case() >= 3
+    }
+
+    /// Whether this relationship counts for the extended join `overlap+`
+    /// (Definition 4; cases 2-6).
+    pub fn is_overlap_plus(&self) -> bool {
+        self.paper_case() >= 2
+    }
+
+    /// Number of endpoints of one interval lying (closed-)inside the other,
+    /// summed over both directions — the quantity the simple counting
+    /// procedure of Section 4.1.2 computes. The paper's table: cases (1)-(6)
+    /// yield 0, 2, 2, 2, 3, 4.
+    pub fn endpoint_containment_count(r: &Interval, s: &Interval) -> u32 {
+        let mut c = 0;
+        if r.contains(s.lo()) {
+            c += 1;
+        }
+        if r.contains(s.hi()) {
+            c += 1;
+        }
+        if s.contains(r.lo()) {
+            c += 1;
+        }
+        if s.contains(r.hi()) {
+            c += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IntervalRelation::*;
+
+    fn iv(l: u64, h: u64) -> Interval {
+        Interval::new(l, h)
+    }
+
+    #[test]
+    fn figure3_classification() {
+        let r = iv(10, 20);
+        assert_eq!(IntervalRelation::of(&r, &iv(25, 30)), Disjoint);
+        assert_eq!(IntervalRelation::of(&r, &iv(0, 5)), Disjoint);
+        assert_eq!(IntervalRelation::of(&r, &iv(20, 30)), Meet);
+        assert_eq!(IntervalRelation::of(&r, &iv(0, 10)), Meet);
+        assert_eq!(IntervalRelation::of(&r, &iv(15, 30)), Overlap);
+        assert_eq!(IntervalRelation::of(&r, &iv(5, 15)), Overlap);
+        assert_eq!(IntervalRelation::of(&r, &iv(12, 18)), Contains);
+        assert_eq!(IntervalRelation::of(&iv(12, 18), &r), Inside);
+        assert_eq!(IntervalRelation::of(&r, &iv(10, 15)), ContainsMeet);
+        assert_eq!(IntervalRelation::of(&r, &iv(15, 20)), ContainsMeet);
+        assert_eq!(IntervalRelation::of(&iv(10, 15), &r), InsideMeet);
+        assert_eq!(IntervalRelation::of(&r, &r.clone()), Identical);
+    }
+
+    #[test]
+    fn paper_case_numbers() {
+        assert_eq!(Disjoint.paper_case(), 1);
+        assert_eq!(Meet.paper_case(), 2);
+        assert_eq!(Overlap.paper_case(), 3);
+        assert_eq!(Contains.paper_case(), 4);
+        assert_eq!(Inside.paper_case(), 4);
+        assert_eq!(ContainsMeet.paper_case(), 5);
+        assert_eq!(InsideMeet.paper_case(), 5);
+        assert_eq!(Identical.paper_case(), 6);
+    }
+
+    #[test]
+    fn overlap_flags_match_interval_predicates() {
+        let r = iv(10, 20);
+        let cases = [
+            iv(25, 30),
+            iv(20, 30),
+            iv(15, 30),
+            iv(12, 18),
+            iv(10, 15),
+            iv(10, 20),
+            iv(0, 10),
+            iv(0, 40),
+        ];
+        for s in cases {
+            let rel = IntervalRelation::of(&r, &s);
+            assert_eq!(rel.is_overlap(), r.overlaps(&s), "{s:?}");
+            assert_eq!(rel.is_overlap_plus(), r.overlaps_plus(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn counting_procedure_table() {
+        // Section 4.1.2: counts 0, 2, 2, 2, 3, 4 for cases (1)-(6).
+        let r = iv(10, 20);
+        let table = [
+            (iv(25, 30), 0u32), // (1)
+            (iv(20, 30), 2),    // (2)
+            (iv(15, 30), 2),    // (3)
+            (iv(12, 18), 2),    // (4)
+            (iv(10, 15), 3),    // (5)
+            (iv(10, 20), 4),    // (6)
+        ];
+        for (s, want) in table {
+            assert_eq!(
+                IntervalRelation::endpoint_containment_count(&r, &s),
+                want,
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_of_case_numbers() {
+        let samples = [
+            (iv(0, 4), iv(6, 9)),
+            (iv(0, 4), iv(4, 9)),
+            (iv(0, 6), iv(4, 9)),
+            (iv(0, 9), iv(4, 8)),
+            (iv(0, 9), iv(0, 5)),
+            (iv(2, 7), iv(2, 7)),
+        ];
+        for (r, s) in samples {
+            assert_eq!(
+                IntervalRelation::of(&r, &s).paper_case(),
+                IntervalRelation::of(&s, &r).paper_case()
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The common-endpoint elimination transform of Section 5.2.
+//!
+//! The interval-join counting procedure (and its higher-dimensional
+//! generalizations) is exact only under Assumption 1: no interval of `R`
+//! shares an endpoint coordinate with an interval of `S`. Section 5.2 makes
+//! the assumption hold for arbitrary inputs by enlarging the domain: between
+//! every two consecutive coordinates `i` and `i+1`, two new values `i+` and
+//! `(i+1)-` are inserted, and every `S`-interval is shrunk "a little" —
+//! `[l, u]` becomes `[l+, u-]` — which provably changes no overlap
+//! relationship while eliminating all shared endpoints.
+//!
+//! We realize the enlarged domain `M` by tripling: original coordinate `x`
+//! maps to `3x`, `x+` maps to `3x + 1`, and `(x+1)-` maps to `3x + 2`.
+//! `R`-endpoints are then ≡ 0 (mod 3) while shrunken `S`-endpoints are ≡ 1
+//! or 2 (mod 3), so they can never collide.
+
+use crate::interval::{Coord, Interval};
+use crate::rect::HyperRect;
+
+/// Maps an original coordinate into the tripled domain.
+#[inline]
+pub fn triple(x: Coord) -> Coord {
+    3 * x
+}
+
+/// Maps an original interval into the tripled domain without shrinking
+/// (used for the `R` side of a join).
+#[inline]
+pub fn triple_interval(iv: &Interval) -> Interval {
+    Interval::new(triple(iv.lo()), triple(iv.hi()))
+}
+
+/// Maps an original interval into the tripled domain *and shrinks it*
+/// (`[l, u]` to `[l+, u-]`, used for the `S` side of a join).
+///
+/// Returns `None` for degenerate intervals: shrinking a point yields an
+/// empty interval, and points never contribute to the join anyway.
+#[inline]
+pub fn shrink_interval(iv: &Interval) -> Option<Interval> {
+    if iv.is_degenerate() {
+        return None;
+    }
+    Some(Interval::new(triple(iv.lo()) + 1, triple(iv.hi()) - 1))
+}
+
+/// Maps a hyper-rectangle into the tripled domain without shrinking.
+pub fn triple_rect<const D: usize>(r: &HyperRect<D>) -> HyperRect<D> {
+    let mut ranges = [Interval::point(0); D];
+    for i in 0..D {
+        ranges[i] = triple_interval(&r.range(i));
+    }
+    HyperRect::new(ranges)
+}
+
+/// Maps a hyper-rectangle into the tripled domain, shrinking every dimension.
+/// Returns `None` if the rectangle is degenerate in any dimension.
+pub fn shrink_rect<const D: usize>(r: &HyperRect<D>) -> Option<HyperRect<D>> {
+    let mut ranges = [Interval::point(0); D];
+    for i in 0..D {
+        ranges[i] = shrink_interval(&r.range(i))?;
+    }
+    Some(HyperRect::new(ranges))
+}
+
+/// Domain bits needed for the tripled domain: coordinates reach `3(n-1) + 2 <
+/// 3n <= 4n`, so two extra bits always suffice.
+#[inline]
+pub fn tripled_bits(bits: u32) -> u32 {
+    bits + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::rect2;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coordinates_never_collide() {
+        // R endpoints are multiples of 3; shrunken S endpoints are == 1 or 2 mod 3.
+        let r = triple_interval(&Interval::new(4, 9));
+        let s = shrink_interval(&Interval::new(4, 9)).unwrap();
+        assert_eq!(r, Interval::new(12, 27));
+        assert_eq!(s, Interval::new(13, 26));
+        assert!(!r.shares_endpoint(&s));
+    }
+
+    #[test]
+    fn degenerate_s_interval_is_dropped() {
+        assert_eq!(shrink_interval(&Interval::point(5)), None);
+        assert!(shrink_rect(&rect2(1, 5, 3, 3)).is_none());
+    }
+
+    #[test]
+    fn figure3_cases_preserved() {
+        // For each of the six relationships, overlap(r, s) == overlap(r', s').
+        let r = Interval::new(10, 20);
+        let cases = [
+            Interval::new(25, 30), // (1)
+            Interval::new(20, 30), // (2)
+            Interval::new(15, 30), // (3)
+            Interval::new(12, 18), // (4)
+            Interval::new(10, 15), // (5)
+            Interval::new(10, 20), // (6)
+        ];
+        for s in cases {
+            let r2 = triple_interval(&r);
+            let s2 = shrink_interval(&s).unwrap();
+            assert_eq!(r.overlaps(&s), r2.overlaps(&s2), "case {s:?}");
+            assert!(!r2.shares_endpoint(&s2), "case {s:?}");
+        }
+    }
+
+    #[test]
+    fn tripled_bits_bound() {
+        // max transformed coordinate from an n = 2^b domain must fit.
+        for bits in [1u32, 4, 10, 20] {
+            let n: u64 = 1 << bits;
+            let max_coord = 3 * (n - 1) + 2;
+            assert!(max_coord < (1 << tripled_bits(bits)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn transform_preserves_overlap(
+            a in 0u64..300, b in 0u64..300, c in 0u64..300, d in 0u64..300,
+        ) {
+            let r = Interval::new(a.min(b), a.max(b));
+            let s = Interval::new(c.min(d), c.max(d));
+            prop_assume!(!s.is_degenerate());
+            let r2 = triple_interval(&r);
+            let s2 = shrink_interval(&s).unwrap();
+            prop_assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
+            prop_assert!(!r2.shares_endpoint(&s2));
+        }
+
+        #[test]
+        fn transform_preserves_overlap_2d(
+            a in 0u64..60, b in 0u64..60, c in 0u64..60, d in 0u64..60,
+            e in 0u64..60, f in 0u64..60, g in 0u64..60, h in 0u64..60,
+        ) {
+            let r = rect2(a.min(b), a.max(b), c.min(d), c.max(d));
+            let s = rect2(e.min(f), e.max(f), g.min(h), g.max(h));
+            prop_assume!(!s.is_degenerate());
+            let r2 = triple_rect(&r);
+            let s2 = shrink_rect(&s).unwrap();
+            prop_assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
+            prop_assert!(!r2.shares_endpoint(&s2));
+        }
+    }
+}

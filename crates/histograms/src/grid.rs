@@ -1,0 +1,147 @@
+//! Regular grid partitioning shared by both histogram baselines.
+//!
+//! A grid of *level* `L` partitions each dimension of a `2^bits`-sized
+//! domain into `2^L` equi-width cells (the paper's Section 7 terminology).
+//! Cells are coordinate sets: cell `c` along a dimension holds coordinates
+//! `[c·w, (c+1)·w - 1]` with `w = 2^(bits - L)`, so every coordinate belongs
+//! to exactly one cell and "object intersects cell" is unambiguous.
+
+use geometry::{Coord, HyperRect, Interval};
+
+/// A level-`L` grid over a square `2^bits × 2^bits` domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Domain bits per dimension.
+    pub domain_bits: u32,
+    /// Grid level: `2^level` cells per dimension.
+    pub level: u32,
+}
+
+impl GridSpec {
+    /// Creates a grid spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > domain_bits` (cells would be sub-coordinate).
+    pub fn new(domain_bits: u32, level: u32) -> Self {
+        assert!(
+            level <= domain_bits,
+            "grid level {level} exceeds domain bits {domain_bits}"
+        );
+        Self { domain_bits, level }
+    }
+
+    /// Cells per dimension, `2^level`.
+    #[inline]
+    pub fn cells_per_dim(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// Cell width in coordinates, `2^(bits - level)`.
+    #[inline]
+    pub fn cell_width(&self) -> u64 {
+        1u64 << (self.domain_bits - self.level)
+    }
+
+    /// Cell index of a coordinate.
+    #[inline]
+    pub fn cell_of(&self, x: Coord) -> u64 {
+        debug_assert!(x < (1u64 << self.domain_bits));
+        x >> (self.domain_bits - self.level)
+    }
+
+    /// Coordinate range of cell `c` along one dimension.
+    #[inline]
+    pub fn cell_range(&self, c: u64) -> Interval {
+        let w = self.cell_width();
+        Interval::new(c * w, (c + 1) * w - 1)
+    }
+
+    /// Inclusive cell-index span of an interval.
+    #[inline]
+    pub fn cell_span(&self, iv: &Interval) -> (u64, u64) {
+        (self.cell_of(iv.lo()), self.cell_of(iv.hi()))
+    }
+
+    /// Flat index of 2-d cell `(cx, cy)` (row-major by y).
+    #[inline]
+    pub fn cell_index(&self, cx: u64, cy: u64) -> usize {
+        (cy * self.cells_per_dim() + cx) as usize
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        let g = self.cells_per_dim() as usize;
+        g * g
+    }
+
+    /// The rectangle of coordinates covered by cell `(cx, cy)`.
+    pub fn cell_rect(&self, cx: u64, cy: u64) -> HyperRect<2> {
+        HyperRect::new([self.cell_range(cx), self.cell_range(cy)])
+    }
+
+    /// Checks that an object fits the domain.
+    pub fn fits(&self, rect: &HyperRect<2>) -> bool {
+        let max = (1u64 << self.domain_bits) - 1;
+        rect.range(0).hi() <= max && rect.range(1).hi() <= max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+
+    #[test]
+    fn cell_geometry() {
+        let g = GridSpec::new(8, 3); // domain 256, 8 cells of width 32
+        assert_eq!(g.cells_per_dim(), 8);
+        assert_eq!(g.cell_width(), 32);
+        assert_eq!(g.cell_of(0), 0);
+        assert_eq!(g.cell_of(31), 0);
+        assert_eq!(g.cell_of(32), 1);
+        assert_eq!(g.cell_of(255), 7);
+        assert_eq!(g.cell_range(2), Interval::new(64, 95));
+        assert_eq!(g.cell_count(), 64);
+    }
+
+    #[test]
+    fn spans_and_indices() {
+        let g = GridSpec::new(8, 3);
+        assert_eq!(g.cell_span(&Interval::new(10, 40)), (0, 1));
+        assert_eq!(g.cell_span(&Interval::new(32, 63)), (1, 1));
+        assert_eq!(g.cell_index(3, 2), 19);
+        let r = g.cell_rect(1, 0);
+        assert_eq!(r, rect2(32, 63, 0, 31));
+    }
+
+    #[test]
+    fn every_coordinate_in_exactly_one_cell() {
+        let g = GridSpec::new(6, 2);
+        for x in 0..64u64 {
+            let c = g.cell_of(x);
+            assert!(g.cell_range(c).contains(x));
+            // neighbors don't contain it
+            if c > 0 {
+                assert!(!g.cell_range(c - 1).contains(x));
+            }
+            if c + 1 < g.cells_per_dim() {
+                assert!(!g.cell_range(c + 1).contains(x));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds domain bits")]
+    fn oversized_level_rejected() {
+        let _ = GridSpec::new(4, 5);
+    }
+
+    #[test]
+    fn fits_checks_domain() {
+        let g = GridSpec::new(8, 2);
+        assert!(g.fits(&rect2(0, 255, 0, 255)));
+        assert!(!g.fits(&rect2(0, 256, 0, 10)));
+    }
+}

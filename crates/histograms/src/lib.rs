@@ -1,0 +1,28 @@
+//! # histograms — the paper's baseline estimators
+//!
+//! Reimplementations of the two histogram techniques the spatial-sketches
+//! paper compares against in Section 7, built from their published
+//! descriptions (the original code is not available):
+//!
+//! * [`gh::GeometricHistogram`] — Geometric Histograms (An et al., ICDE'01):
+//!   per-cell corner counts, areas and edge lengths; `4^(L+1)` words.
+//! * [`eh::EulerHistogram`] — generalized Euler Histograms (Sun et al.,
+//!   EDBT'02): cell/edge/vertex buckets with intersection-shape statistics;
+//!   `9·2^{2L} - 6·2^L + 1` words; *exact* on cell-aligned range counts and
+//!   model-based on joins.
+//!
+//! Both use fixed grid partitioning and are therefore exactly maintainable
+//! under inserts and deletes — the property the paper concedes to
+//! grid-based histograms while criticizing their behaviour under skew.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eh;
+pub mod gh;
+pub mod grid;
+pub mod model;
+
+pub use eh::EulerHistogram;
+pub use gh::GeometricHistogram;
+pub use grid::GridSpec;

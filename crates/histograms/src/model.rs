@@ -1,0 +1,106 @@
+//! Uniformity-model overlap probabilities used by the histogram estimators.
+//!
+//! Histograms summarize objects per grid element and estimate join sizes by
+//! assuming object positions are uniform within a cell. The basic building
+//! block is: two segments of lengths `l1`, `l2` placed uniformly at random
+//! inside a cell of length `c` — what is the probability their (closed)
+//! ranges overlap with positive measure?
+//!
+//! With placements `x1 ~ U[0, c - l1]`, `x2 ~ U[0, c - l2]`:
+//!
+//! ```text
+//! P(no overlap) = m² / ((c - l1)(c - l2)),   m = max(0, c - l1 - l2)
+//! ```
+//!
+//! and `P(overlap) = 1 - P(no overlap)`. Degenerate segments (`l = 0`)
+//! overlap with probability zero against each other (points almost surely
+//! differ), matching the strict-overlap join semantics.
+
+/// Probability that two uniformly placed segments overlap within a cell.
+///
+/// Lengths longer than the cell are clamped (the summarized quantity is the
+/// *intersection* length with the cell, which never exceeds the cell).
+pub fn overlap_probability_1d(l1: f64, l2: f64, cell: f64) -> f64 {
+    debug_assert!(cell > 0.0, "cell length must be positive");
+    let l1 = l1.clamp(0.0, cell);
+    let l2 = l2.clamp(0.0, cell);
+    let m = (cell - l1 - l2).max(0.0);
+    if m == 0.0 {
+        return 1.0;
+    }
+    let a = cell - l1;
+    let b = cell - l2;
+    // m > 0 implies a >= m > 0 and b >= m > 0.
+    (1.0 - m * m / (a * b)).clamp(0.0, 1.0)
+}
+
+/// Product-form overlap probability for axis-aligned rectangles in a 2-d
+/// cell (positions independent per axis under the uniformity model).
+pub fn overlap_probability_2d(w1: f64, h1: f64, w2: f64, h2: f64, cell_w: f64, cell_h: f64) -> f64 {
+    overlap_probability_1d(w1, w2, cell_w) * overlap_probability_1d(h1, h2, cell_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn boundary_values() {
+        // Two points never (measurably) overlap.
+        assert_eq!(overlap_probability_1d(0.0, 0.0, 32.0), 0.0);
+        // A full-cell segment overlaps anything with positive length...
+        assert_eq!(overlap_probability_1d(32.0, 5.0, 32.0), 1.0);
+        // ... including another full-cell segment.
+        assert_eq!(overlap_probability_1d(32.0, 32.0, 32.0), 1.0);
+        // Long segments clamp.
+        assert_eq!(overlap_probability_1d(100.0, 1.0, 32.0), 1.0);
+    }
+
+    #[test]
+    fn symmetry_and_monotonicity() {
+        let c = 64.0;
+        for (a, b) in [(3.0, 9.0), (10.0, 30.0), (1.0, 1.0)] {
+            assert_eq!(overlap_probability_1d(a, b, c), overlap_probability_1d(b, a, c));
+        }
+        // Longer segments overlap more.
+        let mut prev = 0.0;
+        for l in [0.0, 4.0, 8.0, 16.0, 32.0, 63.0] {
+            let p = overlap_probability_1d(l, 8.0, c);
+            assert!(p >= prev, "p({l}) = {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let c = 100.0;
+        for (l1, l2) in [(10.0, 20.0), (5.0, 5.0), (40.0, 50.0), (0.0, 30.0)] {
+            let trials = 200_000;
+            let mut hits = 0u64;
+            for _ in 0..trials {
+                let x1 = rng.gen::<f64>() * (c - l1);
+                let x2 = rng.gen::<f64>() * (c - l2);
+                if x1 < x2 + l2 && x2 < x1 + l1 {
+                    hits += 1;
+                }
+            }
+            let emp = hits as f64 / trials as f64;
+            let theory = overlap_probability_1d(l1, l2, c);
+            assert!(
+                (emp - theory).abs() < 0.006,
+                "l1={l1} l2={l2}: emp {emp} vs {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_form_2d() {
+        let p = overlap_probability_2d(10.0, 20.0, 5.0, 5.0, 50.0, 40.0);
+        let px = overlap_probability_1d(10.0, 5.0, 50.0);
+        let py = overlap_probability_1d(20.0, 5.0, 40.0);
+        assert!((p - px * py).abs() < 1e-12);
+    }
+}

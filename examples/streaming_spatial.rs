@@ -1,0 +1,78 @@
+//! Streaming scenario: selectivity tracking over a spatial update stream
+//! with inserts *and deletes*.
+//!
+//! The paper's motivating property (Sections 1 and 9): sketches are linear,
+//! so a single pass over an update stream — environmental sensor coverage
+//! areas appearing and disappearing, say — maintains the join-size summary
+//! exactly, something samples and non-grid histograms cannot do. This
+//! example drives a churn stream against two relations and reports the
+//! estimated vs exact join size at checkpoints.
+//!
+//! Run with: `cargo run --release --example streaming_spatial`
+
+use rand::SeedableRng;
+use spatial_sketch::datagen::{churn_stream, replay, SyntheticSpec, Update};
+use spatial_sketch::exact;
+use spatial_sketch::geometry::HyperRect;
+use spatial_sketch::sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
+use spatial_sketch::sketch::estimators::SketchConfig;
+use spatial_sketch::sketch::plan;
+
+fn main() {
+    let bits = 12u32;
+    // A fixed reference relation S (deployed monitoring regions)...
+    let s_data: Vec<HyperRect<2>> = SyntheticSpec::paper(8_000, bits, 0.0, 11).generate();
+    // ... and a churning relation R (active sensor coverage areas).
+    let r_base: Vec<HyperRect<2>> = SyntheticSpec::paper(6_000, bits, 0.4, 12).generate();
+    let stream = churn_stream(&r_base, 12_000, 0.45, 13);
+    println!(
+        "stream: {} updates over a base of {} objects (~45% deletes after warm-up)",
+        stream.len(),
+        r_base.len()
+    );
+
+    let mean_extent: f64 = r_base
+        .iter()
+        .chain(s_data.iter())
+        .map(|x| 3.0 * (x.range(0).length() + x.range(1).length()) as f64 / 2.0)
+        .sum::<f64>()
+        / (r_base.len() + s_data.len()) as f64;
+    let max_level = plan::adaptive_max_level(mean_extent, bits + 2);
+    let config = SketchConfig::new(700, 5).with_max_level(max_level);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let join = SpatialJoin::<2>::new(&mut rng, config, [bits, bits], EndpointStrategy::Transform);
+
+    let mut sk_r = join.new_sketch_r();
+    let mut sk_s = join.new_sketch_s();
+    for x in &s_data {
+        sk_s.insert(x).expect("S insert");
+    }
+
+    println!("\n{:>8}  {:>8}  {:>10}  {:>10}  {:>8}", "update#", "live |R|", "exact", "estimate", "rel err");
+    let checkpoints = 6;
+    let step = stream.len() / checkpoints;
+    for (i, chunk) in stream.chunks(step).enumerate() {
+        for u in chunk {
+            match u {
+                Update::Insert(r) => sk_r.insert(r).expect("insert"),
+                Update::Delete(r) => sk_r.delete(r).expect("delete"),
+            }
+        }
+        let seen = (i + 1) * chunk.len().min(step);
+        let live = replay(&stream[..(i * step + chunk.len()).min(stream.len())]);
+        let exact_now = exact::rect_join_count(&live, &s_data) as f64;
+        let est = join.estimate(&sk_r, &sk_s).expect("estimate").value;
+        let rel = if exact_now > 0.0 {
+            (est - exact_now).abs() / exact_now
+        } else {
+            est.abs()
+        };
+        println!(
+            "{seen:>8}  {:>8}  {exact_now:>10.0}  {est:>10.0}  {rel:>8.3}",
+            live.len()
+        );
+    }
+
+    println!("\nThe sketch tracked the live multiset through deletions with no rebuild —");
+    println!("its state is a linear function of the current contents, nothing else.");
+}

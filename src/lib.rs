@@ -1,0 +1,71 @@
+//! # spatial-sketch — approximation techniques for spatial data
+//!
+//! A faithful, production-quality Rust implementation of
+//! **Das, Gehrke, Riedewald: "Approximation Techniques for Spatial Data"
+//! (SIGMOD 2004)** — sketch-based selectivity estimation for spatial joins,
+//! ε-joins, range queries and containment joins with provable probabilistic
+//! error guarantees, plus everything needed to evaluate it: exact query
+//! processors, the Euler/Geometric histogram baselines, and deterministic
+//! workload generators.
+//!
+//! This crate is a facade; the implementation lives in focused sub-crates,
+//! re-exported here under stable names:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sketch`] | `spatial-sketch-core` | the paper's contribution: atomic sketches, estimators, boosting, planning |
+//! | [`geometry`] | `spatial-geometry` | intervals, hyper-rectangles, overlap predicates, transforms |
+//! | [`dyadic`] | `spatial-dyadic` | dyadic covers and self-join frequency analysis |
+//! | [`fourwise`] | `spatial-fourwise` | seeded four-wise independent ±1 families (BCH / polynomial) |
+//! | [`exact`] | `spatial-exact` | ground-truth join/range/ε-join processors |
+//! | [`histograms`] | `spatial-histograms` | the EH and GH baselines of Section 7 |
+//! | [`datagen`] | `spatial-datagen` | Zipfian/uniform/GIS workloads and update streams |
+//!
+//! ## Quick start
+//!
+//! Estimate a spatial join from two single-pass sketches:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use spatial_sketch::sketch::estimators::{joins::{EndpointStrategy, SpatialJoin}, SketchConfig};
+//! use spatial_sketch::geometry::rect2;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let join = SpatialJoin::<2>::new(
+//!     &mut rng,
+//!     SketchConfig::new(128, 5),          // k1 x k2 boosting grid
+//!     [12, 12],                           // domain bits per dimension
+//!     EndpointStrategy::Transform,        // robust to shared endpoints
+//! );
+//! let (mut r, mut s) = (join.new_sketch_r(), join.new_sketch_s());
+//! r.insert(&rect2(100, 300, 100, 300)).unwrap();
+//! s.insert(&rect2(200, 400, 200, 400)).unwrap();
+//! s.insert(&rect2(3000, 3100, 3000, 3100)).unwrap();
+//! let est = join.estimate(&r, &s).unwrap();
+//! assert!(est.value.is_finite());
+//! ```
+//!
+//! See the `examples/` directory for realistic end-to-end scenarios and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the paper-reproduction map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use datagen;
+pub use dyadic;
+pub use exact;
+pub use fourwise;
+pub use geometry;
+pub use histograms;
+pub use sketch;
+
+#[cfg(test)]
+mod facade_tests {
+    #[test]
+    fn reexports_are_wired() {
+        let iv = crate::geometry::Interval::new(2, 9);
+        assert!(iv.contains(5));
+        assert_eq!(crate::sketch::plan::pair_words_per_instance(1), 5);
+        assert_eq!(crate::histograms::EulerHistogram::words_at_level(6), 36_481);
+    }
+}

