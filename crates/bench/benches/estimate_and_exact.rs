@@ -47,7 +47,11 @@ fn bench_estimates(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("join_size_query");
     group.bench_function("sketch_estimate_1000inst", |b| {
-        b.iter(|| join.estimate(black_box(&sk_r), black_box(&sk_s)).unwrap().value)
+        b.iter(|| {
+            join.estimate(black_box(&sk_r), black_box(&sk_s))
+                .unwrap()
+                .value
+        })
     });
     group.bench_function("euler_histogram_L4", |b| {
         b.iter(|| eh_r.estimate_join(black_box(&eh_s)))

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 fn bench_xi(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let bits = 17u32; // node space of a 2^16 dyadic domain
-    let indices: Vec<u64> = (0..1024u64).map(|i| (i * 2654435761) % (1 << bits)).collect();
+    let indices: Vec<u64> = (0..1024u64)
+        .map(|i| (i * 2654435761) % (1 << bits))
+        .collect();
 
     let mut group = c.benchmark_group("xi_generation");
     group.throughput(Throughput::Elements(indices.len() as u64));

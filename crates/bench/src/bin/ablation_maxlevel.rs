@@ -39,7 +39,9 @@ fn main() {
     });
     let size: usize = args.get_or("size", 20_000).expect("--size");
     let trials: u32 = args.get_or("trials", 3).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 14u32;
     let sketch_bits = bits + 2;
@@ -68,8 +70,9 @@ fn main() {
     let levels: Vec<u32> = (2..=sketch_bits).step_by(2).collect();
     for &ml in &levels {
         let dims = [DimSpec::with_max_level(sketch_bits, ml); 2];
-        let sj_r = selfjoin::exact_self_join(&r, &dims, EndpointPolicy::Tripled, &sketch::ie_words::<2>())
-            as f64;
+        let sj_r =
+            selfjoin::exact_self_join(&r, &dims, EndpointPolicy::Tripled, &sketch::ie_words::<2>())
+                as f64;
         let mut err_sum = 0.0;
         let mut build_ms = 0.0;
         for t in 0..trials {
@@ -107,5 +110,8 @@ fn main() {
     table.print();
     table.write_csv("ablation_maxlevel");
     let json = write_json("ablation_maxlevel", &rec);
-    println!("adaptive choice would be maxLevel = {adaptive}; wrote {}", json.display());
+    println!(
+        "adaptive choice would be maxLevel = {adaptive}; wrote {}",
+        json.display()
+    );
 }

@@ -75,12 +75,7 @@ fn run_dim<const D: usize>(
             shape,
             max_level: Some(max_level),
         };
-        let join = SpatialJoin::<D>::new(
-            &mut rng,
-            config,
-            [bits; D],
-            EndpointStrategy::Transform,
-        );
+        let join = SpatialJoin::<D>::new(&mut rng, config, [bits; D], EndpointStrategy::Transform);
         let mut sk_r = join.new_sketch_r();
         let mut sk_s = join.new_sketch_s();
         let t0 = Instant::now();
@@ -88,7 +83,10 @@ fn run_dim<const D: usize>(
         par_insert_batch(&mut sk_s, &s, threads).expect("S");
         build_ms += t0.elapsed().as_secs_f64() * 1000.0;
         words_per_instance = sk_r.words().len();
-        err_sum += rel_error(join.estimate(&sk_r, &sk_s).expect("estimate").value, truth_f);
+        err_sum += rel_error(
+            join.estimate(&sk_r, &sk_s).expect("estimate").value,
+            truth_f,
+        );
     }
     Row {
         d: D as u32,
@@ -107,14 +105,23 @@ fn main() {
     });
     let size: usize = args.get_or("size", 10_000).expect("--size");
     let trials: u32 = args.get_or("trials", 3).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 10u32;
     let words = 4000.0;
     println!("# A5 — dimensionality (size {size}, domain 2^{bits}, {words} words/dataset)");
     let mut table = Table::new(
         "curse of dimensionality: join accuracy at fixed space",
-        &["d", "truth", "rel err", "instances", "2^d words/inst", "build ms"],
+        &[
+            "d",
+            "truth",
+            "rel err",
+            "instances",
+            "2^d words/inst",
+            "build ms",
+        ],
     );
     let rows = vec![
         run_dim::<1>(size, bits, words, trials, threads),

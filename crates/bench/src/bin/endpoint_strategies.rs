@@ -53,7 +53,9 @@ fn main() {
     });
     let size: usize = args.get_or("size", 10_000).expect("--size");
     let trials: u32 = args.get_or("trials", 5).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 12u32;
     let r = lattice_rects(size, bits, 64, 91);
@@ -70,7 +72,13 @@ fn main() {
     );
     let mut table = Table::new(
         "endpoint strategies: bias under shared endpoints",
-        &["strategy", "mean estimate", "truth", "rel err", "words/inst (R)"],
+        &[
+            "strategy",
+            "mean estimate",
+            "truth",
+            "rel err",
+            "words/inst (R)",
+        ],
     );
     let mut rec = Record {
         size,

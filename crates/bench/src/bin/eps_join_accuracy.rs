@@ -33,7 +33,9 @@ fn main() {
     });
     let size: usize = args.get_or("size", 20_000).expect("--size");
     let trials: u32 = args.get_or("trials", 3).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 12u32;
     let a_pts: Vec<[u64; 2]> = uniform_points(size, bits, 71);
@@ -64,8 +66,9 @@ fn main() {
             let shape = BoostShape::new((instances / k2).max(1), k2);
             let mut err_sum = 0.0;
             for t in 0..trials {
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(4000 + 97 * t as u64 + 7 * (ei + 11 * bi) as u64);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    4000 + 97 * t as u64 + 7 * (ei + 11 * bi) as u64,
+                );
                 // Section 6.5 applies to the ε-join too: truncate near the
                 // cube extent (2ε) so point covers stop sharing high levels.
                 let max_level = sketch::plan::adaptive_max_level(2.0 * eps as f64, bits);

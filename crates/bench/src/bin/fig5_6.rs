@@ -44,7 +44,9 @@ fn main() {
     });
     let zipf: f64 = args.get_or("zipf", 0.0).expect("--zipf");
     let trials: u32 = args.get_or("trials", 3).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
     let paper = args.has("paper-scale");
 
     // Paper: domain-scaled extents (avg side O(sqrt(domain))), EH level 6.
@@ -92,7 +94,16 @@ fn main() {
             SyntheticSpec::paper(n, domain_bits, zipf, 200 + i as u64).generate();
         let truth = exact::rect_join_count(&r, &s);
         let truth_f = truth as f64;
-        let sk = sketch_join_error_2d(&r, &s, truth_f, domain_bits, words, trials, 7 + i as u64, threads);
+        let sk = sketch_join_error_2d(
+            &r,
+            &s,
+            truth_f,
+            domain_bits,
+            words,
+            trials,
+            7 + i as u64,
+            threads,
+        );
         let eh = eh_join_error(&r, &s, truth_f, domain_bits, eh_level);
         let gh = gh_join_error(&r, &s, truth_f, domain_bits, gh_level);
         table.push_row(vec![

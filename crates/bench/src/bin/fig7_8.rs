@@ -41,7 +41,9 @@ fn main() {
     });
     let epsilon: f64 = args.get_or("epsilon", 0.3).expect("--epsilon");
     let phi: f64 = args.get_or("phi", 0.01).expect("--phi");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
     let paper = args.has("paper-scale");
 
     // Domain grows with the dataset, like the paper's 16384..65536 sweep.
@@ -59,7 +61,14 @@ fn main() {
     );
     let mut t8 = Table::new(
         "fig8: sketch space vs dataset size (words per dataset)",
-        &["size", "instances", "k1", "k2", "words/dataset", "dataset words (2N)"],
+        &[
+            "size",
+            "instances",
+            "k1",
+            "k2",
+            "words/dataset",
+            "dataset words (2N)",
+        ],
     );
     let mut rec = Record {
         epsilon,
@@ -90,8 +99,9 @@ fn main() {
         // Theorem 1 sizing from exact self-join sizes and a sanity bound of
         // half the true expectation (the paper: "use historic data ... to
         // predict future values of E[Z]").
-        let sj_r = selfjoin::exact_self_join(&r, &dims, EndpointPolicy::Tripled, &sketch::ie_words::<1>())
-            as f64;
+        let sj_r =
+            selfjoin::exact_self_join(&r, &dims, EndpointPolicy::Tripled, &sketch::ie_words::<1>())
+                as f64;
         let sj_s = selfjoin::exact_self_join(
             &s,
             &dims,

@@ -40,13 +40,7 @@ fn dataset(name: &str, seed: u64) -> Vec<HyperRect<2>> {
     }
 }
 
-fn run_pair(
-    pair: &str,
-    budgets: &[f64],
-    trials: u32,
-    threads: usize,
-    seed: u64,
-) -> PairRecord {
+fn run_pair(pair: &str, budgets: &[f64], trials: u32, threads: usize, seed: u64) -> PairRecord {
     let (a_name, b_name) = pair.split_once('-').expect("pair format a-b");
     let r = dataset(a_name, seed);
     let s = dataset(b_name, seed);
@@ -73,7 +67,16 @@ fn run_pair(
         gh_err: vec![],
     };
     for (i, &words) in budgets.iter().enumerate() {
-        let sk = sketch_join_error_2d(&r, &s, truth_f, bits, words, trials, seed + 31 * i as u64, threads);
+        let sk = sketch_join_error_2d(
+            &r,
+            &s,
+            truth_f,
+            bits,
+            words,
+            trials,
+            seed + 31 * i as u64,
+            threads,
+        );
         let eh = eh_level_for_words(words, bits).map(|l| eh_join_error(&r, &s, truth_f, bits, l));
         let gh = gh_level_for_words(words, bits).map(|l| gh_join_error(&r, &s, truth_f, bits, l));
         table.push_row(vec![
@@ -103,7 +106,9 @@ fn main() {
     });
     let pair = args.get("pair").unwrap_or("all").to_string();
     let trials: u32 = args.get_or("trials", 2).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
     let seed: u64 = args.get_or("seed", 1).expect("--seed");
     let paper = args.has("paper-scale");
 

@@ -12,7 +12,9 @@ use rand::Rng as _;
 use rand::SeedableRng;
 use serde::Serialize;
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, plan, BoostShape, IntervalContainment, OverlapPlusJoin, RectContainment};
+use sketch::{
+    par_insert_batch, plan, BoostShape, IntervalContainment, OverlapPlusJoin, RectContainment,
+};
 use spatial_bench::cli::Args;
 use spatial_bench::report::{format_num, rel_error, write_json, Table};
 use spatial_bench::runner::{default_threads, mean_sketch_extent};
@@ -50,7 +52,9 @@ fn main() {
     });
     let size: usize = args.get_or("size", 8_000).expect("--size");
     let trials: u32 = args.get_or("trials", 3).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 12u32;
     let r = lattice_rects(size, bits, 128, 131);

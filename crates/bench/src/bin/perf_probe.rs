@@ -52,7 +52,10 @@ fn main() {
                 let truth = exact::naive::range_count(&data, q) as f64;
                 errs += rel_error(rq.estimate(&sk, q).unwrap().value, truth);
             }
-            println!("  range maxLevel {ml}: avg rel err {:.4}", errs / queries.len() as f64);
+            println!(
+                "  range maxLevel {ml}: avg rel err {:.4}",
+                errs / queries.len() as f64
+            );
         }
         return;
     }
@@ -92,9 +95,34 @@ fn main() {
         return;
     }
 
+    // Default probe: build-throughput sweep plus one exact-join timing,
+    // recorded as results/perf_probe.json so successive runs are diffable
+    // (the repo's committed BENCH_seed.json is a copy of this record).
+    #[derive(serde::Serialize)]
+    struct ProbeRecord {
+        objects: usize,
+        domain_bits: u32,
+        threads: usize,
+        instances: Vec<usize>,
+        build_secs: Vec<f64>,
+        ns_per_obj_instance: Vec<f64>,
+        exact_join_pairs: u64,
+        exact_join_secs: f64,
+    }
+
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let data: Vec<geometry::HyperRect<2>> =
         datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
+    let mut record = ProbeRecord {
+        objects: data.len(),
+        domain_bits: 14,
+        threads,
+        instances: Vec::new(),
+        build_secs: Vec::new(),
+        ns_per_obj_instance: Vec::new(),
+        exact_join_pairs: 0,
+        exact_join_secs: 0.0,
+    };
     for (k1, k2) in [(88, 5), (440, 5), (1200, 5)] {
         let join = SpatialJoin::<2>::new(
             &mut rng,
@@ -106,16 +134,20 @@ fn main() {
         let t = Instant::now();
         par_insert_batch(&mut r, &data, threads).unwrap();
         let el = t.elapsed();
-        println!(
-            "instances {}: {:?} total, {:.1} ns/(obj.inst)",
-            k1 * k2,
-            el,
-            el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64)
-        );
+        let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
+        println!("instances {}: {el:?} total, {ns:.1} ns/(obj.inst)", k1 * k2);
+        record.instances.push(k1 * k2);
+        record.build_secs.push(el.as_secs_f64());
+        record.ns_per_obj_instance.push(ns);
     }
     let s: Vec<geometry::HyperRect<2>> =
         datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
     let t = Instant::now();
     let c = exact::rect_join_count(&data, &s);
-    println!("exact join 50K x 50K: {c} pairs in {:?}", t.elapsed());
+    let el = t.elapsed();
+    println!("exact join 50K x 50K: {c} pairs in {el:?}");
+    record.exact_join_pairs = c;
+    record.exact_join_secs = el.as_secs_f64();
+    let path = spatial_bench::report::write_json("perf_probe", &record);
+    println!("wrote {}", path.display());
 }

@@ -38,7 +38,9 @@ fn main() {
     let size: usize = args.get_or("size", 30_000).expect("--size");
     let queries: usize = args.get_or("queries", 40).expect("--queries");
     let trials: u32 = args.get_or("trials", 2).expect("--trials");
-    let threads: usize = args.get_or("threads", default_threads()).expect("--threads");
+    let threads: usize = args
+        .get_or("threads", default_threads())
+        .expect("--threads");
 
     let bits = 14u32;
     let data: Vec<HyperRect<2>> = SyntheticSpec::paper(size, bits, 0.0, 81).generate();
@@ -58,10 +60,7 @@ fn main() {
             let side = ((n as f64) * frac) as u64;
             let x = qrng.gen_range(0..n - side - 1);
             let y = qrng.gen_range(0..n - side - 1);
-            HyperRect::new([
-                Interval::new(x, x + side),
-                Interval::new(y, y + side),
-            ])
+            HyperRect::new([Interval::new(x, x + side), Interval::new(y, y + side)])
         })
         .collect();
 
@@ -85,7 +84,8 @@ fn main() {
         let mut rsk = rq.new_sketch();
         par_insert_batch(&mut rsk, &data, threads).expect("range sketch");
         // Join-form estimator: the data vs a singleton "relation".
-        let join = SpatialJoin::<2>::new(&mut rng, config, [bits, bits], EndpointStrategy::Transform);
+        let join =
+            SpatialJoin::<2>::new(&mut rng, config, [bits, bits], EndpointStrategy::Transform);
         let mut jr = join.new_sketch_r();
         par_insert_batch(&mut jr, &data, threads).expect("join sketch");
 

@@ -77,8 +77,8 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let a = Args::parse_from(toks("--zipf 1 --paper-scale --trials 5"), &["paper-scale"])
-            .unwrap();
+        let a =
+            Args::parse_from(toks("--zipf 1 --paper-scale --trials 5"), &["paper-scale"]).unwrap();
         assert_eq!(a.get("zipf"), Some("1"));
         assert!(a.has("paper-scale"));
         assert_eq!(a.get_or("trials", 3u32).unwrap(), 5);

@@ -22,7 +22,12 @@ pub fn default_threads() -> usize {
 pub fn shape_for_words(d: u32, words: f64) -> BoostShape {
     let instances = plan::instances_for_dataset_words(d, words).max(1);
     let k2 = 5usize.min(instances);
-    let k2 = if k2.is_multiple_of(2) { k2.max(1) - 1 } else { k2 }.max(1);
+    let k2 = if k2.is_multiple_of(2) {
+        k2.max(1) - 1
+    } else {
+        k2
+    }
+    .max(1);
     let k1 = (instances / k2).max(1);
     BoostShape::new(k1, k2)
 }
@@ -98,8 +103,14 @@ pub fn sketch_join_error_2d(
     let shape = shape_for_words(2, words);
     let sum: f64 = (0..trials)
         .map(|t| {
-            let est =
-                sketch_join_estimate_2d(r, s, data_bits, shape, base_seed + 1000 * t as u64, threads);
+            let est = sketch_join_estimate_2d(
+                r,
+                s,
+                data_bits,
+                shape,
+                base_seed + 1000 * t as u64,
+                threads,
+            );
             rel_error(est, truth)
         })
         .sum();

@@ -171,8 +171,7 @@ impl<const D: usize> SketchSet<D> {
                 }
             }
         }
-        let data_bits =
-            std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
+        let data_bits = std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
         let counters = vec![0i64; schema.instances() * words.len()];
         Self {
             schema,
@@ -300,10 +299,12 @@ impl<const D: usize> SketchSet<D> {
                 if needs.pcover {
                     ds.ids.clear();
                     point_cover_into(dyadic, g.lo(), max_level, &mut ds.ids);
-                    ds.pcover_lo.extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
+                    ds.pcover_lo
+                        .extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
                     ds.ids.clear();
                     point_cover_into(dyadic, g.hi(), max_level, &mut ds.ids);
-                    ds.pcover_hi.extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
+                    ds.pcover_hi
+                        .extend(ds.ids.iter().map(|&id| ctx.precompute(id)));
                 }
             }
             if self.needs[dim].leaf {
@@ -432,7 +433,11 @@ mod tests {
         let schema = schema2(1, 3, 3);
         let words = Arc::new(ie_words::<2>());
         let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
-        let rects = [rect2(1, 10, 2, 20), rect2(0, 255, 0, 255), rect2(7, 9, 200, 201)];
+        let rects = [
+            rect2(1, 10, 2, 20),
+            rect2(0, 255, 0, 255),
+            rect2(7, 9, 200, 201),
+        ];
         for r in &rects {
             sk.insert(r).unwrap();
         }
@@ -493,7 +498,11 @@ mod tests {
         let mut all = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
         let mut part1 = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
         let mut part2 = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
-        let rs = [rect2(0, 5, 0, 5), rect2(10, 30, 10, 30), rect2(4, 200, 90, 110)];
+        let rs = [
+            rect2(0, 5, 0, 5),
+            rect2(10, 30, 10, 30),
+            rect2(4, 200, 90, 110),
+        ];
         all.insert(&rs[0]).unwrap();
         all.insert(&rs[1]).unwrap();
         all.insert(&rs[2]).unwrap();
@@ -504,12 +513,13 @@ mod tests {
         assert_eq!(part1.counters, all.counters);
         assert_eq!(part1.len(), 3);
         part1.unmerge_from(&part2).unwrap();
-        part1.unmerge_from(&{
-            let mut s = SketchSet::new(schema, words, EndpointPolicy::Raw);
-            s.insert(&rs[0]).unwrap();
-            s
-        })
-        .unwrap();
+        part1
+            .unmerge_from(&{
+                let mut s = SketchSet::new(schema, words, EndpointPolicy::Raw);
+                s.insert(&rs[0]).unwrap();
+                s
+            })
+            .unwrap();
         assert!(part1.counters.iter().all(|&c| c == 0));
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for SketchError {
                 "coordinate {coord} in dimension {dim} exceeds domain maximum {max}"
             ),
             SketchError::SchemaMismatch => {
-                write!(f, "sketches were built from different schemas (seeds differ)")
+                write!(
+                    f,
+                    "sketches were built from different schemas (seeds differ)"
+                )
             }
             SketchError::WordMismatch => {
                 write!(f, "sketches carry incompatible atomic-sketch word sets")
@@ -56,10 +59,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SketchError::DomainOverflow { coord: 99, max: 63, dim: 1 };
+        let e = SketchError::DomainOverflow {
+            coord: 99,
+            max: 63,
+            dim: 1,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("dimension 1"));
         assert!(SketchError::SchemaMismatch.to_string().contains("schemas"));
-        assert!(SketchError::InvalidParameter("eps").to_string().contains("eps"));
+        assert!(SketchError::InvalidParameter("eps")
+            .to_string()
+            .contains("eps"));
     }
 }

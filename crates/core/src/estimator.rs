@@ -69,7 +69,10 @@ impl<const D: usize> PairTerms<D> {
     /// `(Π c_{t_i}) · X_{(r_{t_1},..,r_{t_D})} · Y_{(s_{t_1},..,s_{t_D})}`.
     pub fn from_dim_terms(per_dim: &[Vec<DimTerm>; D]) -> Self {
         for dims in per_dim.iter() {
-            assert!(!dims.is_empty(), "every dimension needs at least one factor");
+            assert!(
+                !dims.is_empty(),
+                "every dimension needs at least one factor"
+            );
         }
         let mut r_words: Vec<Word<D>> = Vec::new();
         let mut s_words: Vec<Word<D>> = Vec::new();

@@ -259,14 +259,24 @@ mod tests {
             .map(|_| {
                 let x = grng.gen_range(0..30u64);
                 let y = grng.gen_range(0..30u64);
-                rect2(x, x + grng.gen_range(8..30u64), y, y + grng.gen_range(8..30u64))
+                rect2(
+                    x,
+                    x + grng.gen_range(8..30u64),
+                    y,
+                    y + grng.gen_range(8..30u64),
+                )
             })
             .collect();
         let inner: Vec<HyperRect<2>> = (0..20)
             .map(|_| {
                 let x = grng.gen_range(0..50u64);
                 let y = grng.gen_range(0..50u64);
-                rect2(x, x + grng.gen_range(1..8u64), y, y + grng.gen_range(1..8u64))
+                rect2(
+                    x,
+                    x + grng.gen_range(1..8u64),
+                    y,
+                    y + grng.gen_range(1..8u64),
+                )
             })
             .collect();
         let truth = exact::containment_count(&outer, &inner) as f64;
@@ -294,7 +304,8 @@ mod tests {
         est.insert_outer(&mut osk, &Interval::new(5, 100)).unwrap();
         est.delete_outer(&mut osk, &Interval::new(5, 100)).unwrap();
         assert!(osk.is_empty());
-        assert!((0..osk.schema().instances())
-            .all(|i| osk.instance_counters(i).iter().all(|&c| c == 0)));
+        assert!(
+            (0..osk.schema().instances()).all(|i| osk.instance_counters(i).iter().all(|&c| c == 0))
+        );
     }
 }

@@ -183,8 +183,7 @@ mod tests {
         est.delete_a(&mut a, &[5, 9]).unwrap();
         est.delete_a(&mut a, &[100, 200]).unwrap();
         assert!(a.is_empty());
-        assert!((0..a.schema().instances())
-            .all(|i| a.instance_counters(i).iter().all(|&c| c == 0)));
+        assert!((0..a.schema().instances()).all(|i| a.instance_counters(i).iter().all(|&c| c == 0)));
     }
 
     #[test]

@@ -177,11 +177,7 @@ impl<const D: usize> OverlapPlusJoin<D> {
     /// Creates the estimator. The Appendix B.1 construction sketches shrunken
     /// `S` geometry alongside untransformed leaf endpoints, so both sides
     /// live on the tripled domain (`data_bits + 2` sketch bits).
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        config: SketchConfig,
-        data_bits: [u32; D],
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, config: SketchConfig, data_bits: [u32; D]) -> Self {
         // Per-dimension factor (B.1): (X_I Y_E + X_E Y_I)/2 + X_L Y_U + X_U Y_L.
         let terms = vec![
             DimTerm::new(Comp::Interval, Comp::Endpoints, 0.5),
@@ -403,14 +399,19 @@ mod tests {
                 .map(|_| {
                     let x = rng.gen_range(0..50u64);
                     let y = rng.gen_range(0..50u64);
-                    rect2(x, x + rng.gen_range(1..12), y, y + rng.gen_range(1..12))
+                    rect2(
+                        x,
+                        x + rng.gen_range(1u64..12),
+                        y,
+                        y + rng.gen_range(1u64..12),
+                    )
                 })
                 .collect()
         };
-        let r_data = gen(1, 30);
-        let s_data = gen(2, 30);
+        let r_data = gen(1, 80);
+        let s_data = gen(2, 80);
         let truth = exact::rect_join_count(&r_data, &s_data) as f64;
-        assert!(truth > 0.0);
+        assert!(truth > 100.0, "workload too sparse: {truth}");
         let mut r = join.new_sketch_r();
         let mut s = join.new_sketch_s();
         for x in &r_data {
@@ -457,10 +458,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(47);
         let join = OverlapPlusJoin::<1>::new(&mut rng, SketchConfig::new(400, 5), [8]);
         // Chains of exactly-touching intervals: ⋈+ differs from ⋈ by the meets.
-        let r_data: Vec<HyperRect<1>> =
-            (0..20u64).map(|i| Interval::new(10 * i, 10 * i + 10).into()).collect();
-        let s_data: Vec<HyperRect<1>> =
-            (0..20u64).map(|i| Interval::new(10 * i + 10, 10 * i + 14).into()).collect();
+        let r_data: Vec<HyperRect<1>> = (0..20u64)
+            .map(|i| Interval::new(10 * i, 10 * i + 10).into())
+            .collect();
+        let s_data: Vec<HyperRect<1>> = (0..20u64)
+            .map(|i| Interval::new(10 * i + 10, 10 * i + 14).into())
+            .collect();
         let truth_plus = exact::naive::join_plus_count(&r_data, &s_data) as f64;
         let truth_strict = exact::naive::join_count(&r_data, &s_data) as f64;
         assert!(truth_plus > truth_strict);

@@ -326,7 +326,12 @@ mod tests {
         for _ in 0..50 {
             let x = grng.gen_range(0..50u64);
             let y = grng.gen_range(0..50u64);
-            data.push(rect2(x, x + grng.gen_range(1..10), y, y + grng.gen_range(1..10)));
+            data.push(rect2(
+                x,
+                x + grng.gen_range(1u64..10),
+                y,
+                y + grng.gen_range(1u64..10),
+            ));
         }
         let mut sk = rq.new_sketch();
         for r in &data {

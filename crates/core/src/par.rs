@@ -45,17 +45,15 @@ pub fn par_update_batch<const D: usize>(
 
     for block in rects.chunks(BLOCK) {
         for (slot, rect) in scratches.iter_mut().zip(block.iter()) {
-            sketch
-                .fill_scratch(rect, slot)
-                .expect("validated above");
+            sketch.fill_scratch(rect, slot).expect("validated above");
         }
         let filled = &scratches[..block.len()];
         let counters = sketch.counters_mut();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
                 let schema = &schema;
                 let words = &words;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = t * per_thread;
                     for (j, row) in chunk.chunks_mut(w).enumerate() {
                         let inst = base + j;
@@ -65,8 +63,7 @@ pub fn par_update_batch<const D: usize>(
                     }
                 });
             }
-        })
-        .expect("sketch worker thread panicked");
+        });
     }
     sketch.add_len(delta * rects.len() as i64);
     Ok(())
@@ -99,7 +96,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0..200u64);
                 let y = rng.gen_range(0..200u64);
-                rect2(x, x + rng.gen_range(1..50), y, y + rng.gen_range(1..50))
+                rect2(
+                    x,
+                    x + rng.gen_range(1u64..50),
+                    y,
+                    y + rng.gen_range(1u64..50),
+                )
             })
             .collect()
     }
@@ -148,8 +150,9 @@ mod tests {
         data.push(rect2(0, 10_000, 0, 5)); // out of domain
         assert!(par_insert_batch(&mut sk, &data, 4).is_err());
         assert_eq!(sk.len(), 0);
-        assert!((0..sk.schema().instances())
-            .all(|i| sk.instance_counters(i).iter().all(|&c| c == 0)));
+        assert!(
+            (0..sk.schema().instances()).all(|i| sk.instance_counters(i).iter().all(|&c| c == 0))
+        );
     }
 
     #[test]
@@ -167,8 +170,9 @@ mod tests {
         par_insert_batch(&mut sk, &data, 4).unwrap();
         par_update_batch(&mut sk, &data, -1, 4).unwrap();
         assert!(sk.is_empty());
-        assert!((0..sk.schema().instances())
-            .all(|i| sk.instance_counters(i).iter().all(|&c| c == 0)));
+        assert!(
+            (0..sk.schema().instances()).all(|i| sk.instance_counters(i).iter().all(|&c| c == 0))
+        );
     }
 
     #[test]

@@ -243,7 +243,11 @@ mod tests {
         assert!(s.check_coord(0, 15).is_ok());
         assert_eq!(
             s.check_coord(0, 16),
-            Err(SketchError::DomainOverflow { coord: 16, max: 15, dim: 0 })
+            Err(SketchError::DomainOverflow {
+                coord: 16,
+                max: 15,
+                dim: 0
+            })
         );
     }
 

@@ -68,7 +68,8 @@ pub fn exact_word_self_join<const D: usize>(
     policy: EndpointPolicy,
     word: &Word<D>,
 ) -> u128 {
-    let domains: [DyadicDomain; D] = std::array::from_fn(|i| DyadicDomain::new(dims[i].sketch_bits));
+    let domains: [DyadicDomain; D] =
+        std::array::from_fn(|i| DyadicDomain::new(dims[i].sketch_bits));
     let mut freq: HashMap<[NodeId; D], i64> = HashMap::new();
     let mut key = [0u64; D];
     for rect in data {
@@ -108,7 +109,9 @@ pub fn exact_word_self_join<const D: usize>(
             }
         }
     }
-    freq.values().map(|&f| (f as i128 * f as i128) as u128).sum()
+    freq.values()
+        .map(|&f| (f as i128 * f as i128) as u128)
+        .sum()
 }
 
 /// Exact `SJ(R) = Σ_w SJ(X_w)` over a word set.
@@ -242,8 +245,8 @@ mod tests {
         for r in &data {
             sk.insert(r).unwrap();
         }
-        let exact = exact_self_join(&data, &[DimSpec::dyadic(8)], EndpointPolicy::Raw, &words)
-            as f64;
+        let exact =
+            exact_self_join(&data, &[DimSpec::dyadic(8)], EndpointPolicy::Raw, &words) as f64;
         let est = estimate_self_join(&sk);
         assert!(
             (est.value - exact).abs() / exact < 0.35,
@@ -268,13 +271,22 @@ mod tests {
         assert_eq!(sj, 10);
         // Tripled-shrunk geometric word drops nothing here (all non-degenerate).
         let dims_t = [DimSpec::dyadic(10)];
-        let sj_t =
-            exact_word_self_join(&data, &dims_t, EndpointPolicy::TripledShrunk, &[Comp::Interval]);
+        let sj_t = exact_word_self_join(
+            &data,
+            &dims_t,
+            EndpointPolicy::TripledShrunk,
+            &[Comp::Interval],
+        );
         assert!(sj_t > 0);
         // Degenerate object contributes nothing to shrunk geometry.
         let degen: Vec<HyperRect<1>> = vec![Interval::point(4).into()];
         assert_eq!(
-            exact_word_self_join(&degen, &dims_t, EndpointPolicy::TripledShrunk, &[Comp::Interval]),
+            exact_word_self_join(
+                &degen,
+                &dims_t,
+                EndpointPolicy::TripledShrunk,
+                &[Comp::Interval]
+            ),
             0
         );
     }

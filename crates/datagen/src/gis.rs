@@ -76,8 +76,12 @@ impl GisSpec {
             let (w, h) = if rng.gen::<f64>() < self.elongated_fraction {
                 // Linear feature: long axis ~16x the typical extent, thin
                 // axis a few cells; orientation uniform.
-                let long =
-                    lognormal_extent(&mut rng, self.size_log_mean + 2.8, self.size_log_sigma * 0.7, n);
+                let long = lognormal_extent(
+                    &mut rng,
+                    self.size_log_mean + 2.8,
+                    self.size_log_sigma * 0.7,
+                    n,
+                );
                 let thin = lognormal_extent(&mut rng, 1.0, 0.5, n);
                 if rng.gen::<bool>() {
                     (long, thin)

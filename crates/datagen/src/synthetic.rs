@@ -104,7 +104,12 @@ pub fn uniform_points<const D: usize>(count: usize, domain_bits: u32, seed: u64)
 /// Uniform non-degenerate interval set (for the 1-d experiments of
 /// Figures 7-8: "intervals uniformly distributed over domains of sizes
 /// 16384 to 65536").
-pub fn uniform_intervals(count: usize, domain_bits: u32, mean_length: f64, seed: u64) -> Vec<Interval> {
+pub fn uniform_intervals(
+    count: usize,
+    domain_bits: u32,
+    mean_length: f64,
+    seed: u64,
+) -> Vec<Interval> {
     let n = 1u64 << domain_bits;
     let mut rng = rng_for(seed);
     (0..count)
@@ -153,7 +158,7 @@ mod tests {
             data.iter().map(|r| r.range(0).length() as f64).sum::<f64>() / data.len() as f64;
         let want = (1u64 << 14) as f64; // domain
         let want = want.sqrt(); // sqrt(domain) = 128
-        // Clamping at domain edges biases down slightly; accept a wide band.
+                                // Clamping at domain edges biases down slightly; accept a wide band.
         assert!(
             mean > 0.5 * want && mean < 1.5 * want,
             "mean {mean} vs sqrt(domain) {want}"

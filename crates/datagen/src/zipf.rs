@@ -26,7 +26,10 @@ impl Zipf {
     /// Panics if `n == 0` or `z` is negative/non-finite.
     pub fn new(n: usize, z: f64) -> Self {
         assert!(n > 0, "zipf domain must be non-empty");
-        assert!(z >= 0.0 && z.is_finite(), "zipf exponent must be finite and >= 0");
+        assert!(
+            z >= 0.0 && z.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 0..n {

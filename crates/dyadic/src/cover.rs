@@ -58,12 +58,7 @@ pub fn interval_cover(domain: &DyadicDomain, iv: &Interval, max_level: u32) -> V
 /// `x` up to level `max_level` (Lemma 3: one per level, `log2 n + 1` total
 /// when untruncated), appending node ids to `out`. The first entry is always
 /// the level-0 leaf of `x`.
-pub fn point_cover_into(
-    domain: &DyadicDomain,
-    x: Coord,
-    max_level: u32,
-    out: &mut Vec<NodeId>,
-) {
+pub fn point_cover_into(domain: &DyadicDomain, x: Coord, max_level: u32, out: &mut Vec<NodeId>) {
     debug_assert!(domain.contains_coord(x));
     let top = max_level.min(domain.bits());
     let leaf = domain.leaf(x);
@@ -84,12 +79,7 @@ pub fn point_cover(domain: &DyadicDomain, x: Coord, max_level: u32) -> Vec<NodeI
 /// Lemma 4: `x ∈ [a, b]` iff exactly one dyadic interval appears in both
 /// `D([a, b])` and `D([x])` (and zero otherwise). This helper exists for
 /// tests and diagnostics; estimators never materialize the intersection.
-pub fn shared_cover_nodes(
-    domain: &DyadicDomain,
-    iv: &Interval,
-    x: Coord,
-    max_level: u32,
-) -> usize {
+pub fn shared_cover_nodes(domain: &DyadicDomain, iv: &Interval, x: Coord, max_level: u32) -> usize {
     let cover = interval_cover(domain, iv, max_level);
     let pcover = point_cover(domain, x, max_level);
     cover.iter().filter(|id| pcover.contains(id)).count()
@@ -98,7 +88,6 @@ pub fn shared_cover_nodes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn check_cover_partitions(domain: &DyadicDomain, iv: &Interval, max_level: u32) {
         let cover = interval_cover(domain, iv, max_level);
@@ -252,26 +241,37 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn cover_partition_property(bits in 2u32..11, a in 0u64..2000, b in 0u64..2000, ml in 0u32..11) {
+    // Seeded stand-ins for the original proptest properties (the offline
+    // build has no proptest).
+    #[test]
+    fn cover_partition_property() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..256 {
+            let bits = rng.gen_range(2u32..11);
             let d = DyadicDomain::new(bits);
-            let a = a % d.size();
-            let b = b % d.size();
+            let a = rng.gen_range(0u64..2000) % d.size();
+            let b = rng.gen_range(0u64..2000) % d.size();
             let iv = Interval::new(a.min(b), a.max(b));
-            let max_level = ml.min(bits);
+            let max_level = rng.gen_range(0u32..11).min(bits);
             check_cover_partitions(&d, &iv, max_level);
         }
+    }
 
-        #[test]
-        fn lemma4_random(bits in 2u32..10, a in 0u64..1000, b in 0u64..1000, x in 0u64..1000, ml in 0u32..10) {
+    #[test]
+    fn lemma4_random() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..512 {
+            let bits = rng.gen_range(2u32..10);
             let d = DyadicDomain::new(bits);
-            let a = a % d.size();
-            let b = b % d.size();
-            let x = x % d.size();
+            let a = rng.gen_range(0u64..1000) % d.size();
+            let b = rng.gen_range(0u64..1000) % d.size();
+            let x = rng.gen_range(0u64..1000) % d.size();
             let iv = Interval::new(a.min(b), a.max(b));
+            let ml = rng.gen_range(0u32..10);
             let shared = shared_cover_nodes(&d, &iv, x, ml.min(bits));
-            prop_assert_eq!(shared, iv.contains(x) as usize);
+            assert_eq!(shared, iv.contains(x) as usize);
         }
     }
 }

@@ -60,7 +60,10 @@ pub fn endpoint_cover_freqs(
 
 /// Self-join size `Σ f(δ)²` of a frequency map.
 pub fn self_join_size(freqs: &HashMap<NodeId, i64>) -> u128 {
-    freqs.values().map(|&f| (f as i128 * f as i128) as u128).sum()
+    freqs
+        .values()
+        .map(|&f| (f as i128 * f as i128) as u128)
+        .sum()
 }
 
 /// The paper's `SJ(R) = SJ(X_I) + SJ(X_E)` for a 1-dimensional interval set
@@ -111,7 +114,7 @@ mod tests {
         let total: i64 = f.values().sum();
         assert_eq!(total, 8);
         assert_eq!(f[&1], 2); // root counted for both endpoints
-        // SJ = 6 nodes with f=1 plus root with f=2 -> 6 + 4 = 10
+                              // SJ = 6 nodes with f=1 plus root with f=2 -> 6 + 4 = 10
         assert_eq!(self_join_size(&f), 10);
     }
 

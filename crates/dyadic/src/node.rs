@@ -122,7 +122,6 @@ impl DyadicDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn basic_shape() {
@@ -194,24 +193,34 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn node_range_and_contains_agree(bits in 1u32..12, x in 0u64..4096, id_seed in 1u64..8191) {
+    // Seeded stand-ins for the original proptest properties (the offline
+    // build has no proptest).
+    #[test]
+    fn node_range_and_contains_agree() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..1024 {
+            let bits = rng.gen_range(1u32..12);
             let d = DyadicDomain::new(bits);
-            let x = x % d.size();
-            let id = id_seed % d.node_count() + 1;
-            prop_assert_eq!(d.node_contains(id, x), d.node_range(id).contains(x));
+            let x = rng.gen_range(0u64..4096) % d.size();
+            let id = rng.gen_range(1u64..8191) % d.node_count() + 1;
+            assert_eq!(d.node_contains(id, x), d.node_range(id).contains(x));
         }
+    }
 
-        #[test]
-        fn exactly_one_node_per_level_contains_point(bits in 1u32..10, x in 0u64..1024) {
+    #[test]
+    fn exactly_one_node_per_level_contains_point() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..256 {
+            let bits = rng.gen_range(1u32..10);
             let d = DyadicDomain::new(bits);
-            let x = x % d.size();
+            let x = rng.gen_range(0u64..1024) % d.size();
             for level in 0..=bits {
                 let matching = (1..=d.node_count())
                     .filter(|&id| d.level(id) == level && d.node_contains(id, x))
                     .count();
-                prop_assert_eq!(matching, 1);
+                assert_eq!(matching, 1);
             }
         }
     }

@@ -69,10 +69,10 @@ mod tests {
     fn hand_cases() {
         let r = vec![Interval::new(0, 10), Interval::new(5, 8)];
         let s = vec![
-            Interval::new(2, 9),   // inside r[0]
-            Interval::new(5, 8),   // inside both (closed containment)
-            Interval::new(6, 12),  // inside neither
-            Interval::point(7),    // a point: inside both
+            Interval::new(2, 9),  // inside r[0]
+            Interval::new(5, 8),  // inside both (closed containment)
+            Interval::new(6, 12), // inside neither
+            Interval::point(7),   // a point: inside both
         ];
         assert_eq!(interval_containment_count(&r, &s), 5);
         assert_eq!(interval_containment_count(&r, &s), naive_1d(&r, &s));

@@ -112,7 +112,6 @@ mod tests {
     use super::*;
     use crate::naive;
     use geometry::HyperRect;
-    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -162,8 +161,14 @@ mod tests {
         // Points never join under strict overlap...
         assert_eq!(interval_join_count(&points, &[Interval::new(0, 10)]), 0);
         // ... but do under overlap+.
-        assert_eq!(interval_join_plus_count(&points, &[Interval::new(0, 10)]), 2);
-        assert_eq!(interval_join_plus_count(&points, &[Interval::new(6, 10)]), 1);
+        assert_eq!(
+            interval_join_plus_count(&points, &[Interval::new(0, 10)]),
+            2
+        );
+        assert_eq!(
+            interval_join_plus_count(&points, &[Interval::new(6, 10)]),
+            1
+        );
     }
 
     #[test]
@@ -192,20 +197,27 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn count_overlapping_matches_scan(
-            data in proptest::collection::vec((0u64..100, 0u64..100), 0..40),
-            qa in 0u64..100, qb in 0u64..100,
-        ) {
-            let ivs: Vec<Interval> = data
-                .iter()
-                .map(|&(a, b)| Interval::new(a.min(b), a.max(b)))
+    // Seeded stand-in for the original proptest property (the offline
+    // build has no proptest): many random interval sets and queries,
+    // including the empty set and degenerate/point inputs.
+    #[test]
+    fn count_overlapping_matches_scan() {
+        let mut rng = StdRng::seed_from_u64(987);
+        for case in 0..256 {
+            let n = rng.gen_range(0usize..40);
+            let ivs: Vec<Interval> = (0..n)
+                .map(|_| {
+                    let a = rng.gen_range(0u64..100);
+                    let b = rng.gen_range(0u64..100);
+                    Interval::new(a.min(b), a.max(b))
+                })
                 .collect();
+            let qa = rng.gen_range(0u64..100);
+            let qb = rng.gen_range(0u64..100);
             let q = Interval::new(qa.min(qb), qa.max(qb));
             let idx = IntervalIndex::new(&ivs);
             let want = ivs.iter().filter(|iv| iv.overlaps(&q)).count() as u64;
-            prop_assert_eq!(idx.count_overlapping(&q), want);
+            assert_eq!(idx.count_overlapping(&q), want, "case {case}");
         }
     }
 }

@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn range_counts() {
-        let r = vec![rect2(0, 10, 0, 10), rect2(5, 25, 5, 25), rect2(40, 50, 40, 50)];
+        let r = vec![
+            rect2(0, 10, 0, 10),
+            rect2(5, 25, 5, 25),
+            rect2(40, 50, 40, 50),
+        ];
         let q = rect2(8, 12, 8, 12);
         assert_eq!(range_count(&r, &q), 2);
         let touching = rect2(10, 12, 0, 10);

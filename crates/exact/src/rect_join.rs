@@ -86,12 +86,32 @@ pub fn rect_join_count(r: &[HyperRect<2>], s: &[HyperRect<2>]) -> u64 {
 
     let mut events: Vec<Event> = Vec::with_capacity(2 * (r.len() + s.len()));
     for (idx, a) in r.iter().enumerate() {
-        events.push(Event { x: a.range(0).lo(), is_open: true, side: Side::R, idx });
-        events.push(Event { x: a.range(0).hi(), is_open: false, side: Side::R, idx });
+        events.push(Event {
+            x: a.range(0).lo(),
+            is_open: true,
+            side: Side::R,
+            idx,
+        });
+        events.push(Event {
+            x: a.range(0).hi(),
+            is_open: false,
+            side: Side::R,
+            idx,
+        });
     }
     for (idx, a) in s.iter().enumerate() {
-        events.push(Event { x: a.range(0).lo(), is_open: true, side: Side::S, idx });
-        events.push(Event { x: a.range(0).hi(), is_open: false, side: Side::S, idx });
+        events.push(Event {
+            x: a.range(0).lo(),
+            is_open: true,
+            side: Side::S,
+            idx,
+        });
+        events.push(Event {
+            x: a.range(0).hi(),
+            is_open: false,
+            side: Side::S,
+            idx,
+        });
     }
     events.sort_unstable_by_key(|e| (e.x, e.is_open));
 
@@ -139,12 +159,32 @@ pub fn nd_join_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> 
     }
     let mut events: Vec<Event> = Vec::with_capacity(2 * (r.len() + s.len()));
     for (idx, a) in r.iter().enumerate() {
-        events.push(Event { x: a.range(0).lo(), is_open: true, side: Side::R, idx });
-        events.push(Event { x: a.range(0).hi(), is_open: false, side: Side::R, idx });
+        events.push(Event {
+            x: a.range(0).lo(),
+            is_open: true,
+            side: Side::R,
+            idx,
+        });
+        events.push(Event {
+            x: a.range(0).hi(),
+            is_open: false,
+            side: Side::R,
+            idx,
+        });
     }
     for (idx, a) in s.iter().enumerate() {
-        events.push(Event { x: a.range(0).lo(), is_open: true, side: Side::S, idx });
-        events.push(Event { x: a.range(0).hi(), is_open: false, side: Side::S, idx });
+        events.push(Event {
+            x: a.range(0).lo(),
+            is_open: true,
+            side: Side::S,
+            idx,
+        });
+        events.push(Event {
+            x: a.range(0).hi(),
+            is_open: false,
+            side: Side::S,
+            idx,
+        });
     }
     events.sort_unstable_by_key(|e| (e.x, e.is_open));
 
@@ -163,19 +203,13 @@ pub fn nd_join_count<const D: usize>(r: &[HyperRect<D>], s: &[HyperRect<D>]) -> 
         match (e.is_open, e.side) {
             (true, Side::R) => {
                 let a = r[e.idx];
-                count += active_s
-                    .iter()
-                    .filter(|&&j| rest_overlap(a, s[j]))
-                    .count() as u64;
+                count += active_s.iter().filter(|&&j| rest_overlap(a, s[j])).count() as u64;
                 pos_r[e.idx] = active_r.len();
                 active_r.push(e.idx);
             }
             (true, Side::S) => {
                 let b = s[e.idx];
-                count += active_r
-                    .iter()
-                    .filter(|&&j| rest_overlap(r[j], b))
-                    .count() as u64;
+                count += active_r.iter().filter(|&&j| rest_overlap(r[j], b)).count() as u64;
                 pos_s[e.idx] = active_s.len();
                 active_s.push(e.idx);
             }
@@ -297,7 +331,7 @@ mod tests {
                     })
                     .collect()
             };
-            let r = gen3(&mut rng, 50, );
+            let r = gen3(&mut rng, 50);
             let s = gen3(&mut rng, 40);
             assert_eq!(nd_join_count(&r, &s), naive::join_count(&r, &s));
         }

@@ -85,7 +85,11 @@ impl BchFamily {
     /// Evaluates `xi_i` as +1 or -1.
     #[inline]
     pub fn xi(&self, i: u64) -> i64 {
-        debug_assert!(i < self.gf.order(), "index {i} outside domain 2^{}", self.gf.degree());
+        debug_assert!(
+            i < self.gf.order(),
+            "index {i} outside domain 2^{}",
+            self.gf.degree()
+        );
         self.xi_with_cube(i, self.gf.cube(i))
     }
 

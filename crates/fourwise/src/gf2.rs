@@ -184,7 +184,7 @@ pub fn is_irreducible(f: u64, k: u32) -> bool {
     debug_assert_eq!(poly_degree(f as u128), Some(k));
     // A polynomial with zero constant term is divisible by x.
     if k > 0 && f & 1 == 0 {
-        return k == 1 && f == 0b10 // the polynomial "x" itself is irreducible
+        return k == 1 && f == 0b10; // the polynomial "x" itself is irreducible
     }
     let fm = f as u128;
     // frob[j] = x^(2^j) mod f, computed by repeated squaring of x.
@@ -310,7 +310,7 @@ mod tests {
         assert!(is_irreducible(0b1101, 3)); // x^3+x^2+1
         assert!(is_irreducible(0b10011, 4)); // x^4+x+1
         assert!(is_irreducible((1 << 8) | 0b11011, 8)); // AES poly x^8+x^4+x^3+x+1
-        // Reducible examples.
+                                                        // Reducible examples.
         assert!(!is_irreducible(0b101, 2)); // x^2+1 = (x+1)^2
         assert!(!is_irreducible(0b1111, 3)); // x^3+x^2+x+1 = (x+1)(x^2+1)
     }

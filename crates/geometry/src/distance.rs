@@ -50,7 +50,6 @@ pub fn linf_cube<const D: usize>(b: &Point<D>, eps: u64, domain_max: Coord) -> H
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn distances_basic() {
@@ -92,35 +91,37 @@ mod tests {
         assert!(cube.contains_point(&[0, 100]));
     }
 
-    proptest! {
-        #[test]
-        fn metric_properties_linf(
-            a0 in 0u64..1000, a1 in 0u64..1000,
-            b0 in 0u64..1000, b1 in 0u64..1000,
-            c0 in 0u64..1000, c1 in 0u64..1000,
-        ) {
-            let a = [a0, a1];
-            let b = [b0, b1];
-            let c = [c0, c1];
+    // Seeded stand-ins for the original proptest properties (the offline
+    // build has no proptest).
+    #[test]
+    fn metric_properties_linf() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        for _ in 0..1024 {
+            let mut p = || [rng.gen_range(0u64..1000), rng.gen_range(0u64..1000)];
+            let (a, b, c) = (p(), p(), p());
             // symmetry
-            prop_assert_eq!(dist_linf(&a, &b), dist_linf(&b, &a));
+            assert_eq!(dist_linf(&a, &b), dist_linf(&b, &a));
             // identity of indiscernibles
-            prop_assert_eq!(dist_linf(&a, &a), 0);
+            assert_eq!(dist_linf(&a, &a), 0);
             // triangle inequality
-            prop_assert!(dist_linf(&a, &c) <= dist_linf(&a, &b) + dist_linf(&b, &c));
+            assert!(dist_linf(&a, &c) <= dist_linf(&a, &b) + dist_linf(&b, &c));
             // norm ordering: linf <= l1 <= d * linf
-            prop_assert!(dist_linf(&a, &b) <= dist_l1(&a, &b));
-            prop_assert!(dist_l1(&a, &b) <= 2 * dist_linf(&a, &b));
+            assert!(dist_linf(&a, &b) <= dist_l1(&a, &b));
+            assert!(dist_l1(&a, &b) <= 2 * dist_linf(&a, &b));
         }
+    }
 
-        #[test]
-        fn cube_membership_equivalence(
-            b0 in 0u64..200, b1 in 0u64..200, eps in 0u64..50,
-            p0 in 0u64..200, p1 in 0u64..200,
-        ) {
-            let cube = linf_cube(&[b0, b1], eps, 255);
-            let p = [p0, p1];
-            prop_assert_eq!(cube.contains_point(&p), within_linf(&p, &[b0, b1], eps));
+    #[test]
+    fn cube_membership_equivalence() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        for _ in 0..1024 {
+            let b = [rng.gen_range(0u64..200), rng.gen_range(0u64..200)];
+            let eps = rng.gen_range(0u64..50);
+            let p = [rng.gen_range(0u64..200), rng.gen_range(0u64..200)];
+            let cube = linf_cube(&b, eps, 255);
+            assert_eq!(cube.contains_point(&p), within_linf(&p, &b, eps));
         }
     }
 }

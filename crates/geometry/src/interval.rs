@@ -151,7 +151,6 @@ impl From<(Coord, Coord)> for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn construction_and_accessors() {
@@ -257,44 +256,67 @@ mod tests {
         assert_eq!(r.intersection(&Interval::new(25, 30)), None);
     }
 
-    proptest! {
-        #[test]
-        fn overlap_is_symmetric(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
-            let r = Interval::new(a.min(b), a.max(b));
-            let s = Interval::new(c.min(d), c.max(d));
-            prop_assert_eq!(r.overlaps(&s), s.overlaps(&r));
-            prop_assert_eq!(r.overlaps_plus(&s), s.overlaps_plus(&r));
-        }
+    // Seeded stand-ins for the original proptest properties (the offline
+    // build has no proptest).
+    fn random_pair(rng: &mut rand::rngs::StdRng, bound: u64) -> (Interval, Interval) {
+        use rand::Rng as _;
+        let (a, b) = (rng.gen_range(0..bound), rng.gen_range(0..bound));
+        let (c, d) = (rng.gen_range(0..bound), rng.gen_range(0..bound));
+        (
+            Interval::new(a.min(b), a.max(b)),
+            Interval::new(c.min(d), c.max(d)),
+        )
+    }
 
-        #[test]
-        fn overlap_matches_intersection_length(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
-            let r = Interval::new(a.min(b), a.max(b));
-            let s = Interval::new(c.min(d), c.max(d));
+    #[test]
+    fn overlap_is_symmetric() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        for _ in 0..1024 {
+            let (r, s) = random_pair(&mut rng, 1000);
+            assert_eq!(r.overlaps(&s), s.overlaps(&r));
+            assert_eq!(r.overlaps_plus(&s), s.overlaps_plus(&r));
+        }
+    }
+
+    #[test]
+    fn overlap_matches_intersection_length() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        for _ in 0..1024 {
+            let (r, s) = random_pair(&mut rng, 1000);
             let by_len = r.intersection(&s).map(|i| i.length() > 0).unwrap_or(false);
-            prop_assert_eq!(r.overlaps(&s), by_len);
+            assert_eq!(r.overlaps(&s), by_len);
             let by_nonempty = r.intersection(&s).is_some();
-            prop_assert_eq!(r.overlaps_plus(&s), by_nonempty);
+            assert_eq!(r.overlaps_plus(&s), by_nonempty);
         }
+    }
 
-        #[test]
-        fn overlap_implies_overlap_plus(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
-            let r = Interval::new(a.min(b), a.max(b));
-            let s = Interval::new(c.min(d), c.max(d));
+    #[test]
+    fn overlap_implies_overlap_plus() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        for _ in 0..1024 {
+            let (r, s) = random_pair(&mut rng, 1000);
             if r.overlaps(&s) {
-                prop_assert!(r.overlaps_plus(&s));
+                assert!(r.overlaps_plus(&s));
             }
         }
+    }
 
-        #[test]
-        fn def1_literal_equivalence_under_assumption1(
-            a in 0u64..500, b in 0u64..500, c in 0u64..500, d in 0u64..500,
-        ) {
+    #[test]
+    fn def1_literal_equivalence_under_assumption1() {
+        use rand::{Rng as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        for _ in 0..1024 {
+            let (a, b) = (rng.gen_range(0u64..500), rng.gen_range(0u64..500));
+            let (c, d) = (rng.gen_range(0u64..500), rng.gen_range(0u64..500));
             let r = Interval::new(2 * a.min(b), 2 * a.max(b) + 2);
             // Force distinct endpoint parity so endpoints can never collide.
             let s = Interval::new(2 * c.min(d) + 1, 2 * c.max(d) + 1 + 2);
-            prop_assert!(!r.shares_endpoint(&s));
+            assert!(!r.shares_endpoint(&s));
             if !r.is_degenerate() && !s.is_degenerate() {
-                prop_assert_eq!(r.overlaps(&s), r.overlaps_def1_literal(&s));
+                assert_eq!(r.overlaps(&s), r.overlaps_def1_literal(&s));
             }
         }
     }

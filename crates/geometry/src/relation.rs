@@ -52,10 +52,18 @@ impl IntervalRelation {
         let share_hi = r.hi() == s.hi();
         debug_assert!(!(share_lo && share_hi), "identical handled above");
         if share_lo {
-            return if r.hi() > s.hi() { ContainsMeet } else { InsideMeet };
+            return if r.hi() > s.hi() {
+                ContainsMeet
+            } else {
+                InsideMeet
+            };
         }
         if share_hi {
-            return if r.lo() < s.lo() { ContainsMeet } else { InsideMeet };
+            return if r.lo() < s.lo() {
+                ContainsMeet
+            } else {
+                InsideMeet
+            };
         }
         if r.lo() < s.lo() && s.hi() < r.hi() {
             return Contains;

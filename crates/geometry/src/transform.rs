@@ -73,7 +73,6 @@ pub fn tripled_bits(bits: u32) -> u32 {
 mod tests {
     use super::*;
     use crate::rect::rect2;
-    use proptest::prelude::*;
 
     #[test]
     fn coordinates_never_collide() {
@@ -121,32 +120,48 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn transform_preserves_overlap(
-            a in 0u64..300, b in 0u64..300, c in 0u64..300, d in 0u64..300,
-        ) {
+    // Seeded stand-ins for the original proptest properties (the offline
+    // build has no proptest).
+    #[test]
+    fn transform_preserves_overlap() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut checked = 0;
+        while checked < 512 {
+            let (a, b) = (rng.gen_range(0u64..300), rng.gen_range(0u64..300));
+            let (c, d) = (rng.gen_range(0u64..300), rng.gen_range(0u64..300));
             let r = Interval::new(a.min(b), a.max(b));
             let s = Interval::new(c.min(d), c.max(d));
-            prop_assume!(!s.is_degenerate());
+            if s.is_degenerate() {
+                continue;
+            }
+            checked += 1;
             let r2 = triple_interval(&r);
             let s2 = shrink_interval(&s).unwrap();
-            prop_assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
-            prop_assert!(!r2.shares_endpoint(&s2));
+            assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
+            assert!(!r2.shares_endpoint(&s2));
         }
+    }
 
-        #[test]
-        fn transform_preserves_overlap_2d(
-            a in 0u64..60, b in 0u64..60, c in 0u64..60, d in 0u64..60,
-            e in 0u64..60, f in 0u64..60, g in 0u64..60, h in 0u64..60,
-        ) {
+    #[test]
+    fn transform_preserves_overlap_2d() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut checked = 0;
+        while checked < 512 {
+            let mut coord = || rng.gen_range(0u64..60);
+            let (a, b, c, d) = (coord(), coord(), coord(), coord());
+            let (e, f, g, h) = (coord(), coord(), coord(), coord());
             let r = rect2(a.min(b), a.max(b), c.min(d), c.max(d));
             let s = rect2(e.min(f), e.max(f), g.min(h), g.max(h));
-            prop_assume!(!s.is_degenerate());
+            if s.is_degenerate() {
+                continue;
+            }
+            checked += 1;
             let r2 = triple_rect(&r);
             let s2 = shrink_rect(&s).unwrap();
-            prop_assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
-            prop_assert!(!r2.shares_endpoint(&s2));
+            assert_eq!(r.overlaps(&s), r2.overlaps(&s2));
+            assert!(!r2.shares_endpoint(&s2));
         }
     }
 }

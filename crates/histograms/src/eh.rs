@@ -290,7 +290,12 @@ mod tests {
             let mut eh = EulerHistogram::new(spec);
             eh.insert(&rect);
             let cells: f64 = eh.cells.iter().map(|c| c.count).sum();
-            let edges: f64 = eh.v_edges.iter().chain(eh.h_edges.iter()).map(|e| e.count).sum();
+            let edges: f64 = eh
+                .v_edges
+                .iter()
+                .chain(eh.h_edges.iter())
+                .map(|e| e.count)
+                .sum();
             let verts: f64 = eh.vertices.iter().sum();
             assert_eq!(cells - edges + verts, 1.0, "{rect:?}");
         }
@@ -304,14 +309,24 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0..200u64);
                 let y = rng.gen_range(0..200u64);
-                rect2(x, x + rng.gen_range(0..55), y, y + rng.gen_range(0..55))
+                rect2(
+                    x,
+                    x + rng.gen_range(0u64..55),
+                    y,
+                    y + rng.gen_range(0u64..55),
+                )
             })
             .collect();
         let mut eh = EulerHistogram::new(spec);
         for r in &data {
             eh.insert(r);
         }
-        for (cx0, cy0, cx1, cy1) in [(0u64, 0u64, 7u64, 7u64), (0, 0, 0, 0), (2, 1, 5, 6), (7, 7, 7, 7)] {
+        for (cx0, cy0, cx1, cy1) in [
+            (0u64, 0u64, 7u64, 7u64),
+            (0, 0, 0, 0),
+            (2, 1, 5, 6),
+            (7, 7, 7, 7),
+        ] {
             let region = geometry::HyperRect::new([
                 Interval::new(spec.cell_range(cx0).lo(), spec.cell_range(cx1).hi()),
                 Interval::new(spec.cell_range(cy0).lo(), spec.cell_range(cy1).hi()),
@@ -413,10 +428,18 @@ mod characterize {
             let spec = GridSpec::new(12, level);
             let mut a = EulerHistogram::new(spec);
             let mut b = EulerHistogram::new(spec);
-            for x in &r { a.insert(x); }
-            for x in &s { b.insert(x); }
+            for x in &r {
+                a.insert(x);
+            }
+            for x in &s {
+                b.insert(x);
+            }
             let est = a.estimate_join(&b);
-            println!("level {level}: est {est:.0} rel {:.3} words {}", (est-truth).abs()/truth, EulerHistogram::words_at_level(level));
+            println!(
+                "level {level}: est {est:.0} rel {:.3} words {}",
+                (est - truth).abs() / truth,
+                EulerHistogram::words_at_level(level)
+            );
         }
     }
 }

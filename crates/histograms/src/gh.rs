@@ -154,11 +154,9 @@ impl GeometricHistogram {
         let cell_area = (self.spec.cell_width() * self.spec.cell_width()) as f64;
         let mut four_count = 0.0;
         for (a, b) in self.cells.iter().zip(other.cells.iter()) {
-            four_count += (a.corners * b.area
-                + b.corners * a.area
-                + a.h_len * b.v_len
-                + a.v_len * b.h_len)
-                / cell_area;
+            four_count +=
+                (a.corners * b.area + b.corners * a.area + a.h_len * b.v_len + a.v_len * b.h_len)
+                    / cell_area;
         }
         (four_count / 4.0).max(0.0)
     }
@@ -181,7 +179,11 @@ mod tests {
     #[test]
     fn insert_delete_roundtrip() {
         let mut gh = GeometricHistogram::new(GridSpec::new(8, 3));
-        let rects = [rect2(0, 100, 5, 200), rect2(30, 40, 30, 40), rect2(0, 255, 0, 255)];
+        let rects = [
+            rect2(0, 100, 5, 200),
+            rect2(30, 40, 30, 40),
+            rect2(0, 255, 0, 255),
+        ];
         for r in &rects {
             gh.insert(r);
         }

@@ -62,7 +62,10 @@ mod tests {
     fn symmetry_and_monotonicity() {
         let c = 64.0;
         for (a, b) in [(3.0, 9.0), (10.0, 30.0), (1.0, 1.0)] {
-            assert_eq!(overlap_probability_1d(a, b, c), overlap_probability_1d(b, a, c));
+            assert_eq!(
+                overlap_probability_1d(a, b, c),
+                overlap_probability_1d(b, a, c)
+            );
         }
         // Longer segments overlap more.
         let mut prev = 0.0;

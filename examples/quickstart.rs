@@ -46,7 +46,10 @@ fn main() {
 
     let est = join.estimate(&sk_r, &sk_s).expect("combinable sketches");
     let rel = (est.value - truth as f64).abs() / truth as f64;
-    println!("sketch estimate  = {:.0}  (relative error {rel:.3})", est.value);
+    println!(
+        "sketch estimate  = {:.0}  (relative error {rel:.3})",
+        est.value
+    );
     println!(
         "selectivity      = {:.3e}",
         join.estimate_selectivity(&sk_r, &sk_s).unwrap()

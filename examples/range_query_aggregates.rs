@@ -33,7 +33,12 @@ fn main() {
         seed: 21,
     }
     .generate();
-    println!("dataset: {} rectangles over a {}x{} domain\n", data.len(), 1 << bits, 1 << bits);
+    println!(
+        "dataset: {} rectangles over a {}x{} domain\n",
+        data.len(),
+        1 << bits,
+        1 << bits
+    );
 
     // One maintained sketch serves every future range query.
     let mean_extent: f64 = data
@@ -49,7 +54,10 @@ fn main() {
     par_insert_batch(&mut sk, &data, 8).expect("build sketch");
 
     // Arbitrary viewport queries.
-    println!("{:<28} {:>8} {:>10} {:>8}", "viewport", "exact", "estimate", "rel err");
+    println!(
+        "{:<28} {:>8} {:>10} {:>8}",
+        "viewport", "exact", "estimate", "rel err"
+    );
     let mut qrng = rand::rngs::StdRng::seed_from_u64(6);
     for i in 0..6 {
         let side = 1500 + 500 * i as u64;
@@ -58,7 +66,11 @@ fn main() {
         let q = HyperRect::new([Interval::new(x, x + side), Interval::new(y, y + side)]);
         let truth = exact::naive::range_count(&data, &q) as f64;
         let est = rq.estimate(&sk, &q).expect("estimate").value;
-        let rel = if truth > 0.0 { (est - truth).abs() / truth } else { est.abs() };
+        let rel = if truth > 0.0 {
+            (est - truth).abs() / truth
+        } else {
+            est.abs()
+        };
         println!(
             "[{x:>4},{:>4}]x[{y:>4},{:>4}]   {truth:>8.0} {est:>10.0} {rel:>8.3}",
             x + side,
@@ -77,7 +89,10 @@ fn main() {
         let p = [qrng.gen_range(0..1 << bits), qrng.gen_range(0..1 << bits)];
         let truth = data.iter().filter(|r| r.contains_point(&p)).count();
         let est = rq.estimate_stab(&sk, &p).expect("stab").value;
-        println!("({:>5}, {:>5})               {truth:>8} {est:>10.1}", p[0], p[1]);
+        println!(
+            "({:>5}, {:>5})               {truth:>8} {est:>10.1}",
+            p[0], p[1]
+        );
     }
     println!(
         "(point-sized results sit near this budget's noise floor — Lemma 9's variance\n\

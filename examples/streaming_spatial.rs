@@ -48,7 +48,10 @@ fn main() {
         sk_s.insert(x).expect("S insert");
     }
 
-    println!("\n{:>8}  {:>8}  {:>10}  {:>10}  {:>8}", "update#", "live |R|", "exact", "estimate", "rel err");
+    println!(
+        "\n{:>8}  {:>8}  {:>10}  {:>10}  {:>8}",
+        "update#", "live |R|", "exact", "estimate", "rel err"
+    );
     let checkpoints = 6;
     let step = stream.len() / checkpoints;
     for (i, chunk) in stream.chunks(step).enumerate() {

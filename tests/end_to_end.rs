@@ -127,12 +127,14 @@ fn sharded_merge_equals_central_build() {
 /// concrete workload (with margin — the variance bound is conservative).
 #[test]
 fn planner_guarantee_holds() {
-    // Dense small-domain workload keeps the planned instance count modest
-    // (the guarantee itself is scale-free; Theorem 2 sizes k1 from
-    // SJ(R)·SJ(S)/E[Z]², which this workload keeps small).
+    // Dense small-domain workload keeps the planned instance count modest:
+    // Theorem 2 sizes k1 from SJ(R)·SJ(S)/E[Z]², and density grows E[Z]
+    // faster than the self-join sizes. (The build cost of the planned
+    // sketch is n·k1·k2, which this CI-sized single-core test must afford
+    // in debug mode — hence the loose epsilon below.)
     let bits = 8u32;
-    let r = workload(800, bits, 0.0, 11);
-    let s = workload(800, bits, 0.0, 12);
+    let r = workload(2000, bits, 0.0, 11);
+    let s = workload(2000, bits, 0.0, 12);
     let truth = exact::rect_join_count(&r, &s) as f64;
     assert!(truth > 5_000.0, "workload too sparse: {truth}");
 
@@ -156,13 +158,13 @@ fn planner_guarantee_holds() {
     ) as f64;
     // Sanity bound = the exact truth: the tightest admissible bound, which
     // any valid lower bound only loosens into more instances (Lemma 1).
-    let guarantee = plan::Guarantee::new(0.6, 0.1).unwrap();
+    let guarantee = plan::Guarantee::new(0.9, 0.1).unwrap();
     let shape = plan::join_shape(guarantee, 2, sj_r, sj_s, truth).unwrap();
     // The conservative Cauchy-Schwarz variance bound plans generously (the
     // paper: guarantees are "usually overly pessimistic in practice");
     // keep a ceiling so the test stays fast.
     assert!(
-        shape.instances() < 150_000,
+        shape.instances() < 60_000,
         "planned shape unexpectedly large: {} instances",
         shape.instances()
     );
@@ -217,7 +219,7 @@ fn three_estimators_consistent_on_uniform() {
     assert!(gh_err < 0.5, "GH err {gh_err}");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(80);
-    let config = adaptive_config(200, 5, &[&r, &s], bits);
+    let config = adaptive_config(320, 5, &[&r, &s], bits);
     let join = SpatialJoin::<2>::new(&mut rng, config, [bits, bits], EndpointStrategy::Transform);
     let mut sk_r = join.new_sketch_r();
     let mut sk_s = join.new_sketch_s();

@@ -32,7 +32,12 @@ struct Comps {
     p_hi: i64,
 }
 
-fn comps(fam: &BchFamily, domain: &DyadicDomain, geo: Option<Interval>, leaf_iv: Interval) -> Comps {
+fn comps(
+    fam: &BchFamily,
+    domain: &DyadicDomain,
+    geo: Option<Interval>,
+    leaf_iv: Interval,
+) -> Comps {
     let bits = domain.bits();
     let (i, p_lo, p_hi) = match geo {
         Some(g) => {
@@ -71,7 +76,14 @@ fn sum_over_seeds(node_bits: u32, mut f: impl FnMut(&BchFamily) -> i64) -> i64 {
     for b0 in 0..2u64 {
         for s1 in 0..n {
             for s3 in 0..n {
-                let fam = BchFamily::new(BchSeed { b0: b0 == 1, s1, s3 }, gf);
+                let fam = BchFamily::new(
+                    BchSeed {
+                        b0: b0 == 1,
+                        s1,
+                        s3,
+                    },
+                    gf,
+                );
                 total += f(&fam);
             }
         }

@@ -1,0 +1,53 @@
+//! Smoke test: every example under `examples/` must build and run to
+//! completion, so the facade re-exports they exercise cannot silently rot.
+//!
+//! Runs the examples through `cargo run --release` (the release artifacts
+//! are normally already present from the tier-1 build, so the marginal cost
+//! is one example compile each). Spawning cargo from a test is safe: the
+//! build lock is released while tests execute.
+
+use std::process::Command;
+
+/// Enumerates `examples/*.rs` so a newly added example is covered without
+/// editing this test.
+fn example_names() -> Vec<String> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read examples/ directory")
+        .filter_map(|entry| {
+            let path = entry.expect("read examples/ entry").path();
+            (path.extension().is_some_and(|e| e == "rs"))
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn all_examples_run() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let examples = example_names();
+    assert!(
+        examples.len() >= 4,
+        "expected at least the four seed examples, found {examples:?}"
+    );
+    for example in &examples {
+        let output = Command::new(&cargo)
+            .args(["run", "--release", "--quiet", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` produced no output"
+        );
+    }
+}

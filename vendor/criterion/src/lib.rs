@@ -1,0 +1,246 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal wall-clock harness exposing the criterion API surface the four
+//! bench targets use: [`Criterion::benchmark_group`], `bench_function`,
+//! `iter` / `iter_batched`, [`Throughput`], [`BatchSize`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Numbers come from a median-of-samples wall-clock loop — good enough to
+//! rank implementations and catch order-of-magnitude regressions, without
+//! real criterion's outlier rejection and statistical machinery. Swap the
+//! workspace manifest back to the registry crate for publication-grade
+//! statistics; no bench source changes are needed.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much throughput one iteration represents (for derived rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched setup cost relates to routine cost (accepted for API
+/// compatibility; this harness times each routine call individually, so the
+/// hint does not change measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(&id.into(), None, sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times one function under this group's settings.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; records what to measure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls, collecting per-call samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and size the inner batch so one sample costs ~1ms.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", per_sec(n)),
+        }
+    });
+    println!(
+        "{id:<50} median {:>12?}{}",
+        median,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Expands to a function running each listed benchmark against a default
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group (bench CLI arguments from `cargo
+/// bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(4)).sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut made = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert!(made >= 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Deserialization half: [`Deserialize`], [`Deserializer`], [`from_value`].
+
+use crate::value::Value;
+use std::fmt;
+
+/// Error raised while deserializing (serde's `de::Error`).
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Builds an error carrying a custom message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+
+    /// A sequence had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn fmt::Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// A value had the wrong type for its slot.
+    fn invalid_type(unexpected: &dyn fmt::Display, expected: &dyn fmt::Display) -> Self {
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
+    }
+}
+
+/// Concrete deserialization error used by [`ValueDeserializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source of one [`Value`] tree. Real serde drives a visitor; this
+/// stand-in hands the whole parsed tree to the type, which keeps generic
+/// `fn deserialize<D: Deserializer<'de>>` signatures source-compatible.
+pub trait Deserializer<'de>: Sized {
+    /// Error type (must support `custom` / `invalid_length`).
+    type Error: Error;
+
+    /// Yields the input as a value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Marker for types deserializable without borrowing from the input —
+/// everything in this stand-in, since [`Value`] is owned.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The canonical deserializer: wraps an owned [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` out of a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Removes `key` from a derive-produced map and deserializes its value —
+/// the helper the `Deserialize` derive expands to for each struct field.
+pub fn from_field<T: DeserializeOwned>(
+    map: &mut Vec<(String, Value)>,
+    key: &str,
+) -> Result<T, DeError> {
+    let pos = map
+        .iter()
+        .position(|(k, _)| k == key)
+        .ok_or_else(|| DeError::custom(format_args!("missing field `{key}`")))?;
+    let (_, value) = map.swap_remove(pos);
+    from_value(value).map_err(|e| DeError::custom(format_args!("field `{key}`: {e}")))
+}
+
+fn int_from<'de, D: Deserializer<'de>>(deserializer: D, what: &str) -> Result<i128, D::Error> {
+    match deserializer.take_value()? {
+        Value::Int(v) => Ok(i128::from(v)),
+        Value::UInt(v) => Ok(i128::from(v)),
+        other => Err(D::Error::invalid_type(&other.kind(), &what)),
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = int_from(deserializer, stringify!($t))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::invalid_type(&other.kind(), &"bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::Int(v) => Ok(v as f64),
+            Value::UInt(v) => Ok(v as f64),
+            other => Err(D::Error::invalid_type(&other.kind(), &"f64")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::invalid_type(&other.kind(), &"string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}
+
+fn seq_from<'de, D: Deserializer<'de>>(
+    deserializer: D,
+    what: &str,
+) -> Result<Vec<Value>, D::Error> {
+    match deserializer.take_value()? {
+        Value::Seq(items) => Ok(items),
+        other => Err(D::Error::invalid_type(&other.kind(), &what)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = seq_from(deserializer, "sequence")?;
+        items
+            .into_iter()
+            .map(|v| from_value(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = seq_from(deserializer, "fixed-size sequence")?;
+        if items.len() != N {
+            return Err(D::Error::invalid_length(
+                items.len(),
+                &format_args!("an array of length {N}"),
+            ));
+        }
+        let mut out = Vec::with_capacity(N);
+        for v in items {
+            out.push(from_value(v).map_err(D::Error::custom)?);
+        }
+        out.try_into()
+            .map_err(|_| D::Error::custom("array conversion failed"))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = seq_from(deserializer, "2-tuple")?;
+        if items.len() != 2 {
+            return Err(D::Error::invalid_length(items.len(), &"a 2-tuple"));
+        }
+        let mut it = items.into_iter();
+        let a = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+        let b = from_value(it.next().expect("len checked")).map_err(D::Error::custom)?;
+        Ok((a, b))
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal serialization framework exposing the *API shape* of serde that
+//! this codebase uses: the [`Serialize`] / [`Deserialize`] traits (with
+//! derive macros of the same names), the [`Serializer`] / [`Deserializer`]
+//! driver traits that `geometry`'s manual `HyperRect` impls are written
+//! against, and `de::Error::invalid_length` / `ser::Error::custom`.
+//!
+//! Unlike real serde there is a single concrete data model: every value
+//! serializes into a [`Value`] tree (see [`ser::to_value`]) which formats
+//! losslessly as JSON via the vendored `serde_json`. That is exactly the
+//! pipeline `sketch::persist` and the bench reports need. Swapping back to
+//! the real crates is a workspace-manifest change; the derive input shapes
+//! supported here (named-field structs, unit/newtype enum variants) encode
+//! identically under real `serde_json`.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

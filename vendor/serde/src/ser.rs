@@ -1,0 +1,200 @@
+//! Serialization half: [`Serialize`], [`Serializer`], [`to_value`].
+
+use crate::value::Value;
+use std::fmt;
+
+/// Error raised while driving a [`Serializer`] (serde's `ser::Error`).
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Builds an error carrying a custom message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// Concrete serialization error used by [`ValueSerializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// A sink for one [`Value`] tree. Real serde threads each primitive through
+/// a `serialize_*` method; this stand-in asks types to build the [`Value`]
+/// themselves (via [`to_value`]) and hands the finished tree over in one
+/// call, which keeps generic `fn serialize<S: Serializer>` signatures
+/// source-compatible.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type (must support `custom`).
+    type Error: Error;
+
+    /// Consumes the finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The canonical serializer: materializes the [`Value`] tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, SerError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, SerError> {
+    value.serialize(ValueSerializer)
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(u64::from(*self)))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = i64::from(*self);
+                let value = if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) };
+                serializer.serialize_value(value)
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64);
+ser_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::UInt(*self as u64))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self as i64).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a, S: Serializer>(
+    items: impl Iterator<Item = &'a T>,
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_value(item).map_err(S::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Seq(out))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        seq_to_value(self.iter(), serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_value(Value::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = to_value(&self.0).map_err(S::Error::custom)?;
+        let b = to_value(&self.1).map_err(S::Error::custom)?;
+        serializer.serialize_value(Value::Seq(vec![a, b]))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = to_value(&self.0).map_err(S::Error::custom)?;
+        let b = to_value(&self.1).map_err(S::Error::custom)?;
+        let c = to_value(&self.2).map_err(S::Error::custom)?;
+        serializer.serialize_value(Value::Seq(vec![a, b, c]))
+    }
+}

@@ -1,0 +1,40 @@
+//! The single concrete data model every [`crate::Serialize`] impl feeds.
+
+/// A JSON-shaped value tree.
+///
+/// Integers keep their signedness (`Int` vs `UInt`) so `i64`/`u64` fields
+/// round-trip exactly; a JSON writer may merge the two.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (always negative when produced by the parser).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An insertion-ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short tag for error messages ("map", "sequence", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's [`Value`] data model, for exactly the
+//! input shapes this workspace contains:
+//!
+//! * structs with named fields (→ JSON object, declaration order),
+//! * enums with unit variants (→ the variant name as a string),
+//! * enums with single-field tuple ("newtype") variants
+//!   (→ `{"Variant": <payload>}`, serde's externally-tagged form).
+//!
+//! Generic types, tuple structs, and `#[serde(...)]` attributes are
+//! rejected with a compile error; the real `serde_derive` supports them,
+//! so hitting one of those limits means extending this file (or restoring
+//! registry access). Parsing is done directly over the token stream —
+//! the environment has no `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum: `(variant name, has newtype payload)`.
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+/// Derives `serde::Serialize` for supported shapes (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::ser::to_value(&self.{f})\
+                     .map_err(<S::Error as ::serde::ser::Error>::custom)?));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                 ::std::vec::Vec::with_capacity({n});\n\
+                 {pushes}\
+                 serializer.serialize_value(::serde::Value::Map(fields))\n\
+                 }}\n}}\n",
+                n = fields.len()
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, newtype) in variants {
+                if *newtype {
+                    arms.push_str(&format!(
+                        "{name}::{v}(inner) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::ser::to_value(inner)\
+                         .map_err(<S::Error as ::serde::ser::Error>::custom)?)]),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{v}\")),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 let value = match self {{\n{arms}}};\n\
+                 serializer.serialize_value(value)\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    wrap_automatically_derived(&body)
+}
+
+/// Derives `serde::Deserialize` for supported shapes (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::de::from_field(&mut map, \"{f}\")\
+                     .map_err(<D::Error as ::serde::de::Error>::custom)?,\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 match ::serde::Deserializer::take_value(deserializer)? {{\n\
+                 ::serde::Value::Map(mut map) => ::core::result::Result::Ok({name} {{\n\
+                 {inits}}}),\n\
+                 other => ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(::core::format_args!(\
+                 \"expected map for struct {name}, got {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            let mut has_newtype = false;
+            for (v, newtype) in variants {
+                if *newtype {
+                    has_newtype = true;
+                    newtype_arms.push_str(&format!(
+                        "\"{v}\" => ::serde::de::from_value(payload)\
+                         .map({name}::{v})\
+                         .map_err(<D::Error as ::serde::de::Error>::custom),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            let map_arm = if has_newtype {
+                format!(
+                    "::serde::Value::Map(mut map) if map.len() == 1 => {{\n\
+                     let (tag, payload) = map.pop().expect(\"len checked\");\n\
+                     match tag.as_str() {{\n{newtype_arms}\
+                     other => ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::custom(::core::format_args!(\
+                     \"unknown variant `{{other}}` of enum {name}\"))),\n}}\n}}\n"
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 match ::serde::Deserializer::take_value(deserializer)? {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(::core::format_args!(\
+                 \"unknown variant `{{other}}` of enum {name}\"))),\n}},\n\
+                 {map_arm}\
+                 other => ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(::core::format_args!(\
+                 \"expected variant of enum {name}, got {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    wrap_automatically_derived(&body)
+}
+
+fn wrap_automatically_derived(body: &str) -> TokenStream {
+    format!("#[automatically_derived]\n{body}")
+        .parse()
+        .expect("derive stand-in generated invalid Rust")
+}
+
+/// Parses the derive input down to the shapes we support, skipping
+/// attributes, doc comments, and visibility modifiers.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde derive stand-in: generic type `{name}` is not supported \
+             (write a manual impl, as geometry::HyperRect does)"
+        );
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde derive stand-in: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde derive stand-in: expected braced body for `{name}`, got {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive stand-in: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde derive stand-in: expected `:` after field `{field}`, got {other:?}")
+            }
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde derive stand-in: struct variant `{name}` is not supported")
+            }
+            _ => {}
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => {
+                panic!("serde derive stand-in: expected `,` after variant `{name}`, got {other:?}")
+            }
+        }
+        variants.push((name, newtype));
+    }
+    variants
+}

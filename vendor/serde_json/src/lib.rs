@@ -1,0 +1,133 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! [`to_string`], [`to_string_pretty`] and [`from_str`] over the vendored
+//! `serde` stand-in's [`Value`] data model.
+//!
+//! The emitted text is plain standard JSON (RFC 8259); documents written by
+//! this module parse identically under the real `serde_json`, so snapshots
+//! and experiment records survive a later switch back to the registry
+//! crates.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+mod write;
+
+use serde::{DeserializeOwned, Serialize, Value};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::ser::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    write::render(&tree, None).map_err(Error::msg)
+}
+
+/// Serializes a value to two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = serde::ser::to_value(value).map_err(|e| Error::msg(e.to_string()))?;
+    write::render(&tree, Some(2)).map_err(Error::msg)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let tree = parse_value(s)?;
+    serde::de::from_value(tree).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value> {
+    parse::parse(s).map_err(Error::msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-5i64).unwrap(), "-5");
+        assert_eq!(
+            to_string(&18446744073709551615u64).unwrap(),
+            "18446744073709551615"
+        );
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+        assert_eq!(to_string("a \"quote\"\n").unwrap(), r#""a \"quote\"\n""#);
+        assert_eq!(
+            from_str::<String>(r#""a \"quote\"\n""#).unwrap(),
+            "a \"quote\"\n"
+        );
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        let v = 0.1234567890123_f64;
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<f64>(&s).unwrap(), v);
+        // Integral floats come back as integers, which f64 slots accept.
+        assert_eq!(from_str::<f64>(&to_string(&2.0f64).unwrap()).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Vec<i64>> = vec![vec![1, -2], vec![], vec![3]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,-2],[],[3]]");
+        assert_eq!(from_str::<Vec<Vec<i64>>>(&s).unwrap(), v);
+        let t: Vec<(u32, u32)> = vec![(1, 2), (3, 4)];
+        assert_eq!(
+            from_str::<Vec<(u32, u32)>>(&to_string(&t).unwrap()).unwrap(),
+            t
+        );
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let s = "héllo \u{1F600} \t\\";
+        let j = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&j).unwrap(), s);
+        // \uXXXX escapes, including surrogate pairs.
+        assert_eq!(
+            from_str::<String>(r#""\u0041\uD83D\uDE00""#).unwrap(),
+            "A\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn pretty_is_parseable_and_indented() {
+        let v: Vec<Vec<u32>> = vec![vec![1], vec![2, 3]];
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains("\n  "));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&p).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u32>("[1,").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<u32>("{\"a\":}").is_err());
+        assert!(from_str::<f64>("nan").is_err());
+    }
+}

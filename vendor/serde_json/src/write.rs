@@ -1,0 +1,106 @@
+//! JSON text emission (compact and pretty).
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Renders a value tree as JSON; `indent = Some(n)` pretty-prints with
+/// `n`-space indentation. Fails on non-finite floats (JSON has no NaN).
+pub fn render(value: &Value, indent: Option<usize>) -> Result<String, String> {
+    let mut out = String::new();
+    emit(value, indent, 0, &mut out)?;
+    Ok(out)
+}
+
+fn emit(
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), String> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::UInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Float(v) => {
+            if !v.is_finite() {
+                return Err(format!("cannot represent {v} in JSON"));
+            }
+            // Rust's shortest-roundtrip formatting; integral floats print
+            // without a fraction, which is still valid JSON.
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(s) => emit_str(s, out),
+        Value::Seq(items) => {
+            emit_bracketed(out, '[', ']', items.len(), indent, depth, |out, i| {
+                emit(&items[i], indent, depth + 1, out)
+            })?;
+        }
+        Value::Map(entries) => {
+            emit_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i| {
+                let (k, v) = &entries[i];
+                emit_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(v, indent, depth + 1, out)
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn emit_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(&mut String, usize) -> Result<(), String>,
+) -> Result<(), String> {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(n * (depth + 1)));
+        }
+        item(out, i)?;
+    }
+    if len > 0 {
+        if let Some(n) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(n * depth));
+        }
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn emit_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
