@@ -1,10 +1,11 @@
 //! Microbench: four-wise independent variable generation — the innermost
 //! operation of every sketch update. Compares the BCH construction (with
 //! and without shared cube precomputation) against the cubic-polynomial
-//! family, plus the GF(2^k) cube itself.
+//! family, the bit-sliced 64-lane block evaluation behind the batched build
+//! kernel, plus the GF(2^k) cube itself.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fourwise::{XiContext, XiKind};
+use fourwise::{LaneCounter, XiBlock, XiContext, XiFamily, XiKind, XiSeed, BLOCK_LANES};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +38,41 @@ fn bench_xi(c: &mut Criterion) {
                 let mut acc = 0i64;
                 for &i in &indices {
                     acc += fam.xi(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+
+    // Block evaluation: 64 instances per pass (the batched build kernel's
+    // inner operation) against the equivalent 64 scalar evaluations.
+    let mut group = c.benchmark_group("xi_block_64lanes");
+    group.throughput(Throughput::Elements(
+        indices.len() as u64 * BLOCK_LANES as u64,
+    ));
+    for kind in [XiKind::Bch, XiKind::Poly] {
+        let ctx = XiContext::new(kind, bits);
+        let seeds: Vec<XiSeed> = (0..BLOCK_LANES)
+            .map(|_| ctx.random_seed(&mut rng))
+            .collect();
+        let fams: Vec<XiFamily> = seeds.iter().map(|&s| ctx.family(s)).collect();
+        let block = XiBlock::pack(&ctx, &seeds);
+        let pres: Vec<_> = indices.iter().map(|&i| ctx.precompute(i)).collect();
+
+        group.bench_function(format!("{kind:?}/bitsliced"), |b| {
+            let mut counter = LaneCounter::new();
+            let mut sums = [0i64; BLOCK_LANES];
+            b.iter(|| {
+                block.sum_pre_into(black_box(&pres), &mut counter, &mut sums);
+                sums[0]
+            })
+        });
+        group.bench_function(format!("{kind:?}/scalar_lanes"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for fam in &fams {
+                    acc += fam.sum_pre(black_box(&pres));
                 }
                 acc
             })

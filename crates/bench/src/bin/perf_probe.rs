@@ -1,18 +1,27 @@
 //! Build/estimate throughput probe plus quick maxLevel sanity sweeps.
 //!
-//! Usage: cargo run --release -p spatial-bench --bin perf_probe [-- --gis]
+//! The default probe times the sketch build under *both* maintenance
+//! kernels (scalar oracle vs batched bit-sliced; see `sketch::BuildKernel`)
+//! and appends one JSON record per run to `results/perf_probe.json` — the
+//! committed `BENCH_*.json` anchors are copies of such records.
+//!
+//! Usage: cargo run --release -p spatial-bench --bin perf_probe
+//!        [-- --gis | --range | --quick]
+//!
+//! `--quick` probes only the smallest instance count (fast iteration while
+//! touching the hot path).
 
 use rand::SeedableRng;
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, BoostShape};
+use sketch::{par_insert_batch, BoostShape, BuildKernel};
 use spatial_bench::cli::Args;
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
 use std::time::Instant;
 
 fn main() {
-    let args = Args::parse(&["gis", "range"]).unwrap_or_else(|e| {
+    let args = Args::parse(&["gis", "range", "quick"]).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -95,51 +104,86 @@ fn main() {
         return;
     }
 
-    // Default probe: build-throughput sweep plus one exact-join timing,
-    // recorded as results/perf_probe.json so successive runs are diffable
-    // (the repo's committed BENCH_seed.json is a copy of this record).
+    // Default probe: build-throughput sweep per maintenance kernel plus one
+    // exact-join timing. Each run *appends* a record to
+    // results/perf_probe.json (the committed BENCH_*.json anchors are
+    // copies of such records), so successive runs stay diffable.
+    #[derive(serde::Serialize)]
+    struct KernelRecord {
+        kernel: String,
+        build_secs: Vec<f64>,
+        ns_per_obj_instance: Vec<f64>,
+    }
+
     #[derive(serde::Serialize)]
     struct ProbeRecord {
         objects: usize,
         domain_bits: u32,
         threads: usize,
         instances: Vec<usize>,
-        build_secs: Vec<f64>,
-        ns_per_obj_instance: Vec<f64>,
+        kernels: Vec<KernelRecord>,
+        /// Scalar ns/(obj·inst) divided by batched, per instance count.
+        speedup_batched_over_scalar: Vec<f64>,
         exact_join_pairs: u64,
         exact_join_secs: f64,
     }
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let data: Vec<geometry::HyperRect<2>> =
         datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
+    let configs: &[(usize, usize)] = if args.has("quick") {
+        &[(88, 5)]
+    } else {
+        &[(88, 5), (440, 5), (1200, 5)]
+    };
     let mut record = ProbeRecord {
         objects: data.len(),
         domain_bits: 14,
         threads,
-        instances: Vec::new(),
-        build_secs: Vec::new(),
-        ns_per_obj_instance: Vec::new(),
+        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        kernels: Vec::new(),
+        speedup_batched_over_scalar: Vec::new(),
         exact_join_pairs: 0,
         exact_join_secs: 0.0,
     };
-    for (k1, k2) in [(88, 5), (440, 5), (1200, 5)] {
-        let join = SpatialJoin::<2>::new(
-            &mut rng,
-            SketchConfig::new(k1, k2),
-            [14, 14],
-            EndpointStrategy::Transform,
-        );
-        let mut r = join.new_sketch_r();
-        let t = Instant::now();
-        par_insert_batch(&mut r, &data, threads).unwrap();
-        let el = t.elapsed();
-        let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
-        println!("instances {}: {el:?} total, {ns:.1} ns/(obj.inst)", k1 * k2);
-        record.instances.push(k1 * k2);
-        record.build_secs.push(el.as_secs_f64());
-        record.ns_per_obj_instance.push(ns);
+    for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
+        let mut rec = KernelRecord {
+            kernel: format!("{kernel:?}").to_lowercase(),
+            build_secs: Vec::new(),
+            ns_per_obj_instance: Vec::new(),
+        };
+        // Fresh RNG per kernel: both kernels see identical schema draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(k1, k2) in configs {
+            let join = SpatialJoin::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [14, 14],
+                EndpointStrategy::Transform,
+            );
+            let mut r = join.new_sketch_r().with_kernel(kernel);
+            let t = Instant::now();
+            par_insert_batch(&mut r, &data, threads).unwrap();
+            let el = t.elapsed();
+            let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
+            println!(
+                "{kernel:?} kernel, instances {}: {el:?} total, {ns:.1} ns/(obj.inst)",
+                k1 * k2
+            );
+            rec.build_secs.push(el.as_secs_f64());
+            rec.ns_per_obj_instance.push(ns);
+        }
+        record.kernels.push(rec);
     }
+    record.speedup_batched_over_scalar = record.kernels[0]
+        .ns_per_obj_instance
+        .iter()
+        .zip(record.kernels[1].ns_per_obj_instance.iter())
+        .map(|(scalar, batched)| scalar / batched)
+        .collect();
+    println!(
+        "batched speedup over scalar: {:?}",
+        record.speedup_batched_over_scalar
+    );
     let s: Vec<geometry::HyperRect<2>> =
         datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
     let t = Instant::now();
@@ -148,6 +192,6 @@ fn main() {
     println!("exact join 50K x 50K: {c} pairs in {el:?}");
     record.exact_join_pairs = c;
     record.exact_join_secs = el.as_secs_f64();
-    let path = spatial_bench::report::write_json("perf_probe", &record);
-    println!("wrote {}", path.display());
+    let path = spatial_bench::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
 }

@@ -118,6 +118,37 @@ pub fn write_json<T: Serialize>(name: &str, record: &T) -> PathBuf {
     path
 }
 
+/// Appends a JSON experiment record to `results/<name>.json`, keeping the
+/// file a JSON *array* with one entry per run so successive probe runs are
+/// diffable instead of overwriting each other. A pre-existing single-record
+/// file (the old `write_json` format) is absorbed as the first entry; an
+/// unparseable file is moved aside to `<name>.json.corrupt` (never silently
+/// discarded) before a fresh array is started.
+pub fn append_json<T: Serialize>(name: &str, record: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut records: Vec<serde::Value> = match fs::read_to_string(&path) {
+        Ok(text) => match serde_json::parse_value(&text) {
+            Ok(serde::Value::Seq(entries)) => entries,
+            Ok(single) => vec![single],
+            Err(e) => {
+                let aside = results_dir().join(format!("{name}.json.corrupt"));
+                fs::rename(&path, &aside).expect("preserve unparseable records file");
+                eprintln!(
+                    "warning: {} was not valid JSON ({e}); moved to {} and starting fresh",
+                    path.display(),
+                    aside.display()
+                );
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    records.push(serde::ser::to_value(record).expect("serialize record"));
+    let body = serde_json::to_string_pretty(&records).expect("serialize records");
+    fs::write(&path, body).expect("write json");
+    path
+}
+
 /// Relative error of an estimate against the truth (`|est - truth| / truth`);
 /// if the truth is zero, returns the absolute estimate (a sensible scale-free
 /// fallback for empty joins).
@@ -164,5 +195,39 @@ mod tests {
         assert_eq!(format_num(12.0), "12");
         assert_eq!(format_num(0.5), "0.5000");
         assert_eq!(format_num(1234.5), "1234.5");
+    }
+
+    #[test]
+    fn append_json_accumulates_records() {
+        #[derive(serde::Serialize)]
+        struct Rec {
+            run: u32,
+        }
+        let name = "append_json_test";
+        let path = results_dir().join(format!("{name}.json"));
+        let _ = std::fs::remove_file(&path);
+        // Legacy single-record file is absorbed as the first entry.
+        write_json(name, &Rec { run: 0 });
+        append_json(name, &Rec { run: 1 });
+        append_json(name, &Rec { run: 2 });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let runs: Vec<Rec2> = serde_json::from_str(&text).unwrap();
+        assert_eq!(runs.iter().map(|r| r.run).collect::<Vec<_>>(), [0, 1, 2]);
+
+        // A corrupt file is preserved aside, not silently discarded.
+        std::fs::write(&path, "{not json").unwrap();
+        append_json(name, &Rec { run: 9 });
+        let aside = results_dir().join(format!("{name}.json.corrupt"));
+        assert_eq!(std::fs::read_to_string(&aside).unwrap(), "{not json");
+        let runs: Vec<Rec2> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(runs.iter().map(|r| r.run).collect::<Vec<_>>(), [9]);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&aside);
+
+        #[derive(serde::Deserialize)]
+        struct Rec2 {
+            run: u32,
+        }
     }
 }

@@ -9,17 +9,41 @@
 //!
 //! The hot loop is arranged so that per-object work shared by *all*
 //! instances (dyadic covers and the GF(2^k) index cubes) is computed once
-//! into a per-object scratch, after which each instance costs only a few dozen
-//! AND/XOR/POPCNT operations per cover node.
+//! into a per-object scratch. Two kernels can then apply the scratch to the
+//! counters (see [`BuildKernel`]): the scalar reference path walks instances
+//! one at a time, while the default batched path evaluates ξ for
+//! [`BLOCK_LANES`] instances per word operation (bit-sliced seed planes,
+//! `fourwise::batch`) and walks the counter array one contiguous
+//! instance-block at a time. Both produce bit-identical counters.
 
 use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::schema::SketchSchema;
 use dyadic::{interval_cover_into, point_cover_into};
-use fourwise::IndexPre;
+use fourwise::{IndexPre, LaneCounter, BLOCK_LANES};
 use geometry::transform::{shrink_interval, triple, triple_interval};
 use geometry::{HyperRect, Interval};
 use std::sync::Arc;
+
+/// Objects per scratch chunk in [`SketchSet::update_slice`]: bounds scratch
+/// memory (a couple of KB per object) while letting one cover computation
+/// serve every instance block that streams over the chunk.
+pub(crate) const OBJ_CHUNK: usize = 128;
+
+/// Which implementation maintains the counters on insert/delete.
+///
+/// Both kernels compute the exact same integer counter updates — the scalar
+/// path is retained as the differential-test oracle and for pathological
+/// shapes (it has no per-block fixed costs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildKernel {
+    /// Per-instance scalar ξ evaluation (the original reference path).
+    Scalar,
+    /// Bit-sliced evaluation of [`BLOCK_LANES`] instances per pass with a
+    /// cache-blocked counter walk.
+    #[default]
+    Batched,
+}
 
 /// How object geometry is mapped into the sketch coordinate space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +155,59 @@ impl DimVals {
     }
 }
 
+/// One dimension's component values for a whole instance block, one lane per
+/// instance (the block analogue of `DimVals`).
+#[derive(Debug, Clone)]
+struct DimLanes {
+    interval: Vec<i64>,
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    leaf_lo: Vec<i64>,
+    leaf_hi: Vec<i64>,
+}
+
+impl DimLanes {
+    fn new() -> Self {
+        Self {
+            interval: vec![0; BLOCK_LANES],
+            lo: vec![0; BLOCK_LANES],
+            hi: vec![0; BLOCK_LANES],
+            leaf_lo: vec![0; BLOCK_LANES],
+            leaf_hi: vec![0; BLOCK_LANES],
+        }
+    }
+
+    #[inline]
+    fn get(&self, comp: Comp, lane: usize) -> i64 {
+        match comp {
+            Comp::Interval => self.interval[lane],
+            Comp::Endpoints => self.lo[lane] + self.hi[lane],
+            Comp::LowerPoint => self.lo[lane],
+            Comp::UpperPoint => self.hi[lane],
+            Comp::LowerLeaf => self.leaf_lo[lane],
+            Comp::UpperLeaf => self.leaf_hi[lane],
+        }
+    }
+}
+
+/// Reusable working memory of the batched kernel: one carry-save counter
+/// plus per-dimension component lanes. Allocated lazily and kept across
+/// updates; workers in `par` hold one each.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneScratch<const D: usize> {
+    counter: LaneCounter,
+    dims: [DimLanes; D],
+}
+
+impl<const D: usize> LaneScratch<D> {
+    pub(crate) fn new() -> Self {
+        Self {
+            counter: LaneCounter::new(),
+            dims: std::array::from_fn(|_| DimLanes::new()),
+        }
+    }
+}
+
 /// A set of atomic sketches (one per word per instance) over one relation.
 #[derive(Debug, Clone)]
 pub struct SketchSet<const D: usize> {
@@ -139,11 +216,16 @@ pub struct SketchSet<const D: usize> {
     policy: EndpointPolicy,
     data_bits: [u32; D],
     needs: [DimNeeds; D],
-    /// Counter layout: `counters[instance * words.len() + word_idx]`.
+    /// Counter layout: `counters[instance * words.len() + word_idx]` —
+    /// instance-major, so one instance block's rows are contiguous.
     counters: Vec<i64>,
     /// Net inserted object count (inserts minus deletes).
     len: i64,
+    kernel: BuildKernel,
     scratch: RectScratch<D>,
+    /// Lazily allocated batched-kernel working memory (`None` until first
+    /// batched update).
+    lanes: Option<LaneScratch<D>>,
 }
 
 impl<const D: usize> SketchSet<D> {
@@ -181,8 +263,27 @@ impl<const D: usize> SketchSet<D> {
             needs,
             counters,
             len: 0,
+            kernel: BuildKernel::default(),
             scratch: RectScratch::new(),
+            lanes: None,
         }
+    }
+
+    /// Selects the maintenance kernel (builder form).
+    pub fn with_kernel(mut self, kernel: BuildKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the maintenance kernel in place. Kernels are interchangeable
+    /// at any point: both compute bit-identical counter updates.
+    pub fn set_kernel(&mut self, kernel: BuildKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active maintenance kernel.
+    pub fn kernel(&self) -> BuildKernel {
+        self.kernel
     }
 
     /// The schema this sketch was drawn from.
@@ -243,30 +344,125 @@ impl<const D: usize> SketchSet<D> {
         let mut scratch = std::mem::replace(&mut self.scratch, RectScratch::new());
         let res = self.fill_scratch(rect, &mut scratch);
         if res.is_ok() {
-            let words = Arc::clone(&self.words);
-            for instance in 0..self.schema.instances() {
-                let row_start = instance * words.len();
-                apply_instance(
-                    &self.schema,
-                    &words,
-                    &scratch,
-                    instance,
-                    &mut self.counters[row_start..row_start + words.len()],
-                    delta,
-                );
-            }
+            self.apply_scratch(&scratch, delta);
             self.len += delta;
         }
         self.scratch = scratch;
         res
     }
 
-    /// Validates an object and fills the shared per-object scratch.
-    pub(crate) fn fill_scratch(
-        &self,
-        rect: &HyperRect<D>,
-        scratch: &mut RectScratch<D>,
-    ) -> Result<()> {
+    /// Inserts every rectangle of a slice; see [`SketchSet::update_slice`].
+    pub fn insert_slice(&mut self, rects: &[HyperRect<D>]) -> Result<()> {
+        self.update_slice(rects, 1)
+    }
+
+    /// Deletes every rectangle of a slice; see [`SketchSet::update_slice`].
+    pub fn delete_slice(&mut self, rects: &[HyperRect<D>]) -> Result<()> {
+        self.update_slice(rects, -1)
+    }
+
+    /// Applies one signed update per rectangle, amortizing the per-object
+    /// cover computation across the slice: objects are ingested in chunks of
+    /// [`OBJ_CHUNK`] scratches, and (under the batched kernel) each instance
+    /// block streams over a whole chunk before the walk moves to the next
+    /// block, so a block's counters and packed seed planes stay cache-hot.
+    ///
+    /// All rectangles are validated up front — either the whole slice
+    /// applies or the sketch is untouched.
+    pub fn update_slice(&mut self, rects: &[HyperRect<D>], delta: i64) -> Result<()> {
+        for r in rects {
+            self.validate_rect(r)?;
+        }
+        let mut scratches: Vec<RectScratch<D>> = (0..OBJ_CHUNK.min(rects.len()))
+            .map(|_| RectScratch::new())
+            .collect();
+        for chunk in rects.chunks(OBJ_CHUNK) {
+            for (slot, rect) in scratches.iter_mut().zip(chunk.iter()) {
+                self.fill_scratch(rect, slot).expect("validated above");
+            }
+            match self.kernel {
+                BuildKernel::Batched => {
+                    let mut lanes = self.lanes.take().unwrap_or_else(LaneScratch::new);
+                    let w = self.words.len();
+                    for b in 0..self.schema.instance_blocks() {
+                        let base = b * BLOCK_LANES;
+                        let rows = self.schema.seed_blocks(0)[b].lanes();
+                        for scratch in &scratches[..chunk.len()] {
+                            apply_block(
+                                &self.schema,
+                                &self.words,
+                                scratch,
+                                b,
+                                &mut lanes,
+                                &mut self.counters[base * w..(base + rows) * w],
+                                delta,
+                            );
+                        }
+                    }
+                    self.lanes = Some(lanes);
+                }
+                BuildKernel::Scalar => {
+                    let w = self.words.len();
+                    for instance in 0..self.schema.instances() {
+                        let row_start = instance * w;
+                        for scratch in &scratches[..chunk.len()] {
+                            apply_instance(
+                                &self.schema,
+                                &self.words,
+                                scratch,
+                                instance,
+                                &mut self.counters[row_start..row_start + w],
+                                delta,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.len += delta * rects.len() as i64;
+        Ok(())
+    }
+
+    /// Applies one filled scratch to every instance through the active
+    /// kernel.
+    fn apply_scratch(&mut self, scratch: &RectScratch<D>, delta: i64) {
+        let w = self.words.len();
+        match self.kernel {
+            BuildKernel::Batched => {
+                let mut lanes = self.lanes.take().unwrap_or_else(LaneScratch::new);
+                for b in 0..self.schema.instance_blocks() {
+                    let base = b * BLOCK_LANES;
+                    let rows = self.schema.seed_blocks(0)[b].lanes();
+                    apply_block(
+                        &self.schema,
+                        &self.words,
+                        scratch,
+                        b,
+                        &mut lanes,
+                        &mut self.counters[base * w..(base + rows) * w],
+                        delta,
+                    );
+                }
+                self.lanes = Some(lanes);
+            }
+            BuildKernel::Scalar => {
+                for instance in 0..self.schema.instances() {
+                    let row_start = instance * w;
+                    apply_instance(
+                        &self.schema,
+                        &self.words,
+                        scratch,
+                        instance,
+                        &mut self.counters[row_start..row_start + w],
+                        delta,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Checks that an object fits the admissible data domain.
+    pub(crate) fn validate_rect(&self, rect: &HyperRect<D>) -> Result<()> {
         for dim in 0..D {
             let iv = rect.range(dim);
             let max = (1u64 << self.data_bits[dim]) - 1;
@@ -278,6 +474,16 @@ impl<const D: usize> SketchSet<D> {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Validates an object and fills the shared per-object scratch.
+    pub(crate) fn fill_scratch(
+        &self,
+        rect: &HyperRect<D>,
+        scratch: &mut RectScratch<D>,
+    ) -> Result<()> {
+        self.validate_rect(rect)?;
         for dim in 0..D {
             let iv = rect.range(dim);
             let (geo, leaf_lo, leaf_hi) = self.policy.apply(&iv);
@@ -405,6 +611,55 @@ pub(crate) fn apply_instance<const D: usize>(
             prod *= vals[dim].get(w[dim]);
         }
         *slot += prod;
+    }
+}
+
+/// Applies one object's scratch to a whole instance block's counter rows.
+///
+/// `counter_rows` must hold exactly the block's rows (`lanes × words.len()`
+/// counters, instance-major). The per-dimension component sums for all lanes
+/// are computed by one bit-sliced pass over the cover nodes; only the final
+/// word products touch individual lanes.
+pub(crate) fn apply_block<const D: usize>(
+    schema: &SketchSchema<D>,
+    words: &[Word<D>],
+    scratch: &RectScratch<D>,
+    block: usize,
+    ls: &mut LaneScratch<D>,
+    counter_rows: &mut [i64],
+    delta: i64,
+) {
+    let lanes = schema.seed_blocks(0)[block].lanes();
+    let LaneScratch { counter, dims } = ls;
+    for (dim, dl) in dims.iter_mut().enumerate() {
+        let xb = &schema.seed_blocks(dim)[block];
+        let ds = &scratch.dims[dim];
+        if ds.geo_present {
+            xb.sum_pre_into(&ds.cover, counter, &mut dl.interval);
+            xb.sum_pre_into(&ds.pcover_lo, counter, &mut dl.lo);
+            xb.sum_pre_into(&ds.pcover_hi, counter, &mut dl.hi);
+        } else {
+            dl.interval[..lanes].fill(0);
+            dl.lo[..lanes].fill(0);
+            dl.hi[..lanes].fill(0);
+        }
+        let mask_lo = xb.eval_mask(ds.leaf_lo);
+        let mask_hi = xb.eval_mask(ds.leaf_hi);
+        for j in 0..lanes {
+            dl.leaf_lo[j] = 1 - 2 * ((mask_lo >> j) & 1) as i64;
+            dl.leaf_hi[j] = 1 - 2 * ((mask_hi >> j) & 1) as i64;
+        }
+    }
+    let w = words.len();
+    debug_assert_eq!(counter_rows.len(), lanes * w);
+    for (lane, row) in counter_rows.chunks_exact_mut(w).enumerate() {
+        for (slot, word) in row.iter_mut().zip(words.iter()) {
+            let mut prod = delta;
+            for dim in 0..D {
+                prod *= dims[dim].get(word[dim], lane);
+            }
+            *slot += prod;
+        }
     }
 }
 

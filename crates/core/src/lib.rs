@@ -26,7 +26,9 @@
 //! * [`schema`] — the shared seeds and boosting-grid shape that make
 //!   sketches combinable;
 //! * [`atomic`] — the maintained counters ([`atomic::SketchSet`]) with
-//!   streaming insert/delete and linear merge;
+//!   streaming insert/delete, linear merge, and two bit-identical
+//!   maintenance kernels ([`atomic::BuildKernel`]: scalar oracle vs batched
+//!   bit-sliced);
 //! * [`estimator`] — generic term-expansion machinery turning per-dimension
 //!   counting identities into d-dimensional estimators;
 //! * [`estimators`] — ready-made estimators for every query class in the
@@ -78,7 +80,7 @@ pub mod plan;
 pub mod schema;
 pub mod selfjoin;
 
-pub use atomic::{EndpointPolicy, SketchSet};
+pub use atomic::{BuildKernel, EndpointPolicy, SketchSet};
 pub use boost::Estimate;
 pub use comp::{complement, ie_words, word_name, Comp, Word};
 pub use error::{Result, SketchError};

@@ -3,12 +3,18 @@
 //! Sketch instances are mutually independent, so bulk-loading parallelizes
 //! perfectly across the instance axis: the per-object dyadic covers and
 //! GF(2^k) cubes are computed once (they are seed-independent), then worker
-//! threads apply them to disjoint slices of the counter array. This is how
-//! the experiment harness affords the paper's thousands-of-instances
-//! configurations.
+//! threads apply them to disjoint slices of the counter array. Under the
+//! default [`BuildKernel::Batched`] kernel the split is aligned to whole
+//! [`BLOCK_LANES`]-instance blocks so each worker runs the bit-sliced kernel
+//! over its own contiguous counter range; the scalar kernel splits per
+//! instance as before. This is how the experiment harness affords the
+//! paper's thousands-of-instances configurations.
 
-use crate::atomic::{apply_instance, RectScratch, SketchSet};
+use crate::atomic::{
+    apply_block, apply_instance, BuildKernel, LaneScratch, RectScratch, SketchSet,
+};
 use crate::error::Result;
+use fourwise::BLOCK_LANES;
 use geometry::HyperRect;
 
 /// Objects per scratch block: bounds the scratch memory (a few KB per
@@ -28,16 +34,21 @@ pub fn par_update_batch<const D: usize>(
 ) -> Result<()> {
     let threads = threads.max(1);
     // Validate everything first so failures cannot leave partial state.
-    let mut probe = RectScratch::new();
     for r in rects {
-        sketch.fill_scratch(r, &mut probe)?;
+        sketch.validate_rect(r)?;
     }
 
     let schema = sketch.schema().clone();
     let words = sketch.words().clone();
     let w = words.len();
     let instances = schema.instances();
-    let per_thread = instances.div_ceil(threads);
+    let kernel = sketch.kernel();
+    // Batched workers own whole instance blocks: lanes never straddle a
+    // worker boundary, so each worker's counter chunk stays block-aligned.
+    let per_thread = match kernel {
+        BuildKernel::Scalar => instances.div_ceil(threads),
+        BuildKernel::Batched => schema.instance_blocks().div_ceil(threads) * BLOCK_LANES,
+    };
 
     let mut scratches: Vec<RectScratch<D>> = (0..BLOCK.min(rects.len().max(1)))
         .map(|_| RectScratch::new())
@@ -53,12 +64,30 @@ pub fn par_update_batch<const D: usize>(
             for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
                 let schema = &schema;
                 let words = &words;
-                scope.spawn(move || {
-                    let base = t * per_thread;
-                    for (j, row) in chunk.chunks_mut(w).enumerate() {
-                        let inst = base + j;
-                        for scratch in filled {
-                            apply_instance(schema, words, scratch, inst, row, delta);
+                scope.spawn(move || match kernel {
+                    BuildKernel::Scalar => {
+                        let base = t * per_thread;
+                        for (j, row) in chunk.chunks_mut(w).enumerate() {
+                            let inst = base + j;
+                            for scratch in filled {
+                                apply_instance(schema, words, scratch, inst, row, delta);
+                            }
+                        }
+                    }
+                    BuildKernel::Batched => {
+                        let mut lanes = LaneScratch::new();
+                        let mut b = t * per_thread / BLOCK_LANES;
+                        let mut rest = chunk;
+                        while !rest.is_empty() {
+                            let rows = schema.seed_blocks(0)[b].lanes();
+                            let (block_rows, tail) = rest.split_at_mut(rows * w);
+                            for scratch in filled {
+                                apply_block(
+                                    schema, words, scratch, b, &mut lanes, block_rows, delta,
+                                );
+                            }
+                            rest = tail;
+                            b += 1;
                         }
                     }
                 });
@@ -121,10 +150,43 @@ mod tests {
         for r in &data {
             seq.insert(r).unwrap();
         }
-        for threads in [1usize, 2, 3, 8] {
+        for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+                    .with_kernel(kernel);
+                par_insert_batch(&mut par, &data, threads).unwrap();
+                assert_eq!(par.len(), seq.len());
+                for inst in 0..schema.instances() {
+                    assert_eq!(
+                        par.instance_counters(inst),
+                        seq.instance_counters(inst),
+                        "kernel={kernel:?} threads={threads} inst={inst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_across_block_boundary() {
+        // 70 instances: one full 64-lane block plus a 6-lane tail, split
+        // across workers that cannot divide it evenly.
+        let mut rng = StdRng::seed_from_u64(104);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(35, 2),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let data = rects(80, 5);
+        let mut seq = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        for r in &data {
+            seq.insert(r).unwrap();
+        }
+        for threads in [1usize, 2, 5] {
             let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
             par_insert_batch(&mut par, &data, threads).unwrap();
-            assert_eq!(par.len(), seq.len());
             for inst in 0..schema.instances() {
                 assert_eq!(
                     par.instance_counters(inst),

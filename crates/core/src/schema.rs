@@ -10,7 +10,7 @@
 
 use crate::error::{Result, SketchError};
 use dyadic::DyadicDomain;
-use fourwise::{XiContext, XiKind, XiSeed};
+use fourwise::{XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -82,6 +82,10 @@ pub struct SketchSchema<const D: usize> {
     xi_ctx: [XiContext; D],
     /// One seed per (instance, dimension); instance `i = row * k1 + col`.
     seeds: Vec<[XiSeed; D]>,
+    /// Per dimension, the instance seeds re-packed into bit-sliced
+    /// evaluation blocks of [`BLOCK_LANES`] consecutive instances (the last
+    /// block may be partial) — the batched build kernel's working set.
+    seed_blocks: [Vec<XiBlock>; D],
 }
 
 impl<const D: usize> SketchSchema<D> {
@@ -106,6 +110,7 @@ impl<const D: usize> SketchSchema<D> {
             }
             seeds.push(row);
         }
+        let seed_blocks = pack_seed_blocks(&xi_ctx, &seeds);
         Arc::new(Self {
             id: SCHEMA_COUNTER.fetch_add(1, Ordering::Relaxed),
             kind,
@@ -114,6 +119,7 @@ impl<const D: usize> SketchSchema<D> {
             dyadic,
             xi_ctx,
             seeds,
+            seed_blocks,
         })
     }
 
@@ -129,7 +135,9 @@ impl<const D: usize> SketchSchema<D> {
     ) -> Arc<Self> {
         assert_eq!(seeds.len(), shape.instances(), "seed/shape mismatch");
         let dyadic = dims.map(|d| DyadicDomain::new(d.sketch_bits));
-        let xi_ctx = std::array::from_fn(|i| XiContext::new(kind, dims[i].sketch_bits + 1));
+        let xi_ctx: [XiContext; D] =
+            std::array::from_fn(|i| XiContext::new(kind, dims[i].sketch_bits + 1));
+        let seed_blocks = pack_seed_blocks(&xi_ctx, &seeds);
         Arc::new(Self {
             id: SCHEMA_COUNTER.fetch_add(1, Ordering::Relaxed),
             kind,
@@ -138,6 +146,7 @@ impl<const D: usize> SketchSchema<D> {
             dyadic,
             xi_ctx,
             seeds,
+            seed_blocks,
         })
     }
 
@@ -181,6 +190,18 @@ impl<const D: usize> SketchSchema<D> {
         &self.seeds[instance]
     }
 
+    /// Bit-sliced evaluation blocks of dimension `dim`: block `b` packs the
+    /// seeds of instances `[b·BLOCK_LANES, (b+1)·BLOCK_LANES)` (the last
+    /// block holds the remainder).
+    pub fn seed_blocks(&self, dim: usize) -> &[XiBlock] {
+        &self.seed_blocks[dim]
+    }
+
+    /// Number of instance blocks ([`BLOCK_LANES`]-sized groups) per dimension.
+    pub fn instance_blocks(&self) -> usize {
+        self.instances().div_ceil(BLOCK_LANES)
+    }
+
     /// Validates that a sketch coordinate fits dimension `dim`.
     pub fn check_coord(&self, dim: usize, coord: u64) -> Result<()> {
         let max = (1u64 << self.dims[dim].sketch_bits) - 1;
@@ -201,6 +222,23 @@ impl<const D: usize> SketchSchema<D> {
             .sum();
         self.instances() as u64 * per_dim
     }
+}
+
+/// Transposes per-instance seed rows into per-dimension block columns of
+/// [`BLOCK_LANES`] instances each.
+fn pack_seed_blocks<const D: usize>(
+    xi_ctx: &[XiContext; D],
+    seeds: &[[XiSeed; D]],
+) -> [Vec<XiBlock>; D] {
+    std::array::from_fn(|dim| {
+        seeds
+            .chunks(BLOCK_LANES)
+            .map(|chunk| {
+                let col: Vec<XiSeed> = chunk.iter().map(|row| row[dim]).collect();
+                XiBlock::pack(&xi_ctx[dim], &col)
+            })
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -262,6 +300,35 @@ mod tests {
         );
         // node bits = 11, per-family seed = 2*11+1 = 23 bits, 4 instances.
         assert_eq!(s.seed_bits(), 4 * 23);
+    }
+
+    #[test]
+    fn seed_blocks_cover_all_instances() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // 65 instances: one full 64-lane block plus a 1-lane tail.
+        let s = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(13, 5),
+            [DimSpec::dyadic(8); 2],
+        );
+        assert_eq!(s.instance_blocks(), 2);
+        for dim in 0..2 {
+            let blocks = s.seed_blocks(dim);
+            assert_eq!(blocks.len(), 2);
+            assert_eq!(blocks[0].lanes(), 64);
+            assert_eq!(blocks[1].lanes(), 1);
+        }
+        // Block lanes evaluate exactly the per-instance families.
+        let ctx = &s.xi_ctx()[1];
+        let pre = ctx.precompute(37);
+        for inst in [0usize, 63, 64] {
+            let fam = ctx.family(s.instance_seeds(inst)[1]);
+            let block = &s.seed_blocks(1)[inst / 64];
+            let lane = inst % 64;
+            let got = 1 - 2 * ((block.eval_mask(pre) >> lane) & 1) as i64;
+            assert_eq!(got, fam.xi_pre(pre), "instance {inst}");
+        }
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Differential suite: the batched build kernel against the scalar oracle.
+//!
+//! The batched kernel (`BuildKernel::Batched`, bit-sliced ξ evaluation with
+//! a cache-blocked counter walk) must produce **bit-identical** `SketchSet`
+//! counters to the scalar reference path for every construction, endpoint
+//! policy, dimensionality and insert/delete mix — sketches are exact integer
+//! linear summaries, so any divergence at all is a kernel bug.
+//!
+//! Seeded stand-ins for property tests: each configuration streams ≥200
+//! random objects (with interleaved deletions of earlier inserts) through
+//! both kernels and compares every counter.
+
+use geometry::{HyperRect, Interval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketch::{
+    ie_words, BoostShape, BuildKernel, Comp, DimSpec, EndpointPolicy, SketchSchema, SketchSet, Word,
+};
+use std::sync::Arc;
+
+const POLICIES: [EndpointPolicy; 3] = [
+    EndpointPolicy::Raw,
+    EndpointPolicy::Tripled,
+    EndpointPolicy::TripledShrunk,
+];
+
+/// Every component class in one word list: the `{I,E}^D` join words plus
+/// point- and leaf-reading words (range/containment/ε-join shapes).
+fn all_comp_words<const D: usize>() -> Vec<Word<D>> {
+    let mut words = ie_words::<D>();
+    words.push([Comp::LowerPoint; D]);
+    words.push([Comp::UpperPoint; D]);
+    words.push([Comp::LowerLeaf; D]);
+    words.push([Comp::UpperLeaf; D]);
+    // A mixed word exercising different components per dimension.
+    let cycle = [Comp::Interval, Comp::LowerLeaf, Comp::UpperPoint];
+    words.push(std::array::from_fn(|d| cycle[d % cycle.len()]));
+    words
+}
+
+fn rand_rect<const D: usize>(rng: &mut StdRng, max: u64) -> HyperRect<D> {
+    HyperRect::new(std::array::from_fn(|_| {
+        let a = rng.gen_range(0..=max);
+        let b = rng.gen_range(0..=max);
+        Interval::new(a.min(b), a.max(b))
+    }))
+}
+
+fn assert_identical<const D: usize>(scalar: &SketchSet<D>, batched: &SketchSet<D>, label: &str) {
+    assert_eq!(scalar.len(), batched.len(), "{label}: net length diverged");
+    for inst in 0..scalar.schema().instances() {
+        assert_eq!(
+            scalar.instance_counters(inst),
+            batched.instance_counters(inst),
+            "{label}: instance {inst} diverged"
+        );
+    }
+}
+
+/// Streams a seeded insert/delete mix through both kernels and demands
+/// bit-identical counters after every phase of the stream.
+fn run_config<const D: usize>(
+    kind: fourwise::XiKind,
+    policy: EndpointPolicy,
+    shape: BoostShape,
+    seed: u64,
+) {
+    let label = format!("{kind:?}/{policy:?}/{D}d/{}x{}", shape.k1, shape.k2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = SketchSchema::<D>::new(&mut rng, kind, shape, [DimSpec::dyadic(8); D]);
+    let words = Arc::new(all_comp_words::<D>());
+    let mut scalar =
+        SketchSet::new(schema.clone(), words.clone(), policy).with_kernel(BuildKernel::Scalar);
+    let mut batched = SketchSet::new(schema, words, policy);
+    assert_eq!(batched.kernel(), BuildKernel::Batched, "batched is default");
+    let max = (1u64 << scalar.data_bits()[0]) - 1;
+
+    let mut live: Vec<HyperRect<D>> = Vec::new();
+    let mut inserted = 0usize;
+    let mut step = 0usize;
+    // ≥200 random objects per configuration, with ~30% interleaved deletes.
+    while inserted < 210 {
+        if !live.is_empty() && rng.gen_range(0..10u32) < 3 {
+            let r = live.swap_remove(rng.gen_range(0..live.len()));
+            scalar.delete(&r).unwrap();
+            batched.delete(&r).unwrap();
+        } else {
+            let r = rand_rect::<D>(&mut rng, max);
+            scalar.insert(&r).unwrap();
+            batched.insert(&r).unwrap();
+            live.push(r);
+            inserted += 1;
+        }
+        step += 1;
+        if step % 75 == 74 {
+            assert_identical(&scalar, &batched, &label);
+        }
+    }
+    assert_identical(&scalar, &batched, &label);
+
+    // Drain: linearity means both kernels return to exactly zero together.
+    for r in live.drain(..) {
+        scalar.delete(&r).unwrap();
+        batched.delete(&r).unwrap();
+    }
+    assert_identical(&scalar, &batched, &label);
+    assert!(batched.instance_counters(0).iter().all(|&c| c == 0));
+}
+
+/// 67 instances: one full 64-lane block plus a 3-lane tail.
+const BLOCK_SPANNING: BoostShape = BoostShape { k1: 67, k2: 1 };
+
+#[test]
+fn differential_bch_all_policies_1d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<1>(
+            fourwise::XiKind::Bch,
+            policy,
+            BLOCK_SPANNING,
+            900 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_bch_all_policies_2d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<2>(
+            fourwise::XiKind::Bch,
+            policy,
+            BLOCK_SPANNING,
+            910 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_bch_all_policies_3d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<3>(
+            fourwise::XiKind::Bch,
+            policy,
+            BLOCK_SPANNING,
+            920 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_poly_all_policies_1d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<1>(
+            fourwise::XiKind::Poly,
+            policy,
+            BLOCK_SPANNING,
+            930 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_poly_all_policies_2d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<2>(
+            fourwise::XiKind::Poly,
+            policy,
+            BLOCK_SPANNING,
+            940 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_poly_all_policies_3d() {
+    for (i, policy) in POLICIES.into_iter().enumerate() {
+        run_config::<3>(
+            fourwise::XiKind::Poly,
+            policy,
+            BLOCK_SPANNING,
+            950 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn differential_instance_shapes() {
+    // Below, exactly at, and just above the lane width, plus a multi-block
+    // shape — tail handling must stay identical everywhere.
+    for (i, (k1, k2)) in [(5, 1), (64, 1), (13, 5), (64, 3)].into_iter().enumerate() {
+        run_config::<2>(
+            fourwise::XiKind::Bch,
+            EndpointPolicy::Tripled,
+            BoostShape::new(k1, k2),
+            960 + i as u64,
+        );
+    }
+}
+
+#[test]
+fn slice_ingestion_matches_streaming_inserts() {
+    let mut rng = StdRng::seed_from_u64(70);
+    let schema = SketchSchema::<2>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(33, 2),
+        [DimSpec::dyadic(8); 2],
+    );
+    let words = Arc::new(all_comp_words::<2>());
+    let data: Vec<HyperRect<2>> = (0..300).map(|_| rand_rect::<2>(&mut rng, 255)).collect();
+
+    let mut streamed = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+        .with_kernel(BuildKernel::Scalar);
+    for r in &data {
+        streamed.insert(r).unwrap();
+    }
+    for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
+        let mut sliced =
+            SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw).with_kernel(kernel);
+        sliced.insert_slice(&data).unwrap();
+        assert_identical(&streamed, &sliced, &format!("insert_slice/{kernel:?}"));
+        sliced.delete_slice(&data[..150]).unwrap();
+        let mut partial = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+            .with_kernel(BuildKernel::Scalar);
+        for r in &data[150..] {
+            partial.insert(r).unwrap();
+        }
+        assert_identical(&partial, &sliced, &format!("delete_slice/{kernel:?}"));
+    }
+}
+
+#[test]
+fn slice_ingestion_validates_up_front() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let schema = SketchSchema::<2>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(4, 2),
+        [DimSpec::dyadic(8); 2],
+    );
+    let words = Arc::new(ie_words::<2>());
+    let mut sk = SketchSet::new(schema, words, EndpointPolicy::Raw);
+    let mut data: Vec<HyperRect<2>> = (0..20).map(|_| rand_rect::<2>(&mut rng, 255)).collect();
+    data.push(HyperRect::new([
+        Interval::new(0, 400), // out of the 8-bit domain
+        Interval::new(0, 1),
+    ]));
+    assert!(sk.insert_slice(&data).is_err());
+    assert_eq!(sk.len(), 0);
+    assert!((0..sk.schema().instances()).all(|i| sk.instance_counters(i).iter().all(|&c| c == 0)));
+}
+
+#[test]
+fn kernels_are_switchable_mid_stream() {
+    // A sketch may swap kernels at any point without perturbing its state.
+    let mut rng = StdRng::seed_from_u64(72);
+    let schema = SketchSchema::<2>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(20, 1),
+        [DimSpec::dyadic(8); 2],
+    );
+    let words = Arc::new(ie_words::<2>());
+    let data: Vec<HyperRect<2>> = (0..120).map(|_| rand_rect::<2>(&mut rng, 255)).collect();
+
+    let mut oracle = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+        .with_kernel(BuildKernel::Scalar);
+    let mut mixed = SketchSet::new(schema, words, EndpointPolicy::Raw);
+    for (i, r) in data.iter().enumerate() {
+        oracle.insert(r).unwrap();
+        if i == 60 {
+            mixed.set_kernel(BuildKernel::Scalar);
+        }
+        mixed.insert(r).unwrap();
+    }
+    assert_identical(&oracle, &mixed, "mid-stream kernel switch");
+}

@@ -1,0 +1,434 @@
+//! Bit-sliced multi-instance ξ evaluation: the batched build kernel's core.
+//!
+//! Sketch maintenance evaluates the *same* index against thousands of
+//! independent family instances. The scalar path ([`XiFamily::xi_pre`])
+//! dispatches per instance and pays a popcount each time. This module
+//! transposes the problem: the seeds of up to [`BLOCK_LANES`] instances are
+//! packed into *bit planes* (`plane[b]` holds bit `b` of every lane's seed),
+//! so one index is evaluated for the whole block with one XOR per set bit of
+//! the index — `O(k)` word operations for 64 instances instead of `O(k)` per
+//! instance.
+//!
+//! For the BCH family the sign of lane `j` is
+//! `b0_j ⊕ <s1_j, i> ⊕ <s3_j, i³>`; XOR-ing the `s1` plane of every set bit
+//! of `i` and the `s3` plane of every set bit of `i³` computes all 64 inner
+//! products simultaneously (the classic bit-slicing of GF(2) linear forms).
+//! The polynomial family is not linear over GF(2), so its block falls back
+//! to per-lane Horner evaluation behind the same interface — the batched
+//! kernel stays construction-agnostic and bit-identical either way.
+//!
+//! Component sums over dyadic covers use [`LaneCounter`], a carry-save adder
+//! network over sign masks: per cover node the block mask is folded into
+//! vertical counter planes (two word ops per occupied plane), and per-lane
+//! sums are extracted once at the end. Summing a ±1 mask `m` over `n` nodes
+//! is `n - 2·ones(lane)`, exactly the integer sum the scalar oracle computes.
+
+use crate::family::{IndexPre, XiContext, XiKind, XiSeed};
+use crate::poly::PolyFamily;
+
+#[cfg(doc)]
+use crate::family::XiFamily;
+
+/// Instances per block: one lane per bit of a machine word.
+pub const BLOCK_LANES: usize = 64;
+
+/// Upper bound on the number of masks a [`LaneCounter`] can absorb
+/// (`2^PLANES - 1`). Dyadic covers have at most `2·bits ≤ 126` nodes, within
+/// bounds for every supported domain.
+const PLANES: usize = 8;
+
+/// Packed seeds of up to [`BLOCK_LANES`] BCH family instances over one
+/// domain, stored as bit planes for one-pass block evaluation.
+#[derive(Debug, Clone)]
+pub struct BchBlock {
+    lanes: u32,
+    /// Lane `j` holds seed `j`'s sign-flip bit.
+    b0: u64,
+    /// `s1[b]` lane `j` = bit `b` of seed `j`'s first-order mask.
+    s1: Box<[u64]>,
+    /// `s3[b]` lane `j` = bit `b` of seed `j`'s third-order mask.
+    s3: Box<[u64]>,
+}
+
+impl BchBlock {
+    fn pack(seeds: impl Iterator<Item = crate::bch::BchSeed>, k: u32) -> Self {
+        let mut b0 = 0u64;
+        let mut s1 = vec![0u64; k as usize].into_boxed_slice();
+        let mut s3 = vec![0u64; k as usize].into_boxed_slice();
+        let mut lanes = 0u32;
+        for (j, seed) in seeds.enumerate() {
+            assert!(
+                j < BLOCK_LANES,
+                "xi block holds at most {BLOCK_LANES} seeds"
+            );
+            b0 |= (seed.b0 as u64) << j;
+            for (b, plane) in s1.iter_mut().enumerate() {
+                *plane |= ((seed.s1 >> b) & 1) << j;
+            }
+            for (b, plane) in s3.iter_mut().enumerate() {
+                *plane |= ((seed.s3 >> b) & 1) << j;
+            }
+            lanes += 1;
+        }
+        Self { lanes, b0, s1, s3 }
+    }
+
+    /// Sign mask of the block at one index: bit `j` set ⇔ lane `j`'s
+    /// `xi = -1`. Bits at or above [`BchBlock::lanes`] are unspecified.
+    #[inline]
+    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
+        let mut acc = self.b0;
+        let mut i = pre.index;
+        while i != 0 {
+            acc ^= self.s1[i.trailing_zeros() as usize];
+            i &= i - 1;
+        }
+        let mut c = pre.cube;
+        while c != 0 {
+            acc ^= self.s3[c.trailing_zeros() as usize];
+            c &= c - 1;
+        }
+        acc
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+}
+
+/// Block of polynomial family instances. The construction is not GF(2)-linear
+/// so lanes evaluate individually, packed into the same mask interface.
+#[derive(Debug, Clone)]
+pub struct PolyBlock {
+    fams: Vec<PolyFamily>,
+}
+
+impl PolyBlock {
+    /// Sign mask at one index (see [`BchBlock::eval_mask`]).
+    #[inline]
+    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
+        let mut mask = 0u64;
+        for (j, fam) in self.fams.iter().enumerate() {
+            mask |= (((1 - fam.xi(pre.index)) >> 1) as u64) << j;
+        }
+        mask
+    }
+}
+
+/// Packed evaluation block for up to [`BLOCK_LANES`] family instances.
+///
+/// The block analogue of [`XiFamily`]: built once per (schema, dimension,
+/// instance block) and reused for every update.
+#[derive(Debug, Clone)]
+pub enum XiBlock {
+    /// Bit-sliced BCH block.
+    Bch(BchBlock),
+    /// Per-lane polynomial block.
+    Poly(PolyBlock),
+}
+
+impl XiBlock {
+    /// Packs a block from per-instance seeds drawn for `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty, holds more than [`BLOCK_LANES`] entries,
+    /// or any seed kind does not match the context kind.
+    pub fn pack(ctx: &XiContext, seeds: &[XiSeed]) -> Self {
+        assert!(
+            !seeds.is_empty() && seeds.len() <= BLOCK_LANES,
+            "xi blocks hold 1..={BLOCK_LANES} seeds, got {}",
+            seeds.len()
+        );
+        match ctx.kind() {
+            XiKind::Bch => XiBlock::Bch(BchBlock::pack(
+                seeds.iter().map(|s| match s {
+                    XiSeed::Bch(b) => *b,
+                    XiSeed::Poly(_) => panic!("xi seed kind does not match context kind"),
+                }),
+                ctx.bits(),
+            )),
+            XiKind::Poly => XiBlock::Poly(PolyBlock {
+                fams: seeds
+                    .iter()
+                    .map(|s| match s {
+                        XiSeed::Poly(p) => PolyFamily::new(*p),
+                        XiSeed::Bch(_) => panic!("xi seed kind does not match context kind"),
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Number of occupied lanes.
+    pub fn lanes(&self) -> usize {
+        match self {
+            XiBlock::Bch(b) => b.lanes(),
+            XiBlock::Poly(p) => p.fams.len(),
+        }
+    }
+
+    /// Sign mask of the whole block at one index: bit `j` set ⇔ lane `j`'s
+    /// `xi_i = -1`. Bits at or above [`XiBlock::lanes`] are unspecified.
+    #[inline]
+    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
+        match self {
+            XiBlock::Bch(b) => b.eval_mask(pre),
+            XiBlock::Poly(p) => p.eval_mask(pre),
+        }
+    }
+
+    /// Per-lane `Σ xi` over a precomputed index list — the block analogue of
+    /// [`XiFamily::sum_pre`]. Writes `out[j]` for every occupied lane `j`
+    /// (`out` must hold at least [`XiBlock::lanes`] entries); `counter` is
+    /// cleared and reused as carry-save scratch. Lists longer than
+    /// [`LaneCounter::CAPACITY`] are folded in chunks.
+    #[inline]
+    pub fn sum_pre_into(&self, pres: &[IndexPre], counter: &mut LaneCounter, out: &mut [i64]) {
+        let out = &mut out[..self.lanes()];
+        let mut chunks = pres.chunks(LaneCounter::CAPACITY as usize);
+        // First chunk writes, later chunks accumulate; covers are far below
+        // capacity, so the hot path is exactly one write pass.
+        let first = chunks.next().unwrap_or(&[]);
+        counter.clear();
+        for p in first {
+            counter.add_mask(self.eval_mask(*p));
+        }
+        counter.signed_sums_into(out);
+        for chunk in chunks {
+            counter.clear();
+            for p in chunk {
+                counter.add_mask(self.eval_mask(*p));
+            }
+            counter.signed_sums_accum(out);
+        }
+    }
+}
+
+/// Vertical (bit-sliced) per-lane counter: accumulates sign masks with a
+/// carry-save adder network and extracts per-lane ±1 sums at the end.
+#[derive(Debug, Clone, Default)]
+pub struct LaneCounter {
+    /// `planes[p]` lane `j` = bit `p` of lane `j`'s count of set masks.
+    planes: [u64; PLANES],
+    added: u32,
+}
+
+impl LaneCounter {
+    /// Most masks one counter can absorb between clears.
+    pub const CAPACITY: u32 = (1 << PLANES) - 1;
+
+    /// Fresh all-zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the all-zero state.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.planes = [0; PLANES];
+        self.added = 0;
+    }
+
+    /// Number of masks absorbed since the last clear.
+    pub fn len(&self) -> u32 {
+        self.added
+    }
+
+    /// Whether no masks have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.added == 0
+    }
+
+    /// Folds one sign mask into the per-lane counts (ripple-carry over the
+    /// occupied planes; amortized ~2 word ops per mask).
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`LaneCounter::CAPACITY`] masks — a silent wrap would
+    /// corrupt every lane's count, so the limit is enforced in release
+    /// builds too (the predictable branch costs ~1 cycle per mask).
+    #[inline]
+    pub fn add_mask(&mut self, mask: u64) {
+        assert!(
+            self.added < Self::CAPACITY,
+            "LaneCounter overflow: more than {} masks",
+            Self::CAPACITY
+        );
+        let mut carry = mask;
+        for plane in &mut self.planes {
+            if carry == 0 {
+                break;
+            }
+            let t = *plane & carry;
+            *plane ^= carry;
+            carry = t;
+        }
+        self.added += 1;
+    }
+
+    /// Count of set mask bits seen by one lane.
+    #[inline]
+    pub fn count(&self, lane: usize) -> u32 {
+        let mut c = 0u32;
+        for (p, plane) in self.planes.iter().enumerate() {
+            c += (((plane >> lane) & 1) as u32) << p;
+        }
+        c
+    }
+
+    /// Writes, per lane, the signed sum `Σ (1 - 2·bit) = added - 2·count`
+    /// (interpreting each absorbed mask bit as a ±1 value, set ⇒ −1).
+    #[inline]
+    pub fn signed_sums_into(&self, out: &mut [i64]) {
+        self.signed_sums(out, false)
+    }
+
+    /// Like [`LaneCounter::signed_sums_into`] but adds into `out` instead of
+    /// overwriting (used to fold capacity-sized chunks of longer lists).
+    #[inline]
+    pub fn signed_sums_accum(&self, out: &mut [i64]) {
+        self.signed_sums(out, true)
+    }
+
+    #[inline]
+    fn signed_sums(&self, out: &mut [i64], accumulate: bool) {
+        debug_assert!(out.len() <= BLOCK_LANES);
+        let n = self.added as i64;
+        // Only the planes a count of `added` can reach carry information.
+        let top = PLANES.min((32 - self.added.leading_zeros()) as usize);
+        for (j, slot) in out.iter_mut().enumerate() {
+            let mut c = 0u64;
+            for (p, plane) in self.planes[..top].iter().enumerate() {
+                c += ((plane >> j) & 1) << p;
+            }
+            let sum = n - 2 * c as i64;
+            *slot = if accumulate { *slot + sum } else { sum };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::XiFamily;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    fn random_block(kind: XiKind, k: u32, lanes: usize, seed: u64) -> (XiContext, Vec<XiSeed>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ctx = XiContext::new(kind, k);
+        let seeds: Vec<XiSeed> = (0..lanes).map(|_| ctx.random_seed(&mut rng)).collect();
+        (ctx, seeds)
+    }
+
+    #[test]
+    fn eval_mask_matches_scalar_families() {
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            for lanes in [1usize, 7, 64] {
+                let (ctx, seeds) = random_block(kind, 12, lanes, 31 + lanes as u64);
+                let block = XiBlock::pack(&ctx, &seeds);
+                assert_eq!(block.lanes(), lanes);
+                let fams: Vec<XiFamily> = seeds.iter().map(|&s| ctx.family(s)).collect();
+                for i in [0u64, 1, 2, 77, 4095] {
+                    let pre = ctx.precompute(i);
+                    let mask = block.eval_mask(pre);
+                    for (j, fam) in fams.iter().enumerate() {
+                        let expect = fam.xi_pre(pre);
+                        let got = 1 - 2 * ((mask >> j) & 1) as i64;
+                        assert_eq!(got, expect, "{kind:?} lane {j} index {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_pre_into_matches_scalar_sum() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            // 100 stays within one LaneCounter chunk; 1000 forces the
+            // multi-chunk accumulation path.
+            for n in [100usize, 1000] {
+                let (ctx, seeds) = random_block(kind, 10, 64, 77);
+                let block = XiBlock::pack(&ctx, &seeds);
+                let pres: Vec<IndexPre> = (0..n)
+                    .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
+                    .collect();
+                let mut counter = LaneCounter::new();
+                let mut sums = [0i64; BLOCK_LANES];
+                block.sum_pre_into(&pres, &mut counter, &mut sums);
+                for (j, &seed) in seeds.iter().enumerate() {
+                    let fam = ctx.family(seed);
+                    assert_eq!(sums[j], fam.sum_pre(&pres), "{kind:?} n={n} lane {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_pre_into_empty_list_is_zero() {
+        let (ctx, seeds) = random_block(XiKind::Bch, 8, 3, 11);
+        let block = XiBlock::pack(&ctx, &seeds);
+        let mut counter = LaneCounter::new();
+        let mut sums = [7i64; BLOCK_LANES];
+        block.sum_pre_into(&[], &mut counter, &mut sums);
+        assert_eq!(&sums[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn lane_counter_counts_and_sums() {
+        let mut c = LaneCounter::new();
+        // Lane 0 sees 5 set bits, lane 1 sees 2, lane 63 sees 0, of 5 masks.
+        let masks = [0b01u64, 0b11, 0b01, 0b11, 0b01];
+        for m in masks {
+            c.add_mask(m);
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.count(0), 5);
+        assert_eq!(c.count(1), 2);
+        assert_eq!(c.count(63), 0);
+        let mut sums = [0i64; 64];
+        c.signed_sums_into(&mut sums);
+        assert_eq!(sums[0], -5); // five -1s
+        assert_eq!(sums[1], 1); // two -1s, three +1s
+        assert_eq!(sums[63], 5); // five +1s
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.count(0), 0);
+    }
+
+    #[test]
+    fn lane_counter_near_capacity() {
+        // Covers can reach ~126 nodes; exercise counts well past 64.
+        let mut c = LaneCounter::new();
+        for _ in 0..200 {
+            c.add_mask(u64::MAX);
+        }
+        for lane in [0usize, 31, 63] {
+            assert_eq!(c.count(lane), 200);
+        }
+        let mut sums = [0i64; 1];
+        c.signed_sums_into(&mut sums);
+        assert_eq!(sums[0], -200);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn pack_rejects_mismatched_seed_kind() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let poly_ctx = XiContext::new(XiKind::Poly, 8);
+        let seed = poly_ctx.random_seed(&mut rng);
+        let bch_ctx = XiContext::new(XiKind::Bch, 8);
+        let _ = XiBlock::pack(&bch_ctx, &[seed]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 seeds")]
+    fn pack_rejects_oversized_block() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ctx = XiContext::new(XiKind::Bch, 8);
+        let seeds: Vec<XiSeed> = (0..65).map(|_| ctx.random_seed(&mut rng)).collect();
+        let _ = XiBlock::pack(&ctx, &seeds);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for `fourwise::batch` across the cube-table boundary.
+//!
+//! `XiContext` eagerly tabulates GF(2^k) cubes for `k <=`
+//! [`CUBE_TABLE_MAX_BITS`] and computes them on the fly above it; the block
+//! evaluation path consumes `IndexPre` either way and must agree with the
+//! scalar `XiFamily` evaluation bit for bit on both sides of the boundary.
+//!
+//! Seeded stand-ins for property tests (deterministic randomized loops).
+
+use fourwise::{
+    IndexPre, LaneCounter, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES, CUBE_TABLE_MAX_BITS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domains straddling the table/no-table split (table for 20 and 21, on-the-
+/// fly field arithmetic for 22).
+const BOUNDARY_KS: [u32; 3] = [
+    CUBE_TABLE_MAX_BITS - 1,
+    CUBE_TABLE_MAX_BITS,
+    CUBE_TABLE_MAX_BITS + 1,
+];
+
+#[test]
+fn boundary_constants_still_straddle() {
+    // The satellite contract: k = 20, 21, 22 crosses the tabulation cutoff.
+    assert_eq!(CUBE_TABLE_MAX_BITS, 21);
+    assert_eq!(BOUNDARY_KS, [20, 21, 22]);
+}
+
+#[test]
+fn size_one_blocks_equal_family_evaluation() {
+    for k in BOUNDARY_KS {
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            let ctx = XiContext::new(kind, k);
+            let mut rng = StdRng::seed_from_u64(1000 + k as u64);
+            for trial in 0..8 {
+                let seed = ctx.random_seed(&mut rng);
+                let block = XiBlock::pack(&ctx, &[seed]);
+                assert_eq!(block.lanes(), 1);
+                let fam = ctx.family(seed);
+                let top = (1u64 << k) - 1;
+                for t in 0..200u64 {
+                    // Deterministic spread plus random draws, hitting both
+                    // domain ends.
+                    let i = match t {
+                        0 => 0,
+                        1 => top,
+                        _ => rng.gen_range(0..=top),
+                    };
+                    let pre = ctx.precompute(i);
+                    let mask = block.eval_mask(pre);
+                    let got = 1 - 2 * ((mask & 1) as i64);
+                    assert_eq!(
+                        got,
+                        fam.xi_pre(pre),
+                        "{kind:?} k={k} trial={trial} index={i}"
+                    );
+                    assert_eq!(fam.xi_pre(pre), fam.xi(i), "precompute path diverged");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_blocks_equal_family_sums_at_boundary() {
+    for k in BOUNDARY_KS {
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            let ctx = XiContext::new(kind, k);
+            let mut rng = StdRng::seed_from_u64(2000 + k as u64);
+            let seeds: Vec<XiSeed> = (0..BLOCK_LANES)
+                .map(|_| ctx.random_seed(&mut rng))
+                .collect();
+            let block = XiBlock::pack(&ctx, &seeds);
+            let top = (1u64 << k) - 1;
+            let pres: Vec<IndexPre> = (0..40)
+                .map(|_| ctx.precompute(rng.gen_range(0..=top)))
+                .collect();
+            let mut counter = LaneCounter::new();
+            let mut sums = [0i64; BLOCK_LANES];
+            block.sum_pre_into(&pres, &mut counter, &mut sums);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let fam = ctx.family(seed);
+                assert_eq!(sums[lane], fam.sum_pre(&pres), "{kind:?} k={k} lane={lane}");
+            }
+        }
+    }
+}

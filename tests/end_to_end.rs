@@ -32,7 +32,14 @@ fn adaptive_config(k1: usize, k2: usize, data: &[&[HyperRect<2>]], bits: u32) ->
 /// The headline pipeline: generate, sketch in one parallel pass, estimate,
 /// compare with the exact join. The tolerance is wide but meaningful — the
 /// estimate must carry real signal, not noise.
+///
+/// Heavyweight statistical test: ignored under debug builds (the CI
+/// `tests-release` lane runs it via `cargo test --release`).
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavyweight statistical test; run with --release"
+)]
 fn join_pipeline_accuracy_2d() {
     // Dense-enough workload that the variance band sits well below the
     // truth: 3K objects over a 2^10 domain gives selectivity ~4e-3.
@@ -125,7 +132,14 @@ fn sharded_merge_equals_central_build() {
 
 /// The planner's Theorem-1 sizing really does deliver the guarantee on a
 /// concrete workload (with margin — the variance bound is conservative).
+///
+/// Heavyweight statistical test (~60 s debug, seconds in release): ignored
+/// under debug builds, run by the CI `tests-release` lane.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavyweight statistical test; run with --release"
+)]
 fn planner_guarantee_holds() {
     // Dense small-domain workload keeps the planned instance count modest:
     // Theorem 2 sizes k1 from SJ(R)·SJ(S)/E[Z]², and density grows E[Z]
@@ -192,7 +206,14 @@ fn planner_guarantee_holds() {
 /// Baselines and sketch agree on the same workload within their respective
 /// regimes (coarse EH accurate; GH accurate on uniform; SKETCH within its
 /// variance band) — a three-way consistency net.
+///
+/// Heavyweight statistical test: ignored under debug builds, run by the CI
+/// `tests-release` lane.
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavyweight statistical test; run with --release"
+)]
 fn three_estimators_consistent_on_uniform() {
     use spatial_sketch::histograms::{EulerHistogram, GeometricHistogram, GridSpec};
     let bits = 11u32;

@@ -44,11 +44,19 @@ pub enum BatchSize {
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // Mirror real criterion's `--test` CLI mode: run every benchmark
+        // once to prove it works, without collecting statistics. Lets CI
+        // smoke bench targets (`cargo bench ... -- --test`) cheaply.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
     }
 }
 
@@ -60,6 +68,7 @@ impl Criterion {
         BenchmarkGroup {
             name,
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             throughput: None,
             _criterion: self,
         }
@@ -72,7 +81,7 @@ impl Criterion {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let sample_size = self.sample_size;
-        run_one(&id.into(), None, sample_size, f);
+        run_one(&id.into(), None, sample_size, self.test_mode, f);
         self
     }
 }
@@ -81,6 +90,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
@@ -105,7 +115,7 @@ impl BenchmarkGroup<'_> {
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
-        run_one(&id, self.throughput, self.sample_size, f);
+        run_one(&id, self.throughput, self.sample_size, self.test_mode, f);
         self
     }
 
@@ -117,6 +127,7 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -125,6 +136,10 @@ impl Bencher {
         // Warm up and size the inner batch so one sample costs ~1ms.
         let warmup = Instant::now();
         black_box(routine());
+        if self.test_mode {
+            self.samples.push(warmup.elapsed());
+            return;
+        }
         let once = warmup.elapsed().max(Duration::from_nanos(1));
         let batch =
             (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
@@ -144,7 +159,8 @@ impl Bencher {
         mut routine: impl FnMut(I) -> O,
         _size: BatchSize,
     ) {
-        for _ in 0..self.sample_size {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        for _ in 0..samples {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
@@ -157,13 +173,19 @@ fn run_one(
     id: &str,
     throughput: Option<Throughput>,
     sample_size: usize,
+    test_mode: bool,
     mut f: impl FnMut(&mut Bencher),
 ) {
     let mut b = Bencher {
         samples: Vec::new(),
         sample_size,
+        test_mode,
     };
     f(&mut b);
+    if test_mode {
+        println!("{id:<50} ok (test mode: 1 iteration)");
+        return;
+    }
     if b.samples.is_empty() {
         println!("{id:<50} (no samples)");
         return;
