@@ -4,9 +4,12 @@
 //! kernels (scalar oracle vs batched bit-sliced; see `sketch::BuildKernel`)
 //! and appends one JSON record per run to `results/perf_probe.json` — the
 //! committed `BENCH_*.json` anchors are copies of such records.
+//! `--probe estimate` times the *estimation* path the same way under both
+//! query kernels (`sketch::QueryKernel`), join and range, and appends a
+//! record to the same file.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick]
+//!        [-- --gis | --range | --quick | --probe estimate]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -14,11 +17,175 @@
 use rand::SeedableRng;
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, BoostShape, BuildKernel};
+use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryContext, QueryKernel};
 use spatial_bench::cli::Args;
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
 use std::time::Instant;
+
+/// Milliseconds of repeated calls per timing point (the estimate path is
+/// microseconds per call, so each point averages thousands of calls).
+const ESTIMATE_PROBE_BUDGET_MS: u128 = 250;
+
+/// Times `f` repeatedly until the budget elapses; returns ns per call.
+fn time_ns_per_call(mut f: impl FnMut() -> f64) -> f64 {
+    // Warm up (context scratch growth, branch predictors).
+    let mut sink = 0.0;
+    for _ in 0..3 {
+        sink += f();
+    }
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < ESTIMATE_PROBE_BUDGET_MS {
+        for _ in 0..8 {
+            sink += f();
+        }
+        calls += 8;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / calls as f64;
+    assert!(sink.is_finite());
+    ns
+}
+
+#[derive(serde::Serialize)]
+struct QueryKernelRecord {
+    kernel: String,
+    ns_per_estimate: Vec<f64>,
+    ns_per_estimate_instance: Vec<f64>,
+}
+
+#[derive(serde::Serialize)]
+struct EstimateProbeRecord {
+    probe: String,
+    objects: usize,
+    domain_bits: u32,
+    instances: Vec<usize>,
+    join_kernels: Vec<QueryKernelRecord>,
+    /// Scalar ns/estimate divided by batched, per instance count.
+    join_speedup_batched_over_scalar: Vec<f64>,
+    range_kernels: Vec<QueryKernelRecord>,
+    range_speedup_batched_over_scalar: Vec<f64>,
+}
+
+/// `--probe estimate`: estimation-path throughput under both query kernels,
+/// for the join (counter-product combine) and range (query-side ξ sums)
+/// paths, appended to `results/perf_probe.json` like the build probe.
+fn estimate_probe(threads: usize, quick: bool) {
+    use rand::Rng as _;
+    let bits = 14u32;
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(20_000, bits, 0.0, 5).generate();
+    let configs: &[(usize, usize)] = if quick {
+        &[(88, 5)]
+    } else {
+        &[(88, 5), (203, 5), (820, 5)]
+    };
+    let mut record = EstimateProbeRecord {
+        probe: "estimate".into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        join_kernels: Vec::new(),
+        join_speedup_batched_over_scalar: Vec::new(),
+        range_kernels: Vec::new(),
+        range_speedup_batched_over_scalar: Vec::new(),
+    };
+
+    for kernel in [QueryKernel::Scalar, QueryKernel::Batched] {
+        let mut join_rec = QueryKernelRecord {
+            kernel: format!("{kernel:?}").to_lowercase(),
+            ns_per_estimate: Vec::new(),
+            ns_per_estimate_instance: Vec::new(),
+        };
+        let mut range_rec = QueryKernelRecord {
+            kernel: format!("{kernel:?}").to_lowercase(),
+            ns_per_estimate: Vec::new(),
+            ns_per_estimate_instance: Vec::new(),
+        };
+        // Fresh RNG per kernel: both kernels see identical schema draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(k1, k2) in configs {
+            let instances = k1 * k2;
+            let join = SpatialJoin::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [bits, bits],
+                EndpointStrategy::Transform,
+            );
+            let mut r = join.new_sketch_r();
+            let mut s = join.new_sketch_s();
+            par_insert_batch(&mut r, &data, threads).unwrap();
+            par_insert_batch(&mut s, &data[..10_000], threads).unwrap();
+            let mut ctx = QueryContext::new().with_kernel(kernel);
+            let ns = time_ns_per_call(|| join.estimate_with(&mut ctx, &r, &s).unwrap().value);
+            println!(
+                "join   {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
+                ns / instances as f64
+            );
+            join_rec.ns_per_estimate.push(ns);
+            join_rec
+                .ns_per_estimate_instance
+                .push(ns / instances as f64);
+
+            let rq = sketch::RangeQuery::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [bits, bits],
+                sketch::RangeStrategy::Transform,
+            );
+            let mut sk = rq.new_sketch();
+            par_insert_batch(&mut sk, &data, threads).unwrap();
+            let mut qrng = rand::rngs::StdRng::seed_from_u64(9);
+            let n = 1u64 << bits;
+            let queries: Vec<geometry::HyperRect<2>> = (0..8)
+                .map(|_| {
+                    let side = n / 8 + qrng.gen_range(0..n / 4);
+                    let x = qrng.gen_range(0..n - side - 1);
+                    let y = qrng.gen_range(0..n - side - 1);
+                    geometry::HyperRect::new([
+                        geometry::Interval::new(x, x + side),
+                        geometry::Interval::new(y, y + side),
+                    ])
+                })
+                .collect();
+            let mut qi = 0usize;
+            let ns = time_ns_per_call(|| {
+                qi = (qi + 1) % queries.len();
+                rq.estimate_with(&mut ctx, &sk, &queries[qi]).unwrap().value
+            });
+            println!(
+                "range  {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
+                ns / instances as f64
+            );
+            range_rec.ns_per_estimate.push(ns);
+            range_rec
+                .ns_per_estimate_instance
+                .push(ns / instances as f64);
+        }
+        record.join_kernels.push(join_rec);
+        record.range_kernels.push(range_rec);
+    }
+    let speedups = |kernels: &[QueryKernelRecord]| -> Vec<f64> {
+        kernels[0]
+            .ns_per_estimate
+            .iter()
+            .zip(kernels[1].ns_per_estimate.iter())
+            .map(|(scalar, batched)| scalar / batched)
+            .collect()
+    };
+    record.join_speedup_batched_over_scalar = speedups(&record.join_kernels);
+    record.range_speedup_batched_over_scalar = speedups(&record.range_kernels);
+    println!(
+        "join  batched speedup over scalar: {:?}",
+        record.join_speedup_batched_over_scalar
+    );
+    println!(
+        "range batched speedup over scalar: {:?}",
+        record.range_speedup_batched_over_scalar
+    );
+    let path = spatial_bench::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+}
 
 fn main() {
     let args = Args::parse(&["gis", "range", "quick"]).unwrap_or_else(|e| {
@@ -26,6 +193,18 @@ fn main() {
         std::process::exit(2);
     });
     let threads = default_threads();
+
+    match args.get("probe") {
+        Some("estimate") => {
+            estimate_probe(threads, args.has("quick"));
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown --probe `{other}` (supported: estimate)");
+            std::process::exit(2);
+        }
+        None => {}
+    }
 
     if args.has("range") {
         use rand::Rng as _;

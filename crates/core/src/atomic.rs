@@ -327,6 +327,12 @@ impl<const D: usize> SketchSet<D> {
         &self.counters[instance * w..(instance + 1) * w]
     }
 
+    /// The full counter array, instance-major (`[instance][word]`) — the
+    /// batched query kernel walks whole instance blocks of it contiguously.
+    pub(crate) fn counters(&self) -> &[i64] {
+        &self.counters
+    }
+
     /// Inserts an object (cost `O(instances · d · log n)`).
     pub fn insert(&mut self, rect: &HyperRect<D>) -> Result<()> {
         self.update(rect, 1)
@@ -363,7 +369,7 @@ impl<const D: usize> SketchSet<D> {
 
     /// Applies one signed update per rectangle, amortizing the per-object
     /// cover computation across the slice: objects are ingested in chunks of
-    /// [`OBJ_CHUNK`] scratches, and (under the batched kernel) each instance
+    /// `OBJ_CHUNK` (128) scratches, and (under the batched kernel) each instance
     /// block streams over a whole chunk before the walk moves to the next
     /// block, so a block's counters and packed seed planes stay cache-hot.
     ///

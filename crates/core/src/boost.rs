@@ -27,15 +27,33 @@ pub fn median(values: &mut [f64]) -> f64 {
 /// averaged and the median of the `k2` row-means is returned along with the
 /// row means themselves (useful for diagnostics and confidence reporting).
 pub fn mean_median(atomic: &[f64], k1: usize, k2: usize) -> (f64, Vec<f64>) {
-    assert_eq!(atomic.len(), k1 * k2, "estimate grid shape mismatch");
     let mut row_means = Vec::with_capacity(k2);
+    let mut scratch = Vec::with_capacity(k2);
+    let med = mean_median_with(atomic, k1, k2, &mut row_means, &mut scratch);
+    (med, row_means)
+}
+
+/// Allocation-free core of [`mean_median`]: row means are written into
+/// `row_means` (cleared and refilled) and the median is taken over `scratch`
+/// (likewise reused), so a caller boosting many estimates — the batched
+/// query kernel in particular — pays no per-estimate allocation once the
+/// buffers have grown to `k2` entries.
+pub fn mean_median_with(
+    atomic: &[f64],
+    k1: usize,
+    k2: usize,
+    row_means: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    assert_eq!(atomic.len(), k1 * k2, "estimate grid shape mismatch");
+    row_means.clear();
     for row in 0..k2 {
         let sum: f64 = atomic[row * k1..(row + 1) * k1].iter().sum();
         row_means.push(sum / k1 as f64);
     }
-    let mut sorted = row_means.clone();
-    let med = median(&mut sorted);
-    (med, row_means)
+    scratch.clear();
+    scratch.extend_from_slice(row_means);
+    median(scratch)
 }
 
 /// A boosted estimate with its per-row means, for diagnostics.
@@ -106,5 +124,19 @@ mod tests {
         let est = Estimate::from_grid(&[1.0, 2.0, 3.0, 4.0], 2, 2);
         assert_eq!(est.value, 2.5);
         assert_eq!(est.row_spread(), 2.0);
+    }
+
+    #[test]
+    fn mean_median_with_reuses_buffers() {
+        let mut rows = vec![99.0; 7]; // stale content must be discarded
+        let mut scratch = vec![-1.0; 2];
+        let grid = [1.0, 3.0, 10.0, 10.0, 4.0, 6.0];
+        let med = mean_median_with(&grid, 2, 3, &mut rows, &mut scratch);
+        assert_eq!(med, 5.0);
+        assert_eq!(rows, vec![2.0, 10.0, 5.0]);
+        // Row means stay in grid order; only the scratch is sorted.
+        let med2 = mean_median_with(&grid, 3, 2, &mut rows, &mut scratch);
+        assert_eq!(rows.len(), 2);
+        assert!(med2.is_finite());
     }
 }

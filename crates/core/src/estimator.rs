@@ -17,11 +17,14 @@
 //! [`PairTerms`] builds the word-level term list from a *per-dimension*
 //! factor list by cartesian expansion, which is exactly how the paper derives
 //! its higher-dimensional estimators from per-dimension counting arguments.
+//! Evaluating the expanded terms over the instance grid is delegated to the
+//! [`crate::query`] kernels (scalar oracle vs batched block-evaluated).
 
 use crate::atomic::{EndpointPolicy, SketchSet};
 use crate::boost::Estimate;
 use crate::comp::{word_name, Comp, Word};
 use crate::error::{Result, SketchError};
+use crate::query::QueryContext;
 use crate::schema::SketchSchema;
 use std::sync::Arc;
 
@@ -214,11 +217,9 @@ impl<const D: usize> PairEstimator<D> {
         )
     }
 
-    /// Combines two sketches into the boosted estimate.
-    ///
-    /// Errors if the sketches come from a different schema or carry the
-    /// wrong word sets (e.g. were built by a different estimator).
-    pub fn estimate(&self, r: &SketchSet<D>, s: &SketchSet<D>) -> Result<Estimate> {
+    /// Checks that both sketches were drawn from this estimator's schema and
+    /// carry its word sets.
+    pub(crate) fn check_sketches(&self, r: &SketchSet<D>, s: &SketchSet<D>) -> Result<()> {
         if r.schema().id() != self.schema.id() || s.schema().id() != self.schema.id() {
             return Err(SketchError::SchemaMismatch);
         }
@@ -228,20 +229,32 @@ impl<const D: usize> PairEstimator<D> {
         if !Arc::ptr_eq(s.words(), &self.terms.s_words) && **s.words() != *self.terms.s_words {
             return Err(SketchError::WordMismatch);
         }
-        let shape = self.schema.shape();
-        let mut atomic = Vec::with_capacity(shape.instances());
-        for inst in 0..shape.instances() {
-            let rc = r.instance_counters(inst);
-            let sc = s.instance_counters(inst);
-            let mut z = 0.0f64;
-            for t in &self.terms.terms {
-                // Counter products can exceed i64; widen before converting.
-                let prod = rc[t.r_word] as i128 * sc[t.s_word] as i128;
-                z += t.coeff * prod as f64;
-            }
-            atomic.push(z);
-        }
-        Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
+        Ok(())
+    }
+
+    /// Combines two sketches into the boosted estimate.
+    ///
+    /// Errors if the sketches come from a different schema or carry the
+    /// wrong word sets (e.g. were built by a different estimator).
+    ///
+    /// Convenience form of [`PairEstimator::estimate_with`] that builds a
+    /// throwaway [`QueryContext`]; serving loops should hold one context and
+    /// reuse it across calls.
+    pub fn estimate(&self, r: &SketchSet<D>, s: &SketchSet<D>) -> Result<Estimate> {
+        self.estimate_with(&mut QueryContext::new(), r, s)
+    }
+
+    /// Combines two sketches into the boosted estimate using the caller's
+    /// [`QueryContext`] (kernel choice + reused scratch: no allocation
+    /// beyond the returned [`Estimate`] once the context has warmed up).
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        r: &SketchSet<D>,
+        s: &SketchSet<D>,
+    ) -> Result<Estimate> {
+        self.check_sketches(r, s)?;
+        Ok(ctx.pair_estimate(&self.terms.terms, r, s))
     }
 }
 

@@ -14,6 +14,7 @@ use crate::comp::Comp;
 use crate::error::Result;
 use crate::estimator::{DimTerm, PairEstimator, PairTerms};
 use crate::estimators::SketchConfig;
+use crate::query::QueryContext;
 use crate::schema::{DimSpec, SketchSchema};
 use geometry::{HyperRect, Interval};
 use rand::Rng;
@@ -99,6 +100,17 @@ impl IntervalContainment {
     pub fn estimate(&self, outer: &SketchSet<2>, inner: &SketchSet<2>) -> Result<Estimate> {
         self.inner.estimate(outer, inner)
     }
+
+    /// Like [`IntervalContainment::estimate`] but with the caller's
+    /// [`QueryContext`].
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        outer: &SketchSet<2>,
+        inner: &SketchSet<2>,
+    ) -> Result<Estimate> {
+        self.inner.estimate_with(ctx, outer, inner)
+    }
 }
 
 /// Estimator for the 2-d containment join (rectangles containing
@@ -169,6 +181,17 @@ impl RectContainment {
     /// `#{(r, s) : s ⊆ r}`.
     pub fn estimate(&self, outer: &SketchSet<4>, inner: &SketchSet<4>) -> Result<Estimate> {
         self.inner.estimate(outer, inner)
+    }
+
+    /// Like [`RectContainment::estimate`] but with the caller's
+    /// [`QueryContext`].
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        outer: &SketchSet<4>,
+        inner: &SketchSet<4>,
+    ) -> Result<Estimate> {
+        self.inner.estimate_with(ctx, outer, inner)
     }
 }
 

@@ -13,6 +13,7 @@ use crate::comp::Comp;
 use crate::error::Result;
 use crate::estimator::{DimTerm, PairEstimator, PairTerms};
 use crate::estimators::SketchConfig;
+use crate::query::QueryContext;
 use crate::schema::{DimSpec, SketchSchema};
 use geometry::distance::linf_cube;
 use geometry::{HyperRect, Point};
@@ -96,6 +97,17 @@ impl<const D: usize> EpsJoin<D> {
     /// Combines the two sketches into the boosted cardinality estimate.
     pub fn estimate(&self, a: &SketchSet<D>, b: &SketchSet<D>) -> Result<Estimate> {
         self.inner.estimate(a, b)
+    }
+
+    /// Like [`EpsJoin::estimate`] but with the caller's [`QueryContext`]
+    /// (kernel choice + reused scratch for serving loops).
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        a: &SketchSet<D>,
+        b: &SketchSet<D>,
+    ) -> Result<Estimate> {
+        self.inner.estimate_with(ctx, a, b)
     }
 }
 

@@ -28,6 +28,7 @@ use crate::comp::Comp;
 use crate::error::Result;
 use crate::estimator::{DimTerm, PairEstimator, PairTerms};
 use crate::estimators::SketchConfig;
+use crate::query::QueryContext;
 use crate::schema::{DimSpec, SketchSchema};
 use rand::Rng;
 
@@ -158,6 +159,17 @@ impl<const D: usize> SpatialJoin<D> {
         self.inner.estimate(r, s)
     }
 
+    /// Like [`SpatialJoin::estimate`] but with the caller's
+    /// [`QueryContext`] (kernel choice + reused scratch for serving loops).
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        r: &SketchSet<D>,
+        s: &SketchSet<D>,
+    ) -> Result<Estimate> {
+        self.inner.estimate_with(ctx, r, s)
+    }
+
     /// Estimated selectivity `|R ⋈_o S| / (|R|·|S|)`.
     pub fn estimate_selectivity(&self, r: &SketchSet<D>, s: &SketchSet<D>) -> Result<f64> {
         let est = self.estimate(r, s)?;
@@ -214,6 +226,17 @@ impl<const D: usize> OverlapPlusJoin<D> {
     /// Combines the two sketches into the boosted cardinality estimate.
     pub fn estimate(&self, r: &SketchSet<D>, s: &SketchSet<D>) -> Result<Estimate> {
         self.inner.estimate(r, s)
+    }
+
+    /// Like [`OverlapPlusJoin::estimate`] but with the caller's
+    /// [`QueryContext`].
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        r: &SketchSet<D>,
+        s: &SketchSet<D>,
+    ) -> Result<Estimate> {
+        self.inner.estimate_with(ctx, r, s)
     }
 }
 

@@ -23,9 +23,9 @@ use crate::boost::Estimate;
 use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::estimators::SketchConfig;
+use crate::query::{QueryContext, XiQueryPlan, XiWordTerm};
 use crate::schema::{DimSpec, SketchSchema};
 use dyadic::{interval_cover, point_cover};
-use fourwise::IndexPre;
 use geometry::transform::{shrink_interval, triple};
 use geometry::{HyperRect, Interval, Point};
 use rand::Rng;
@@ -117,13 +117,94 @@ impl<const D: usize> RangeQuery<D> {
         Ok(())
     }
 
+    /// Compiles the query side of an overlap estimate: per dimension the
+    /// (possibly shrunk) interval cover (slot 0) and the upper-endpoint
+    /// point cover (slot 1), node ids and GF cubes precomputed once and
+    /// shared by every instance; one word term per maintained word.
+    fn overlap_plan(&self, q: &HyperRect<D>) -> XiQueryPlan<D> {
+        let mut plan = XiQueryPlan::<D>::default();
+        for (dim, lists) in plan.lists.iter_mut().enumerate() {
+            let geo: Interval = match self.strategy {
+                RangeStrategy::AssumeDistinct => q.range(dim),
+                RangeStrategy::Transform => {
+                    shrink_interval(&q.range(dim)).expect("degenerate handled by caller")
+                }
+            };
+            let dyadic = &self.schema.dyadic()[dim];
+            let ctx = &self.schema.xi_ctx()[dim];
+            let ml = self.schema.dims()[dim].max_level;
+            lists.push(
+                interval_cover(dyadic, &geo, ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+            lists.push(
+                point_cover(dyadic, geo.hi(), ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+        }
+        // Word bit set = UpperPoint sketch component, which pairs with the
+        // query's *interval* value (slot 0); Interval components pair with
+        // the query's upper-endpoint value (slot 1).
+        plan.terms = (0..self.words.len())
+            .map(|mask| XiWordTerm {
+                word: mask,
+                slots: std::array::from_fn(|dim| if mask >> dim & 1 == 1 { 0 } else { 1 }),
+            })
+            .collect();
+        plan
+    }
+
+    /// Compiles the query side of a stabbing count: per dimension the stab
+    /// point's cover; a single term on the all-`Interval` word (mask 0).
+    fn stab_plan(&self, p: &Point<D>) -> XiQueryPlan<D> {
+        let mut plan = XiQueryPlan::<D>::default();
+        for (dim, lists) in plan.lists.iter_mut().enumerate() {
+            let coord = match self.strategy {
+                RangeStrategy::AssumeDistinct => p[dim],
+                RangeStrategy::Transform => triple(p[dim]),
+            };
+            let dyadic = &self.schema.dyadic()[dim];
+            let ctx = &self.schema.xi_ctx()[dim];
+            let ml = self.schema.dims()[dim].max_level;
+            lists.push(
+                point_cover(dyadic, coord, ml)
+                    .into_iter()
+                    .map(|id| ctx.precompute(id))
+                    .collect(),
+            );
+        }
+        plan.terms = vec![XiWordTerm {
+            word: 0, // mask 0 = Interval in every dim
+            slots: [0; D],
+        }];
+        plan
+    }
+
     /// Estimates `|Q(q, R)|`: the number of summarized objects whose
     /// intersection with `q` is full-dimensional.
     ///
     /// Degenerate queries select nothing under Definition 3 and return a
     /// zero estimate; use [`RangeQuery::estimate_stab`] for stabbing counts.
-    #[allow(clippy::needless_range_loop)] // indexes several parallel per-dim arrays
+    ///
+    /// Convenience form of [`RangeQuery::estimate_with`] that builds a
+    /// throwaway [`QueryContext`]; serving loops should hold one context and
+    /// reuse it across calls.
     pub fn estimate(&self, sketch: &SketchSet<D>, q: &HyperRect<D>) -> Result<Estimate> {
+        self.estimate_with(&mut QueryContext::new(), sketch, q)
+    }
+
+    /// Estimates `|Q(q, R)|` using the caller's [`QueryContext`] (kernel
+    /// choice + reused scratch).
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        q: &HyperRect<D>,
+    ) -> Result<Estimate> {
         self.check_sketch(sketch)?;
         for dim in 0..D {
             let max = (1u64 << sketch.data_bits()[dim]) - 1;
@@ -135,117 +216,37 @@ impl<const D: usize> RangeQuery<D> {
                 });
             }
         }
-        let shape = self.schema.shape();
         if q.is_degenerate() {
-            return Ok(Estimate::from_grid(
-                &vec![0.0; shape.instances()],
-                shape.k1,
-                shape.k2,
-            ));
+            return Ok(ctx.zero_estimate(self.schema.shape()));
         }
-        // Per-dimension query node lists (shared across instances).
-        let mut cover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
-        let mut pcover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
-        for dim in 0..D {
-            let geo: Interval = match self.strategy {
-                RangeStrategy::AssumeDistinct => q.range(dim),
-                RangeStrategy::Transform => {
-                    shrink_interval(&q.range(dim)).expect("degenerate handled above")
-                }
-            };
-            let dyadic = &self.schema.dyadic()[dim];
-            let ctx = &self.schema.xi_ctx()[dim];
-            let ml = self.schema.dims()[dim].max_level;
-            cover_pres.push(
-                interval_cover(dyadic, &geo, ml)
-                    .into_iter()
-                    .map(|id| ctx.precompute(id))
-                    .collect(),
-            );
-            pcover_pres.push(
-                point_cover(dyadic, geo.hi(), ml)
-                    .into_iter()
-                    .map(|id| ctx.precompute(id))
-                    .collect(),
-            );
-        }
-
-        let mut atomic = Vec::with_capacity(shape.instances());
-        for inst in 0..shape.instances() {
-            let seeds = self.schema.instance_seeds(inst);
-            let mut q_i = [0i64; D]; // ξ̄ over the query interval cover
-            let mut q_p = [0i64; D]; // ξ̄ over the query upper endpoint cover
-            for dim in 0..D {
-                let fam = self.schema.xi_ctx()[dim].family(seeds[dim]);
-                q_i[dim] = fam.sum_pre(&cover_pres[dim]);
-                q_p[dim] = fam.sum_pre(&pcover_pres[dim]);
-            }
-            let counters = sketch.instance_counters(inst);
-            let mut z = 0.0f64;
-            for (mask, &x_w) in counters.iter().enumerate() {
-                // Word bit set = UpperPoint sketch component, which pairs
-                // with the query's *interval* value; Interval components
-                // pair with the query's upper-endpoint value.
-                let mut qprod: i64 = 1;
-                for dim in 0..D {
-                    qprod *= if mask >> dim & 1 == 1 {
-                        q_i[dim]
-                    } else {
-                        q_p[dim]
-                    };
-                }
-                z += (qprod as i128 * x_w as i128) as f64;
-            }
-            atomic.push(z);
-        }
-        Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
+        let plan = self.overlap_plan(q);
+        Ok(ctx.xi_estimate(&plan, sketch))
     }
 
     /// Estimates the stabbing count `#{r ∈ R : p ∈ r}` (closed containment;
     /// exact in expectation with no endpoint assumption).
-    #[allow(clippy::needless_range_loop)] // indexes several parallel per-dim arrays
+    ///
+    /// Convenience form of [`RangeQuery::estimate_stab_with`].
     pub fn estimate_stab(&self, sketch: &SketchSet<D>, p: &Point<D>) -> Result<Estimate> {
+        self.estimate_stab_with(&mut QueryContext::new(), sketch, p)
+    }
+
+    /// Estimates the stabbing count using the caller's [`QueryContext`].
+    pub fn estimate_stab_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        p: &Point<D>,
+    ) -> Result<Estimate> {
         self.check_sketch(sketch)?;
-        for dim in 0..D {
+        for (dim, &coord) in p.iter().enumerate() {
             let max = (1u64 << sketch.data_bits()[dim]) - 1;
-            if p[dim] > max {
-                return Err(SketchError::DomainOverflow {
-                    coord: p[dim],
-                    max,
-                    dim,
-                });
+            if coord > max {
+                return Err(SketchError::DomainOverflow { coord, max, dim });
             }
         }
-        let mut pcover_pres: Vec<Vec<IndexPre>> = Vec::with_capacity(D);
-        for dim in 0..D {
-            let coord = match self.strategy {
-                RangeStrategy::AssumeDistinct => p[dim],
-                RangeStrategy::Transform => triple(p[dim]),
-            };
-            let dyadic = &self.schema.dyadic()[dim];
-            let ctx = &self.schema.xi_ctx()[dim];
-            let ml = self.schema.dims()[dim].max_level;
-            pcover_pres.push(
-                point_cover(dyadic, coord, ml)
-                    .into_iter()
-                    .map(|id| ctx.precompute(id))
-                    .collect(),
-            );
-        }
-        let shape = self.schema.shape();
-        let all_interval_word = 0usize; // mask 0 = Interval in every dim
-        let mut atomic = Vec::with_capacity(shape.instances());
-        for inst in 0..shape.instances() {
-            let seeds = self.schema.instance_seeds(inst);
-            let mut qprod: i64 = 1;
-            for dim in 0..D {
-                let fam = self.schema.xi_ctx()[dim].family(seeds[dim]);
-                qprod *= fam.sum_pre(&pcover_pres[dim]);
-            }
-            let x_w = sketch.instance_counters(inst)[all_interval_word];
-            atomic.push((qprod as i128 * x_w as i128) as f64);
-        }
-        Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
+        let plan = self.stab_plan(p);
+        Ok(ctx.xi_estimate(&plan, sketch))
     }
 }
 

@@ -33,6 +33,10 @@
 //!   counting identities into d-dimensional estimators;
 //! * [`estimators`] — ready-made estimators for every query class in the
 //!   paper;
+//! * [`query`] — the estimation-side evaluation kernels
+//!   ([`query::QueryKernel`]: scalar oracle vs batched bit-sliced) and the
+//!   shared [`query::QueryContext`] scratch every estimator evaluates
+//!   through;
 //! * [`boost`] — mean-then-median boosting (Figure 1);
 //! * [`selfjoin`] — exact and sketched self-join sizes (`SJ`), the accuracy
 //!   currency of every variance bound;
@@ -77,6 +81,7 @@ pub mod estimators;
 pub mod par;
 pub mod persist;
 pub mod plan;
+pub mod query;
 pub mod schema;
 pub mod selfjoin;
 
@@ -90,10 +95,11 @@ pub use estimators::eps::EpsJoin;
 pub use estimators::joins::{EndpointStrategy, OverlapPlusJoin, SpatialJoin};
 pub use estimators::range::{RangeQuery, RangeStrategy};
 pub use estimators::SketchConfig;
-pub use par::{par_insert_batch, par_update_batch};
+pub use par::{par_estimate, par_insert_batch, par_update_batch};
 pub use persist::{
     restore_pair, restore_sketch, snapshot_pair, snapshot_sketch, SketchPairSnapshot,
     SketchSnapshot,
 };
 pub use plan::Guarantee;
+pub use query::{QueryContext, QueryKernel};
 pub use schema::{BoostShape, DimSpec, SketchSchema};

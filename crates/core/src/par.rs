@@ -1,4 +1,5 @@
-//! Parallel batch construction of sketches.
+//! Parallel batch construction — and block-parallel estimation — of
+//! sketches.
 //!
 //! Sketch instances are mutually independent, so bulk-loading parallelizes
 //! perfectly across the instance axis: the per-object dyadic covers and
@@ -9,11 +10,20 @@
 //! over its own contiguous counter range; the scalar kernel splits per
 //! instance as before. This is how the experiment harness affords the
 //! paper's thousands-of-instances configurations.
+//!
+//! Estimation parallelizes the same way ([`par_estimate`]): the atomic
+//! estimate grid splits into whole instance blocks, each worker fills its
+//! share with the batched query kernel (see [`crate::query`]), and the
+//! single-threaded mean-then-median boost runs at the end. The result is
+//! bit-identical to [`PairEstimator::estimate`].
 
 use crate::atomic::{
     apply_block, apply_instance, BuildKernel, LaneScratch, RectScratch, SketchSet,
 };
+use crate::boost::Estimate;
 use crate::error::Result;
+use crate::estimator::PairEstimator;
+use crate::query::pair_fill_batched;
 use fourwise::BLOCK_LANES;
 use geometry::HyperRect;
 
@@ -105,6 +115,44 @@ pub fn par_insert_batch<const D: usize>(
     threads: usize,
 ) -> Result<()> {
     par_update_batch(sketch, rects, 1, threads)
+}
+
+/// Block-parallel pair estimation: splits the atomic estimate grid into
+/// whole [`BLOCK_LANES`]-instance blocks across `threads` workers, each
+/// running the batched query kernel over its contiguous share, then boosts
+/// single-threaded. Bit-identical to [`PairEstimator::estimate`] (both
+/// kernels), worthwhile once `instances × terms` is large enough to amortize
+/// thread spawns.
+pub fn par_estimate<const D: usize>(
+    pair: &PairEstimator<D>,
+    r: &SketchSet<D>,
+    s: &SketchSet<D>,
+    threads: usize,
+) -> Result<Estimate> {
+    pair.check_sketches(r, s)?;
+    let threads = threads.max(1);
+    let schema = pair.schema();
+    let shape = schema.shape();
+    let blocks = schema.instance_blocks();
+    let per_thread = blocks.div_ceil(threads);
+    let terms = pair.terms().terms();
+    let mut atomic = vec![0.0f64; shape.instances()];
+    std::thread::scope(|scope| {
+        let mut rest = atomic.as_mut_slice();
+        let mut block = 0usize;
+        while !rest.is_empty() {
+            let span_end = (block + per_thread).min(blocks);
+            let insts: usize = (block..span_end)
+                .map(|b| schema.seed_blocks(0)[b].lanes())
+                .sum();
+            let (chunk, tail) = rest.split_at_mut(insts);
+            rest = tail;
+            let first = block;
+            block = span_end;
+            scope.spawn(move || pair_fill_batched(terms, r, s, first, chunk));
+        }
+    });
+    Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
 }
 
 #[cfg(test)]
@@ -235,6 +283,47 @@ mod tests {
         assert!(
             (0..sk.schema().instances()).all(|i| sk.instance_counters(i).iter().all(|&c| c == 0))
         );
+    }
+
+    #[test]
+    fn par_estimate_matches_sequential_bitwise() {
+        use crate::estimators::joins::{EndpointStrategy, SpatialJoin};
+        use crate::estimators::SketchConfig;
+        use crate::query::{QueryContext, QueryKernel};
+
+        let mut rng = StdRng::seed_from_u64(105);
+        // 67 instances: a full 64-lane block plus a 3-lane tail.
+        let join = SpatialJoin::<2>::new(
+            &mut rng,
+            SketchConfig::new(67, 1),
+            [8, 8],
+            EndpointStrategy::Transform,
+        );
+        let mut r = join.new_sketch_r();
+        let mut s = join.new_sketch_s();
+        par_insert_batch(&mut r, &rects(150, 6), 4).unwrap();
+        par_insert_batch(&mut s, &rects(150, 7), 4).unwrap();
+        let seq = join.estimate(&r, &s).unwrap();
+        let mut ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
+        let scalar = join.estimate_with(&mut ctx, &r, &s).unwrap();
+        assert_eq!(seq.value.to_bits(), scalar.value.to_bits());
+        for threads in [1usize, 2, 3, 8] {
+            let par = par_estimate(join.inner(), &r, &s, threads).unwrap();
+            assert_eq!(
+                par.value.to_bits(),
+                seq.value.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(par.row_means, seq.row_means, "threads {threads}");
+        }
+        // Foreign sketches are rejected up front.
+        let other = SpatialJoin::<2>::new(
+            &mut rng,
+            SketchConfig::new(4, 1),
+            [8, 8],
+            EndpointStrategy::Transform,
+        );
+        assert!(par_estimate(other.inner(), &r, &s, 2).is_err());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! The batched query kernel: block-evaluated estimation.
+//!
+//! Every estimator in the paper reduces to the same inner loop: per boosting
+//! instance, form an atomic estimate `Z_i` — either a signed sum of counter
+//! products (pair estimators: joins, containment, ε-join, self-join sizes)
+//! or a sum of *query-side* ξ products against maintained counters (range
+//! and stabbing queries) — then boost the grid of `Z_i` by mean-then-median
+//! (§4.2). The build side bit-sliced this loop shape in PR 2
+//! ([`fourwise::batch`]); this module does the same for estimation.
+//!
+//! Two interchangeable kernels fill the atomic grid ([`QueryKernel`]); both
+//! produce **bit-identical** [`Estimate`]s (enforced by
+//! `crates/core/tests/differential_estimators.rs`):
+//!
+//! * [`QueryKernel::Scalar`] — the reference path: walk instances one at a
+//!   time, instantiate each instance's ξ families and evaluate covers
+//!   per-instance (the query path), or form counter products with plain
+//!   128-bit widening (the pair path). Kept as the differential oracle.
+//! * [`QueryKernel::Batched`] (default) — walk whole [`BLOCK_LANES`]-lane
+//!   instance blocks: query-side cover node ids and their GF(2^k) cubes are
+//!   computed **once per query**, evaluated for 64 instances per pass via
+//!   the packed seed planes already stored in [`SketchSchema`]
+//!   (per-lane sums through [`fourwise::BlockSums`]), and combined with the
+//!   block's contiguous counter rows term-major — independent f64
+//!   accumulations across lanes instead of one serial chain per instance,
+//!   and counter products take a 64-bit fast path instead of the 128-bit
+//!   soft-float conversion.
+//!
+//! A [`QueryContext`] owns all the kernel scratch (atomic grid, lane sums,
+//! boosting buffers), so a serving loop issuing many estimates allocates
+//! only the returned [`Estimate`] per call. One context serves every
+//! estimator and every dimensionality.
+
+use crate::atomic::SketchSet;
+use crate::boost::{mean_median_with, Estimate};
+use crate::estimator::Term;
+use crate::schema::BoostShape;
+use fourwise::{BlockSums, IndexPre, BLOCK_LANES};
+
+#[cfg(doc)]
+use crate::schema::SketchSchema;
+
+/// Which implementation evaluates estimates over the instance grid.
+///
+/// Both kernels compute bit-identical estimates — the scalar path is
+/// retained as the differential-test oracle, mirroring
+/// [`crate::atomic::BuildKernel`] on the build side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryKernel {
+    /// Per-instance evaluation (the original reference path).
+    Scalar,
+    /// Bit-sliced evaluation of [`BLOCK_LANES`] instances per pass over the
+    /// schema's packed seed planes, with block-contiguous counter walks.
+    #[default]
+    Batched,
+}
+
+/// Reusable estimation scratch shared by every estimator: the atomic
+/// estimate grid, the query-side per-lane sum bank, and the boosting
+/// buffers. Construction-free to share across dimensionalities — one
+/// context can serve a 2-d join and a 4-d containment estimator back to
+/// back.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    kernel: QueryKernel,
+    /// Atomic estimates, instance-major (`atomic[row * k1 + col]`).
+    atomic: Vec<f64>,
+    /// Row means of the last boost (copied into the returned [`Estimate`]).
+    rows: Vec<f64>,
+    /// Sort scratch for the median step.
+    med: Vec<f64>,
+    /// Query-side per-lane cover sums, one slot per (dimension, list) pair.
+    sums: BlockSums,
+}
+
+impl QueryContext {
+    /// Fresh context with the default (batched) kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the evaluation kernel (builder form).
+    pub fn with_kernel(mut self, kernel: QueryKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the evaluation kernel in place. Kernels are interchangeable
+    /// at any point: both compute bit-identical estimates.
+    pub fn set_kernel(&mut self, kernel: QueryKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active evaluation kernel.
+    pub fn kernel(&self) -> QueryKernel {
+        self.kernel
+    }
+
+    /// Boosts whatever the fill pass left in `self.atomic`.
+    fn boost(&mut self, shape: BoostShape) -> Estimate {
+        let value = mean_median_with(
+            &self.atomic,
+            shape.k1,
+            shape.k2,
+            &mut self.rows,
+            &mut self.med,
+        );
+        Estimate {
+            value,
+            row_means: self.rows.clone(),
+        }
+    }
+
+    /// An all-zero estimate of the right shape (degenerate queries).
+    pub(crate) fn zero_estimate(&mut self, shape: BoostShape) -> Estimate {
+        self.atomic.clear();
+        self.atomic.resize(shape.instances(), 0.0);
+        self.boost(shape)
+    }
+
+    /// Pair combine: `Z_i = Σ_t coeff_t · R_i[rw_t] · S_i[sw_t]`, boosted.
+    ///
+    /// Callers must have verified that `r` and `s` share a schema and that
+    /// the term word indices are in range.
+    pub(crate) fn pair_estimate<const D: usize>(
+        &mut self,
+        terms: &[Term],
+        r: &SketchSet<D>,
+        s: &SketchSet<D>,
+    ) -> Estimate {
+        let shape = r.schema().shape();
+        self.atomic.resize(shape.instances(), 0.0);
+        match self.kernel {
+            QueryKernel::Scalar => pair_fill_scalar(terms, r, s, 0, &mut self.atomic),
+            QueryKernel::Batched => pair_fill_batched(terms, r, s, 0, &mut self.atomic),
+        }
+        self.boost(shape)
+    }
+
+    /// Query-side combine: `Z_i = Σ_t X_i[word_t] · Π_dim ξ̄-sum of the
+    /// term's chosen cover list`, boosted.
+    pub(crate) fn xi_estimate<const D: usize>(
+        &mut self,
+        plan: &XiQueryPlan<D>,
+        sketch: &SketchSet<D>,
+    ) -> Estimate {
+        let shape = sketch.schema().shape();
+        self.atomic.resize(shape.instances(), 0.0);
+        match self.kernel {
+            QueryKernel::Scalar => xi_fill_scalar(plan, sketch, 0, &mut self.atomic),
+            QueryKernel::Batched => {
+                xi_fill_batched(plan, sketch, 0, &mut self.atomic, &mut self.sums)
+            }
+        }
+        self.boost(shape)
+    }
+}
+
+/// One query-side word term: which maintained word the counters come from
+/// and, per dimension, which of the plan's cover lists multiplies it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct XiWordTerm<const D: usize> {
+    /// Index into the sketch's maintained word list.
+    pub word: usize,
+    /// Per dimension, an index into [`XiQueryPlan::lists`] of that dimension.
+    pub slots: [usize; D],
+}
+
+/// A compiled query side: the cover node lists (ids + GF cubes precomputed
+/// once per query, shared by every instance) and the word terms combining
+/// them with maintained counters.
+#[derive(Debug, Clone)]
+pub(crate) struct XiQueryPlan<const D: usize> {
+    /// `lists[dim]` holds that dimension's cover lists (e.g. the query
+    /// interval cover and the upper-endpoint point cover).
+    pub lists: [Vec<Vec<IndexPre>>; D],
+    /// The word terms, in maintained-word order.
+    pub terms: Vec<XiWordTerm<D>>,
+}
+
+impl<const D: usize> Default for XiQueryPlan<D> {
+    fn default() -> Self {
+        Self {
+            lists: std::array::from_fn(|_| Vec::new()),
+            terms: Vec::new(),
+        }
+    }
+}
+
+impl<const D: usize> XiQueryPlan<D> {
+    /// Largest per-dimension list count (the slot stride of the lane bank).
+    fn max_slots(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// `a·b` as f64, bit-identical to `(a as i128 * b as i128) as f64` but
+/// taking a 64-bit fast path when the product fits (both conversions round
+/// the same mathematical value to nearest, so the results coincide exactly).
+/// Sketch counters sit far below 2^63 in practice; the 128-bit fallback only
+/// guards pathological inputs.
+#[inline(always)]
+fn prod_f64(a: i64, b: i64) -> f64 {
+    match a.checked_mul(b) {
+        Some(p) => p as f64,
+        None => (a as i128 * b as i128) as f64,
+    }
+}
+
+/// Fills `out[i]` with the pair atomic estimate of instance
+/// `first_instance + i`, per-instance (the scalar reference path — kept
+/// verbatim from the pre-kernel estimator).
+pub(crate) fn pair_fill_scalar<const D: usize>(
+    terms: &[Term],
+    r: &SketchSet<D>,
+    s: &SketchSet<D>,
+    first_instance: usize,
+    out: &mut [f64],
+) {
+    for (i, z_out) in out.iter_mut().enumerate() {
+        let inst = first_instance + i;
+        let rc = r.instance_counters(inst);
+        let sc = s.instance_counters(inst);
+        let mut z = 0.0f64;
+        for t in terms {
+            // Counter products can exceed i64; widen before converting.
+            let prod = rc[t.r_word] as i128 * sc[t.s_word] as i128;
+            z += t.coeff * prod as f64;
+        }
+        *z_out = z;
+    }
+}
+
+/// Fills the pair atomic estimates of whole instance blocks starting at
+/// `first_block`; `out` must cover exactly a whole number of blocks' lanes.
+/// Terms walk in the outer loop so the f64 accumulations of different lanes
+/// stay independent (per-lane term order — and thus rounding — matches the
+/// scalar path exactly).
+pub(crate) fn pair_fill_batched<const D: usize>(
+    terms: &[Term],
+    r: &SketchSet<D>,
+    s: &SketchSet<D>,
+    first_block: usize,
+    out: &mut [f64],
+) {
+    let schema = r.schema();
+    let rw = r.words().len();
+    let sw = s.words().len();
+    let rc = r.counters();
+    let sc = s.counters();
+    let mut filled = 0usize;
+    let mut b = first_block;
+    while filled < out.len() {
+        let base = b * BLOCK_LANES;
+        let lanes = schema.seed_blocks(0)[b].lanes();
+        let rb = &rc[base * rw..(base + lanes) * rw];
+        let sb = &sc[base * sw..(base + lanes) * sw];
+        let z = &mut out[filled..filled + lanes];
+        z.fill(0.0);
+        for t in terms {
+            let (rword, sword, coeff) = (t.r_word, t.s_word, t.coeff);
+            for (lane, slot) in z.iter_mut().enumerate() {
+                *slot += coeff * prod_f64(rb[lane * rw + rword], sb[lane * sw + sword]);
+            }
+        }
+        filled += lanes;
+        b += 1;
+    }
+}
+
+/// Fills `out[i]` with the query-side atomic estimate of instance
+/// `first_instance + i`, instantiating each instance's ξ families and
+/// summing every cover list per instance (the scalar reference path).
+pub(crate) fn xi_fill_scalar<const D: usize>(
+    plan: &XiQueryPlan<D>,
+    sketch: &SketchSet<D>,
+    first_instance: usize,
+    out: &mut [f64],
+) {
+    let schema = sketch.schema();
+    let stride = plan.max_slots();
+    let mut sums = vec![0i64; D * stride];
+    for (i, z_out) in out.iter_mut().enumerate() {
+        let inst = first_instance + i;
+        let seeds = schema.instance_seeds(inst);
+        for (dim, lists) in plan.lists.iter().enumerate() {
+            let fam = schema.xi_ctx()[dim].family(seeds[dim]);
+            for (slot, list) in lists.iter().enumerate() {
+                sums[dim * stride + slot] = fam.sum_pre(list);
+            }
+        }
+        let counters = sketch.instance_counters(inst);
+        let mut z = 0.0f64;
+        for t in &plan.terms {
+            let mut qprod: i64 = 1;
+            for (dim, &slot) in t.slots.iter().enumerate() {
+                qprod *= sums[dim * stride + slot];
+            }
+            z += (qprod as i128 * counters[t.word] as i128) as f64;
+        }
+        *z_out = z;
+    }
+}
+
+/// Fills the query-side atomic estimates of whole instance blocks starting
+/// at `first_block`: every cover list is evaluated for all lanes in one
+/// bit-sliced pass over the schema's packed seed planes, then word terms
+/// combine the per-lane sums with the block's contiguous counter rows.
+pub(crate) fn xi_fill_batched<const D: usize>(
+    plan: &XiQueryPlan<D>,
+    sketch: &SketchSet<D>,
+    first_block: usize,
+    out: &mut [f64],
+    sums: &mut BlockSums,
+) {
+    let schema = sketch.schema();
+    let w = sketch.words().len();
+    let counters = sketch.counters();
+    let stride = plan.max_slots();
+    sums.reserve_slots(D * stride);
+    let mut filled = 0usize;
+    let mut b = first_block;
+    while filled < out.len() {
+        let base = b * BLOCK_LANES;
+        let lanes = schema.seed_blocks(0)[b].lanes();
+        for (dim, lists) in plan.lists.iter().enumerate() {
+            let xb = &schema.seed_blocks(dim)[b];
+            for (slot, list) in lists.iter().enumerate() {
+                sums.eval_into(dim * stride + slot, xb, list);
+            }
+        }
+        let cb = &counters[base * w..(base + lanes) * w];
+        let z = &mut out[filled..filled + lanes];
+        z.fill(0.0);
+        for t in &plan.terms {
+            let word = t.word;
+            for (lane, slot) in z.iter_mut().enumerate() {
+                let mut qprod: i64 = 1;
+                for (dim, &list_slot) in t.slots.iter().enumerate() {
+                    qprod *= sums.lane_sums(dim * stride + list_slot)[lane];
+                }
+                *slot += prod_f64(qprod, cb[lane * w + word]);
+            }
+        }
+        filled += lanes;
+        b += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::EndpointPolicy;
+    use crate::comp::ie_words;
+    use crate::schema::{DimSpec, SketchSchema};
+    use fourwise::XiKind;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+    use std::sync::Arc;
+
+    #[test]
+    fn prod_f64_matches_widening_conversion() {
+        let cases = [
+            (0i64, 0i64),
+            (3, -7),
+            (i64::MAX, 1),
+            (i64::MAX, -1),
+            (i64::MAX, i64::MAX), // overflows i64: 128-bit fallback
+            (i64::MIN, i64::MIN), // likewise
+            (i64::MIN, -1),       // checked_mul fails, product = 2^63
+            (1 << 40, 1 << 30),   // overflow by a hair over the boundary
+            (987654321, -123456789),
+        ];
+        for (a, b) in cases {
+            let want = (a as i128 * b as i128) as f64;
+            assert_eq!(prod_f64(a, b).to_bits(), want.to_bits(), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn pair_kernels_agree_on_built_sketches() {
+        let mut rng = StdRng::seed_from_u64(200);
+        // 70 instances: one full block plus a 6-lane tail.
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            crate::schema::BoostShape::new(35, 2),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let mut r = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        let mut s = SketchSet::new(schema.clone(), words, EndpointPolicy::Raw);
+        for _ in 0..40 {
+            let x = rng.gen_range(0..200u64);
+            let y = rng.gen_range(0..200u64);
+            r.insert(&rect2(x, x + 9, y, y + 5)).unwrap();
+            s.insert(&rect2(y, y + 3, x, x + 11)).unwrap();
+        }
+        let terms = [
+            Term {
+                r_word: 0,
+                s_word: 3,
+                coeff: 0.25,
+            },
+            Term {
+                r_word: 1,
+                s_word: 2,
+                coeff: 0.25,
+            },
+            Term {
+                r_word: 2,
+                s_word: 1,
+                coeff: -0.5,
+            },
+        ];
+        let mut scalar_out = vec![0.0; schema.instances()];
+        let mut batched_out = vec![0.0; schema.instances()];
+        pair_fill_scalar(&terms, &r, &s, 0, &mut scalar_out);
+        pair_fill_batched(&terms, &r, &s, 0, &mut batched_out);
+        for (i, (a, b)) in scalar_out.iter().zip(batched_out.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "instance {i}");
+        }
+        // Context dispatch returns the boosted estimate of the same grid.
+        let mut ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
+        let es = ctx.pair_estimate(&terms, &r, &s);
+        ctx.set_kernel(QueryKernel::Batched);
+        let eb = ctx.pair_estimate(&terms, &r, &s);
+        assert_eq!(es.value.to_bits(), eb.value.to_bits());
+        assert_eq!(es.row_means.len(), 2);
+        assert_eq!(es.row_means, eb.row_means);
+    }
+
+    #[test]
+    fn zero_estimate_has_grid_shape() {
+        let mut ctx = QueryContext::new();
+        let est = ctx.zero_estimate(crate::schema::BoostShape::new(4, 3));
+        assert_eq!(est.value, 0.0);
+        assert_eq!(est.row_means, vec![0.0; 3]);
+    }
+}

@@ -15,6 +15,8 @@
 use crate::atomic::{EndpointPolicy, SketchSet};
 use crate::boost::Estimate;
 use crate::comp::{Comp, Word};
+use crate::estimator::Term;
+use crate::query::QueryContext;
 use crate::schema::DimSpec;
 use dyadic::{interval_cover, point_cover, DyadicDomain, NodeId};
 use geometry::transform::{shrink_interval, triple, triple_interval};
@@ -129,33 +131,52 @@ pub fn exact_self_join<const D: usize>(
 
 /// Sketch-based estimate of `SJ(X_w)` for one maintained word: the boosted
 /// mean-median of `X_w²` across instances (`E[X_w²] = SJ(X_w)` exactly).
+///
+/// Convenience form of [`estimate_word_self_join_with`] building a
+/// throwaway [`QueryContext`].
 pub fn estimate_word_self_join<const D: usize>(sketch: &SketchSet<D>, word_idx: usize) -> Estimate {
-    let shape = sketch.schema().shape();
-    let atomic: Vec<f64> = (0..shape.instances())
-        .map(|inst| {
-            let x = sketch.counter(inst, word_idx);
-            (x as i128 * x as i128) as f64
-        })
-        .collect();
-    Estimate::from_grid(&atomic, shape.k1, shape.k2)
+    estimate_word_self_join_with(&mut QueryContext::new(), sketch, word_idx)
+}
+
+/// [`estimate_word_self_join`] with the caller's [`QueryContext`]: under the
+/// batched kernel the squared counters are extracted as whole per-lane
+/// estimate vectors per instance block and boosted straight from the
+/// context's grid, with no per-estimate allocation.
+pub fn estimate_word_self_join_with<const D: usize>(
+    ctx: &mut QueryContext,
+    sketch: &SketchSet<D>,
+    word_idx: usize,
+) -> Estimate {
+    let terms = [Term {
+        r_word: word_idx,
+        s_word: word_idx,
+        coeff: 1.0,
+    }];
+    ctx.pair_estimate(&terms, sketch, sketch)
 }
 
 /// Sketch-based estimate of `SJ(R) = Σ_w SJ(X_w)` over all maintained words.
+///
+/// Convenience form of [`estimate_self_join_with`] building a throwaway
+/// [`QueryContext`].
 pub fn estimate_self_join<const D: usize>(sketch: &SketchSet<D>) -> Estimate {
-    let shape = sketch.schema().shape();
-    let w = sketch.words().len();
-    let atomic: Vec<f64> = (0..shape.instances())
-        .map(|inst| {
-            let counters = sketch.instance_counters(inst);
-            (0..w)
-                .map(|i| {
-                    let x = counters[i];
-                    (x as i128 * x as i128) as f64
-                })
-                .sum()
+    estimate_self_join_with(&mut QueryContext::new(), sketch)
+}
+
+/// [`estimate_self_join`] with the caller's [`QueryContext`]; the sketch is
+/// paired with itself on the diagonal word terms `Σ_w X_w · X_w`.
+pub fn estimate_self_join_with<const D: usize>(
+    ctx: &mut QueryContext,
+    sketch: &SketchSet<D>,
+) -> Estimate {
+    let terms: Vec<Term> = (0..sketch.words().len())
+        .map(|i| Term {
+            r_word: i,
+            s_word: i,
+            coeff: 1.0,
         })
         .collect();
-    Estimate::from_grid(&atomic, shape.k1, shape.k2)
+    ctx.pair_estimate(&terms, sketch, sketch)
 }
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! Bit-sliced multi-instance ξ evaluation: the batched build kernel's core.
+//! Bit-sliced multi-instance ξ evaluation: the core of the batched build
+//! *and* query kernels.
 //!
 //! Sketch maintenance evaluates the *same* index against thousands of
 //! independent family instances. The scalar path ([`XiFamily::xi_pre`])
@@ -74,7 +75,7 @@ impl BchBlock {
     }
 
     /// Sign mask of the block at one index: bit `j` set ⇔ lane `j`'s
-    /// `xi = -1`. Bits at or above [`BchBlock::lanes`] are unspecified.
+    /// `xi = -1`. Bits at or above the block's lane count are unspecified.
     #[inline]
     pub fn eval_mask(&self, pre: IndexPre) -> u64 {
         let mut acc = self.b0;
@@ -202,6 +203,62 @@ impl XiBlock {
             }
             counter.signed_sums_accum(out);
         }
+    }
+}
+
+/// Reusable query-side block-evaluation scratch: one [`LaneCounter`] plus a
+/// bank of per-lane sum buffers ("slots").
+///
+/// Estimation evaluates *several* index lists against the same instance
+/// block — one per (dimension, cover-list) pair of the query — and needs all
+/// the per-lane sums alive at once to form word products. A `BlockSums`
+/// holds them side by side so the whole query side of a block is evaluated
+/// with zero allocation after the first use.
+#[derive(Debug, Clone, Default)]
+pub struct BlockSums {
+    counter: LaneCounter,
+    /// Slot `s` occupies `sums[s*BLOCK_LANES..(s+1)*BLOCK_LANES]`.
+    sums: Vec<i64>,
+}
+
+impl BlockSums {
+    /// Fresh scratch with no slots; call [`BlockSums::reserve_slots`] or let
+    /// [`BlockSums::eval_into`] grow it on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures at least `slots` per-lane buffers exist (grow-only).
+    pub fn reserve_slots(&mut self, slots: usize) {
+        if self.sums.len() < slots * BLOCK_LANES {
+            self.sums.resize(slots * BLOCK_LANES, 0);
+        }
+    }
+
+    /// Number of available slots.
+    pub fn slots(&self) -> usize {
+        self.sums.len() / BLOCK_LANES
+    }
+
+    /// Evaluates per-lane `Σ xi` of `block` over `pres` into slot `slot`
+    /// (the block analogue of [`XiFamily::sum_pre`], see
+    /// [`XiBlock::sum_pre_into`]). Grows the slot bank as needed.
+    #[inline]
+    pub fn eval_into(&mut self, slot: usize, block: &XiBlock, pres: &[IndexPre]) {
+        self.reserve_slots(slot + 1);
+        let buf = &mut self.sums[slot * BLOCK_LANES..(slot + 1) * BLOCK_LANES];
+        block.sum_pre_into(pres, &mut self.counter, buf);
+    }
+
+    /// The per-lane sums of slot `slot`; entries at or above the evaluated
+    /// block's lane count are unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never evaluated or reserved.
+    #[inline]
+    pub fn lane_sums(&self, slot: usize) -> &[i64] {
+        &self.sums[slot * BLOCK_LANES..(slot + 1) * BLOCK_LANES]
     }
 }
 
@@ -374,6 +431,45 @@ mod tests {
         let mut sums = [7i64; BLOCK_LANES];
         block.sum_pre_into(&[], &mut counter, &mut sums);
         assert_eq!(&sums[..3], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn block_sums_holds_independent_slots() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (ctx, seeds) = random_block(XiKind::Bch, 10, 64, 78);
+        let block = XiBlock::pack(&ctx, &seeds);
+        let list_a: Vec<IndexPre> = (0..40u64)
+            .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
+            .collect();
+        let list_b: Vec<IndexPre> = (0..7u64)
+            .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
+            .collect();
+        let mut sums = BlockSums::new();
+        assert_eq!(sums.slots(), 0);
+        sums.eval_into(0, &block, &list_a);
+        sums.eval_into(1, &block, &list_b);
+        assert!(sums.slots() >= 2);
+        // Both slots stay valid side by side and match the scalar families.
+        for (j, &seed) in seeds.iter().enumerate() {
+            let fam = ctx.family(seed);
+            assert_eq!(
+                sums.lane_sums(0)[j],
+                fam.sum_pre(&list_a),
+                "slot 0 lane {j}"
+            );
+            assert_eq!(
+                sums.lane_sums(1)[j],
+                fam.sum_pre(&list_b),
+                "slot 1 lane {j}"
+            );
+        }
+        // Re-evaluating a slot overwrites it without disturbing the other.
+        sums.eval_into(0, &block, &list_b);
+        for (j, &seed) in seeds.iter().enumerate() {
+            let fam = ctx.family(seed);
+            assert_eq!(sums.lane_sums(0)[j], fam.sum_pre(&list_b));
+            assert_eq!(sums.lane_sums(1)[j], fam.sum_pre(&list_b));
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! [`family`] wraps both behind one interface shaped for the sketch hot loop
 //! (shared per-index precomputation across thousands of instances),
 //! [`batch`] adds the bit-sliced multi-instance evaluation blocks behind the
-//! batched build kernel, and [`gf2`] supplies the carry-less GF(2^k)
-//! arithmetic the BCH family needs.
+//! batched build *and* query kernels (plus the [`BlockSums`] scratch the
+//! query side evaluates whole covers into), and [`gf2`] supplies the
+//! carry-less GF(2^k) arithmetic the BCH family needs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,7 +34,7 @@ pub mod family;
 pub mod gf2;
 pub mod poly;
 
-pub use batch::{LaneCounter, XiBlock, BLOCK_LANES};
+pub use batch::{BlockSums, LaneCounter, XiBlock, BLOCK_LANES};
 pub use bch::{BchFamily, BchSeed};
 pub use family::{IndexPre, XiContext, XiFamily, XiKind, XiSeed, CUBE_TABLE_MAX_BITS};
 pub use gf2::GfContext;

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
-//! the vendored `serde` stand-in's [`Value`] data model, for exactly the
+//! the vendored `serde` stand-in's `Value` data model, for exactly the
 //! input shapes this workspace contains:
 //!
 //! * structs with named fields (→ JSON object, declaration order),
