@@ -3,8 +3,9 @@
 //! Measures whole `estimate` calls — scratch-reusing [`QueryContext`] form —
 //! for the spatial join (counter-product combine) and the range query
 //! (query-side ξ evaluation against maintained counters) across instance
-//! counts, scalar oracle vs batched bit-sliced kernel. The build-side twin
-//! lives in `update_throughput`/`xi_throughput`.
+//! counts and the full kernel matrix: scalar oracle, 64-lane batched and
+//! 256-lane wide. The build-side twin lives in
+//! `update_throughput`/`xi_throughput`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use geometry::{HyperRect, Interval};
@@ -14,7 +15,7 @@ use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{QueryContext, QueryKernel, RangeQuery, RangeStrategy};
 
-const KERNELS: [QueryKernel; 2] = [QueryKernel::Scalar, QueryKernel::Batched];
+const KERNELS: [QueryKernel; 3] = [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide];
 
 fn rects(n: usize, seed: u64) -> Vec<HyperRect<2>> {
     let mut rng = StdRng::seed_from_u64(seed);

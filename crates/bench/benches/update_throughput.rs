@@ -9,7 +9,7 @@ use histograms::{EulerHistogram, GeometricHistogram, GridSpec};
 use rand::SeedableRng;
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, plan};
+use sketch::{par_insert_batch, plan, BuildKernel};
 
 const BITS: u32 = 14;
 
@@ -35,18 +35,22 @@ fn bench_updates(c: &mut Criterion) {
         let config = SketchConfig::new(instances / 5, 5).with_max_level(max_level);
         let join =
             SpatialJoin::<2>::new(&mut rng, config, [BITS, BITS], EndpointStrategy::Transform);
-        group.bench_function(format!("sketch_{instances}inst_serial"), |b| {
-            b.iter_batched(
-                || join.new_sketch_r(),
-                |mut sk| {
-                    for r in &rects {
-                        sk.insert(black_box(r)).unwrap();
-                    }
-                    sk
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        // Serial inserts per blocked kernel (the scalar oracle lives in
+        // perf_probe's sweep; here the two block widths race).
+        for kernel in [BuildKernel::Batched, BuildKernel::Wide] {
+            group.bench_function(format!("sketch_{instances}inst_serial_{kernel:?}"), |b| {
+                b.iter_batched(
+                    || join.new_sketch_r().with_kernel(kernel),
+                    |mut sk| {
+                        for r in &rects {
+                            sk.insert(black_box(r)).unwrap();
+                        }
+                        sk
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
         group.bench_function(format!("sketch_{instances}inst_parallel8"), |b| {
             b.iter_batched(
                 || join.new_sketch_r(),

@@ -1,11 +1,11 @@
 //! Microbench: four-wise independent variable generation — the innermost
 //! operation of every sketch update. Compares the BCH construction (with
 //! and without shared cube precomputation) against the cubic-polynomial
-//! family, the bit-sliced 64-lane block evaluation behind the batched build
-//! kernel, plus the GF(2^k) cube itself.
+//! family, the bit-sliced block evaluation behind the batched (64-lane) and
+//! wide (256-lane) build kernels, plus the GF(2^k) cube itself.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fourwise::{LaneCounter, XiBlock, XiContext, XiFamily, XiKind, XiSeed, BLOCK_LANES};
+use fourwise::{Lane, LaneCounter, WideLane, XiBlock, XiContext, XiFamily, XiKind, XiSeed};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,40 +45,41 @@ fn bench_xi(c: &mut Criterion) {
     }
     group.finish();
 
-    // Block evaluation: 64 instances per pass (the batched build kernel's
-    // inner operation) against the equivalent 64 scalar evaluations.
-    let mut group = c.benchmark_group("xi_block_64lanes");
-    group.throughput(Throughput::Elements(
-        indices.len() as u64 * BLOCK_LANES as u64,
-    ));
-    for kind in [XiKind::Bch, XiKind::Poly] {
-        let ctx = XiContext::new(kind, bits);
-        let seeds: Vec<XiSeed> = (0..BLOCK_LANES)
-            .map(|_| ctx.random_seed(&mut rng))
-            .collect();
-        let fams: Vec<XiFamily> = seeds.iter().map(|&s| ctx.family(s)).collect();
-        let block = XiBlock::pack(&ctx, &seeds);
-        let pres: Vec<_> = indices.iter().map(|&i| ctx.precompute(i)).collect();
+    // Block evaluation: a whole lane word of instances per pass (the
+    // blocked build kernels' inner operation) against the equivalent scalar
+    // evaluations, at both lane widths.
+    fn bench_blocks<L: Lane>(c: &mut Criterion, rng: &mut StdRng, bits: u32, indices: &[u64]) {
+        let mut group = c.benchmark_group(format!("xi_block_{}lanes", L::LANES));
+        group.throughput(Throughput::Elements(indices.len() as u64 * L::LANES as u64));
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            let ctx = XiContext::new(kind, bits);
+            let seeds: Vec<XiSeed> = (0..L::LANES).map(|_| ctx.random_seed(rng)).collect();
+            let fams: Vec<XiFamily> = seeds.iter().map(|&s| ctx.family(s)).collect();
+            let block = XiBlock::<L>::pack(&ctx, &seeds);
+            let pres: Vec<_> = indices.iter().map(|&i| ctx.precompute(i)).collect();
 
-        group.bench_function(format!("{kind:?}/bitsliced"), |b| {
-            let mut counter = LaneCounter::new();
-            let mut sums = [0i64; BLOCK_LANES];
-            b.iter(|| {
-                block.sum_pre_into(black_box(&pres), &mut counter, &mut sums);
-                sums[0]
-            })
-        });
-        group.bench_function(format!("{kind:?}/scalar_lanes"), |b| {
-            b.iter(|| {
-                let mut acc = 0i64;
-                for fam in &fams {
-                    acc += fam.sum_pre(black_box(&pres));
-                }
-                acc
-            })
-        });
+            group.bench_function(format!("{kind:?}/bitsliced"), |b| {
+                let mut counter = LaneCounter::<L>::new();
+                let mut sums = vec![0i64; L::LANES];
+                b.iter(|| {
+                    block.sum_pre_into(black_box(&pres), &mut counter, &mut sums);
+                    sums[0]
+                })
+            });
+            group.bench_function(format!("{kind:?}/scalar_lanes"), |b| {
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for fam in &fams {
+                        acc += fam.sum_pre(black_box(&pres));
+                    }
+                    acc
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+    bench_blocks::<u64>(c, &mut rng, bits, &indices);
+    bench_blocks::<WideLane>(c, &mut rng, bits, &indices);
 
     // The shared per-index precomputation itself (table-hit path).
     let ctx = XiContext::new(XiKind::Bch, bits);

@@ -1,15 +1,18 @@
 //! Build/estimate throughput probe plus quick maxLevel sanity sweeps.
 //!
-//! The default probe times the sketch build under *both* maintenance
-//! kernels (scalar oracle vs batched bit-sliced; see `sketch::BuildKernel`)
-//! and appends one JSON record per run to `results/perf_probe.json` — the
-//! committed `BENCH_*.json` anchors are copies of such records.
-//! `--probe estimate` times the *estimation* path the same way under both
-//! query kernels (`sketch::QueryKernel`), join and range, and appends a
-//! record to the same file.
+//! The default probe times the sketch build under *all three* maintenance
+//! kernels (scalar oracle, 64-lane batched, 256-lane wide; see
+//! `sketch::BuildKernel`) and appends one JSON record per run to
+//! `results/perf_probe.json` — the committed `BENCH_*.json` anchors are
+//! copies of such records. Every per-kernel record carries the kernel
+//! variant, its lane width and its instance-block size so anchors stay
+//! self-describing. `--probe estimate` times the *estimation* path the same
+//! way under all query kernels (`sketch::QueryKernel`), join and range;
+//! `--probe wide` is the quick wide-vs-batched head-to-head (build and
+//! estimate, blocked kernels only).
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick | --probe estimate]
+//!        [-- --gis | --range | --quick | --probe <estimate|wide>]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -26,6 +29,26 @@ use std::time::Instant;
 /// Milliseconds of repeated calls per timing point (the estimate path is
 /// microseconds per call, so each point averages thousands of calls).
 const ESTIMATE_PROBE_BUDGET_MS: u128 = 250;
+
+/// `(name, lane_width, block_size)` of a build kernel, recorded with every
+/// probe point.
+fn build_kernel_meta(kernel: BuildKernel) -> (&'static str, usize, usize) {
+    match kernel {
+        BuildKernel::Scalar => ("scalar", 1, 1),
+        BuildKernel::Batched => ("batched", 64, 64),
+        BuildKernel::Wide => ("wide", 256, 256),
+    }
+}
+
+/// `(name, lane_width, block_size)` of a query kernel.
+fn query_kernel_meta(kernel: QueryKernel) -> (&'static str, usize, usize) {
+    match kernel {
+        QueryKernel::Scalar => ("scalar", 1, 1),
+        QueryKernel::Batched => ("batched", 64, 64),
+        QueryKernel::Wide => ("wide", 256, 256),
+        QueryKernel::Auto => ("auto", 0, 0),
+    }
+}
 
 /// Times `f` repeatedly until the budget elapses; returns ns per call.
 fn time_ns_per_call(mut f: impl FnMut() -> f64) -> f64 {
@@ -47,9 +70,34 @@ fn time_ns_per_call(mut f: impl FnMut() -> f64) -> f64 {
     ns
 }
 
+/// Ratio of one kernel's timings over another's (higher = `faster` wins).
+#[derive(serde::Serialize)]
+struct Speedup {
+    faster: String,
+    baseline: String,
+    /// Baseline ns divided by faster ns, per instance configuration.
+    ratio_per_config: Vec<f64>,
+}
+
+fn speedups_of(names: &[&'static str], ns_per_kernel: &[Vec<f64>]) -> Vec<Speedup> {
+    (1..names.len())
+        .map(|i| Speedup {
+            faster: names[i].into(),
+            baseline: names[i - 1].into(),
+            ratio_per_config: ns_per_kernel[i - 1]
+                .iter()
+                .zip(ns_per_kernel[i].iter())
+                .map(|(base, fast)| base / fast)
+                .collect(),
+        })
+        .collect()
+}
+
 #[derive(serde::Serialize)]
 struct QueryKernelRecord {
     kernel: String,
+    lane_width: usize,
+    block_size: usize,
     ns_per_estimate: Vec<f64>,
     ns_per_estimate_instance: Vec<f64>,
 }
@@ -61,16 +109,16 @@ struct EstimateProbeRecord {
     domain_bits: u32,
     instances: Vec<usize>,
     join_kernels: Vec<QueryKernelRecord>,
-    /// Scalar ns/estimate divided by batched, per instance count.
-    join_speedup_batched_over_scalar: Vec<f64>,
+    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
+    join_speedups: Vec<Speedup>,
     range_kernels: Vec<QueryKernelRecord>,
-    range_speedup_batched_over_scalar: Vec<f64>,
+    range_speedups: Vec<Speedup>,
 }
 
-/// `--probe estimate`: estimation-path throughput under both query kernels,
-/// for the join (counter-product combine) and range (query-side ξ sums)
-/// paths, appended to `results/perf_probe.json` like the build probe.
-fn estimate_probe(threads: usize, quick: bool) {
+/// Estimation-path throughput under the given query kernels, for the join
+/// (counter-product combine) and range (query-side ξ sums) paths, appended
+/// to `results/perf_probe.json` like the build probe.
+fn estimate_probe(threads: usize, quick: bool, kernels: &[QueryKernel], probe: &str) {
     use rand::Rng as _;
     let bits = 14u32;
     let data: Vec<geometry::HyperRect<2>> =
@@ -81,28 +129,33 @@ fn estimate_probe(threads: usize, quick: bool) {
         &[(88, 5), (203, 5), (820, 5)]
     };
     let mut record = EstimateProbeRecord {
-        probe: "estimate".into(),
+        probe: probe.into(),
         objects: data.len(),
         domain_bits: bits,
         instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
         join_kernels: Vec::new(),
-        join_speedup_batched_over_scalar: Vec::new(),
+        join_speedups: Vec::new(),
         range_kernels: Vec::new(),
-        range_speedup_batched_over_scalar: Vec::new(),
+        range_speedups: Vec::new(),
     };
 
-    for kernel in [QueryKernel::Scalar, QueryKernel::Batched] {
+    for &kernel in kernels {
+        let (name, lane_width, block_size) = query_kernel_meta(kernel);
         let mut join_rec = QueryKernelRecord {
-            kernel: format!("{kernel:?}").to_lowercase(),
+            kernel: name.into(),
+            lane_width,
+            block_size,
             ns_per_estimate: Vec::new(),
             ns_per_estimate_instance: Vec::new(),
         };
         let mut range_rec = QueryKernelRecord {
-            kernel: format!("{kernel:?}").to_lowercase(),
+            kernel: name.into(),
+            lane_width,
+            block_size,
             ns_per_estimate: Vec::new(),
             ns_per_estimate_instance: Vec::new(),
         };
-        // Fresh RNG per kernel: both kernels see identical schema draws.
+        // Fresh RNG per kernel: all kernels see identical schema draws.
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for &(k1, k2) in configs {
             let instances = k1 * k2;
@@ -165,24 +218,135 @@ fn estimate_probe(threads: usize, quick: bool) {
         record.join_kernels.push(join_rec);
         record.range_kernels.push(range_rec);
     }
-    let speedups = |kernels: &[QueryKernelRecord]| -> Vec<f64> {
-        kernels[0]
-            .ns_per_estimate
-            .iter()
-            .zip(kernels[1].ns_per_estimate.iter())
-            .map(|(scalar, batched)| scalar / batched)
-            .collect()
+    let names: Vec<&'static str> = kernels.iter().map(|&k| query_kernel_meta(k).0).collect();
+    let join_ns: Vec<Vec<f64>> = record
+        .join_kernels
+        .iter()
+        .map(|k| k.ns_per_estimate.clone())
+        .collect();
+    let range_ns: Vec<Vec<f64>> = record
+        .range_kernels
+        .iter()
+        .map(|k| k.ns_per_estimate.clone())
+        .collect();
+    record.join_speedups = speedups_of(&names, &join_ns);
+    record.range_speedups = speedups_of(&names, &range_ns);
+    for s in &record.join_speedups {
+        println!(
+            "join  {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    for s in &record.range_speedups {
+        println!(
+            "range {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    let path = spatial_bench::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+}
+
+#[derive(serde::Serialize)]
+struct KernelRecord {
+    kernel: String,
+    lane_width: usize,
+    block_size: usize,
+    build_secs: Vec<f64>,
+    ns_per_obj_instance: Vec<f64>,
+}
+
+#[derive(serde::Serialize)]
+struct BuildProbeRecord {
+    probe: String,
+    objects: usize,
+    domain_bits: u32,
+    threads: usize,
+    instances: Vec<usize>,
+    kernels: Vec<KernelRecord>,
+    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
+    speedups: Vec<Speedup>,
+    /// `None` (serialized as null) when the probe skips the exact join.
+    exact_join_pairs: Option<u64>,
+    exact_join_secs: Option<f64>,
+}
+
+/// Build-throughput sweep per maintenance kernel; optionally one exact-join
+/// timing. Appends a record to `results/perf_probe.json`.
+fn build_probe(threads: usize, quick: bool, kernels: &[BuildKernel], probe: &str, exact: bool) {
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
+    let configs: &[(usize, usize)] = if quick {
+        &[(88, 5)]
+    } else {
+        &[(88, 5), (440, 5), (1200, 5)]
     };
-    record.join_speedup_batched_over_scalar = speedups(&record.join_kernels);
-    record.range_speedup_batched_over_scalar = speedups(&record.range_kernels);
-    println!(
-        "join  batched speedup over scalar: {:?}",
-        record.join_speedup_batched_over_scalar
-    );
-    println!(
-        "range batched speedup over scalar: {:?}",
-        record.range_speedup_batched_over_scalar
-    );
+    let mut record = BuildProbeRecord {
+        probe: probe.into(),
+        objects: data.len(),
+        domain_bits: 14,
+        threads,
+        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        kernels: Vec::new(),
+        speedups: Vec::new(),
+        exact_join_pairs: None,
+        exact_join_secs: None,
+    };
+    for &kernel in kernels {
+        let (name, lane_width, block_size) = build_kernel_meta(kernel);
+        let mut rec = KernelRecord {
+            kernel: name.into(),
+            lane_width,
+            block_size,
+            build_secs: Vec::new(),
+            ns_per_obj_instance: Vec::new(),
+        };
+        // Fresh RNG per kernel: all kernels see identical schema draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(k1, k2) in configs {
+            let join = SpatialJoin::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [14, 14],
+                EndpointStrategy::Transform,
+            );
+            let mut r = join.new_sketch_r().with_kernel(kernel);
+            let t = Instant::now();
+            par_insert_batch(&mut r, &data, threads).unwrap();
+            let el = t.elapsed();
+            let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
+            println!(
+                "{kernel:?} kernel, instances {}: {el:?} total, {ns:.1} ns/(obj.inst)",
+                k1 * k2
+            );
+            rec.build_secs.push(el.as_secs_f64());
+            rec.ns_per_obj_instance.push(ns);
+        }
+        record.kernels.push(rec);
+    }
+    let names: Vec<&'static str> = kernels.iter().map(|&k| build_kernel_meta(k).0).collect();
+    let ns: Vec<Vec<f64>> = record
+        .kernels
+        .iter()
+        .map(|k| k.ns_per_obj_instance.clone())
+        .collect();
+    record.speedups = speedups_of(&names, &ns);
+    for s in &record.speedups {
+        println!(
+            "build {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    if exact {
+        let s: Vec<geometry::HyperRect<2>> =
+            datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
+        let t = Instant::now();
+        let c = exact::rect_join_count(&data, &s);
+        let el = t.elapsed();
+        println!("exact join 50K x 50K: {c} pairs in {el:?}");
+        record.exact_join_pairs = Some(c);
+        record.exact_join_secs = Some(el.as_secs_f64());
+    }
     let path = spatial_bench::report::append_json("perf_probe", &record);
     println!("appended to {}", path.display());
 }
@@ -196,11 +360,33 @@ fn main() {
 
     match args.get("probe") {
         Some("estimate") => {
-            estimate_probe(threads, args.has("quick"));
+            estimate_probe(
+                threads,
+                args.has("quick"),
+                &[QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide],
+                "estimate",
+            );
+            return;
+        }
+        Some("wide") => {
+            // Quick head-to-head of the two blocked widths, build + estimate.
+            build_probe(
+                threads,
+                args.has("quick"),
+                &[BuildKernel::Batched, BuildKernel::Wide],
+                "wide-build",
+                false,
+            );
+            estimate_probe(
+                threads,
+                args.has("quick"),
+                &[QueryKernel::Batched, QueryKernel::Wide],
+                "wide-estimate",
+            );
             return;
         }
         Some(other) => {
-            eprintln!("unknown --probe `{other}` (supported: estimate)");
+            eprintln!("unknown --probe `{other}` (supported: estimate, wide)");
             std::process::exit(2);
         }
         None => {}
@@ -283,94 +469,15 @@ fn main() {
         return;
     }
 
-    // Default probe: build-throughput sweep per maintenance kernel plus one
-    // exact-join timing. Each run *appends* a record to
+    // Default probe: build-throughput sweep across the whole kernel matrix
+    // plus one exact-join timing. Each run *appends* a record to
     // results/perf_probe.json (the committed BENCH_*.json anchors are
     // copies of such records), so successive runs stay diffable.
-    #[derive(serde::Serialize)]
-    struct KernelRecord {
-        kernel: String,
-        build_secs: Vec<f64>,
-        ns_per_obj_instance: Vec<f64>,
-    }
-
-    #[derive(serde::Serialize)]
-    struct ProbeRecord {
-        objects: usize,
-        domain_bits: u32,
-        threads: usize,
-        instances: Vec<usize>,
-        kernels: Vec<KernelRecord>,
-        /// Scalar ns/(obj·inst) divided by batched, per instance count.
-        speedup_batched_over_scalar: Vec<f64>,
-        exact_join_pairs: u64,
-        exact_join_secs: f64,
-    }
-
-    let data: Vec<geometry::HyperRect<2>> =
-        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
-    let configs: &[(usize, usize)] = if args.has("quick") {
-        &[(88, 5)]
-    } else {
-        &[(88, 5), (440, 5), (1200, 5)]
-    };
-    let mut record = ProbeRecord {
-        objects: data.len(),
-        domain_bits: 14,
+    build_probe(
         threads,
-        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
-        kernels: Vec::new(),
-        speedup_batched_over_scalar: Vec::new(),
-        exact_join_pairs: 0,
-        exact_join_secs: 0.0,
-    };
-    for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
-        let mut rec = KernelRecord {
-            kernel: format!("{kernel:?}").to_lowercase(),
-            build_secs: Vec::new(),
-            ns_per_obj_instance: Vec::new(),
-        };
-        // Fresh RNG per kernel: both kernels see identical schema draws.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        for &(k1, k2) in configs {
-            let join = SpatialJoin::<2>::new(
-                &mut rng,
-                SketchConfig::new(k1, k2),
-                [14, 14],
-                EndpointStrategy::Transform,
-            );
-            let mut r = join.new_sketch_r().with_kernel(kernel);
-            let t = Instant::now();
-            par_insert_batch(&mut r, &data, threads).unwrap();
-            let el = t.elapsed();
-            let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
-            println!(
-                "{kernel:?} kernel, instances {}: {el:?} total, {ns:.1} ns/(obj.inst)",
-                k1 * k2
-            );
-            rec.build_secs.push(el.as_secs_f64());
-            rec.ns_per_obj_instance.push(ns);
-        }
-        record.kernels.push(rec);
-    }
-    record.speedup_batched_over_scalar = record.kernels[0]
-        .ns_per_obj_instance
-        .iter()
-        .zip(record.kernels[1].ns_per_obj_instance.iter())
-        .map(|(scalar, batched)| scalar / batched)
-        .collect();
-    println!(
-        "batched speedup over scalar: {:?}",
-        record.speedup_batched_over_scalar
+        args.has("quick"),
+        &[BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide],
+        "build",
+        true,
     );
-    let s: Vec<geometry::HyperRect<2>> =
-        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
-    let t = Instant::now();
-    let c = exact::rect_join_count(&data, &s);
-    let el = t.elapsed();
-    println!("exact join 50K x 50K: {c} pairs in {el:?}");
-    record.exact_join_pairs = c;
-    record.exact_join_secs = el.as_secs_f64();
-    let path = spatial_bench::report::append_json("perf_probe", &record);
-    println!("appended to {}", path.display());
 }

@@ -16,6 +16,17 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Creates a file's parent directory right before writing. `results/` is
+/// gitignored, so it is absent on a fresh clone — and it can disappear
+/// between a path lookup and the write (a cleanup script, a caller caching
+/// the path). Every writer below goes through this instead of trusting an
+/// earlier [`results_dir`] call.
+fn ensure_parent(path: &Path) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create results directory");
+    }
+}
+
 /// A rectangular table of experiment output.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -87,6 +98,7 @@ impl Table {
     /// Writes the table as CSV into `results/<name>.csv`.
     pub fn write_csv(&self, name: &str) -> PathBuf {
         let path = results_dir().join(format!("{name}.csv"));
+        ensure_parent(&path);
         let mut body = self.headers.join(",");
         body.push('\n');
         for row in &self.rows {
@@ -113,6 +125,7 @@ pub fn format_num(v: f64) -> String {
 /// Writes a JSON experiment record into `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, record: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
+    ensure_parent(&path);
     let body = serde_json::to_string_pretty(record).expect("serialize record");
     fs::write(&path, body).expect("write json");
     path
@@ -145,6 +158,7 @@ pub fn append_json<T: Serialize>(name: &str, record: &T) -> PathBuf {
     };
     records.push(serde::ser::to_value(record).expect("serialize record"));
     let body = serde_json::to_string_pretty(&records).expect("serialize records");
+    ensure_parent(&path);
     fs::write(&path, body).expect("write json");
     path
 }
@@ -195,6 +209,20 @@ mod tests {
         assert_eq!(format_num(12.0), "12");
         assert_eq!(format_num(0.5), "0.5000");
         assert_eq!(format_num(1234.5), "1234.5");
+    }
+
+    #[test]
+    fn ensure_parent_creates_missing_dirs() {
+        let root =
+            std::env::temp_dir().join(format!("spatial_bench_report_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let path = root.join("nested").join("probe.json");
+        assert!(!root.exists());
+        ensure_parent(&path);
+        std::fs::write(&path, "[]").expect("dir was created, write succeeds");
+        // Idempotent on an existing directory.
+        ensure_parent(&path);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

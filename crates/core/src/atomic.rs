@@ -9,18 +9,23 @@
 //!
 //! The hot loop is arranged so that per-object work shared by *all*
 //! instances (dyadic covers and the GF(2^k) index cubes) is computed once
-//! into a per-object scratch. Two kernels can then apply the scratch to the
-//! counters (see [`BuildKernel`]): the scalar reference path walks instances
-//! one at a time, while the default batched path evaluates ξ for
-//! [`BLOCK_LANES`] instances per word operation (bit-sliced seed planes,
-//! `fourwise::batch`) and walks the counter array one contiguous
-//! instance-block at a time. Both produce bit-identical counters.
+//! into a per-object scratch. Three kernels can then apply the scratch to
+//! the counters (see [`BuildKernel`]): the scalar reference path walks
+//! instances one at a time, while the blocked paths evaluate ξ for a whole
+//! [`Lane`] word of instances per operation (bit-sliced seed planes,
+//! `fourwise::batch`) — [`BLOCK_LANES`] lanes batched, 256 lanes wide — and
+//! walk the counter array one contiguous instance-block at a time. All
+//! three produce bit-identical counters.
 
 use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
-use crate::schema::SketchSchema;
+use crate::kernel::{self, Width};
+use crate::schema::{SchemaLanes, SketchSchema};
 use dyadic::{interval_cover_into, point_cover_into};
-use fourwise::{IndexPre, LaneCounter, BLOCK_LANES};
+use fourwise::{IndexPre, Lane, LaneCounter, WideLane};
+
+#[cfg(doc)]
+use fourwise::BLOCK_LANES;
 use geometry::transform::{shrink_interval, triple, triple_interval};
 use geometry::{HyperRect, Interval};
 use std::sync::Arc;
@@ -32,9 +37,14 @@ pub(crate) const OBJ_CHUNK: usize = 128;
 
 /// Which implementation maintains the counters on insert/delete.
 ///
-/// Both kernels compute the exact same integer counter updates — the scalar
+/// All kernels compute the exact same integer counter updates — the scalar
 /// path is retained as the differential-test oracle and for pathological
-/// shapes (it has no per-block fixed costs).
+/// shapes (it has no per-block fixed costs), and the batched path doubles
+/// as the oracle for the wide path (the oracle chain Scalar → Batched →
+/// Wide). [`SketchSet::new`] picks the default per schema: the
+/// `SKETCH_KERNEL` env override if set, otherwise [`BuildKernel::Wide`] for
+/// grids of at least [`kernel::WIDE_MIN_INSTANCES`] instances and
+/// [`BuildKernel::Batched`] below.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BuildKernel {
     /// Per-instance scalar ξ evaluation (the original reference path).
@@ -43,6 +53,21 @@ pub enum BuildKernel {
     /// cache-blocked counter walk.
     #[default]
     Batched,
+    /// Bit-sliced evaluation of 256 instances per pass over
+    /// [`WideLane`]-packed seed planes — the same kernel as
+    /// [`BuildKernel::Batched`] instantiated at the four-word lane width
+    /// LLVM autovectorizes.
+    Wide,
+}
+
+impl From<Width> for BuildKernel {
+    fn from(width: Width) -> Self {
+        match width {
+            Width::Scalar => BuildKernel::Scalar,
+            Width::Batched => BuildKernel::Batched,
+            Width::Wide => BuildKernel::Wide,
+        }
+    }
 }
 
 /// How object geometry is mapped into the sketch coordinate space.
@@ -156,7 +181,8 @@ impl DimVals {
 }
 
 /// One dimension's component values for a whole instance block, one lane per
-/// instance (the block analogue of `DimVals`).
+/// instance (the block analogue of `DimVals`). Sized for the owning
+/// scratch's lane width.
 #[derive(Debug, Clone)]
 struct DimLanes {
     interval: Vec<i64>,
@@ -167,13 +193,13 @@ struct DimLanes {
 }
 
 impl DimLanes {
-    fn new() -> Self {
+    fn new(lanes: usize) -> Self {
         Self {
-            interval: vec![0; BLOCK_LANES],
-            lo: vec![0; BLOCK_LANES],
-            hi: vec![0; BLOCK_LANES],
-            leaf_lo: vec![0; BLOCK_LANES],
-            leaf_hi: vec![0; BLOCK_LANES],
+            interval: vec![0; lanes],
+            lo: vec![0; lanes],
+            hi: vec![0; lanes],
+            leaf_lo: vec![0; lanes],
+            leaf_hi: vec![0; lanes],
         }
     }
 
@@ -190,20 +216,21 @@ impl DimLanes {
     }
 }
 
-/// Reusable working memory of the batched kernel: one carry-save counter
-/// plus per-dimension component lanes. Allocated lazily and kept across
-/// updates; workers in `par` hold one each.
+/// Reusable working memory of the blocked kernels: one carry-save counter
+/// plus per-dimension component lanes, at the kernel's lane width.
+/// Allocated lazily and kept across updates; workers in `par` hold one
+/// each.
 #[derive(Debug, Clone)]
-pub(crate) struct LaneScratch<const D: usize> {
-    counter: LaneCounter,
+pub(crate) struct LaneScratch<L: Lane, const D: usize> {
+    counter: LaneCounter<L>,
     dims: [DimLanes; D],
 }
 
-impl<const D: usize> LaneScratch<D> {
+impl<L: Lane, const D: usize> LaneScratch<L, D> {
     pub(crate) fn new() -> Self {
         Self {
             counter: LaneCounter::new(),
-            dims: std::array::from_fn(|_| DimLanes::new()),
+            dims: std::array::from_fn(|_| DimLanes::new(L::LANES)),
         }
     }
 }
@@ -225,7 +252,9 @@ pub struct SketchSet<const D: usize> {
     scratch: RectScratch<D>,
     /// Lazily allocated batched-kernel working memory (`None` until first
     /// batched update).
-    lanes: Option<LaneScratch<D>>,
+    lanes: Option<LaneScratch<u64, D>>,
+    /// Wide-kernel working memory, likewise lazy.
+    lanes_wide: Option<LaneScratch<WideLane, D>>,
 }
 
 impl<const D: usize> SketchSet<D> {
@@ -235,6 +264,9 @@ impl<const D: usize> SketchSet<D> {
     /// coordinates into the sketch domain. The schema's per-dimension domain
     /// must be large enough for the policy (`data_bits = sketch_bits -
     /// policy.extra_bits()` is the admissible input range).
+    ///
+    /// The maintenance kernel defaults to the schema's preferred width (see
+    /// [`BuildKernel`]); override with [`SketchSet::with_kernel`].
     pub fn new(
         schema: Arc<SketchSchema<D>>,
         words: Arc<Vec<Word<D>>>,
@@ -255,6 +287,7 @@ impl<const D: usize> SketchSet<D> {
         }
         let data_bits = std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
         let counters = vec![0i64; schema.instances() * words.len()];
+        let kernel = kernel::preferred(schema.instances()).into();
         Self {
             schema,
             words,
@@ -263,9 +296,10 @@ impl<const D: usize> SketchSet<D> {
             needs,
             counters,
             len: 0,
-            kernel: BuildKernel::default(),
+            kernel,
             scratch: RectScratch::new(),
             lanes: None,
+            lanes_wide: None,
         }
     }
 
@@ -276,7 +310,7 @@ impl<const D: usize> SketchSet<D> {
     }
 
     /// Selects the maintenance kernel in place. Kernels are interchangeable
-    /// at any point: both compute bit-identical counter updates.
+    /// at any point: all compute bit-identical counter updates.
     pub fn set_kernel(&mut self, kernel: BuildKernel) {
         self.kernel = kernel;
     }
@@ -386,85 +420,64 @@ impl<const D: usize> SketchSet<D> {
             for (slot, rect) in scratches.iter_mut().zip(chunk.iter()) {
                 self.fill_scratch(rect, slot).expect("validated above");
             }
-            match self.kernel {
-                BuildKernel::Batched => {
-                    let mut lanes = self.lanes.take().unwrap_or_else(LaneScratch::new);
-                    let w = self.words.len();
-                    for b in 0..self.schema.instance_blocks() {
-                        let base = b * BLOCK_LANES;
-                        let rows = self.schema.seed_blocks(0)[b].lanes();
-                        for scratch in &scratches[..chunk.len()] {
-                            apply_block(
-                                &self.schema,
-                                &self.words,
-                                scratch,
-                                b,
-                                &mut lanes,
-                                &mut self.counters[base * w..(base + rows) * w],
-                                delta,
-                            );
-                        }
-                    }
-                    self.lanes = Some(lanes);
-                }
-                BuildKernel::Scalar => {
-                    let w = self.words.len();
-                    for instance in 0..self.schema.instances() {
-                        let row_start = instance * w;
-                        for scratch in &scratches[..chunk.len()] {
-                            apply_instance(
-                                &self.schema,
-                                &self.words,
-                                scratch,
-                                instance,
-                                &mut self.counters[row_start..row_start + w],
-                                delta,
-                            );
-                        }
-                    }
-                }
-            }
+            self.apply_chunk(&scratches[..chunk.len()], delta);
         }
         self.len += delta * rects.len() as i64;
         Ok(())
     }
 
-    /// Applies one filled scratch to every instance through the active
-    /// kernel.
-    fn apply_scratch(&mut self, scratch: &RectScratch<D>, delta: i64) {
-        let w = self.words.len();
+    /// Applies a chunk of filled scratches to every instance through the
+    /// active kernel (blocked kernels stream the whole chunk per block so
+    /// seed planes and counter rows stay cache-hot).
+    fn apply_chunk(&mut self, scratches: &[RectScratch<D>], delta: i64) {
         match self.kernel {
             BuildKernel::Batched => {
                 let mut lanes = self.lanes.take().unwrap_or_else(LaneScratch::new);
-                for b in 0..self.schema.instance_blocks() {
-                    let base = b * BLOCK_LANES;
-                    let rows = self.schema.seed_blocks(0)[b].lanes();
-                    apply_block(
-                        &self.schema,
-                        &self.words,
-                        scratch,
-                        b,
-                        &mut lanes,
-                        &mut self.counters[base * w..(base + rows) * w],
-                        delta,
-                    );
-                }
+                apply_chunk_blocked(
+                    &self.schema,
+                    &self.words,
+                    scratches,
+                    &mut lanes,
+                    &mut self.counters,
+                    delta,
+                );
                 self.lanes = Some(lanes);
             }
+            BuildKernel::Wide => {
+                let mut lanes = self.lanes_wide.take().unwrap_or_else(LaneScratch::new);
+                apply_chunk_blocked(
+                    &self.schema,
+                    &self.words,
+                    scratches,
+                    &mut lanes,
+                    &mut self.counters,
+                    delta,
+                );
+                self.lanes_wide = Some(lanes);
+            }
             BuildKernel::Scalar => {
+                let w = self.words.len();
                 for instance in 0..self.schema.instances() {
                     let row_start = instance * w;
-                    apply_instance(
-                        &self.schema,
-                        &self.words,
-                        scratch,
-                        instance,
-                        &mut self.counters[row_start..row_start + w],
-                        delta,
-                    );
+                    for scratch in scratches {
+                        apply_instance(
+                            &self.schema,
+                            &self.words,
+                            scratch,
+                            instance,
+                            &mut self.counters[row_start..row_start + w],
+                            delta,
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// Applies one filled scratch to every instance through the active
+    /// kernel.
+    fn apply_scratch(&mut self, scratch: &RectScratch<D>, delta: i64) {
+        self.apply_chunk(std::slice::from_ref(scratch), delta);
     }
 
     /// Checks that an object fits the admissible data domain.
@@ -620,25 +633,56 @@ pub(crate) fn apply_instance<const D: usize>(
     }
 }
 
+/// Streams a chunk of object scratches over every instance block at lane
+/// width `L`: the cache-blocked outer walk shared by the batched and wide
+/// kernels ([`SketchSet::update_slice`] and the single-object path alike).
+pub(crate) fn apply_chunk_blocked<L: SchemaLanes, const D: usize>(
+    schema: &SketchSchema<D>,
+    words: &[Word<D>],
+    scratches: &[RectScratch<D>],
+    lanes: &mut LaneScratch<L, D>,
+    counters: &mut [i64],
+    delta: i64,
+) {
+    let w = words.len();
+    for b in 0..L::instance_blocks(schema) {
+        let base = b * L::LANES;
+        let rows = L::seed_blocks(schema, 0)[b].lanes();
+        for scratch in scratches {
+            apply_block(
+                schema,
+                words,
+                scratch,
+                b,
+                lanes,
+                &mut counters[base * w..(base + rows) * w],
+                delta,
+            );
+        }
+    }
+}
+
 /// Applies one object's scratch to a whole instance block's counter rows.
 ///
 /// `counter_rows` must hold exactly the block's rows (`lanes × words.len()`
 /// counters, instance-major). The per-dimension component sums for all lanes
 /// are computed by one bit-sliced pass over the cover nodes; only the final
-/// word products touch individual lanes.
-pub(crate) fn apply_block<const D: usize>(
+/// word products touch individual lanes. Generic over the [`Lane`] width —
+/// the batched (64-lane) and wide (256-lane) kernels are the two
+/// instantiations.
+pub(crate) fn apply_block<L: SchemaLanes, const D: usize>(
     schema: &SketchSchema<D>,
     words: &[Word<D>],
     scratch: &RectScratch<D>,
     block: usize,
-    ls: &mut LaneScratch<D>,
+    ls: &mut LaneScratch<L, D>,
     counter_rows: &mut [i64],
     delta: i64,
 ) {
-    let lanes = schema.seed_blocks(0)[block].lanes();
+    let lanes = L::seed_blocks(schema, 0)[block].lanes();
     let LaneScratch { counter, dims } = ls;
     for (dim, dl) in dims.iter_mut().enumerate() {
-        let xb = &schema.seed_blocks(dim)[block];
+        let xb = &L::seed_blocks(schema, dim)[block];
         let ds = &scratch.dims[dim];
         if ds.geo_present {
             xb.sum_pre_into(&ds.cover, counter, &mut dl.interval);
@@ -652,8 +696,8 @@ pub(crate) fn apply_block<const D: usize>(
         let mask_lo = xb.eval_mask(ds.leaf_lo);
         let mask_hi = xb.eval_mask(ds.leaf_hi);
         for j in 0..lanes {
-            dl.leaf_lo[j] = 1 - 2 * ((mask_lo >> j) & 1) as i64;
-            dl.leaf_hi[j] = 1 - 2 * ((mask_hi >> j) & 1) as i64;
+            dl.leaf_lo[j] = 1 - 2 * mask_lo.bit(j) as i64;
+            dl.leaf_hi[j] = 1 - 2 * mask_hi.bit(j) as i64;
         }
     }
     let w = words.len();

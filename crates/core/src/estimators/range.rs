@@ -23,7 +23,9 @@ use crate::boost::Estimate;
 use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::estimators::SketchConfig;
-use crate::query::{QueryContext, XiQueryPlan, XiWordTerm};
+use crate::query::{
+    PlanKey, QueryContext, XiQueryPlan, XiWordTerm, PLAN_CLASS_OVERLAP, PLAN_CLASS_STAB,
+};
 use crate::schema::{DimSpec, SketchSchema};
 use dyadic::{interval_cover, point_cover};
 use geometry::transform::{shrink_interval, triple};
@@ -219,7 +221,15 @@ impl<const D: usize> RangeQuery<D> {
         if q.is_degenerate() {
             return Ok(ctx.zero_estimate(self.schema.shape()));
         }
-        let plan = self.overlap_plan(q);
+        // Plans depend only on (schema, query): repeated queries through the
+        // same context skip cover compilation via the context's plan cache.
+        let mut coords = Vec::with_capacity(2 * D);
+        for dim in 0..D {
+            coords.push(q.range(dim).lo());
+            coords.push(q.range(dim).hi());
+        }
+        let key = PlanKey::new(self.schema.id(), PLAN_CLASS_OVERLAP, coords);
+        let plan = ctx.plan_for(key, || self.overlap_plan(q));
         Ok(ctx.xi_estimate(&plan, sketch))
     }
 
@@ -245,7 +255,8 @@ impl<const D: usize> RangeQuery<D> {
                 return Err(SketchError::DomainOverflow { coord, max, dim });
             }
         }
-        let plan = self.stab_plan(p);
+        let key = PlanKey::new(self.schema.id(), PLAN_CLASS_STAB, p.to_vec());
+        let plan = ctx.plan_for(key, || self.stab_plan(p));
         Ok(ctx.xi_estimate(&plan, sketch))
     }
 }
@@ -379,6 +390,53 @@ mod tests {
             (mean - truth).abs() <= 6.0 * se + 1e-9,
             "mean {mean} vs truth {truth} (se {se})"
         );
+    }
+
+    #[test]
+    fn plan_cache_hits_match_cold_compiles() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(13, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let mut sk = rq.new_sketch();
+        let mut grng = StdRng::seed_from_u64(76);
+        for _ in 0..40 {
+            let x = grng.gen_range(0..200u64);
+            let y = grng.gen_range(0..200u64);
+            sk.insert(&rect2(x, x + grng.gen_range(1..20u64), y, y + 9))
+                .unwrap();
+        }
+        let q_a = rect2(10, 90, 20, 130);
+        let q_b = rect2(11, 90, 20, 130); // differs in one coordinate
+        let p = [40u64, 50u64];
+
+        let mut ctx = QueryContext::new();
+        let cold_a = rq.estimate_with(&mut ctx, &sk, &q_a).unwrap();
+        let cold_b = rq.estimate_with(&mut ctx, &sk, &q_b).unwrap();
+        let cold_p = rq.estimate_stab_with(&mut ctx, &sk, &p).unwrap();
+        assert_eq!(ctx.plan_cache_stats(), (0, 3), "three distinct plans");
+
+        // Repeats hit the cache and return bit-identical estimates.
+        let warm_a = rq.estimate_with(&mut ctx, &sk, &q_a).unwrap();
+        let warm_b = rq.estimate_with(&mut ctx, &sk, &q_b).unwrap();
+        let warm_p = rq.estimate_stab_with(&mut ctx, &sk, &p).unwrap();
+        assert_eq!(ctx.plan_cache_stats(), (3, 3));
+        assert_eq!(cold_a.value.to_bits(), warm_a.value.to_bits());
+        assert_eq!(cold_a.row_means, warm_a.row_means);
+        assert_eq!(cold_b.value.to_bits(), warm_b.value.to_bits());
+        assert_eq!(cold_p.value.to_bits(), warm_p.value.to_bits());
+        // A fresh context (cold cache) still agrees with the cached path.
+        let fresh = rq.estimate(&sk, &q_a).unwrap();
+        assert_eq!(fresh.value.to_bits(), warm_a.value.to_bits());
+
+        // A stab at the same coordinates as a rect corner is a different
+        // plan class, never a false hit: q_a's plan stays untouched.
+        let q_point_like = [q_a.range(0).lo(), q_a.range(1).lo()];
+        let _ = rq.estimate_stab_with(&mut ctx, &sk, &q_point_like).unwrap();
+        assert_eq!(ctx.plan_cache_stats(), (3, 4));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Kernel-width selection shared by the build and query dispatches.
+//!
+//! Both kernel enums ([`crate::atomic::BuildKernel`],
+//! [`crate::query::QueryKernel`]) offer the same three implementations —
+//! scalar oracle, 64-lane batched, 256-lane wide — and pick the same default
+//! the same way:
+//!
+//! 1. the `SKETCH_KERNEL` environment variable, when set to `scalar`,
+//!    `batched` or `wide`, pins every default-kernel code path in the
+//!    process (the tests-release CI lane uses this to run the whole suite
+//!    under each kernel of the matrix); otherwise
+//! 2. a width heuristic on the schema's instance count: the wide kernel
+//!    amortizes its four-word lane operations once the boosting grid spans
+//!    a few 64-lane blocks ([`WIDE_MIN_INSTANCES`]), below that the batched
+//!    kernel's smaller blocks waste fewer tail lanes.
+//!
+//! Explicit kernel choices (`with_kernel`/`set_kernel`) always win over
+//! both; all kernels are bit-identical, so selection is purely about speed.
+
+use std::sync::OnceLock;
+
+/// Instance count at which schemas default to the 256-lane wide kernels: at
+/// three 64-lane blocks a single wide block is ≥75% occupied, the point
+/// where fewer, fatter passes beat smaller tails.
+pub const WIDE_MIN_INSTANCES: usize = 3 * fourwise::BLOCK_LANES;
+
+/// A resolved kernel width (no `Auto`): what the dispatches branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Width {
+    Scalar,
+    Batched,
+    Wide,
+}
+
+/// Parses a `SKETCH_KERNEL` value. Empty strings mean "no override" so CI
+/// matrices can pass the variable unconditionally.
+pub(crate) fn parse_override(value: &str) -> Result<Option<Width>, String> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(None),
+        "scalar" => Ok(Some(Width::Scalar)),
+        "batched" => Ok(Some(Width::Batched)),
+        "wide" => Ok(Some(Width::Wide)),
+        other => Err(format!(
+            "SKETCH_KERNEL must be `scalar`, `batched` or `wide` (got `{other}`)"
+        )),
+    }
+}
+
+/// The process-wide `SKETCH_KERNEL` override, read once.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value — a silently ignored override would make
+/// a pinned test lane quietly measure the wrong kernel.
+pub(crate) fn env_override() -> Option<Width> {
+    static OVERRIDE: OnceLock<Option<Width>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| match std::env::var("SKETCH_KERNEL") {
+        Ok(value) => parse_override(&value).unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => None,
+    })
+}
+
+/// The default kernel width for a schema with `instances` boosting
+/// instances: the env override when present, the width heuristic otherwise.
+pub(crate) fn preferred(instances: usize) -> Width {
+    env_override().unwrap_or(if instances >= WIDE_MIN_INSTANCES {
+        Width::Wide
+    } else {
+        Width::Batched
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_override(""), Ok(None));
+        assert_eq!(parse_override("  "), Ok(None));
+        assert_eq!(parse_override("scalar"), Ok(Some(Width::Scalar)));
+        assert_eq!(parse_override("Batched"), Ok(Some(Width::Batched)));
+        assert_eq!(parse_override("WIDE"), Ok(Some(Width::Wide)));
+        assert!(parse_override("simd").is_err());
+    }
+
+    #[test]
+    fn heuristic_switches_at_threshold() {
+        // Guard against env leakage from the surrounding test run: the
+        // heuristic itself is only meaningful without an override.
+        if env_override().is_some() {
+            return;
+        }
+        assert_eq!(preferred(1), Width::Batched);
+        assert_eq!(preferred(WIDE_MIN_INSTANCES - 1), Width::Batched);
+        assert_eq!(preferred(WIDE_MIN_INSTANCES), Width::Wide);
+        assert_eq!(preferred(4100), Width::Wide);
+    }
+}

@@ -26,17 +26,21 @@
 //! * [`schema`] — the shared seeds and boosting-grid shape that make
 //!   sketches combinable;
 //! * [`atomic`] — the maintained counters ([`atomic::SketchSet`]) with
-//!   streaming insert/delete, linear merge, and two bit-identical
-//!   maintenance kernels ([`atomic::BuildKernel`]: scalar oracle vs batched
-//!   bit-sliced);
+//!   streaming insert/delete, linear merge, and three bit-identical
+//!   maintenance kernels ([`atomic::BuildKernel`]: scalar oracle, 64-lane
+//!   batched, 256-lane wide — instantiations of one lane-width-generic
+//!   kernel over [`fourwise::Lane`]);
 //! * [`estimator`] — generic term-expansion machinery turning per-dimension
 //!   counting identities into d-dimensional estimators;
 //! * [`estimators`] — ready-made estimators for every query class in the
 //!   paper;
 //! * [`query`] — the estimation-side evaluation kernels
-//!   ([`query::QueryKernel`]: scalar oracle vs batched bit-sliced) and the
-//!   shared [`query::QueryContext`] scratch every estimator evaluates
+//!   ([`query::QueryKernel`]: scalar oracle, batched, wide, auto-resolved
+//!   per schema) and the shared [`query::QueryContext`] scratch — including
+//!   a compiled-plan cache for repeated queries — every estimator evaluates
 //!   through;
+//! * [`kernel`] — the shared kernel-width selection (heuristic +
+//!   `SKETCH_KERNEL` env override);
 //! * [`boost`] — mean-then-median boosting (Figure 1);
 //! * [`selfjoin`] — exact and sketched self-join sizes (`SJ`), the accuracy
 //!   currency of every variance bound;
@@ -78,6 +82,7 @@ pub mod comp;
 pub mod error;
 pub mod estimator;
 pub mod estimators;
+pub mod kernel;
 pub mod par;
 pub mod persist;
 pub mod plan;
@@ -95,6 +100,7 @@ pub use estimators::eps::EpsJoin;
 pub use estimators::joins::{EndpointStrategy, OverlapPlusJoin, SpatialJoin};
 pub use estimators::range::{RangeQuery, RangeStrategy};
 pub use estimators::SketchConfig;
+pub use kernel::WIDE_MIN_INSTANCES;
 pub use par::{par_estimate, par_insert_batch, par_update_batch};
 pub use persist::{
     restore_pair, restore_sketch, snapshot_pair, snapshot_sketch, SketchPairSnapshot,
@@ -102,4 +108,4 @@ pub use persist::{
 };
 pub use plan::Guarantee;
 pub use query::{QueryContext, QueryKernel};
-pub use schema::{BoostShape, DimSpec, SketchSchema};
+pub use schema::{BoostShape, DimSpec, SchemaLanes, SketchSchema};

@@ -5,15 +5,17 @@
 //! perfectly across the instance axis: the per-object dyadic covers and
 //! GF(2^k) cubes are computed once (they are seed-independent), then worker
 //! threads apply them to disjoint slices of the counter array. Under the
-//! default [`BuildKernel::Batched`] kernel the split is aligned to whole
-//! [`BLOCK_LANES`]-instance blocks so each worker runs the bit-sliced kernel
-//! over its own contiguous counter range; the scalar kernel splits per
-//! instance as before. This is how the experiment harness affords the
-//! paper's thousands-of-instances configurations.
+//! blocked kernels ([`BuildKernel::Batched`], [`BuildKernel::Wide`]) the
+//! split is aligned to whole instance blocks *at the kernel's lane width*
+//! (64 or 256 instances) so each worker runs the bit-sliced kernel over its
+//! own contiguous counter range; the scalar kernel splits per instance as
+//! before. This is how the experiment harness affords the paper's
+//! thousands-of-instances configurations.
 //!
 //! Estimation parallelizes the same way ([`par_estimate`]): the atomic
-//! estimate grid splits into whole instance blocks, each worker fills its
-//! share with the batched query kernel (see [`crate::query`]), and the
+//! estimate grid splits into whole instance blocks at the width the
+//! schema's instance count prefers (see [`crate::query::QueryKernel`]),
+//! each worker fills its share with the blocked query kernel, and the
 //! single-threaded mean-then-median boost runs at the end. The result is
 //! bit-identical to [`PairEstimator::estimate`].
 
@@ -23,8 +25,10 @@ use crate::atomic::{
 use crate::boost::Estimate;
 use crate::error::Result;
 use crate::estimator::PairEstimator;
-use crate::query::pair_fill_batched;
-use fourwise::BLOCK_LANES;
+use crate::query::{pair_fill_blocked, QueryKernel};
+use crate::schema::{SchemaLanes, SketchSchema};
+use crate::Word;
+use fourwise::WideLane;
 use geometry::HyperRect;
 
 /// Objects per scratch block: bounds the scratch memory (a few KB per
@@ -50,15 +54,8 @@ pub fn par_update_batch<const D: usize>(
 
     let schema = sketch.schema().clone();
     let words = sketch.words().clone();
-    let w = words.len();
     let instances = schema.instances();
     let kernel = sketch.kernel();
-    // Batched workers own whole instance blocks: lanes never straddle a
-    // worker boundary, so each worker's counter chunk stays block-aligned.
-    let per_thread = match kernel {
-        BuildKernel::Scalar => instances.div_ceil(threads),
-        BuildKernel::Batched => schema.instance_blocks().div_ceil(threads) * BLOCK_LANES,
-    };
 
     let mut scratches: Vec<RectScratch<D>> = (0..BLOCK.min(rects.len().max(1)))
         .map(|_| RectScratch::new())
@@ -70,42 +67,70 @@ pub fn par_update_batch<const D: usize>(
         }
         let filled = &scratches[..block.len()];
         let counters = sketch.counters_mut();
-        std::thread::scope(|scope| {
-            for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
-                let schema = &schema;
-                let words = &words;
-                scope.spawn(move || match kernel {
-                    BuildKernel::Scalar => {
-                        let base = t * per_thread;
-                        for (j, row) in chunk.chunks_mut(w).enumerate() {
-                            let inst = base + j;
-                            for scratch in filled {
-                                apply_instance(schema, words, scratch, inst, row, delta);
+        match kernel {
+            BuildKernel::Scalar => {
+                let w = words.len();
+                let per_thread = instances.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
+                        let schema = &schema;
+                        let words = &words;
+                        scope.spawn(move || {
+                            let base = t * per_thread;
+                            for (j, row) in chunk.chunks_mut(w).enumerate() {
+                                let inst = base + j;
+                                for scratch in filled {
+                                    apply_instance(schema, words, scratch, inst, row, delta);
+                                }
                             }
-                        }
-                    }
-                    BuildKernel::Batched => {
-                        let mut lanes = LaneScratch::new();
-                        let mut b = t * per_thread / BLOCK_LANES;
-                        let mut rest = chunk;
-                        while !rest.is_empty() {
-                            let rows = schema.seed_blocks(0)[b].lanes();
-                            let (block_rows, tail) = rest.split_at_mut(rows * w);
-                            for scratch in filled {
-                                apply_block(
-                                    schema, words, scratch, b, &mut lanes, block_rows, delta,
-                                );
-                            }
-                            rest = tail;
-                            b += 1;
-                        }
+                        });
                     }
                 });
             }
-        });
+            BuildKernel::Batched => {
+                par_apply_blocked::<u64, D>(&schema, &words, filled, counters, threads, delta)
+            }
+            BuildKernel::Wide => {
+                par_apply_blocked::<WideLane, D>(&schema, &words, filled, counters, threads, delta)
+            }
+        }
     }
     sketch.add_len(delta * rects.len() as i64);
     Ok(())
+}
+
+/// Splits the counter array into whole `L::LANES`-instance blocks across
+/// workers and streams the filled scratches through the blocked kernel.
+/// Lanes never straddle a worker boundary, so each worker's counter chunk
+/// stays block-aligned.
+fn par_apply_blocked<L: SchemaLanes, const D: usize>(
+    schema: &SketchSchema<D>,
+    words: &[Word<D>],
+    filled: &[RectScratch<D>],
+    counters: &mut [i64],
+    threads: usize,
+    delta: i64,
+) {
+    let w = words.len();
+    let per_thread = L::instance_blocks(schema).div_ceil(threads) * L::LANES;
+    std::thread::scope(|scope| {
+        for (t, chunk) in counters.chunks_mut(per_thread * w).enumerate() {
+            scope.spawn(move || {
+                let mut lanes = LaneScratch::<L, D>::new();
+                let mut b = t * per_thread / L::LANES;
+                let mut rest = chunk;
+                while !rest.is_empty() {
+                    let rows = L::seed_blocks(schema, 0)[b].lanes();
+                    let (block_rows, tail) = rest.split_at_mut(rows * w);
+                    for scratch in filled {
+                        apply_block(schema, words, scratch, b, &mut lanes, block_rows, delta);
+                    }
+                    rest = tail;
+                    b += 1;
+                }
+            });
+        }
+    });
 }
 
 /// Parallel bulk insert; see [`par_update_batch`].
@@ -117,12 +142,42 @@ pub fn par_insert_batch<const D: usize>(
     par_update_batch(sketch, rects, 1, threads)
 }
 
+/// Fills the atomic grid block-parallel at lane width `L`.
+fn par_fill_pair<L: SchemaLanes, const D: usize>(
+    pair: &PairEstimator<D>,
+    r: &SketchSet<D>,
+    s: &SketchSet<D>,
+    threads: usize,
+    atomic: &mut [f64],
+) {
+    let schema = pair.schema();
+    let blocks = L::instance_blocks(schema);
+    let per_thread = blocks.div_ceil(threads);
+    let terms = pair.terms().terms();
+    std::thread::scope(|scope| {
+        let mut rest = atomic;
+        let mut block = 0usize;
+        while !rest.is_empty() {
+            let span_end = (block + per_thread).min(blocks);
+            let insts: usize = (block..span_end)
+                .map(|b| L::seed_blocks(schema, 0)[b].lanes())
+                .sum();
+            let (chunk, tail) = rest.split_at_mut(insts);
+            rest = tail;
+            let first = block;
+            block = span_end;
+            scope.spawn(move || pair_fill_blocked::<L, D>(terms, r, s, first, chunk));
+        }
+    });
+}
+
 /// Block-parallel pair estimation: splits the atomic estimate grid into
-/// whole [`BLOCK_LANES`]-instance blocks across `threads` workers, each
-/// running the batched query kernel over its contiguous share, then boosts
-/// single-threaded. Bit-identical to [`PairEstimator::estimate`] (both
-/// kernels), worthwhile once `instances × terms` is large enough to amortize
-/// thread spawns.
+/// whole instance blocks across `threads` workers — at the lane width the
+/// schema's instance count prefers (the `SKETCH_KERNEL` override pins it) —
+/// each running the blocked query kernel over its contiguous share, then
+/// boosts single-threaded. Bit-identical to [`PairEstimator::estimate`]
+/// under every kernel, worthwhile once `instances × terms` is large enough
+/// to amortize thread spawns.
 pub fn par_estimate<const D: usize>(
     pair: &PairEstimator<D>,
     r: &SketchSet<D>,
@@ -133,25 +188,13 @@ pub fn par_estimate<const D: usize>(
     let threads = threads.max(1);
     let schema = pair.schema();
     let shape = schema.shape();
-    let blocks = schema.instance_blocks();
-    let per_thread = blocks.div_ceil(threads);
-    let terms = pair.terms().terms();
     let mut atomic = vec![0.0f64; shape.instances()];
-    std::thread::scope(|scope| {
-        let mut rest = atomic.as_mut_slice();
-        let mut block = 0usize;
-        while !rest.is_empty() {
-            let span_end = (block + per_thread).min(blocks);
-            let insts: usize = (block..span_end)
-                .map(|b| schema.seed_blocks(0)[b].lanes())
-                .sum();
-            let (chunk, tail) = rest.split_at_mut(insts);
-            rest = tail;
-            let first = block;
-            block = span_end;
-            scope.spawn(move || pair_fill_batched(terms, r, s, first, chunk));
-        }
-    });
+    match QueryKernel::Auto.resolve(shape.instances()) {
+        QueryKernel::Wide => par_fill_pair::<WideLane, D>(pair, r, s, threads, &mut atomic),
+        // The scalar oracle has no blocked form; its estimates are
+        // bit-identical to the batched fill, which parallelizes.
+        _ => par_fill_pair::<u64, D>(pair, r, s, threads, &mut atomic),
+    }
     Ok(Estimate::from_grid(&atomic, shape.k1, shape.k2))
 }
 
@@ -198,7 +241,7 @@ mod tests {
         for r in &data {
             seq.insert(r).unwrap();
         }
-        for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
+        for kernel in [BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide] {
             for threads in [1usize, 2, 3, 8] {
                 let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
                     .with_kernel(kernel);
@@ -217,30 +260,35 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential_across_block_boundary() {
-        // 70 instances: one full 64-lane block plus a 6-lane tail, split
-        // across workers that cannot divide it evenly.
+        // 300 instances: one full 256-lane wide block plus a 44-lane tail
+        // (and five 64-lane blocks), split across workers that cannot divide
+        // either block count evenly.
         let mut rng = StdRng::seed_from_u64(104);
         let schema = SketchSchema::<2>::new(
             &mut rng,
             XiKind::Bch,
-            BoostShape::new(35, 2),
+            BoostShape::new(150, 2),
             [DimSpec::dyadic(8); 2],
         );
         let words = Arc::new(ie_words::<2>());
         let data = rects(80, 5);
-        let mut seq = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
+        let mut seq = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+            .with_kernel(BuildKernel::Scalar);
         for r in &data {
             seq.insert(r).unwrap();
         }
-        for threads in [1usize, 2, 5] {
-            let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw);
-            par_insert_batch(&mut par, &data, threads).unwrap();
-            for inst in 0..schema.instances() {
-                assert_eq!(
-                    par.instance_counters(inst),
-                    seq.instance_counters(inst),
-                    "threads={threads} inst={inst}"
-                );
+        for kernel in [BuildKernel::Batched, BuildKernel::Wide] {
+            for threads in [1usize, 2, 5] {
+                let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
+                    .with_kernel(kernel);
+                par_insert_batch(&mut par, &data, threads).unwrap();
+                for inst in 0..schema.instances() {
+                    assert_eq!(
+                        par.instance_counters(inst),
+                        seq.instance_counters(inst),
+                        "kernel={kernel:?} threads={threads} inst={inst}"
+                    );
+                }
             }
         }
     }
@@ -304,9 +352,11 @@ mod tests {
         par_insert_batch(&mut r, &rects(150, 6), 4).unwrap();
         par_insert_batch(&mut s, &rects(150, 7), 4).unwrap();
         let seq = join.estimate(&r, &s).unwrap();
-        let mut ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
-        let scalar = join.estimate_with(&mut ctx, &r, &s).unwrap();
-        assert_eq!(seq.value.to_bits(), scalar.value.to_bits());
+        for kernel in [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide] {
+            let mut ctx = QueryContext::new().with_kernel(kernel);
+            let est = join.estimate_with(&mut ctx, &r, &s).unwrap();
+            assert_eq!(seq.value.to_bits(), est.value.to_bits(), "{kernel:?}");
+        }
         for threads in [1usize, 2, 3, 8] {
             let par = par_estimate(join.inner(), &r, &s, threads).unwrap();
             assert_eq!(

@@ -8,7 +8,7 @@
 //! (§4.2). The build side bit-sliced this loop shape in PR 2
 //! ([`fourwise::batch`]); this module does the same for estimation.
 //!
-//! Two interchangeable kernels fill the atomic grid ([`QueryKernel`]); both
+//! Three interchangeable kernels fill the atomic grid ([`QueryKernel`]); all
 //! produce **bit-identical** [`Estimate`]s (enforced by
 //! `crates/core/tests/differential_estimators.rs`):
 //!
@@ -16,50 +16,136 @@
 //!   time, instantiate each instance's ξ families and evaluate covers
 //!   per-instance (the query path), or form counter products with plain
 //!   128-bit widening (the pair path). Kept as the differential oracle.
-//! * [`QueryKernel::Batched`] (default) — walk whole [`BLOCK_LANES`]-lane
-//!   instance blocks: query-side cover node ids and their GF(2^k) cubes are
-//!   computed **once per query**, evaluated for 64 instances per pass via
-//!   the packed seed planes already stored in [`SketchSchema`]
-//!   (per-lane sums through [`fourwise::BlockSums`]), and combined with the
-//!   block's contiguous counter rows term-major — independent f64
-//!   accumulations across lanes instead of one serial chain per instance,
-//!   and counter products take a 64-bit fast path instead of the 128-bit
-//!   soft-float conversion.
+//! * [`QueryKernel::Batched`] — walk whole [`BLOCK_LANES`]-lane instance
+//!   blocks: query-side cover node ids and their GF(2^k) cubes are computed
+//!   **once per query**, evaluated for 64 instances per pass via the packed
+//!   seed planes already stored in [`SketchSchema`] (per-lane sums through
+//!   [`fourwise::BlockSums`]), and combined with the block's contiguous
+//!   counter rows term-major — independent f64 accumulations across lanes
+//!   instead of one serial chain per instance, and counter products take a
+//!   64-bit fast path instead of the 128-bit soft-float conversion.
+//! * [`QueryKernel::Wide`] — the same blocked kernel instantiated at the
+//!   256-lane [`fourwise::WideLane`] width: four-word lane operations LLVM
+//!   autovectorizes, and a quarter of the per-block fixed costs.
+//!
+//! The default ([`QueryKernel::Auto`]) resolves per estimate from the
+//! sketch's schema: the `SKETCH_KERNEL` env override if set, otherwise wide
+//! for grids of at least [`crate::kernel::WIDE_MIN_INSTANCES`] instances
+//! and batched below.
 //!
 //! A [`QueryContext`] owns all the kernel scratch (atomic grid, lane sums,
-//! boosting buffers), so a serving loop issuing many estimates allocates
+//! boosting buffers) **plus a compiled-plan cache**: query-side
+//! `XiQueryPlan`s are memoized per (schema, query) so a serving loop
+//! issuing repeated queries skips cover compilation entirely and allocates
 //! only the returned [`Estimate`] per call. One context serves every
 //! estimator and every dimensionality.
 
 use crate::atomic::SketchSet;
 use crate::boost::{mean_median_with, Estimate};
 use crate::estimator::Term;
-use crate::schema::BoostShape;
-use fourwise::{BlockSums, IndexPre, BLOCK_LANES};
+use crate::kernel::{self, Width};
+use crate::schema::{BoostShape, SchemaLanes};
+use fourwise::{BlockSums, IndexPre, WideLane};
+
+#[cfg(doc)]
+use fourwise::BLOCK_LANES;
+use std::any::Any;
+use std::sync::Arc;
 
 #[cfg(doc)]
 use crate::schema::SketchSchema;
 
 /// Which implementation evaluates estimates over the instance grid.
 ///
-/// Both kernels compute bit-identical estimates — the scalar path is
-/// retained as the differential-test oracle, mirroring
-/// [`crate::atomic::BuildKernel`] on the build side.
+/// All kernels compute bit-identical estimates — the scalar path is
+/// retained as the differential-test oracle and the batched path as the
+/// oracle for the wide path, mirroring [`crate::atomic::BuildKernel`] on
+/// the build side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueryKernel {
+    /// Resolve per estimate from the sketch's schema: the `SKETCH_KERNEL`
+    /// env override if set, otherwise a width heuristic on the instance
+    /// count (see [`crate::kernel::WIDE_MIN_INSTANCES`]).
+    #[default]
+    Auto,
     /// Per-instance evaluation (the original reference path).
     Scalar,
     /// Bit-sliced evaluation of [`BLOCK_LANES`] instances per pass over the
     /// schema's packed seed planes, with block-contiguous counter walks.
-    #[default]
     Batched,
+    /// Bit-sliced evaluation of 256 instances per pass over the schema's
+    /// [`fourwise::WideLane`]-packed seed planes.
+    Wide,
+}
+
+impl QueryKernel {
+    /// Resolves `Auto` against a schema's instance count; explicit kernels
+    /// pass through unchanged. Never returns [`QueryKernel::Auto`].
+    pub(crate) fn resolve(self, instances: usize) -> QueryKernel {
+        match self {
+            QueryKernel::Auto => match kernel::preferred(instances) {
+                Width::Scalar => QueryKernel::Scalar,
+                Width::Batched => QueryKernel::Batched,
+                Width::Wide => QueryKernel::Wide,
+            },
+            k => k,
+        }
+    }
+}
+
+/// Most compiled plans one [`QueryContext`] retains (least recently used
+/// entries are evicted first). Plans are a few hundred bytes each.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Identity of a compiled query plan: the schema (which pins the ξ kind,
+/// domain layout and maxLevel), the query class, and the query coordinates
+/// the covers were compiled from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PlanKey {
+    schema_id: u64,
+    class: u8,
+    coords: Vec<u64>,
+}
+
+impl PlanKey {
+    pub(crate) fn new(schema_id: u64, class: u8, coords: Vec<u64>) -> Self {
+        Self {
+            schema_id,
+            class,
+            coords,
+        }
+    }
+}
+
+/// Plan classes for [`PlanKey`] (disambiguate different covers compiled
+/// from the same coordinates).
+pub(crate) const PLAN_CLASS_OVERLAP: u8 = 0;
+pub(crate) const PLAN_CLASS_STAB: u8 = 1;
+
+/// A bounded LRU of compiled, type-erased [`XiQueryPlan`]s.
+#[derive(Clone, Default)]
+struct PlanCache {
+    /// Most recently used last; linear scans are fine at this capacity.
+    entries: Vec<(PlanKey, Arc<dyn Any + Send + Sync>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
 }
 
 /// Reusable estimation scratch shared by every estimator: the atomic
-/// estimate grid, the query-side per-lane sum bank, and the boosting
-/// buffers. Construction-free to share across dimensionalities — one
-/// context can serve a 2-d join and a 4-d containment estimator back to
-/// back.
+/// estimate grid, the query-side per-lane sum banks (one per lane width),
+/// the boosting buffers, and the compiled-plan cache. Construction-free to
+/// share across dimensionalities — one context can serve a 2-d join and a
+/// 4-d containment estimator back to back.
 #[derive(Debug, Clone, Default)]
 pub struct QueryContext {
     kernel: QueryKernel,
@@ -70,11 +156,15 @@ pub struct QueryContext {
     /// Sort scratch for the median step.
     med: Vec<f64>,
     /// Query-side per-lane cover sums, one slot per (dimension, list) pair.
-    sums: BlockSums,
+    sums: BlockSums<u64>,
+    /// The wide kernel's sum bank.
+    sums_wide: BlockSums<WideLane>,
+    /// Compiled query plans, memoized per (schema, query).
+    plans: PlanCache,
 }
 
 impl QueryContext {
-    /// Fresh context with the default (batched) kernel.
+    /// Fresh context with the default ([`QueryKernel::Auto`]) kernel.
     pub fn new() -> Self {
         Self::default()
     }
@@ -86,14 +176,52 @@ impl QueryContext {
     }
 
     /// Selects the evaluation kernel in place. Kernels are interchangeable
-    /// at any point: both compute bit-identical estimates.
+    /// at any point: all compute bit-identical estimates.
     pub fn set_kernel(&mut self, kernel: QueryKernel) {
         self.kernel = kernel;
     }
 
-    /// The active evaluation kernel.
+    /// The configured evaluation kernel ([`QueryKernel::Auto`] resolves per
+    /// estimate from the sketch's schema).
     pub fn kernel(&self) -> QueryKernel {
         self.kernel
+    }
+
+    /// Compiled-plan cache statistics as `(hits, misses)` since the context
+    /// was created. A repeated query hitting the cache skips query-side
+    /// cover compilation entirely.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plans.hits, self.plans.misses)
+    }
+
+    /// Looks up the compiled plan for `key`, compiling and caching it on a
+    /// miss. Hits refresh the entry's recency; the cache holds at most
+    /// [`PLAN_CACHE_CAPACITY`] plans.
+    pub(crate) fn plan_for<const D: usize>(
+        &mut self,
+        key: PlanKey,
+        compile: impl FnOnce() -> XiQueryPlan<D>,
+    ) -> Arc<XiQueryPlan<D>> {
+        if let Some(pos) = self.plans.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.plans.entries.remove(pos);
+            // Same key ⇒ same schema ⇒ same dimensionality, so the downcast
+            // cannot fail for well-formed keys; treat failure as a miss
+            // defensively rather than serving a wrong-typed plan.
+            if let Ok(plan) = entry.1.clone().downcast::<XiQueryPlan<D>>() {
+                self.plans.entries.push(entry);
+                self.plans.hits += 1;
+                return plan;
+            }
+        }
+        self.plans.misses += 1;
+        let plan = Arc::new(compile());
+        if self.plans.entries.len() >= PLAN_CACHE_CAPACITY {
+            self.plans.entries.remove(0);
+        }
+        self.plans
+            .entries
+            .push((key, plan.clone() as Arc<dyn Any + Send + Sync>));
+        plan
     }
 
     /// Boosts whatever the fill pass left in `self.atomic`.
@@ -130,9 +258,11 @@ impl QueryContext {
     ) -> Estimate {
         let shape = r.schema().shape();
         self.atomic.resize(shape.instances(), 0.0);
-        match self.kernel {
+        match self.kernel.resolve(shape.instances()) {
             QueryKernel::Scalar => pair_fill_scalar(terms, r, s, 0, &mut self.atomic),
-            QueryKernel::Batched => pair_fill_batched(terms, r, s, 0, &mut self.atomic),
+            QueryKernel::Batched => pair_fill_blocked::<u64, D>(terms, r, s, 0, &mut self.atomic),
+            QueryKernel::Wide => pair_fill_blocked::<WideLane, D>(terms, r, s, 0, &mut self.atomic),
+            QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
         }
         self.boost(shape)
     }
@@ -146,11 +276,19 @@ impl QueryContext {
     ) -> Estimate {
         let shape = sketch.schema().shape();
         self.atomic.resize(shape.instances(), 0.0);
-        match self.kernel {
+        match self.kernel.resolve(shape.instances()) {
             QueryKernel::Scalar => xi_fill_scalar(plan, sketch, 0, &mut self.atomic),
             QueryKernel::Batched => {
-                xi_fill_batched(plan, sketch, 0, &mut self.atomic, &mut self.sums)
+                xi_fill_blocked::<u64, D>(plan, sketch, 0, &mut self.atomic, &mut self.sums)
             }
+            QueryKernel::Wide => xi_fill_blocked::<WideLane, D>(
+                plan,
+                sketch,
+                0,
+                &mut self.atomic,
+                &mut self.sums_wide,
+            ),
+            QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
         }
         self.boost(shape)
     }
@@ -232,11 +370,12 @@ pub(crate) fn pair_fill_scalar<const D: usize>(
 }
 
 /// Fills the pair atomic estimates of whole instance blocks starting at
-/// `first_block`; `out` must cover exactly a whole number of blocks' lanes.
-/// Terms walk in the outer loop so the f64 accumulations of different lanes
-/// stay independent (per-lane term order — and thus rounding — matches the
-/// scalar path exactly).
-pub(crate) fn pair_fill_batched<const D: usize>(
+/// `first_block` (blocks of `L::LANES` lanes); `out` must cover exactly a
+/// whole number of blocks' lanes. Terms walk in the outer loop so the f64
+/// accumulations of different lanes stay independent (per-lane term order —
+/// and thus rounding — matches the scalar path exactly, at every lane
+/// width).
+pub(crate) fn pair_fill_blocked<L: SchemaLanes, const D: usize>(
     terms: &[Term],
     r: &SketchSet<D>,
     s: &SketchSet<D>,
@@ -251,8 +390,8 @@ pub(crate) fn pair_fill_batched<const D: usize>(
     let mut filled = 0usize;
     let mut b = first_block;
     while filled < out.len() {
-        let base = b * BLOCK_LANES;
-        let lanes = schema.seed_blocks(0)[b].lanes();
+        let base = b * L::LANES;
+        let lanes = L::seed_blocks(schema, 0)[b].lanes();
         let rb = &rc[base * rw..(base + lanes) * rw];
         let sb = &sc[base * sw..(base + lanes) * sw];
         let z = &mut out[filled..filled + lanes];
@@ -303,15 +442,16 @@ pub(crate) fn xi_fill_scalar<const D: usize>(
 }
 
 /// Fills the query-side atomic estimates of whole instance blocks starting
-/// at `first_block`: every cover list is evaluated for all lanes in one
-/// bit-sliced pass over the schema's packed seed planes, then word terms
-/// combine the per-lane sums with the block's contiguous counter rows.
-pub(crate) fn xi_fill_batched<const D: usize>(
+/// at `first_block` (blocks of `L::LANES` lanes): every cover list is
+/// evaluated for all lanes in one bit-sliced pass over the schema's packed
+/// seed planes, then word terms combine the per-lane sums with the block's
+/// contiguous counter rows.
+pub(crate) fn xi_fill_blocked<L: SchemaLanes, const D: usize>(
     plan: &XiQueryPlan<D>,
     sketch: &SketchSet<D>,
     first_block: usize,
     out: &mut [f64],
-    sums: &mut BlockSums,
+    sums: &mut BlockSums<L>,
 ) {
     let schema = sketch.schema();
     let w = sketch.words().len();
@@ -321,10 +461,10 @@ pub(crate) fn xi_fill_batched<const D: usize>(
     let mut filled = 0usize;
     let mut b = first_block;
     while filled < out.len() {
-        let base = b * BLOCK_LANES;
-        let lanes = schema.seed_blocks(0)[b].lanes();
+        let base = b * L::LANES;
+        let lanes = L::seed_blocks(schema, 0)[b].lanes();
         for (dim, lists) in plan.lists.iter().enumerate() {
-            let xb = &schema.seed_blocks(dim)[b];
+            let xb = &L::seed_blocks(schema, dim)[b];
             for (slot, list) in lists.iter().enumerate() {
                 sums.eval_into(dim * stride + slot, xb, list);
             }
@@ -379,6 +519,25 @@ mod tests {
     }
 
     #[test]
+    fn auto_resolves_by_width_and_explicit_kernels_pass_through() {
+        use crate::kernel::WIDE_MIN_INSTANCES;
+        if crate::kernel::env_override().is_none() {
+            assert_eq!(
+                QueryKernel::Auto.resolve(WIDE_MIN_INSTANCES - 1),
+                QueryKernel::Batched
+            );
+            assert_eq!(
+                QueryKernel::Auto.resolve(WIDE_MIN_INSTANCES),
+                QueryKernel::Wide
+            );
+        }
+        for k in [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide] {
+            assert_eq!(k.resolve(1), k);
+            assert_eq!(k.resolve(10_000), k);
+        }
+    }
+
+    #[test]
     fn pair_kernels_agree_on_built_sketches() {
         let mut rng = StdRng::seed_from_u64(200);
         // 70 instances: one full block plus a 6-lane tail.
@@ -416,19 +575,27 @@ mod tests {
         ];
         let mut scalar_out = vec![0.0; schema.instances()];
         let mut batched_out = vec![0.0; schema.instances()];
+        let mut wide_out = vec![0.0; schema.instances()];
         pair_fill_scalar(&terms, &r, &s, 0, &mut scalar_out);
-        pair_fill_batched(&terms, &r, &s, 0, &mut batched_out);
+        pair_fill_blocked::<u64, 2>(&terms, &r, &s, 0, &mut batched_out);
+        pair_fill_blocked::<fourwise::WideLane, 2>(&terms, &r, &s, 0, &mut wide_out);
         for (i, (a, b)) in scalar_out.iter().zip(batched_out.iter()).enumerate() {
-            assert_eq!(a.to_bits(), b.to_bits(), "instance {i}");
+            assert_eq!(a.to_bits(), b.to_bits(), "batched instance {i}");
         }
-        // Context dispatch returns the boosted estimate of the same grid.
+        for (i, (a, b)) in scalar_out.iter().zip(wide_out.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "wide instance {i}");
+        }
+        // Context dispatch returns the boosted estimate of the same grid,
+        // whichever kernel is selected.
         let mut ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
         let es = ctx.pair_estimate(&terms, &r, &s);
-        ctx.set_kernel(QueryKernel::Batched);
-        let eb = ctx.pair_estimate(&terms, &r, &s);
-        assert_eq!(es.value.to_bits(), eb.value.to_bits());
         assert_eq!(es.row_means.len(), 2);
-        assert_eq!(es.row_means, eb.row_means);
+        for kernel in [QueryKernel::Batched, QueryKernel::Wide, QueryKernel::Auto] {
+            ctx.set_kernel(kernel);
+            let eb = ctx.pair_estimate(&terms, &r, &s);
+            assert_eq!(es.value.to_bits(), eb.value.to_bits(), "{kernel:?}");
+            assert_eq!(es.row_means, eb.row_means, "{kernel:?}");
+        }
     }
 
     #[test]
@@ -437,5 +604,28 @@ mod tests {
         let est = ctx.zero_estimate(crate::schema::BoostShape::new(4, 3));
         assert_eq!(est.value, 0.0);
         assert_eq!(est.row_means, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn plan_cache_hits_refresh_and_evict_lru() {
+        let mut ctx = QueryContext::new();
+        let key = |i: u64| PlanKey::new(i, PLAN_CLASS_OVERLAP, vec![i, i + 1]);
+        // Fill past capacity; every insert is a miss.
+        for i in 0..(PLAN_CACHE_CAPACITY as u64 + 4) {
+            let _ = ctx.plan_for::<1>(key(i), XiQueryPlan::default);
+        }
+        assert_eq!(ctx.plan_cache_stats(), (0, PLAN_CACHE_CAPACITY as u64 + 4));
+        // The oldest entries were evicted, the newest survive.
+        let _ = ctx.plan_for::<1>(key(0), XiQueryPlan::default);
+        assert_eq!(ctx.plan_cache_stats().1, PLAN_CACHE_CAPACITY as u64 + 5);
+        let _ = ctx.plan_for::<1>(key(PLAN_CACHE_CAPACITY as u64 + 3), XiQueryPlan::default);
+        assert_eq!(ctx.plan_cache_stats().0, 1);
+        // Same coords under a different class or schema are distinct plans.
+        let _ = ctx.plan_for::<1>(
+            PlanKey::new(7, PLAN_CLASS_STAB, vec![7, 8]),
+            XiQueryPlan::default,
+        );
+        let (hits, misses) = ctx.plan_cache_stats();
+        assert_eq!((hits, misses), (1, PLAN_CACHE_CAPACITY as u64 + 6));
     }
 }

@@ -10,10 +10,10 @@
 
 use crate::error::{Result, SketchError};
 use dyadic::DyadicDomain;
-use fourwise::{XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES};
+use fourwise::{Lane, WideLane, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-dimension sketch-domain configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +86,12 @@ pub struct SketchSchema<const D: usize> {
     /// evaluation blocks of [`BLOCK_LANES`] consecutive instances (the last
     /// block may be partial) — the batched build kernel's working set.
     seed_blocks: [Vec<XiBlock>; D],
+    /// The same seeds re-packed at the 256-lane [`WideLane`] width — the
+    /// wide kernels' working set. Packed lazily on first wide-kernel use:
+    /// schemas below the wide-width threshold never pay for it (a partial
+    /// wide block allocates full-width planes, so small schemas would store
+    /// strictly more than their 64-lane packing).
+    seed_blocks_wide: OnceLock<[Vec<XiBlock<WideLane>>; D]>,
 }
 
 impl<const D: usize> SketchSchema<D> {
@@ -120,6 +126,7 @@ impl<const D: usize> SketchSchema<D> {
             xi_ctx,
             seeds,
             seed_blocks,
+            seed_blocks_wide: OnceLock::new(),
         })
     }
 
@@ -147,6 +154,7 @@ impl<const D: usize> SketchSchema<D> {
             xi_ctx,
             seeds,
             seed_blocks,
+            seed_blocks_wide: OnceLock::new(),
         })
     }
 
@@ -202,6 +210,20 @@ impl<const D: usize> SketchSchema<D> {
         self.instances().div_ceil(BLOCK_LANES)
     }
 
+    /// Wide (256-lane) evaluation blocks of dimension `dim`; the [`WideLane`]
+    /// analogue of [`SketchSchema::seed_blocks`]. The first call packs the
+    /// wide planes from the instance seeds (thread-safe, once per schema).
+    pub fn seed_blocks_wide(&self, dim: usize) -> &[XiBlock<WideLane>] {
+        &self
+            .seed_blocks_wide
+            .get_or_init(|| pack_seed_blocks(&self.xi_ctx, &self.seeds))[dim]
+    }
+
+    /// Number of wide instance blocks per dimension.
+    pub fn instance_blocks_wide(&self) -> usize {
+        self.instances().div_ceil(WideLane::LANES)
+    }
+
     /// Validates that a sketch coordinate fits dimension `dim`.
     pub fn check_coord(&self, dim: usize, coord: u64) -> Result<()> {
         let max = (1u64 << self.dims[dim].sketch_bits) - 1;
@@ -225,20 +247,52 @@ impl<const D: usize> SketchSchema<D> {
 }
 
 /// Transposes per-instance seed rows into per-dimension block columns of
-/// [`BLOCK_LANES`] instances each.
-fn pack_seed_blocks<const D: usize>(
+/// `L::LANES` instances each.
+fn pack_seed_blocks<L: Lane, const D: usize>(
     xi_ctx: &[XiContext; D],
     seeds: &[[XiSeed; D]],
-) -> [Vec<XiBlock>; D] {
+) -> [Vec<XiBlock<L>>; D] {
     std::array::from_fn(|dim| {
         seeds
-            .chunks(BLOCK_LANES)
+            .chunks(L::LANES)
             .map(|chunk| {
                 let col: Vec<XiSeed> = chunk.iter().map(|row| row[dim]).collect();
-                XiBlock::pack(&xi_ctx[dim], &col)
+                XiBlock::<L>::pack(&xi_ctx[dim], &col)
             })
             .collect()
     })
+}
+
+/// Lane-width-generic access to a schema's packed seed planes: the bridge
+/// that lets one build/query kernel implementation serve every [`Lane`]
+/// width. Implemented for the two supported widths, `u64` (64 lanes) and
+/// [`WideLane`] (256 lanes).
+pub trait SchemaLanes: Lane {
+    /// The schema's packed seed blocks of dimension `dim` at this width.
+    fn seed_blocks<const D: usize>(schema: &SketchSchema<D>, dim: usize) -> &[XiBlock<Self>];
+
+    /// Number of instance blocks at this width.
+    fn instance_blocks<const D: usize>(schema: &SketchSchema<D>) -> usize;
+}
+
+impl SchemaLanes for u64 {
+    fn seed_blocks<const D: usize>(schema: &SketchSchema<D>, dim: usize) -> &[XiBlock<Self>] {
+        schema.seed_blocks(dim)
+    }
+
+    fn instance_blocks<const D: usize>(schema: &SketchSchema<D>) -> usize {
+        schema.instance_blocks()
+    }
+}
+
+impl SchemaLanes for WideLane {
+    fn seed_blocks<const D: usize>(schema: &SketchSchema<D>, dim: usize) -> &[XiBlock<Self>] {
+        schema.seed_blocks_wide(dim)
+    }
+
+    fn instance_blocks<const D: usize>(schema: &SketchSchema<D>) -> usize {
+        schema.instance_blocks_wide()
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +381,36 @@ mod tests {
             let block = &s.seed_blocks(1)[inst / 64];
             let lane = inst % 64;
             let got = 1 - 2 * ((block.eval_mask(pre) >> lane) & 1) as i64;
+            assert_eq!(got, fam.xi_pre(pre), "instance {inst}");
+        }
+    }
+
+    #[test]
+    fn wide_seed_blocks_mirror_narrow_packing() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 300 instances: one full 256-lane block plus a 44-lane tail
+        // (five 64-lane blocks minus the tail difference).
+        let s = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(150, 2),
+            [DimSpec::dyadic(8); 2],
+        );
+        assert_eq!(s.instance_blocks(), 5);
+        assert_eq!(s.instance_blocks_wide(), 2);
+        for dim in 0..2 {
+            let wide = s.seed_blocks_wide(dim);
+            assert_eq!(wide.len(), 2);
+            assert_eq!(wide[0].lanes(), 256);
+            assert_eq!(wide[1].lanes(), 44);
+        }
+        // Every wide lane evaluates exactly its instance's family.
+        let ctx = &s.xi_ctx()[0];
+        let pre = ctx.precompute(99);
+        for inst in [0usize, 63, 64, 255, 256, 299] {
+            let fam = ctx.family(s.instance_seeds(inst)[0]);
+            let block = &s.seed_blocks_wide(0)[inst / 256];
+            let got = 1 - 2 * block.eval_mask(pre).bit(inst % 256) as i64;
             assert_eq!(got, fam.xi_pre(pre), "instance {inst}");
         }
     }

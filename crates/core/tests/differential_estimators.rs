@@ -1,12 +1,14 @@
-//! Differential suite: the batched query kernel against the scalar oracle.
+//! Differential suite: the blocked query kernels against the scalar oracle.
 //!
-//! Every estimator (`QueryKernel::Batched`, bit-sliced block evaluation of
-//! the estimation path) must produce **bit-identical** `Estimate`s — boosted
-//! value *and* every row mean — to the scalar reference kernel across all
-//! five query classes (spatial join, overlap+, range/stab, containment,
-//! ε-join), both ξ constructions and dimensions 1–3. The batched kernel
-//! reorders the arithmetic across lanes but never within one instance's
-//! accumulation, so any divergence at all is a kernel bug, not float noise.
+//! Every estimator under the kernel matrix (`QueryKernel::Batched` 64-lane
+//! and `QueryKernel::Wide` 256-lane bit-sliced block evaluation, plus the
+//! default `Auto` resolution) must produce **bit-identical** `Estimate`s —
+//! boosted value *and* every row mean — to the scalar reference kernel
+//! across all five query classes (spatial join, overlap+, range/stab,
+//! containment, ε-join), both ξ constructions and dimensions 1–3. The
+//! blocked kernels reorder the arithmetic across lanes but never within one
+//! instance's accumulation, so any divergence at all is a kernel bug, not
+//! float noise.
 //!
 //! Heavyweight cases (multi-block instance grids, 3-d) are gated to the
 //! `tests-release` lane with `#[cfg_attr(debug_assertions, ignore)]`,
@@ -48,22 +50,27 @@ fn assert_bit_identical(scalar: &Estimate, batched: &Estimate, label: &str) {
     }
 }
 
-/// Runs the same estimate under both kernels (plus the default-kernel
-/// convenience path) and demands bit-identical results.
+/// Runs the same estimate under the full kernel matrix (scalar oracle vs
+/// batched vs wide, plus the default `Auto` resolution) and demands
+/// bit-identical results.
 fn both(mut estimate: impl FnMut(&mut QueryContext) -> Estimate, label: &str) {
     let mut scalar_ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
-    let mut batched_ctx = QueryContext::new();
-    assert_eq!(
-        batched_ctx.kernel(),
-        QueryKernel::Batched,
-        "batched default"
-    );
     let scalar = estimate(&mut scalar_ctx);
-    let batched = estimate(&mut batched_ctx);
-    assert_bit_identical(&scalar, &batched, label);
-    // Contexts are reusable: a second pass through warm scratch agrees too.
-    let again = estimate(&mut batched_ctx);
-    assert_bit_identical(&scalar, &again, &format!("{label}/warm-context"));
+    for kernel in [QueryKernel::Batched, QueryKernel::Wide] {
+        let mut ctx = QueryContext::new().with_kernel(kernel);
+        let got = estimate(&mut ctx);
+        assert_bit_identical(&scalar, &got, &format!("{label}/{kernel:?}"));
+        // Contexts are reusable: a second pass through warm scratch (and a
+        // warm plan cache) agrees too.
+        let again = estimate(&mut ctx);
+        assert_bit_identical(&scalar, &again, &format!("{label}/{kernel:?}/warm-context"));
+    }
+    // The default context resolves per schema (or per SKETCH_KERNEL pin) to
+    // one of the matrix kernels; whichever it picks must agree as well.
+    let mut auto_ctx = QueryContext::new();
+    assert_eq!(auto_ctx.kernel(), QueryKernel::Auto, "auto default");
+    let auto = estimate(&mut auto_ctx);
+    assert_bit_identical(&scalar, &auto, &format!("{label}/auto"));
 }
 
 fn rand_rects<const D: usize>(rng: &mut StdRng, n: usize, max: u64) -> Vec<HyperRect<D>> {
@@ -331,10 +338,10 @@ fn self_join_estimates_agree() {
 
 #[test]
 fn boosting_grid_shapes_agree() {
-    // Shapes below, at, and straddling the 64-lane block width; the row
-    // means feed the median, so every row must match bitwise, not just the
-    // final value.
-    for (i, (k1, k2)) in [(5usize, 3usize), (64, 1), (13, 5), (33, 4)]
+    // Shapes below, at, and straddling the 64-lane block width — plus one
+    // straddling the 256-lane wide width; the row means feed the median, so
+    // every row must match bitwise, not just the final value.
+    for (i, (k1, k2)) in [(5usize, 3usize), (64, 1), (13, 5), (33, 4), (130, 2)]
         .into_iter()
         .enumerate()
     {

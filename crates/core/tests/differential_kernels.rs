@@ -1,14 +1,19 @@
-//! Differential suite: the batched build kernel against the scalar oracle.
+//! Differential suite: the blocked build kernels against the scalar oracle.
 //!
-//! The batched kernel (`BuildKernel::Batched`, bit-sliced ξ evaluation with
-//! a cache-blocked counter walk) must produce **bit-identical** `SketchSet`
-//! counters to the scalar reference path for every construction, endpoint
-//! policy, dimensionality and insert/delete mix — sketches are exact integer
-//! linear summaries, so any divergence at all is a kernel bug.
+//! The kernel matrix — `BuildKernel::Batched` (64-lane bit-sliced) and
+//! `BuildKernel::Wide` (256-lane bit-sliced) — must produce
+//! **bit-identical** `SketchSet` counters to the scalar reference path for
+//! every construction, endpoint policy, dimensionality and insert/delete
+//! mix — sketches are exact integer linear summaries, so any divergence at
+//! all is a kernel bug. The oracle chain is Scalar → Batched → Wide: the
+//! scalar path anchors both blocked widths at once.
 //!
 //! Seeded stand-ins for property tests: each configuration streams ≥200
 //! random objects (with interleaved deletions of earlier inserts) through
-//! both kernels and compares every counter.
+//! all kernels and compares every counter. Heavyweight 3-d configurations
+//! run in the CI `tests-release` lane
+//! (`#[cfg_attr(debug_assertions, ignore)]`), following the ROADMAP
+//! convention.
 
 use geometry::{HyperRect, Interval};
 use rand::rngs::StdRng;
@@ -23,6 +28,9 @@ const POLICIES: [EndpointPolicy; 3] = [
     EndpointPolicy::Tripled,
     EndpointPolicy::TripledShrunk,
 ];
+
+/// The blocked kernels checked against the scalar oracle.
+const MATRIX: [BuildKernel; 2] = [BuildKernel::Batched, BuildKernel::Wide];
 
 /// Every component class in one word list: the `{I,E}^D` join words plus
 /// point- and leaf-reading words (range/containment/ε-join shapes).
@@ -46,33 +54,41 @@ fn rand_rect<const D: usize>(rng: &mut StdRng, max: u64) -> HyperRect<D> {
     }))
 }
 
-fn assert_identical<const D: usize>(scalar: &SketchSet<D>, batched: &SketchSet<D>, label: &str) {
-    assert_eq!(scalar.len(), batched.len(), "{label}: net length diverged");
+fn assert_identical<const D: usize>(scalar: &SketchSet<D>, blocked: &SketchSet<D>, label: &str) {
+    assert_eq!(scalar.len(), blocked.len(), "{label}: net length diverged");
     for inst in 0..scalar.schema().instances() {
         assert_eq!(
             scalar.instance_counters(inst),
-            batched.instance_counters(inst),
+            blocked.instance_counters(inst),
             "{label}: instance {inst} diverged"
         );
     }
 }
 
-/// Streams a seeded insert/delete mix through both kernels and demands
-/// bit-identical counters after every phase of the stream.
+/// Streams a seeded insert/delete mix through the whole kernel matrix and
+/// demands bit-identical counters after every phase of the stream.
 fn run_config<const D: usize>(
     kind: fourwise::XiKind,
     policy: EndpointPolicy,
     shape: BoostShape,
     seed: u64,
 ) {
-    let label = format!("{kind:?}/{policy:?}/{D}d/{}x{}", shape.k1, shape.k2);
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = SketchSchema::<D>::new(&mut rng, kind, shape, [DimSpec::dyadic(8); D]);
     let words = Arc::new(all_comp_words::<D>());
     let mut scalar =
         SketchSet::new(schema.clone(), words.clone(), policy).with_kernel(BuildKernel::Scalar);
-    let mut batched = SketchSet::new(schema, words, policy);
-    assert_eq!(batched.kernel(), BuildKernel::Batched, "batched is default");
+    let mut blocked: Vec<(BuildKernel, SketchSet<D>)> = MATRIX
+        .into_iter()
+        .map(|k| {
+            (
+                k,
+                SketchSet::new(schema.clone(), words.clone(), policy).with_kernel(k),
+            )
+        })
+        .collect();
+    let label =
+        |k: BuildKernel| format!("{kind:?}/{policy:?}/{D}d/{}x{}/{k:?}", shape.k1, shape.k2);
     let max = (1u64 << scalar.data_bits()[0]) - 1;
 
     let mut live: Vec<HyperRect<D>> = Vec::new();
@@ -83,32 +99,46 @@ fn run_config<const D: usize>(
         if !live.is_empty() && rng.gen_range(0..10u32) < 3 {
             let r = live.swap_remove(rng.gen_range(0..live.len()));
             scalar.delete(&r).unwrap();
-            batched.delete(&r).unwrap();
+            for (_, sk) in blocked.iter_mut() {
+                sk.delete(&r).unwrap();
+            }
         } else {
             let r = rand_rect::<D>(&mut rng, max);
             scalar.insert(&r).unwrap();
-            batched.insert(&r).unwrap();
+            for (_, sk) in blocked.iter_mut() {
+                sk.insert(&r).unwrap();
+            }
             live.push(r);
             inserted += 1;
         }
         step += 1;
         if step % 75 == 74 {
-            assert_identical(&scalar, &batched, &label);
+            for (k, sk) in blocked.iter() {
+                assert_identical(&scalar, sk, &label(*k));
+            }
         }
     }
-    assert_identical(&scalar, &batched, &label);
 
-    // Drain: linearity means both kernels return to exactly zero together.
+    // Drain: linearity means every kernel returns to exactly zero together.
     for r in live.drain(..) {
         scalar.delete(&r).unwrap();
-        batched.delete(&r).unwrap();
+        for (_, sk) in blocked.iter_mut() {
+            sk.delete(&r).unwrap();
+        }
     }
-    assert_identical(&scalar, &batched, &label);
-    assert!(batched.instance_counters(0).iter().all(|&c| c == 0));
+    for (k, sk) in blocked.iter() {
+        assert_identical(&scalar, sk, &label(*k));
+        assert!(sk.instance_counters(0).iter().all(|&c| c == 0));
+    }
 }
 
-/// 67 instances: one full 64-lane block plus a 3-lane tail.
+/// 67 instances: one full 64-lane block plus a 3-lane tail (and a partial
+/// wide block).
 const BLOCK_SPANNING: BoostShape = BoostShape { k1: 67, k2: 1 };
+
+/// 300 instances: one full 256-lane wide block plus a 44-lane tail, five
+/// 64-lane blocks.
+const WIDE_SPANNING: BoostShape = BoostShape { k1: 150, k2: 2 };
 
 #[test]
 fn differential_bch_all_policies_1d() {
@@ -135,6 +165,7 @@ fn differential_bch_all_policies_2d() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
 fn differential_bch_all_policies_3d() {
     for (i, policy) in POLICIES.into_iter().enumerate() {
         run_config::<3>(
@@ -159,6 +190,7 @@ fn differential_poly_all_policies_1d() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
 fn differential_poly_all_policies_2d() {
     for (i, policy) in POLICIES.into_iter().enumerate() {
         run_config::<2>(
@@ -171,6 +203,7 @@ fn differential_poly_all_policies_2d() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
 fn differential_poly_all_policies_3d() {
     for (i, policy) in POLICIES.into_iter().enumerate() {
         run_config::<3>(
@@ -184,8 +217,8 @@ fn differential_poly_all_policies_3d() {
 
 #[test]
 fn differential_instance_shapes() {
-    // Below, exactly at, and just above the lane width, plus a multi-block
-    // shape — tail handling must stay identical everywhere.
+    // Below, exactly at, and just above both lane widths, plus multi-block
+    // shapes — tail handling must stay identical everywhere.
     for (i, (k1, k2)) in [(5, 1), (64, 1), (13, 5), (64, 3)].into_iter().enumerate() {
         run_config::<2>(
             fourwise::XiKind::Bch,
@@ -194,6 +227,54 @@ fn differential_instance_shapes() {
             960 + i as u64,
         );
     }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn differential_wide_spanning_shapes() {
+    // Shapes straddling the 256-lane wide block width.
+    run_config::<2>(
+        fourwise::XiKind::Bch,
+        EndpointPolicy::Tripled,
+        WIDE_SPANNING,
+        970,
+    );
+    run_config::<1>(
+        fourwise::XiKind::Poly,
+        EndpointPolicy::Raw,
+        BoostShape::new(256, 1),
+        971,
+    );
+}
+
+#[test]
+fn default_kernel_follows_width_heuristic() {
+    // Only meaningful when no SKETCH_KERNEL override pins the default (the
+    // tests-release CI lane sets one to run this suite per kernel).
+    let pinned = std::env::var("SKETCH_KERNEL")
+        .map(|v| !v.trim().is_empty())
+        .unwrap_or(false);
+    if pinned {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(980);
+    let words = Arc::new(ie_words::<1>());
+    let small = SketchSchema::<1>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(67, 1),
+        [DimSpec::dyadic(8)],
+    );
+    let sk = SketchSet::new(small, words.clone(), EndpointPolicy::Raw);
+    assert_eq!(sk.kernel(), BuildKernel::Batched);
+    let large = SketchSchema::<1>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(sketch::WIDE_MIN_INSTANCES, 1),
+        [DimSpec::dyadic(8)],
+    );
+    let sk = SketchSet::new(large, words, EndpointPolicy::Raw);
+    assert_eq!(sk.kernel(), BuildKernel::Wide);
 }
 
 #[test]
@@ -213,7 +294,7 @@ fn slice_ingestion_matches_streaming_inserts() {
     for r in &data {
         streamed.insert(r).unwrap();
     }
-    for kernel in [BuildKernel::Scalar, BuildKernel::Batched] {
+    for kernel in [BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide] {
         let mut sliced =
             SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw).with_kernel(kernel);
         sliced.insert_slice(&data).unwrap();
@@ -267,7 +348,10 @@ fn kernels_are_switchable_mid_stream() {
     let mut mixed = SketchSet::new(schema, words, EndpointPolicy::Raw);
     for (i, r) in data.iter().enumerate() {
         oracle.insert(r).unwrap();
-        if i == 60 {
+        if i == 40 {
+            mixed.set_kernel(BuildKernel::Wide);
+        }
+        if i == 80 {
             mixed.set_kernel(BuildKernel::Scalar);
         }
         mixed.insert(r).unwrap();

@@ -4,89 +4,104 @@
 //! Sketch maintenance evaluates the *same* index against thousands of
 //! independent family instances. The scalar path ([`XiFamily::xi_pre`])
 //! dispatches per instance and pays a popcount each time. This module
-//! transposes the problem: the seeds of up to [`BLOCK_LANES`] instances are
+//! transposes the problem: the seeds of up to `L::LANES` instances are
 //! packed into *bit planes* (`plane[b]` holds bit `b` of every lane's seed),
-//! so one index is evaluated for the whole block with one XOR per set bit of
-//! the index — `O(k)` word operations for 64 instances instead of `O(k)` per
-//! instance.
+//! so one index is evaluated for the whole block with one lane-wise XOR per
+//! set bit of the index — `O(k)` word operations for a full block instead of
+//! `O(k)` per instance.
+//!
+//! Everything here is generic over the [`Lane`] word: the portable `u64`
+//! width (64 instances per block, [`BLOCK_LANES`]) is the default and the
+//! differential oracle; the [`WideLane`] width (`[u64; 4]`, 256 instances
+//! per block) runs the identical algorithms with four-word lane-wise
+//! operations that LLVM autovectorizes. Both produce bit-identical per-lane
+//! sums — lane width only changes how many instances share one pass.
 //!
 //! For the BCH family the sign of lane `j` is
 //! `b0_j ⊕ <s1_j, i> ⊕ <s3_j, i³>`; XOR-ing the `s1` plane of every set bit
-//! of `i` and the `s3` plane of every set bit of `i³` computes all 64 inner
-//! products simultaneously (the classic bit-slicing of GF(2) linear forms).
-//! The polynomial family is not linear over GF(2), so its block falls back
-//! to per-lane Horner evaluation behind the same interface — the batched
-//! kernel stays construction-agnostic and bit-identical either way.
+//! of `i` and the `s3` plane of every set bit of `i³` computes all lanes'
+//! inner products simultaneously (the classic bit-slicing of GF(2) linear
+//! forms). The polynomial family is not linear over GF(2), so its block
+//! falls back to per-lane Horner evaluation behind the same interface — the
+//! batched kernel stays construction-agnostic and bit-identical either way.
 //!
 //! Component sums over dyadic covers use [`LaneCounter`], a carry-save adder
 //! network over sign masks: per cover node the block mask is folded into
-//! vertical counter planes (two word ops per occupied plane), and per-lane
-//! sums are extracted once at the end. Summing a ±1 mask `m` over `n` nodes
-//! is `n - 2·ones(lane)`, exactly the integer sum the scalar oracle computes.
+//! vertical counter planes (two lane-wise ops per occupied plane), and
+//! per-lane sums are extracted once at the end. Summing a ±1 mask `m` over
+//! `n` nodes is `n - 2·ones(lane)`, exactly the integer sum the scalar
+//! oracle computes.
 
 use crate::family::{IndexPre, XiContext, XiKind, XiSeed};
+use crate::lane::{Lane, WideLane};
 use crate::poly::PolyFamily;
 
 #[cfg(doc)]
 use crate::family::XiFamily;
 
-/// Instances per block: one lane per bit of a machine word.
+/// Instances per block at the default (`u64`) lane width.
 pub const BLOCK_LANES: usize = 64;
+
+/// Instances per block at the wide ([`WideLane`]) width.
+pub const WIDE_LANES: usize = WideLane::LANES;
 
 /// Upper bound on the number of masks a [`LaneCounter`] can absorb
 /// (`2^PLANES - 1`). Dyadic covers have at most `2·bits ≤ 126` nodes, within
 /// bounds for every supported domain.
 const PLANES: usize = 8;
 
-/// Packed seeds of up to [`BLOCK_LANES`] BCH family instances over one
-/// domain, stored as bit planes for one-pass block evaluation.
+/// Packed seeds of up to `L::LANES` BCH family instances over one domain,
+/// stored as bit planes for one-pass block evaluation.
 #[derive(Debug, Clone)]
-pub struct BchBlock {
+pub struct BchBlock<L: Lane = u64> {
     lanes: u32,
     /// Lane `j` holds seed `j`'s sign-flip bit.
-    b0: u64,
+    b0: L,
     /// `s1[b]` lane `j` = bit `b` of seed `j`'s first-order mask.
-    s1: Box<[u64]>,
+    s1: Box<[L]>,
     /// `s3[b]` lane `j` = bit `b` of seed `j`'s third-order mask.
-    s3: Box<[u64]>,
+    s3: Box<[L]>,
 }
 
-impl BchBlock {
+impl<L: Lane> BchBlock<L> {
     fn pack(seeds: impl Iterator<Item = crate::bch::BchSeed>, k: u32) -> Self {
-        let mut b0 = 0u64;
-        let mut s1 = vec![0u64; k as usize].into_boxed_slice();
-        let mut s3 = vec![0u64; k as usize].into_boxed_slice();
+        let mut b0 = L::zero();
+        let mut s1 = vec![L::zero(); k as usize].into_boxed_slice();
+        let mut s3 = vec![L::zero(); k as usize].into_boxed_slice();
         let mut lanes = 0u32;
         for (j, seed) in seeds.enumerate() {
-            assert!(
-                j < BLOCK_LANES,
-                "xi block holds at most {BLOCK_LANES} seeds"
-            );
-            b0 |= (seed.b0 as u64) << j;
+            assert!(j < L::LANES, "xi block holds at most {} seeds", L::LANES);
+            if seed.b0 {
+                b0.set_bit(j);
+            }
             for (b, plane) in s1.iter_mut().enumerate() {
-                *plane |= ((seed.s1 >> b) & 1) << j;
+                if (seed.s1 >> b) & 1 == 1 {
+                    plane.set_bit(j);
+                }
             }
             for (b, plane) in s3.iter_mut().enumerate() {
-                *plane |= ((seed.s3 >> b) & 1) << j;
+                if (seed.s3 >> b) & 1 == 1 {
+                    plane.set_bit(j);
+                }
             }
             lanes += 1;
         }
         Self { lanes, b0, s1, s3 }
     }
 
-    /// Sign mask of the block at one index: bit `j` set ⇔ lane `j`'s
+    /// Sign mask of the block at one index: lane `j`'s bit set ⇔ lane `j`'s
     /// `xi = -1`. Bits at or above the block's lane count are unspecified.
     #[inline]
-    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
+    pub fn eval_mask(&self, pre: IndexPre) -> L {
         let mut acc = self.b0;
         let mut i = pre.index;
         while i != 0 {
-            acc ^= self.s1[i.trailing_zeros() as usize];
+            acc.xor_assign(&self.s1[i.trailing_zeros() as usize]);
             i &= i - 1;
         }
         let mut c = pre.cube;
         while c != 0 {
-            acc ^= self.s3[c.trailing_zeros() as usize];
+            acc.xor_assign(&self.s3[c.trailing_zeros() as usize]);
             c &= c - 1;
         }
         acc
@@ -107,38 +122,42 @@ pub struct PolyBlock {
 impl PolyBlock {
     /// Sign mask at one index (see [`BchBlock::eval_mask`]).
     #[inline]
-    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
-        let mut mask = 0u64;
+    pub fn eval_mask<L: Lane>(&self, pre: IndexPre) -> L {
+        let mut mask = L::zero();
         for (j, fam) in self.fams.iter().enumerate() {
-            mask |= (((1 - fam.xi(pre.index)) >> 1) as u64) << j;
+            if fam.xi(pre.index) < 0 {
+                mask.set_bit(j);
+            }
         }
         mask
     }
 }
 
-/// Packed evaluation block for up to [`BLOCK_LANES`] family instances.
+/// Packed evaluation block for up to `L::LANES` family instances.
 ///
 /// The block analogue of [`XiFamily`]: built once per (schema, dimension,
-/// instance block) and reused for every update.
+/// instance block) and reused for every update. Generic over the [`Lane`]
+/// width; `XiBlock` without parameters is the portable 64-lane block.
 #[derive(Debug, Clone)]
-pub enum XiBlock {
+pub enum XiBlock<L: Lane = u64> {
     /// Bit-sliced BCH block.
-    Bch(BchBlock),
+    Bch(BchBlock<L>),
     /// Per-lane polynomial block.
     Poly(PolyBlock),
 }
 
-impl XiBlock {
+impl<L: Lane> XiBlock<L> {
     /// Packs a block from per-instance seeds drawn for `ctx`.
     ///
     /// # Panics
     ///
-    /// Panics if `seeds` is empty, holds more than [`BLOCK_LANES`] entries,
-    /// or any seed kind does not match the context kind.
+    /// Panics if `seeds` is empty, holds more than `L::LANES` entries, or
+    /// any seed kind does not match the context kind.
     pub fn pack(ctx: &XiContext, seeds: &[XiSeed]) -> Self {
         assert!(
-            !seeds.is_empty() && seeds.len() <= BLOCK_LANES,
-            "xi blocks hold 1..={BLOCK_LANES} seeds, got {}",
+            !seeds.is_empty() && seeds.len() <= L::LANES,
+            "xi blocks hold 1..={} seeds, got {}",
+            L::LANES,
             seeds.len()
         );
         match ctx.kind() {
@@ -169,10 +188,11 @@ impl XiBlock {
         }
     }
 
-    /// Sign mask of the whole block at one index: bit `j` set ⇔ lane `j`'s
-    /// `xi_i = -1`. Bits at or above [`XiBlock::lanes`] are unspecified.
+    /// Sign mask of the whole block at one index: lane `j`'s bit set ⇔ lane
+    /// `j`'s `xi_i = -1`. Bits at or above [`XiBlock::lanes`] are
+    /// unspecified.
     #[inline]
-    pub fn eval_mask(&self, pre: IndexPre) -> u64 {
+    pub fn eval_mask(&self, pre: IndexPre) -> L {
         match self {
             XiBlock::Bch(b) => b.eval_mask(pre),
             XiBlock::Poly(p) => p.eval_mask(pre),
@@ -185,9 +205,9 @@ impl XiBlock {
     /// cleared and reused as carry-save scratch. Lists longer than
     /// [`LaneCounter::CAPACITY`] are folded in chunks.
     #[inline]
-    pub fn sum_pre_into(&self, pres: &[IndexPre], counter: &mut LaneCounter, out: &mut [i64]) {
+    pub fn sum_pre_into(&self, pres: &[IndexPre], counter: &mut LaneCounter<L>, out: &mut [i64]) {
         let out = &mut out[..self.lanes()];
-        let mut chunks = pres.chunks(LaneCounter::CAPACITY as usize);
+        let mut chunks = pres.chunks(LaneCounter::<L>::CAPACITY as usize);
         // First chunk writes, later chunks accumulate; covers are far below
         // capacity, so the hot path is exactly one write pass.
         let first = chunks.next().unwrap_or(&[]);
@@ -214,14 +234,23 @@ impl XiBlock {
 /// the per-lane sums alive at once to form word products. A `BlockSums`
 /// holds them side by side so the whole query side of a block is evaluated
 /// with zero allocation after the first use.
-#[derive(Debug, Clone, Default)]
-pub struct BlockSums {
-    counter: LaneCounter,
-    /// Slot `s` occupies `sums[s*BLOCK_LANES..(s+1)*BLOCK_LANES]`.
+#[derive(Debug, Clone)]
+pub struct BlockSums<L: Lane = u64> {
+    counter: LaneCounter<L>,
+    /// Slot `s` occupies `sums[s*L::LANES..(s+1)*L::LANES]`.
     sums: Vec<i64>,
 }
 
-impl BlockSums {
+impl<L: Lane> Default for BlockSums<L> {
+    fn default() -> Self {
+        Self {
+            counter: LaneCounter::new(),
+            sums: Vec::new(),
+        }
+    }
+}
+
+impl<L: Lane> BlockSums<L> {
     /// Fresh scratch with no slots; call [`BlockSums::reserve_slots`] or let
     /// [`BlockSums::eval_into`] grow it on demand.
     pub fn new() -> Self {
@@ -230,23 +259,23 @@ impl BlockSums {
 
     /// Ensures at least `slots` per-lane buffers exist (grow-only).
     pub fn reserve_slots(&mut self, slots: usize) {
-        if self.sums.len() < slots * BLOCK_LANES {
-            self.sums.resize(slots * BLOCK_LANES, 0);
+        if self.sums.len() < slots * L::LANES {
+            self.sums.resize(slots * L::LANES, 0);
         }
     }
 
     /// Number of available slots.
     pub fn slots(&self) -> usize {
-        self.sums.len() / BLOCK_LANES
+        self.sums.len() / L::LANES
     }
 
     /// Evaluates per-lane `Σ xi` of `block` over `pres` into slot `slot`
     /// (the block analogue of [`XiFamily::sum_pre`], see
     /// [`XiBlock::sum_pre_into`]). Grows the slot bank as needed.
     #[inline]
-    pub fn eval_into(&mut self, slot: usize, block: &XiBlock, pres: &[IndexPre]) {
+    pub fn eval_into(&mut self, slot: usize, block: &XiBlock<L>, pres: &[IndexPre]) {
         self.reserve_slots(slot + 1);
-        let buf = &mut self.sums[slot * BLOCK_LANES..(slot + 1) * BLOCK_LANES];
+        let buf = &mut self.sums[slot * L::LANES..(slot + 1) * L::LANES];
         block.sum_pre_into(pres, &mut self.counter, buf);
     }
 
@@ -258,20 +287,29 @@ impl BlockSums {
     /// Panics if the slot was never evaluated or reserved.
     #[inline]
     pub fn lane_sums(&self, slot: usize) -> &[i64] {
-        &self.sums[slot * BLOCK_LANES..(slot + 1) * BLOCK_LANES]
+        &self.sums[slot * L::LANES..(slot + 1) * L::LANES]
     }
 }
 
 /// Vertical (bit-sliced) per-lane counter: accumulates sign masks with a
 /// carry-save adder network and extracts per-lane ±1 sums at the end.
-#[derive(Debug, Clone, Default)]
-pub struct LaneCounter {
+#[derive(Debug, Clone)]
+pub struct LaneCounter<L: Lane = u64> {
     /// `planes[p]` lane `j` = bit `p` of lane `j`'s count of set masks.
-    planes: [u64; PLANES],
+    planes: [L; PLANES],
     added: u32,
 }
 
-impl LaneCounter {
+impl<L: Lane> Default for LaneCounter<L> {
+    fn default() -> Self {
+        Self {
+            planes: [L::zero(); PLANES],
+            added: 0,
+        }
+    }
+}
+
+impl<L: Lane> LaneCounter<L> {
     /// Most masks one counter can absorb between clears.
     pub const CAPACITY: u32 = (1 << PLANES) - 1;
 
@@ -283,7 +321,7 @@ impl LaneCounter {
     /// Resets to the all-zero state.
     #[inline]
     pub fn clear(&mut self) {
-        self.planes = [0; PLANES];
+        self.planes = [L::zero(); PLANES];
         self.added = 0;
     }
 
@@ -298,7 +336,7 @@ impl LaneCounter {
     }
 
     /// Folds one sign mask into the per-lane counts (ripple-carry over the
-    /// occupied planes; amortized ~2 word ops per mask).
+    /// occupied planes; amortized ~2 lane-wise ops per mask).
     ///
     /// # Panics
     ///
@@ -306,7 +344,7 @@ impl LaneCounter {
     /// corrupt every lane's count, so the limit is enforced in release
     /// builds too (the predictable branch costs ~1 cycle per mask).
     #[inline]
-    pub fn add_mask(&mut self, mask: u64) {
+    pub fn add_mask(&mut self, mask: L) {
         assert!(
             self.added < Self::CAPACITY,
             "LaneCounter overflow: more than {} masks",
@@ -314,11 +352,11 @@ impl LaneCounter {
         );
         let mut carry = mask;
         for plane in &mut self.planes {
-            if carry == 0 {
+            if carry.is_zero() {
                 break;
             }
-            let t = *plane & carry;
-            *plane ^= carry;
+            let t = plane.and(&carry);
+            plane.xor_assign(&carry);
             carry = t;
         }
         self.added += 1;
@@ -329,7 +367,7 @@ impl LaneCounter {
     pub fn count(&self, lane: usize) -> u32 {
         let mut c = 0u32;
         for (p, plane) in self.planes.iter().enumerate() {
-            c += (((plane >> lane) & 1) as u32) << p;
+            c += (plane.bit(lane) as u32) << p;
         }
         c
     }
@@ -350,19 +388,44 @@ impl LaneCounter {
 
     #[inline]
     fn signed_sums(&self, out: &mut [i64], accumulate: bool) {
-        debug_assert!(out.len() <= BLOCK_LANES);
+        debug_assert!(out.len() <= L::LANES);
         let n = self.added as i64;
-        // Only the planes a count of `added` can reach carry information.
-        let top = PLANES.min((32 - self.added.leading_zeros()) as usize);
-        for (j, slot) in out.iter_mut().enumerate() {
-            let mut c = 0u64;
-            for (p, plane) in self.planes[..top].iter().enumerate() {
-                c += ((plane >> j) & 1) << p;
+        // Walk backing words in the outer loop so the inner extraction runs
+        // on plain u64 shifts regardless of the lane width. Within a word,
+        // the 8 vertical counter planes transpose to one count *byte* per
+        // lane (8×8 bit-matrix transpose, 8 lanes at a time) — a handful of
+        // word ops per 8 lanes instead of one plane walk per lane. Counts
+        // fit a byte exactly because CAPACITY = 2^PLANES - 1 = 255.
+        for (w, word_out) in out.chunks_mut(64).enumerate() {
+            let planes: [u64; PLANES] = std::array::from_fn(|p| self.planes[p].word(w));
+            for (g, group) in word_out.chunks_mut(8).enumerate() {
+                let mut x = 0u64;
+                for (p, plane) in planes.iter().enumerate() {
+                    x |= ((plane >> (8 * g)) & 0xFF) << (8 * p);
+                }
+                let t = transpose8(x);
+                for (i, slot) in group.iter_mut().enumerate() {
+                    let c = (t >> (8 * i)) & 0xFF;
+                    let sum = n - 2 * c as i64;
+                    *slot = if accumulate { *slot + sum } else { sum };
+                }
             }
-            let sum = n - 2 * c as i64;
-            *slot = if accumulate { *slot + sum } else { sum };
         }
     }
+}
+
+/// Transposes an 8×8 bit matrix held row-major in a `u64` (byte `r` = row
+/// `r`, bit `c` of it = element `(r, c)`) — Hacker's Delight §7-3. Used to
+/// turn 8 vertical counter-plane bytes into 8 per-lane count bytes.
+#[inline(always)]
+fn transpose8(mut x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+    x ^= t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+    x ^= t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+    x ^= t ^ (t << 28);
+    x
 }
 
 #[cfg(test)]
@@ -379,12 +442,11 @@ mod tests {
         (ctx, seeds)
     }
 
-    #[test]
-    fn eval_mask_matches_scalar_families() {
+    fn eval_mask_matches_scalar_families_at<L: Lane>() {
         for kind in [XiKind::Bch, XiKind::Poly] {
-            for lanes in [1usize, 7, 64] {
+            for lanes in [1usize, 7, L::LANES] {
                 let (ctx, seeds) = random_block(kind, 12, lanes, 31 + lanes as u64);
-                let block = XiBlock::pack(&ctx, &seeds);
+                let block = XiBlock::<L>::pack(&ctx, &seeds);
                 assert_eq!(block.lanes(), lanes);
                 let fams: Vec<XiFamily> = seeds.iter().map(|&s| ctx.family(s)).collect();
                 for i in [0u64, 1, 2, 77, 4095] {
@@ -392,7 +454,7 @@ mod tests {
                     let mask = block.eval_mask(pre);
                     for (j, fam) in fams.iter().enumerate() {
                         let expect = fam.xi_pre(pre);
-                        let got = 1 - 2 * ((mask >> j) & 1) as i64;
+                        let got = 1 - 2 * mask.bit(j) as i64;
                         assert_eq!(got, expect, "{kind:?} lane {j} index {i}");
                     }
                 }
@@ -401,19 +463,24 @@ mod tests {
     }
 
     #[test]
-    fn sum_pre_into_matches_scalar_sum() {
+    fn eval_mask_matches_scalar_families() {
+        eval_mask_matches_scalar_families_at::<u64>();
+        eval_mask_matches_scalar_families_at::<WideLane>();
+    }
+
+    fn sum_pre_into_matches_scalar_sum_at<L: Lane>() {
         let mut rng = StdRng::seed_from_u64(5);
         for kind in [XiKind::Bch, XiKind::Poly] {
             // 100 stays within one LaneCounter chunk; 1000 forces the
             // multi-chunk accumulation path.
             for n in [100usize, 1000] {
-                let (ctx, seeds) = random_block(kind, 10, 64, 77);
-                let block = XiBlock::pack(&ctx, &seeds);
+                let (ctx, seeds) = random_block(kind, 10, L::LANES, 77);
+                let block = XiBlock::<L>::pack(&ctx, &seeds);
                 let pres: Vec<IndexPre> = (0..n)
                     .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
                     .collect();
-                let mut counter = LaneCounter::new();
-                let mut sums = [0i64; BLOCK_LANES];
+                let mut counter = LaneCounter::<L>::new();
+                let mut sums = vec![0i64; L::LANES];
                 block.sum_pre_into(&pres, &mut counter, &mut sums);
                 for (j, &seed) in seeds.iter().enumerate() {
                     let fam = ctx.family(seed);
@@ -424,27 +491,61 @@ mod tests {
     }
 
     #[test]
+    fn sum_pre_into_matches_scalar_sum() {
+        sum_pre_into_matches_scalar_sum_at::<u64>();
+        sum_pre_into_matches_scalar_sum_at::<WideLane>();
+    }
+
+    #[test]
+    fn wide_and_narrow_blocks_agree_lane_for_lane() {
+        // The same 256 seeds packed as one wide block and four narrow blocks
+        // must produce identical per-lane sums — the oracle chain the
+        // differential suites lean on.
+        let mut rng = StdRng::seed_from_u64(91);
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            let (ctx, seeds) = random_block(kind, 11, WIDE_LANES, 92);
+            let wide = XiBlock::<WideLane>::pack(&ctx, &seeds);
+            let pres: Vec<IndexPre> = (0..120)
+                .map(|_| ctx.precompute(rng.gen_range(0..2048u64)))
+                .collect();
+            let mut wide_counter = LaneCounter::<WideLane>::new();
+            let mut wide_sums = vec![0i64; WIDE_LANES];
+            wide.sum_pre_into(&pres, &mut wide_counter, &mut wide_sums);
+            let mut counter = LaneCounter::<u64>::new();
+            let mut sums = [0i64; BLOCK_LANES];
+            for (b, chunk) in seeds.chunks(BLOCK_LANES).enumerate() {
+                let narrow = XiBlock::<u64>::pack(&ctx, chunk);
+                narrow.sum_pre_into(&pres, &mut counter, &mut sums);
+                assert_eq!(
+                    &wide_sums[b * BLOCK_LANES..(b + 1) * BLOCK_LANES],
+                    &sums[..],
+                    "{kind:?} block {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sum_pre_into_empty_list_is_zero() {
         let (ctx, seeds) = random_block(XiKind::Bch, 8, 3, 11);
-        let block = XiBlock::pack(&ctx, &seeds);
+        let block = XiBlock::<u64>::pack(&ctx, &seeds);
         let mut counter = LaneCounter::new();
         let mut sums = [7i64; BLOCK_LANES];
         block.sum_pre_into(&[], &mut counter, &mut sums);
         assert_eq!(&sums[..3], &[0, 0, 0]);
     }
 
-    #[test]
-    fn block_sums_holds_independent_slots() {
+    fn block_sums_holds_independent_slots_at<L: Lane>() {
         let mut rng = StdRng::seed_from_u64(6);
-        let (ctx, seeds) = random_block(XiKind::Bch, 10, 64, 78);
-        let block = XiBlock::pack(&ctx, &seeds);
+        let (ctx, seeds) = random_block(XiKind::Bch, 10, L::LANES, 78);
+        let block = XiBlock::<L>::pack(&ctx, &seeds);
         let list_a: Vec<IndexPre> = (0..40u64)
             .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
             .collect();
         let list_b: Vec<IndexPre> = (0..7u64)
             .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
             .collect();
-        let mut sums = BlockSums::new();
+        let mut sums = BlockSums::<L>::new();
         assert_eq!(sums.slots(), 0);
         sums.eval_into(0, &block, &list_a);
         sums.eval_into(1, &block, &list_b);
@@ -473,8 +574,14 @@ mod tests {
     }
 
     #[test]
+    fn block_sums_holds_independent_slots() {
+        block_sums_holds_independent_slots_at::<u64>();
+        block_sums_holds_independent_slots_at::<WideLane>();
+    }
+
+    #[test]
     fn lane_counter_counts_and_sums() {
-        let mut c = LaneCounter::new();
+        let mut c = LaneCounter::<u64>::new();
         // Lane 0 sees 5 set bits, lane 1 sees 2, lane 63 sees 0, of 5 masks.
         let masks = [0b01u64, 0b11, 0b01, 0b11, 0b01];
         for m in masks {
@@ -495,9 +602,35 @@ mod tests {
     }
 
     #[test]
+    fn wide_lane_counter_counts_across_words() {
+        let mut c = LaneCounter::<WideLane>::new();
+        // Lanes 0, 70 and 255 live in different backing words.
+        let mut m = WideLane::zero();
+        m.set_bit(0);
+        m.set_bit(70);
+        m.set_bit(255);
+        for _ in 0..3 {
+            c.add_mask(m);
+        }
+        let mut single = WideLane::zero();
+        single.set_bit(70);
+        c.add_mask(single);
+        assert_eq!(c.count(0), 3);
+        assert_eq!(c.count(70), 4);
+        assert_eq!(c.count(255), 3);
+        assert_eq!(c.count(128), 0);
+        let mut sums = vec![0i64; WIDE_LANES];
+        c.signed_sums_into(&mut sums);
+        assert_eq!(sums[0], 4 - 2 * 3);
+        assert_eq!(sums[70], 4 - 2 * 4);
+        assert_eq!(sums[255], 4 - 2 * 3);
+        assert_eq!(sums[128], 4);
+    }
+
+    #[test]
     fn lane_counter_near_capacity() {
         // Covers can reach ~126 nodes; exercise counts well past 64.
-        let mut c = LaneCounter::new();
+        let mut c = LaneCounter::<u64>::new();
         for _ in 0..200 {
             c.add_mask(u64::MAX);
         }
@@ -516,7 +649,7 @@ mod tests {
         let poly_ctx = XiContext::new(XiKind::Poly, 8);
         let seed = poly_ctx.random_seed(&mut rng);
         let bch_ctx = XiContext::new(XiKind::Bch, 8);
-        let _ = XiBlock::pack(&bch_ctx, &[seed]);
+        let _ = XiBlock::<u64>::pack(&bch_ctx, &[seed]);
     }
 
     #[test]
@@ -525,6 +658,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let ctx = XiContext::new(XiKind::Bch, 8);
         let seeds: Vec<XiSeed> = (0..65).map(|_| ctx.random_seed(&mut rng)).collect();
-        let _ = XiBlock::pack(&ctx, &seeds);
+        let _ = XiBlock::<u64>::pack(&ctx, &seeds);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=256 seeds")]
+    fn pack_rejects_oversized_wide_block() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ctx = XiContext::new(XiKind::Bch, 8);
+        let seeds: Vec<XiSeed> = (0..257).map(|_| ctx.random_seed(&mut rng)).collect();
+        let _ = XiBlock::<WideLane>::pack(&ctx, &seeds);
     }
 }

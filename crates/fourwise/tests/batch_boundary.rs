@@ -1,14 +1,18 @@
-//! Property tests for `fourwise::batch` across the cube-table boundary.
+//! Property tests for `fourwise::batch` across the cube-table boundary,
+//! at both lane widths.
 //!
 //! `XiContext` eagerly tabulates GF(2^k) cubes for `k <=`
 //! [`CUBE_TABLE_MAX_BITS`] and computes them on the fly above it; the block
 //! evaluation path consumes `IndexPre` either way and must agree with the
-//! scalar `XiFamily` evaluation bit for bit on both sides of the boundary.
+//! scalar `XiFamily` evaluation bit for bit on both sides of the boundary —
+//! for the portable 64-lane `u64` blocks and the 256-lane [`WideLane`]
+//! blocks alike.
 //!
 //! Seeded stand-ins for property tests (deterministic randomized loops).
 
 use fourwise::{
-    IndexPre, LaneCounter, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES, CUBE_TABLE_MAX_BITS,
+    IndexPre, Lane, LaneCounter, WideLane, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES,
+    CUBE_TABLE_MAX_BITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,15 +32,14 @@ fn boundary_constants_still_straddle() {
     assert_eq!(BOUNDARY_KS, [20, 21, 22]);
 }
 
-#[test]
-fn size_one_blocks_equal_family_evaluation() {
+fn size_one_blocks_equal_family_evaluation_at<L: Lane>() {
     for k in BOUNDARY_KS {
         for kind in [XiKind::Bch, XiKind::Poly] {
             let ctx = XiContext::new(kind, k);
             let mut rng = StdRng::seed_from_u64(1000 + k as u64);
             for trial in 0..8 {
                 let seed = ctx.random_seed(&mut rng);
-                let block = XiBlock::pack(&ctx, &[seed]);
+                let block = XiBlock::<L>::pack(&ctx, &[seed]);
                 assert_eq!(block.lanes(), 1);
                 let fam = ctx.family(seed);
                 let top = (1u64 << k) - 1;
@@ -50,7 +53,7 @@ fn size_one_blocks_equal_family_evaluation() {
                     };
                     let pre = ctx.precompute(i);
                     let mask = block.eval_mask(pre);
-                    let got = 1 - 2 * ((mask & 1) as i64);
+                    let got = 1 - 2 * mask.bit(0) as i64;
                     assert_eq!(
                         got,
                         fam.xi_pre(pre),
@@ -64,21 +67,24 @@ fn size_one_blocks_equal_family_evaluation() {
 }
 
 #[test]
-fn full_blocks_equal_family_sums_at_boundary() {
+fn size_one_blocks_equal_family_evaluation() {
+    size_one_blocks_equal_family_evaluation_at::<u64>();
+    size_one_blocks_equal_family_evaluation_at::<WideLane>();
+}
+
+fn full_blocks_equal_family_sums_at<L: Lane>() {
     for k in BOUNDARY_KS {
         for kind in [XiKind::Bch, XiKind::Poly] {
             let ctx = XiContext::new(kind, k);
             let mut rng = StdRng::seed_from_u64(2000 + k as u64);
-            let seeds: Vec<XiSeed> = (0..BLOCK_LANES)
-                .map(|_| ctx.random_seed(&mut rng))
-                .collect();
-            let block = XiBlock::pack(&ctx, &seeds);
+            let seeds: Vec<XiSeed> = (0..L::LANES).map(|_| ctx.random_seed(&mut rng)).collect();
+            let block = XiBlock::<L>::pack(&ctx, &seeds);
             let top = (1u64 << k) - 1;
             let pres: Vec<IndexPre> = (0..40)
                 .map(|_| ctx.precompute(rng.gen_range(0..=top)))
                 .collect();
-            let mut counter = LaneCounter::new();
-            let mut sums = [0i64; BLOCK_LANES];
+            let mut counter = LaneCounter::<L>::new();
+            let mut sums = vec![0i64; L::LANES];
             block.sum_pre_into(&pres, &mut counter, &mut sums);
             for (lane, &seed) in seeds.iter().enumerate() {
                 let fam = ctx.family(seed);
@@ -86,4 +92,39 @@ fn full_blocks_equal_family_sums_at_boundary() {
             }
         }
     }
+}
+
+#[test]
+fn full_blocks_equal_family_sums_at_boundary() {
+    full_blocks_equal_family_sums_at::<u64>();
+    full_blocks_equal_family_sums_at::<WideLane>();
+}
+
+#[test]
+fn wide_tail_blocks_match_narrow_blocks_at_boundary() {
+    // A 100-lane wide block (partial tail) against the equivalent 64+36
+    // narrow split, above the cube-table cutoff.
+    let k = CUBE_TABLE_MAX_BITS + 1;
+    let ctx = XiContext::new(XiKind::Bch, k);
+    let mut rng = StdRng::seed_from_u64(3000);
+    let seeds: Vec<XiSeed> = (0..100).map(|_| ctx.random_seed(&mut rng)).collect();
+    let wide = XiBlock::<WideLane>::pack(&ctx, &seeds);
+    assert_eq!(wide.lanes(), 100);
+    let pres: Vec<IndexPre> = (0..60)
+        .map(|_| ctx.precompute(rng.gen_range(0..1u64 << k)))
+        .collect();
+    let mut wide_counter = LaneCounter::<WideLane>::new();
+    let mut wide_sums = vec![0i64; 100];
+    wide.sum_pre_into(&pres, &mut wide_counter, &mut wide_sums);
+    let mut counter = LaneCounter::<u64>::new();
+    let mut narrow_sums = vec![0i64; 100];
+    for (b, chunk) in seeds.chunks(BLOCK_LANES).enumerate() {
+        let narrow = XiBlock::<u64>::pack(&ctx, chunk);
+        narrow.sum_pre_into(
+            &pres,
+            &mut counter,
+            &mut narrow_sums[b * BLOCK_LANES..b * BLOCK_LANES + chunk.len()],
+        );
+    }
+    assert_eq!(wide_sums, narrow_sums);
 }
