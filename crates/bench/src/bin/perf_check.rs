@@ -1,0 +1,245 @@
+//! CI perf-regression guard: rerun the quick perf_probe presets and fail
+//! if the hot paths regressed against the committed anchor numbers.
+//!
+//! Usage: cargo run --release -p spatial-bench --bin perf_check --
+//!          [--anchor BENCH_pr4.json] [--tolerance 0.25]
+//!
+//! Compares the blocked kernels' build ns/(obj·inst) and estimate
+//! ns/(est·inst) — join and range paths — at the 440-instance
+//! configuration against the matching records in the anchor file (a copy
+//! of `perf_probe` output; see EXPERIMENTS.md "Performance baseline").
+//!
+//! ## Tolerance
+//!
+//! The default threshold fails only a **> 25% slowdown** (`measured >
+//! anchor × 1.25`). That is deliberately generous: the anchors were
+//! recorded on one quiet reference box, while CI runners differ in
+//! microarchitecture and noisiness — the guard is meant to catch real
+//! regressions (an accidental scalar fallback, a lost vectorization, a
+//! per-call allocation creeping into the hot loop, all ≥ 1.5×), not to
+//! police single-digit drift. Speedups are never failures. Tune with
+//! `--tolerance` (fractional, e.g. `0.25`).
+
+use serde::Value;
+use sketch::{BuildKernel, QueryKernel};
+use spatial_bench::probes::{build_probe, estimate_probe};
+use spatial_bench::report::Table;
+use spatial_bench::runner::default_threads;
+use std::path::{Path, PathBuf};
+
+/// Fractional slowdown vs the anchor that fails the lane (see module docs).
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// The instance configuration compared (first point of both the quick
+/// presets and the anchor sweeps).
+const ANCHOR_INSTANCES: u64 = 440;
+
+fn main() {
+    let args = spatial_bench::cli::Args::parse(&[]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let tolerance: f64 = args
+        .get_or("tolerance", DEFAULT_TOLERANCE)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr4.json");
+    let anchor_path = workspace_file(anchor_name);
+    let anchors = Anchors::load(&anchor_path).unwrap_or_else(|e| {
+        eprintln!(
+            "perf_check: cannot read anchors from {}: {e}",
+            anchor_path.display()
+        );
+        std::process::exit(2);
+    });
+
+    let threads = default_threads();
+    println!(
+        "perf_check: quick probes vs {} (tolerance +{:.0}%)",
+        anchor_path.display(),
+        tolerance * 100.0
+    );
+    let build = build_probe(
+        threads,
+        true,
+        &[BuildKernel::Batched, BuildKernel::Wide],
+        "ci-build",
+        false,
+    );
+    let estimate = estimate_probe(
+        threads,
+        true,
+        &[QueryKernel::Batched, QueryKernel::Wide],
+        "ci-estimate",
+    );
+    assert_eq!(build.instances, vec![ANCHOR_INSTANCES as usize]);
+    assert_eq!(estimate.instances, vec![ANCHOR_INSTANCES as usize]);
+
+    let mut metrics: Vec<(String, f64, f64)> = Vec::new();
+    for k in &build.kernels {
+        metrics.push((
+            format!("build/{} ns/(obj·inst)", k.kernel),
+            anchors.build(&k.kernel),
+            k.ns_per_obj_instance[0],
+        ));
+    }
+    for k in &estimate.join_kernels {
+        metrics.push((
+            format!("estimate/join/{} ns/(est·inst)", k.kernel),
+            anchors.estimate("join", &k.kernel),
+            k.ns_per_estimate_instance[0],
+        ));
+    }
+    for k in &estimate.range_kernels {
+        metrics.push((
+            format!("estimate/range/{} ns/(est·inst)", k.kernel),
+            anchors.estimate("range", &k.kernel),
+            k.ns_per_estimate_instance[0],
+        ));
+    }
+
+    let mut table = Table::new(
+        "perf_check vs anchors",
+        &["metric", "anchor", "measured", "ratio", "verdict"],
+    );
+    let mut failures = 0usize;
+    for (name, anchor, measured) in &metrics {
+        let ratio = measured / anchor;
+        let ok = ratio <= 1.0 + tolerance;
+        if !ok {
+            failures += 1;
+        }
+        table.push_row(vec![
+            name.clone(),
+            format!("{anchor:.2}"),
+            format!("{measured:.2}"),
+            format!("{ratio:.3}"),
+            if ok { "ok".into() } else { "REGRESSED".into() },
+        ]);
+    }
+    table.print();
+    if failures > 0 {
+        eprintln!(
+            "perf_check: {failures} metric(s) regressed more than {:.0}% vs {}",
+            tolerance * 100.0,
+            anchor_path.display()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf_check: all {} metrics within +{:.0}% of the anchors",
+        metrics.len(),
+        tolerance * 100.0
+    );
+}
+
+/// A file at the workspace root (next to the committed `BENCH_*.json`).
+fn workspace_file(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(name)
+}
+
+/// Anchor lookups over the `BENCH_*.json` record array.
+struct Anchors {
+    records: Vec<Value>,
+}
+
+impl Anchors {
+    fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        match serde_json::parse_value(&text).map_err(|e| e.to_string())? {
+            Value::Seq(records) => Ok(Self { records }),
+            single => Ok(Self {
+                records: vec![single],
+            }),
+        }
+    }
+
+    /// Anchor build ns/(obj·inst) of `kernel` at the compared instances.
+    fn build(&self, kernel: &str) -> f64 {
+        let record = self.record("build");
+        let idx = self.instance_index(record);
+        let kernels = seq(get(record, "kernels"));
+        let entry = kernels
+            .iter()
+            .find(|k| str_of(get(k, "kernel")) == kernel)
+            .unwrap_or_else(|| die(&format!("anchor has no build kernel `{kernel}`")));
+        num(&seq(get(entry, "ns_per_obj_instance"))[idx])
+    }
+
+    /// Anchor estimate ns/(est·inst) of `path` (`join`/`range`) × `kernel`.
+    fn estimate(&self, path: &str, kernel: &str) -> f64 {
+        let record = self.record("estimate");
+        let idx = self.instance_index(record);
+        let kernels = seq(get(record, &format!("{path}_kernels")));
+        let entry = kernels
+            .iter()
+            .find(|k| str_of(get(k, "kernel")) == kernel)
+            .unwrap_or_else(|| die(&format!("anchor has no {path} kernel `{kernel}`")));
+        num(&seq(get(entry, "ns_per_estimate_instance"))[idx])
+    }
+
+    fn record(&self, probe: &str) -> &Value {
+        self.records
+            .iter()
+            .find(|r| str_of(get(r, "probe")) == probe)
+            .unwrap_or_else(|| die(&format!("anchor file has no `{probe}` record")))
+    }
+
+    fn instance_index(&self, record: &Value) -> usize {
+        seq(get(record, "instances"))
+            .iter()
+            .position(|v| num(v) as u64 == ANCHOR_INSTANCES)
+            .unwrap_or_else(|| {
+                die(&format!(
+                    "anchor record has no {ANCHOR_INSTANCES}-instance configuration"
+                ))
+            })
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| die(&format!("anchor record is missing `{key}`"))),
+        other => die(&format!(
+            "expected a map with `{key}`, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn seq(v: &Value) -> &[Value] {
+    match v {
+        Value::Seq(entries) => entries,
+        other => die(&format!("expected a sequence, got {}", other.kind())),
+    }
+}
+
+fn str_of(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => die(&format!("expected a string, got {}", other.kind())),
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Float(f) => *f,
+        Value::Int(i) => *i as f64,
+        Value::UInt(u) => *u as f64,
+        other => die(&format!("expected a number, got {}", other.kind())),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_check: {msg}");
+    std::process::exit(2);
+}

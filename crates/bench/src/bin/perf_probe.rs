@@ -1,4 +1,4 @@
-//! Build/estimate throughput probe plus quick maxLevel sanity sweeps.
+//! Build/estimate/serve throughput probe plus quick maxLevel sanity sweeps.
 //!
 //! The default probe times the sketch build under *all three* maintenance
 //! kernels (scalar oracle, 64-lane batched, 256-lane wide; see
@@ -9,10 +9,15 @@
 //! self-describing. `--probe estimate` times the *estimation* path the same
 //! way under all query kernels (`sketch::QueryKernel`), join and range;
 //! `--probe wide` is the quick wide-vs-batched head-to-head (build and
-//! estimate, blocked kernels only).
+//! estimate, blocked kernels only); `--probe serve` times the serving
+//! layer — router QPS vs shard count (1/2/4) through `spatial-serve`'s
+//! sharded store, against the direct single-sketch baseline.
+//!
+//! The probe harnesses themselves live in `spatial_bench::probes`, shared
+//! with the CI `perf_check` regression guard.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick | --probe <estimate|wide>]
+//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve>]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -20,336 +25,11 @@
 use rand::SeedableRng;
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryContext, QueryKernel};
+use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryKernel};
 use spatial_bench::cli::Args;
+use spatial_bench::probes::{build_probe, estimate_probe, serve_probe};
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
-use std::time::Instant;
-
-/// Milliseconds of repeated calls per timing point (the estimate path is
-/// microseconds per call, so each point averages thousands of calls).
-const ESTIMATE_PROBE_BUDGET_MS: u128 = 250;
-
-/// `(name, lane_width, block_size)` of a build kernel, recorded with every
-/// probe point.
-fn build_kernel_meta(kernel: BuildKernel) -> (&'static str, usize, usize) {
-    match kernel {
-        BuildKernel::Scalar => ("scalar", 1, 1),
-        BuildKernel::Batched => ("batched", 64, 64),
-        BuildKernel::Wide => ("wide", 256, 256),
-    }
-}
-
-/// `(name, lane_width, block_size)` of a query kernel.
-fn query_kernel_meta(kernel: QueryKernel) -> (&'static str, usize, usize) {
-    match kernel {
-        QueryKernel::Scalar => ("scalar", 1, 1),
-        QueryKernel::Batched => ("batched", 64, 64),
-        QueryKernel::Wide => ("wide", 256, 256),
-        QueryKernel::Auto => ("auto", 0, 0),
-    }
-}
-
-/// Times `f` repeatedly until the budget elapses; returns ns per call.
-fn time_ns_per_call(mut f: impl FnMut() -> f64) -> f64 {
-    // Warm up (context scratch growth, branch predictors).
-    let mut sink = 0.0;
-    for _ in 0..3 {
-        sink += f();
-    }
-    let start = Instant::now();
-    let mut calls = 0u64;
-    while start.elapsed().as_millis() < ESTIMATE_PROBE_BUDGET_MS {
-        for _ in 0..8 {
-            sink += f();
-        }
-        calls += 8;
-    }
-    let ns = start.elapsed().as_nanos() as f64 / calls as f64;
-    assert!(sink.is_finite());
-    ns
-}
-
-/// Ratio of one kernel's timings over another's (higher = `faster` wins).
-#[derive(serde::Serialize)]
-struct Speedup {
-    faster: String,
-    baseline: String,
-    /// Baseline ns divided by faster ns, per instance configuration.
-    ratio_per_config: Vec<f64>,
-}
-
-fn speedups_of(names: &[&'static str], ns_per_kernel: &[Vec<f64>]) -> Vec<Speedup> {
-    (1..names.len())
-        .map(|i| Speedup {
-            faster: names[i].into(),
-            baseline: names[i - 1].into(),
-            ratio_per_config: ns_per_kernel[i - 1]
-                .iter()
-                .zip(ns_per_kernel[i].iter())
-                .map(|(base, fast)| base / fast)
-                .collect(),
-        })
-        .collect()
-}
-
-#[derive(serde::Serialize)]
-struct QueryKernelRecord {
-    kernel: String,
-    lane_width: usize,
-    block_size: usize,
-    ns_per_estimate: Vec<f64>,
-    ns_per_estimate_instance: Vec<f64>,
-}
-
-#[derive(serde::Serialize)]
-struct EstimateProbeRecord {
-    probe: String,
-    objects: usize,
-    domain_bits: u32,
-    instances: Vec<usize>,
-    join_kernels: Vec<QueryKernelRecord>,
-    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
-    join_speedups: Vec<Speedup>,
-    range_kernels: Vec<QueryKernelRecord>,
-    range_speedups: Vec<Speedup>,
-}
-
-/// Estimation-path throughput under the given query kernels, for the join
-/// (counter-product combine) and range (query-side ξ sums) paths, appended
-/// to `results/perf_probe.json` like the build probe.
-fn estimate_probe(threads: usize, quick: bool, kernels: &[QueryKernel], probe: &str) {
-    use rand::Rng as _;
-    let bits = 14u32;
-    let data: Vec<geometry::HyperRect<2>> =
-        datagen::SyntheticSpec::paper(20_000, bits, 0.0, 5).generate();
-    let configs: &[(usize, usize)] = if quick {
-        &[(88, 5)]
-    } else {
-        &[(88, 5), (203, 5), (820, 5)]
-    };
-    let mut record = EstimateProbeRecord {
-        probe: probe.into(),
-        objects: data.len(),
-        domain_bits: bits,
-        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
-        join_kernels: Vec::new(),
-        join_speedups: Vec::new(),
-        range_kernels: Vec::new(),
-        range_speedups: Vec::new(),
-    };
-
-    for &kernel in kernels {
-        let (name, lane_width, block_size) = query_kernel_meta(kernel);
-        let mut join_rec = QueryKernelRecord {
-            kernel: name.into(),
-            lane_width,
-            block_size,
-            ns_per_estimate: Vec::new(),
-            ns_per_estimate_instance: Vec::new(),
-        };
-        let mut range_rec = QueryKernelRecord {
-            kernel: name.into(),
-            lane_width,
-            block_size,
-            ns_per_estimate: Vec::new(),
-            ns_per_estimate_instance: Vec::new(),
-        };
-        // Fresh RNG per kernel: all kernels see identical schema draws.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        for &(k1, k2) in configs {
-            let instances = k1 * k2;
-            let join = SpatialJoin::<2>::new(
-                &mut rng,
-                SketchConfig::new(k1, k2),
-                [bits, bits],
-                EndpointStrategy::Transform,
-            );
-            let mut r = join.new_sketch_r();
-            let mut s = join.new_sketch_s();
-            par_insert_batch(&mut r, &data, threads).unwrap();
-            par_insert_batch(&mut s, &data[..10_000], threads).unwrap();
-            let mut ctx = QueryContext::new().with_kernel(kernel);
-            let ns = time_ns_per_call(|| join.estimate_with(&mut ctx, &r, &s).unwrap().value);
-            println!(
-                "join   {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
-                ns / instances as f64
-            );
-            join_rec.ns_per_estimate.push(ns);
-            join_rec
-                .ns_per_estimate_instance
-                .push(ns / instances as f64);
-
-            let rq = sketch::RangeQuery::<2>::new(
-                &mut rng,
-                SketchConfig::new(k1, k2),
-                [bits, bits],
-                sketch::RangeStrategy::Transform,
-            );
-            let mut sk = rq.new_sketch();
-            par_insert_batch(&mut sk, &data, threads).unwrap();
-            let mut qrng = rand::rngs::StdRng::seed_from_u64(9);
-            let n = 1u64 << bits;
-            let queries: Vec<geometry::HyperRect<2>> = (0..8)
-                .map(|_| {
-                    let side = n / 8 + qrng.gen_range(0..n / 4);
-                    let x = qrng.gen_range(0..n - side - 1);
-                    let y = qrng.gen_range(0..n - side - 1);
-                    geometry::HyperRect::new([
-                        geometry::Interval::new(x, x + side),
-                        geometry::Interval::new(y, y + side),
-                    ])
-                })
-                .collect();
-            let mut qi = 0usize;
-            let ns = time_ns_per_call(|| {
-                qi = (qi + 1) % queries.len();
-                rq.estimate_with(&mut ctx, &sk, &queries[qi]).unwrap().value
-            });
-            println!(
-                "range  {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
-                ns / instances as f64
-            );
-            range_rec.ns_per_estimate.push(ns);
-            range_rec
-                .ns_per_estimate_instance
-                .push(ns / instances as f64);
-        }
-        record.join_kernels.push(join_rec);
-        record.range_kernels.push(range_rec);
-    }
-    let names: Vec<&'static str> = kernels.iter().map(|&k| query_kernel_meta(k).0).collect();
-    let join_ns: Vec<Vec<f64>> = record
-        .join_kernels
-        .iter()
-        .map(|k| k.ns_per_estimate.clone())
-        .collect();
-    let range_ns: Vec<Vec<f64>> = record
-        .range_kernels
-        .iter()
-        .map(|k| k.ns_per_estimate.clone())
-        .collect();
-    record.join_speedups = speedups_of(&names, &join_ns);
-    record.range_speedups = speedups_of(&names, &range_ns);
-    for s in &record.join_speedups {
-        println!(
-            "join  {} speedup over {}: {:?}",
-            s.faster, s.baseline, s.ratio_per_config
-        );
-    }
-    for s in &record.range_speedups {
-        println!(
-            "range {} speedup over {}: {:?}",
-            s.faster, s.baseline, s.ratio_per_config
-        );
-    }
-    let path = spatial_bench::report::append_json("perf_probe", &record);
-    println!("appended to {}", path.display());
-}
-
-#[derive(serde::Serialize)]
-struct KernelRecord {
-    kernel: String,
-    lane_width: usize,
-    block_size: usize,
-    build_secs: Vec<f64>,
-    ns_per_obj_instance: Vec<f64>,
-}
-
-#[derive(serde::Serialize)]
-struct BuildProbeRecord {
-    probe: String,
-    objects: usize,
-    domain_bits: u32,
-    threads: usize,
-    instances: Vec<usize>,
-    kernels: Vec<KernelRecord>,
-    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
-    speedups: Vec<Speedup>,
-    /// `None` (serialized as null) when the probe skips the exact join.
-    exact_join_pairs: Option<u64>,
-    exact_join_secs: Option<f64>,
-}
-
-/// Build-throughput sweep per maintenance kernel; optionally one exact-join
-/// timing. Appends a record to `results/perf_probe.json`.
-fn build_probe(threads: usize, quick: bool, kernels: &[BuildKernel], probe: &str, exact: bool) {
-    let data: Vec<geometry::HyperRect<2>> =
-        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
-    let configs: &[(usize, usize)] = if quick {
-        &[(88, 5)]
-    } else {
-        &[(88, 5), (440, 5), (1200, 5)]
-    };
-    let mut record = BuildProbeRecord {
-        probe: probe.into(),
-        objects: data.len(),
-        domain_bits: 14,
-        threads,
-        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
-        kernels: Vec::new(),
-        speedups: Vec::new(),
-        exact_join_pairs: None,
-        exact_join_secs: None,
-    };
-    for &kernel in kernels {
-        let (name, lane_width, block_size) = build_kernel_meta(kernel);
-        let mut rec = KernelRecord {
-            kernel: name.into(),
-            lane_width,
-            block_size,
-            build_secs: Vec::new(),
-            ns_per_obj_instance: Vec::new(),
-        };
-        // Fresh RNG per kernel: all kernels see identical schema draws.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        for &(k1, k2) in configs {
-            let join = SpatialJoin::<2>::new(
-                &mut rng,
-                SketchConfig::new(k1, k2),
-                [14, 14],
-                EndpointStrategy::Transform,
-            );
-            let mut r = join.new_sketch_r().with_kernel(kernel);
-            let t = Instant::now();
-            par_insert_batch(&mut r, &data, threads).unwrap();
-            let el = t.elapsed();
-            let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
-            println!(
-                "{kernel:?} kernel, instances {}: {el:?} total, {ns:.1} ns/(obj.inst)",
-                k1 * k2
-            );
-            rec.build_secs.push(el.as_secs_f64());
-            rec.ns_per_obj_instance.push(ns);
-        }
-        record.kernels.push(rec);
-    }
-    let names: Vec<&'static str> = kernels.iter().map(|&k| build_kernel_meta(k).0).collect();
-    let ns: Vec<Vec<f64>> = record
-        .kernels
-        .iter()
-        .map(|k| k.ns_per_obj_instance.clone())
-        .collect();
-    record.speedups = speedups_of(&names, &ns);
-    for s in &record.speedups {
-        println!(
-            "build {} speedup over {}: {:?}",
-            s.faster, s.baseline, s.ratio_per_config
-        );
-    }
-    if exact {
-        let s: Vec<geometry::HyperRect<2>> =
-            datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
-        let t = Instant::now();
-        let c = exact::rect_join_count(&data, &s);
-        let el = t.elapsed();
-        println!("exact join 50K x 50K: {c} pairs in {el:?}");
-        record.exact_join_pairs = Some(c);
-        record.exact_join_secs = Some(el.as_secs_f64());
-    }
-    let path = spatial_bench::report::append_json("perf_probe", &record);
-    println!("appended to {}", path.display());
-}
 
 fn main() {
     let args = Args::parse(&["gis", "range", "quick"]).unwrap_or_else(|e| {
@@ -385,8 +65,12 @@ fn main() {
             );
             return;
         }
+        Some("serve") => {
+            serve_probe(threads, args.has("quick"));
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown --probe `{other}` (supported: estimate, wide)");
+            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve)");
             std::process::exit(2);
         }
         None => {}

@@ -24,5 +24,6 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod probes;
 pub mod report;
 pub mod runner;

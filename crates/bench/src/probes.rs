@@ -1,0 +1,503 @@
+//! Reusable perf-probe harnesses: build, estimate and serve throughput
+//! sweeps with self-describing JSON records.
+//!
+//! The `perf_probe` binary drives these interactively; the `perf_check`
+//! binary reruns the quick presets in CI and compares the returned records
+//! against the committed `BENCH_*.json` anchors. Every probe **appends**
+//! its record to `results/perf_probe.json` (the committed anchors are
+//! copies of such records) and returns it for in-process comparison.
+
+use rand::SeedableRng;
+use serve::{ContextPool, QueryRouter, ShardedStore};
+use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
+use sketch::estimators::SketchConfig;
+use sketch::{par_insert_batch, BuildKernel, QueryContext, QueryKernel};
+use std::time::Instant;
+
+/// Milliseconds of repeated calls per timing point (the estimate path is
+/// microseconds per call, so each point averages thousands of calls).
+const ESTIMATE_PROBE_BUDGET_MS: u128 = 250;
+
+/// `(name, lane_width, block_size)` of a build kernel, recorded with every
+/// probe point.
+pub fn build_kernel_meta(kernel: BuildKernel) -> (&'static str, usize, usize) {
+    match kernel {
+        BuildKernel::Scalar => ("scalar", 1, 1),
+        BuildKernel::Batched => ("batched", 64, 64),
+        BuildKernel::Wide => ("wide", 256, 256),
+    }
+}
+
+/// `(name, lane_width, block_size)` of a query kernel.
+pub fn query_kernel_meta(kernel: QueryKernel) -> (&'static str, usize, usize) {
+    match kernel {
+        QueryKernel::Scalar => ("scalar", 1, 1),
+        QueryKernel::Batched => ("batched", 64, 64),
+        QueryKernel::Wide => ("wide", 256, 256),
+        QueryKernel::Auto => ("auto", 0, 0),
+    }
+}
+
+/// Times `f` repeatedly until the budget elapses; returns ns per call.
+pub fn time_ns_per_call(mut f: impl FnMut() -> f64) -> f64 {
+    // Warm up (context scratch growth, branch predictors).
+    let mut sink = 0.0;
+    for _ in 0..3 {
+        sink += f();
+    }
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < ESTIMATE_PROBE_BUDGET_MS {
+        for _ in 0..8 {
+            sink += f();
+        }
+        calls += 8;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / calls as f64;
+    assert!(sink.is_finite());
+    ns
+}
+
+/// Seeded random range queries over a 2-d `2^bits` domain (side lengths
+/// `n/8 + U[0, n/4)`): the shared workload the estimate probe, the serve
+/// probe and the `serve_throughput` bench all cycle, so their numbers stay
+/// comparable — tweak the shape here and every consumer moves together.
+pub fn range_query_workload(seed: u64, count: usize, bits: u32) -> Vec<geometry::HyperRect<2>> {
+    use rand::Rng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = 1u64 << bits;
+    (0..count)
+        .map(|_| {
+            let side = n / 8 + rng.gen_range(0..n / 4);
+            let x = rng.gen_range(0..n - side - 1);
+            let y = rng.gen_range(0..n - side - 1);
+            geometry::HyperRect::new([
+                geometry::Interval::new(x, x + side),
+                geometry::Interval::new(y, y + side),
+            ])
+        })
+        .collect()
+}
+
+/// Ratio of one kernel's timings over another's (higher = `faster` wins).
+#[derive(serde::Serialize)]
+pub struct Speedup {
+    /// The kernel expected to win.
+    pub faster: String,
+    /// The kernel it is compared against.
+    pub baseline: String,
+    /// Baseline ns divided by faster ns, per instance configuration.
+    pub ratio_per_config: Vec<f64>,
+}
+
+fn speedups_of(names: &[&'static str], ns_per_kernel: &[Vec<f64>]) -> Vec<Speedup> {
+    (1..names.len())
+        .map(|i| Speedup {
+            faster: names[i].into(),
+            baseline: names[i - 1].into(),
+            ratio_per_config: ns_per_kernel[i - 1]
+                .iter()
+                .zip(ns_per_kernel[i].iter())
+                .map(|(base, fast)| base / fast)
+                .collect(),
+        })
+        .collect()
+}
+
+/// One query kernel's estimate timings across the instance configurations.
+#[derive(serde::Serialize)]
+pub struct QueryKernelRecord {
+    /// Kernel name (`scalar` / `batched` / `wide`).
+    pub kernel: String,
+    /// Instance lanes per kernel word.
+    pub lane_width: usize,
+    /// Instances per evaluation block.
+    pub block_size: usize,
+    /// Whole-estimate latency per configuration.
+    pub ns_per_estimate: Vec<f64>,
+    /// Latency normalized per boosting instance.
+    pub ns_per_estimate_instance: Vec<f64>,
+}
+
+/// The `--probe estimate` record: join and range estimation throughput.
+#[derive(serde::Serialize)]
+pub struct EstimateProbeRecord {
+    /// Probe tag (`estimate` / `wide-estimate`).
+    pub probe: String,
+    /// Objects summarized per sketch.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Instance counts probed.
+    pub instances: Vec<usize>,
+    /// Join-path timings per kernel.
+    pub join_kernels: Vec<QueryKernelRecord>,
+    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
+    pub join_speedups: Vec<Speedup>,
+    /// Range-path timings per kernel.
+    pub range_kernels: Vec<QueryKernelRecord>,
+    /// Adjacent-kernel ratios for the range path.
+    pub range_speedups: Vec<Speedup>,
+}
+
+/// Estimation-path throughput under the given query kernels, for the join
+/// (counter-product combine) and range (query-side ξ sums) paths, appended
+/// to `results/perf_probe.json` like the build probe.
+pub fn estimate_probe(
+    threads: usize,
+    quick: bool,
+    kernels: &[QueryKernel],
+    probe: &str,
+) -> EstimateProbeRecord {
+    let bits = 14u32;
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(20_000, bits, 0.0, 5).generate();
+    let configs: &[(usize, usize)] = if quick {
+        &[(88, 5)]
+    } else {
+        &[(88, 5), (203, 5), (820, 5)]
+    };
+    let mut record = EstimateProbeRecord {
+        probe: probe.into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        join_kernels: Vec::new(),
+        join_speedups: Vec::new(),
+        range_kernels: Vec::new(),
+        range_speedups: Vec::new(),
+    };
+
+    for &kernel in kernels {
+        let (name, lane_width, block_size) = query_kernel_meta(kernel);
+        let mut join_rec = QueryKernelRecord {
+            kernel: name.into(),
+            lane_width,
+            block_size,
+            ns_per_estimate: Vec::new(),
+            ns_per_estimate_instance: Vec::new(),
+        };
+        let mut range_rec = QueryKernelRecord {
+            kernel: name.into(),
+            lane_width,
+            block_size,
+            ns_per_estimate: Vec::new(),
+            ns_per_estimate_instance: Vec::new(),
+        };
+        // Fresh RNG per kernel: all kernels see identical schema draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(k1, k2) in configs {
+            let instances = k1 * k2;
+            let join = SpatialJoin::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [bits, bits],
+                EndpointStrategy::Transform,
+            );
+            let mut r = join.new_sketch_r();
+            let mut s = join.new_sketch_s();
+            par_insert_batch(&mut r, &data, threads).unwrap();
+            par_insert_batch(&mut s, &data[..10_000], threads).unwrap();
+            let mut ctx = QueryContext::new().with_kernel(kernel);
+            let ns = time_ns_per_call(|| join.estimate_with(&mut ctx, &r, &s).unwrap().value);
+            println!(
+                "join   {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
+                ns / instances as f64
+            );
+            join_rec.ns_per_estimate.push(ns);
+            join_rec
+                .ns_per_estimate_instance
+                .push(ns / instances as f64);
+
+            let rq = sketch::RangeQuery::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [bits, bits],
+                sketch::RangeStrategy::Transform,
+            );
+            let mut sk = rq.new_sketch();
+            par_insert_batch(&mut sk, &data, threads).unwrap();
+            let queries = range_query_workload(9, 8, bits);
+            let mut qi = 0usize;
+            let ns = time_ns_per_call(|| {
+                qi = (qi + 1) % queries.len();
+                rq.estimate_with(&mut ctx, &sk, &queries[qi]).unwrap().value
+            });
+            println!(
+                "range  {kernel:?} kernel, instances {instances}: {ns:.0} ns/estimate ({:.2} ns/(est.inst))",
+                ns / instances as f64
+            );
+            range_rec.ns_per_estimate.push(ns);
+            range_rec
+                .ns_per_estimate_instance
+                .push(ns / instances as f64);
+        }
+        record.join_kernels.push(join_rec);
+        record.range_kernels.push(range_rec);
+    }
+    let names: Vec<&'static str> = kernels.iter().map(|&k| query_kernel_meta(k).0).collect();
+    let join_ns: Vec<Vec<f64>> = record
+        .join_kernels
+        .iter()
+        .map(|k| k.ns_per_estimate.clone())
+        .collect();
+    let range_ns: Vec<Vec<f64>> = record
+        .range_kernels
+        .iter()
+        .map(|k| k.ns_per_estimate.clone())
+        .collect();
+    record.join_speedups = speedups_of(&names, &join_ns);
+    record.range_speedups = speedups_of(&names, &range_ns);
+    for s in &record.join_speedups {
+        println!(
+            "join  {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    for s in &record.range_speedups {
+        println!(
+            "range {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}
+
+/// One build kernel's timings across the instance configurations.
+#[derive(serde::Serialize)]
+pub struct KernelRecord {
+    /// Kernel name (`scalar` / `batched` / `wide`).
+    pub kernel: String,
+    /// Instance lanes per kernel word.
+    pub lane_width: usize,
+    /// Instances per evaluation block.
+    pub block_size: usize,
+    /// Whole-build wall time per configuration.
+    pub build_secs: Vec<f64>,
+    /// Build cost normalized per object and instance.
+    pub ns_per_obj_instance: Vec<f64>,
+}
+
+/// The default-probe record: build throughput per maintenance kernel.
+#[derive(serde::Serialize)]
+pub struct BuildProbeRecord {
+    /// Probe tag (`build` / `wide-build`).
+    pub probe: String,
+    /// Objects ingested per build.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Worker threads used for the parallel build.
+    pub threads: usize,
+    /// Instance counts probed.
+    pub instances: Vec<usize>,
+    /// Per-kernel timings.
+    pub kernels: Vec<KernelRecord>,
+    /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
+    pub speedups: Vec<Speedup>,
+    /// `None` (serialized as null) when the probe skips the exact join.
+    pub exact_join_pairs: Option<u64>,
+    /// Exact-join wall time, when measured.
+    pub exact_join_secs: Option<f64>,
+}
+
+/// Build-throughput sweep per maintenance kernel; optionally one exact-join
+/// timing. Appends a record to `results/perf_probe.json`.
+pub fn build_probe(
+    threads: usize,
+    quick: bool,
+    kernels: &[BuildKernel],
+    probe: &str,
+    exact: bool,
+) -> BuildProbeRecord {
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(50_000, 14, 0.0, 1).generate();
+    let configs: &[(usize, usize)] = if quick {
+        &[(88, 5)]
+    } else {
+        &[(88, 5), (440, 5), (1200, 5)]
+    };
+    let mut record = BuildProbeRecord {
+        probe: probe.into(),
+        objects: data.len(),
+        domain_bits: 14,
+        threads,
+        instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        kernels: Vec::new(),
+        speedups: Vec::new(),
+        exact_join_pairs: None,
+        exact_join_secs: None,
+    };
+    for &kernel in kernels {
+        let (name, lane_width, block_size) = build_kernel_meta(kernel);
+        let mut rec = KernelRecord {
+            kernel: name.into(),
+            lane_width,
+            block_size,
+            build_secs: Vec::new(),
+            ns_per_obj_instance: Vec::new(),
+        };
+        // Fresh RNG per kernel: all kernels see identical schema draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for &(k1, k2) in configs {
+            let join = SpatialJoin::<2>::new(
+                &mut rng,
+                SketchConfig::new(k1, k2),
+                [14, 14],
+                EndpointStrategy::Transform,
+            );
+            let mut r = join.new_sketch_r().with_kernel(kernel);
+            let t = Instant::now();
+            par_insert_batch(&mut r, &data, threads).unwrap();
+            let el = t.elapsed();
+            let ns = el.as_nanos() as f64 / (data.len() as f64 * (k1 * k2) as f64);
+            println!(
+                "{kernel:?} kernel, instances {}: {el:?} total, {ns:.1} ns/(obj.inst)",
+                k1 * k2
+            );
+            rec.build_secs.push(el.as_secs_f64());
+            rec.ns_per_obj_instance.push(ns);
+        }
+        record.kernels.push(rec);
+    }
+    let names: Vec<&'static str> = kernels.iter().map(|&k| build_kernel_meta(k).0).collect();
+    let ns: Vec<Vec<f64>> = record
+        .kernels
+        .iter()
+        .map(|k| k.ns_per_obj_instance.clone())
+        .collect();
+    record.speedups = speedups_of(&names, &ns);
+    for s in &record.speedups {
+        println!(
+            "build {} speedup over {}: {:?}",
+            s.faster, s.baseline, s.ratio_per_config
+        );
+    }
+    if exact {
+        let s: Vec<geometry::HyperRect<2>> =
+            datagen::SyntheticSpec::paper(50_000, 14, 0.0, 2).generate();
+        let t = Instant::now();
+        let c = exact::rect_join_count(&data, &s);
+        let el = t.elapsed();
+        println!("exact join 50K x 50K: {c} pairs in {el:?}");
+        record.exact_join_pairs = Some(c);
+        record.exact_join_secs = Some(el.as_secs_f64());
+    }
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}
+
+/// One shard count's serve-path throughput.
+#[derive(serde::Serialize)]
+pub struct ServeShardPoint {
+    /// Shards in the store.
+    pub shards: usize,
+    /// Warm-path range-query latency through router + pooled context.
+    pub range_ns_per_query: f64,
+    /// `1e9 / range_ns_per_query` — the steady-state single-core QPS.
+    pub range_qps: f64,
+    /// Ingest cost per object through the store (staging clone + epoch
+    /// swap included).
+    pub ingest_ns_per_obj: f64,
+}
+
+/// The `--probe serve` record: router QPS vs shard count against the
+/// direct single-sketch baseline.
+#[derive(serde::Serialize)]
+pub struct ServeProbeRecord {
+    /// Probe tag (`serve`).
+    pub probe: String,
+    /// Objects summarized.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Boosting instances per sketch.
+    pub instances: usize,
+    /// Distinct queries cycled (exercises the compiled-plan cache the way
+    /// a serving hot set would).
+    pub query_set: usize,
+    /// Direct `RangeQuery::estimate_with` latency on an unsharded sketch —
+    /// the floor the router should stay within epsilon of between ingests.
+    pub unsharded_ns_per_query: f64,
+    /// Per-shard-count timings.
+    pub shard_points: Vec<ServeShardPoint>,
+}
+
+/// Serve-path throughput: steady-state router QPS (warm merged view, warm
+/// plan cache) and ingest/swap cost, per shard count. Appends a record to
+/// `results/perf_probe.json`.
+pub fn serve_probe(threads: usize, quick: bool) -> ServeProbeRecord {
+    let bits = 14u32;
+    let objects = if quick { 5_000 } else { 20_000 };
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(objects, bits, 0.0, 5).generate();
+    let (k1, k2) = (203usize, 5usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rq = sketch::RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(k1, k2),
+        [bits, bits],
+        sketch::RangeStrategy::Transform,
+    );
+    let queries = range_query_workload(9, 32, bits);
+
+    // Unsharded baseline.
+    let mut oracle = rq.new_sketch();
+    par_insert_batch(&mut oracle, &data, threads).unwrap();
+    let mut octx = QueryContext::new();
+    let mut qi = 0usize;
+    let base_ns = time_ns_per_call(|| {
+        qi = (qi + 1) % queries.len();
+        rq.estimate_with(&mut octx, &oracle, &queries[qi])
+            .unwrap()
+            .value
+    });
+    println!(
+        "serve  unsharded baseline: {base_ns:.0} ns/query ({:.0} qps)",
+        1e9 / base_ns
+    );
+
+    let mut record = ServeProbeRecord {
+        probe: "serve".into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances: k1 * k2,
+        query_set: queries.len(),
+        unsharded_ns_per_query: base_ns,
+        shard_points: Vec::new(),
+    };
+    for shards in [1usize, 2, 4] {
+        let store = ShardedStore::like(&oracle, shards);
+        // Ingest in serving-sized batches; time the staging + swap path.
+        let t = Instant::now();
+        for chunk in data.chunks(512) {
+            store.insert_slice(chunk).unwrap();
+        }
+        let ingest_ns = t.elapsed().as_nanos() as f64 / data.len() as f64;
+        let router = QueryRouter::new();
+        let pool = ContextPool::new(1);
+        let mut qi = 0usize;
+        let ns = time_ns_per_call(|| {
+            qi = (qi + 1) % queries.len();
+            pool.with(|ctx| router.estimate_range(&rq, &store, ctx, &queries[qi]))
+                .unwrap()
+                .value
+        });
+        println!(
+            "serve  {shards} shard(s): {ns:.0} ns/query ({:.0} qps), ingest {ingest_ns:.0} ns/obj",
+            1e9 / ns
+        );
+        record.shard_points.push(ServeShardPoint {
+            shards,
+            range_ns_per_query: ns,
+            range_qps: 1e9 / ns,
+            ingest_ns_per_obj: ingest_ns,
+        });
+    }
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}

@@ -540,6 +540,16 @@ impl<const D: usize> SketchSet<D> {
         Ok(())
     }
 
+    /// Resets every counter to zero and the net length to `0`, keeping the
+    /// schema, words, policy and kernel scratch. A reset sketch is
+    /// indistinguishable from a freshly constructed one — the serving layer
+    /// reuses one sketch set per worker as a cross-shard merge target
+    /// instead of reallocating per query.
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+        self.len = 0;
+    }
+
     /// Folds another sketch set into this one (multiset union). Both must
     /// share schema, words and policy; sketches are linear so the result
     /// summarizes the concatenation of both inputs.
@@ -562,7 +572,7 @@ impl<const D: usize> SketchSet<D> {
         Ok(())
     }
 
-    fn check_mergeable(&self, other: &SketchSet<D>) -> Result<()> {
+    pub(crate) fn check_mergeable(&self, other: &SketchSet<D>) -> Result<()> {
         if self.schema.id() != other.schema.id() {
             return Err(SketchError::SchemaMismatch);
         }

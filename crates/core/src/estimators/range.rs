@@ -24,7 +24,8 @@ use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::estimators::SketchConfig;
 use crate::query::{
-    PlanKey, QueryContext, XiQueryPlan, XiWordTerm, PLAN_CLASS_OVERLAP, PLAN_CLASS_STAB,
+    PartialEstimate, PlanKey, QueryContext, XiQueryPlan, XiWordTerm, PLAN_CLASS_OVERLAP,
+    PLAN_CLASS_STAB,
 };
 use crate::schema::{DimSpec, SketchSchema};
 use dyadic::{interval_cover, point_cover};
@@ -199,14 +200,14 @@ impl<const D: usize> RangeQuery<D> {
         self.estimate_with(&mut QueryContext::new(), sketch, q)
     }
 
-    /// Estimates `|Q(q, R)|` using the caller's [`QueryContext`] (kernel
-    /// choice + reused scratch).
-    pub fn estimate_with(
+    /// Validates an overlap query and compiles (or recalls) its plan;
+    /// `None` means the query is degenerate and selects nothing.
+    fn overlap_plan_for(
         &self,
         ctx: &mut QueryContext,
         sketch: &SketchSet<D>,
         q: &HyperRect<D>,
-    ) -> Result<Estimate> {
+    ) -> Result<Option<std::sync::Arc<XiQueryPlan<D>>>> {
         self.check_sketch(sketch)?;
         for dim in 0..D {
             let max = (1u64 << sketch.data_bits()[dim]) - 1;
@@ -219,7 +220,7 @@ impl<const D: usize> RangeQuery<D> {
             }
         }
         if q.is_degenerate() {
-            return Ok(ctx.zero_estimate(self.schema.shape()));
+            return Ok(None);
         }
         // Plans depend only on (schema, query): repeated queries through the
         // same context skip cover compilation via the context's plan cache.
@@ -229,8 +230,37 @@ impl<const D: usize> RangeQuery<D> {
             coords.push(q.range(dim).hi());
         }
         let key = PlanKey::new(self.schema.id(), PLAN_CLASS_OVERLAP, coords);
-        let plan = ctx.plan_for(key, || self.overlap_plan(q));
-        Ok(ctx.xi_estimate(&plan, sketch))
+        Ok(Some(ctx.plan_for(key, || self.overlap_plan(q))))
+    }
+
+    /// Estimates `|Q(q, R)|` using the caller's [`QueryContext`] (kernel
+    /// choice + reused scratch).
+    pub fn estimate_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        q: &HyperRect<D>,
+    ) -> Result<Estimate> {
+        match self.overlap_plan_for(ctx, sketch, q)? {
+            None => Ok(ctx.zero_estimate(self.schema.shape())),
+            Some(plan) => Ok(ctx.xi_estimate(&plan, sketch)),
+        }
+    }
+
+    /// Like [`RangeQuery::estimate_with`] but returns the **unboosted**
+    /// shard-mergeable partial grid (see [`PartialEstimate`] for the merge
+    /// rules). A distributed deployment computes one partial per shard,
+    /// sums them, and boosts once at the router.
+    pub fn estimate_partial_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        q: &HyperRect<D>,
+    ) -> Result<PartialEstimate> {
+        match self.overlap_plan_for(ctx, sketch, q)? {
+            None => Ok(ctx.zero_partial(self.schema.shape())),
+            Some(plan) => Ok(ctx.xi_partial(&plan, sketch)),
+        }
     }
 
     /// Estimates the stabbing count `#{r ∈ R : p ∈ r}` (closed containment;
@@ -241,13 +271,13 @@ impl<const D: usize> RangeQuery<D> {
         self.estimate_stab_with(&mut QueryContext::new(), sketch, p)
     }
 
-    /// Estimates the stabbing count using the caller's [`QueryContext`].
-    pub fn estimate_stab_with(
+    /// Validates a stab query and compiles (or recalls) its plan.
+    fn stab_plan_for(
         &self,
         ctx: &mut QueryContext,
         sketch: &SketchSet<D>,
         p: &Point<D>,
-    ) -> Result<Estimate> {
+    ) -> Result<std::sync::Arc<XiQueryPlan<D>>> {
         self.check_sketch(sketch)?;
         for (dim, &coord) in p.iter().enumerate() {
             let max = (1u64 << sketch.data_bits()[dim]) - 1;
@@ -256,8 +286,30 @@ impl<const D: usize> RangeQuery<D> {
             }
         }
         let key = PlanKey::new(self.schema.id(), PLAN_CLASS_STAB, p.to_vec());
-        let plan = ctx.plan_for(key, || self.stab_plan(p));
+        Ok(ctx.plan_for(key, || self.stab_plan(p)))
+    }
+
+    /// Estimates the stabbing count using the caller's [`QueryContext`].
+    pub fn estimate_stab_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        p: &Point<D>,
+    ) -> Result<Estimate> {
+        let plan = self.stab_plan_for(ctx, sketch, p)?;
         Ok(ctx.xi_estimate(&plan, sketch))
+    }
+
+    /// Like [`RangeQuery::estimate_stab_with`] but returns the unboosted
+    /// shard-mergeable partial grid (see [`PartialEstimate`]).
+    pub fn estimate_stab_partial_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        p: &Point<D>,
+    ) -> Result<PartialEstimate> {
+        let plan = self.stab_plan_for(ctx, sketch, p)?;
+        Ok(ctx.xi_partial(&plan, sketch))
     }
 }
 
@@ -437,6 +489,86 @@ mod tests {
         let q_point_like = [q_a.range(0).lo(), q_a.range(1).lo()];
         let _ = rq.estimate_stab_with(&mut ctx, &sk, &q_point_like).unwrap();
         assert_eq!(ctx.plan_cache_stats(), (3, 4));
+    }
+
+    #[test]
+    fn partial_estimates_boost_to_the_full_estimate() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(13, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let mut sk = rq.new_sketch();
+        let mut grng = StdRng::seed_from_u64(78);
+        let data: Vec<HyperRect<2>> = (0..50)
+            .map(|_| {
+                let x = grng.gen_range(0..200u64);
+                let y = grng.gen_range(0..200u64);
+                rect2(x, x + grng.gen_range(1..20u64), y, y + 9)
+            })
+            .collect();
+        for r in &data {
+            sk.insert(r).unwrap();
+        }
+        let q = rect2(20, 120, 10, 150);
+        let p = [44u64, 91u64];
+        let mut ctx = QueryContext::new();
+
+        // One sketch: partial + boost is bit-identical to the direct path.
+        let direct = rq.estimate_with(&mut ctx, &sk, &q).unwrap();
+        let partial = rq.estimate_partial_with(&mut ctx, &sk, &q).unwrap();
+        assert_eq!(partial.atomic().len(), rq.schema().instances());
+        let boosted = partial.boost();
+        assert_eq!(direct.value.to_bits(), boosted.value.to_bits());
+        assert_eq!(direct.row_means, boosted.row_means);
+        let direct_stab = rq.estimate_stab_with(&mut ctx, &sk, &p).unwrap();
+        let stab = rq.estimate_stab_partial_with(&mut ctx, &sk, &p).unwrap();
+        assert_eq!(direct_stab.value.to_bits(), stab.boost().value.to_bits());
+
+        // Sharded: per-shard partials merged pre-boost agree with the full
+        // sketch up to float-summation order (unbiased; not bit-pinned).
+        let mut a = rq.new_sketch();
+        let mut b = rq.new_sketch();
+        for (i, r) in data.iter().enumerate() {
+            if i % 2 == 0 { &mut a } else { &mut b }.insert(r).unwrap();
+        }
+        let mut merged = rq.estimate_partial_with(&mut ctx, &a, &q).unwrap();
+        merged
+            .merge_from(&rq.estimate_partial_with(&mut ctx, &b, &q).unwrap())
+            .unwrap();
+        let merged = merged.boost();
+        let tol = 1e-9 * (1.0 + direct.value.abs());
+        assert!(
+            (merged.value - direct.value).abs() <= tol,
+            "merged {} vs direct {}",
+            merged.value,
+            direct.value
+        );
+
+        // Degenerate queries yield an all-zero partial of the right shape.
+        let degenerate: HyperRect<2> = geometry::rect2(5, 5, 9, 9);
+        let zero = rq
+            .estimate_partial_with(&mut ctx, &sk, &degenerate)
+            .unwrap();
+        assert!(zero.atomic().iter().all(|&z| z == 0.0));
+        assert_eq!(zero.boost().value, 0.0);
+
+        // Mismatched shapes are rejected.
+        let mut other_rng = StdRng::seed_from_u64(79);
+        let other = RangeQuery::<2>::new(
+            &mut other_rng,
+            SketchConfig::new(5, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let other_sk = other.new_sketch();
+        let other_partial = other
+            .estimate_partial_with(&mut ctx, &other_sk, &q)
+            .unwrap();
+        let mut broken = rq.estimate_partial_with(&mut ctx, &sk, &q).unwrap();
+        assert!(broken.merge_from(&other_partial).is_err());
     }
 
     #[test]

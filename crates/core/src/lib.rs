@@ -101,11 +101,11 @@ pub use estimators::joins::{EndpointStrategy, OverlapPlusJoin, SpatialJoin};
 pub use estimators::range::{RangeQuery, RangeStrategy};
 pub use estimators::SketchConfig;
 pub use kernel::WIDE_MIN_INSTANCES;
-pub use par::{par_estimate, par_insert_batch, par_update_batch};
+pub use par::{par_estimate, par_insert_batch, par_merge_batch, par_update_batch};
 pub use persist::{
-    restore_pair, restore_sketch, snapshot_pair, snapshot_sketch, SketchPairSnapshot,
-    SketchSnapshot,
+    restore_pair, restore_schema, restore_sketch, restore_sketch_with_schema, snapshot_pair,
+    snapshot_schema, snapshot_sketch, SchemaSnapshot, SketchPairSnapshot, SketchSnapshot,
 };
 pub use plan::Guarantee;
-pub use query::{QueryContext, QueryKernel};
+pub use query::{PartialEstimate, QueryContext, QueryKernel};
 pub use schema::{BoostShape, DimSpec, SchemaLanes, SketchSchema};

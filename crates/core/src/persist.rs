@@ -44,6 +44,16 @@ pub struct SketchSnapshot {
     len: i64,
 }
 
+impl SketchSnapshot {
+    /// The embedded schema snapshot. Multi-sketch containers (a sharded
+    /// store's shards all share one schema) restore the schema once from
+    /// here and rebuild every sketch against it with
+    /// [`restore_sketch_with_schema`], preserving combinability.
+    pub fn schema(&self) -> &SchemaSnapshot {
+        &self.schema
+    }
+}
+
 /// A joinable pair of sketches sharing one schema — the unit a distributed
 /// join-estimation pipeline ships around.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]

@@ -267,13 +267,9 @@ impl QueryContext {
         self.boost(shape)
     }
 
-    /// Query-side combine: `Z_i = Σ_t X_i[word_t] · Π_dim ξ̄-sum of the
-    /// term's chosen cover list`, boosted.
-    pub(crate) fn xi_estimate<const D: usize>(
-        &mut self,
-        plan: &XiQueryPlan<D>,
-        sketch: &SketchSet<D>,
-    ) -> Estimate {
+    /// Query-side fill: leaves the atomic grid of `Z_i = Σ_t X_i[word_t] ·
+    /// Π_dim ξ̄-sum of the term's chosen cover list` in `self.atomic`.
+    fn xi_fill<const D: usize>(&mut self, plan: &XiQueryPlan<D>, sketch: &SketchSet<D>) {
         let shape = sketch.schema().shape();
         self.atomic.resize(shape.instances(), 0.0);
         match self.kernel.resolve(shape.instances()) {
@@ -290,7 +286,104 @@ impl QueryContext {
             ),
             QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
         }
-        self.boost(shape)
+    }
+
+    /// Query-side combine, boosted.
+    pub(crate) fn xi_estimate<const D: usize>(
+        &mut self,
+        plan: &XiQueryPlan<D>,
+        sketch: &SketchSet<D>,
+    ) -> Estimate {
+        self.xi_fill(plan, sketch);
+        self.boost(sketch.schema().shape())
+    }
+
+    /// Query-side combine, returned unboosted as a shard-mergeable
+    /// [`PartialEstimate`].
+    pub(crate) fn xi_partial<const D: usize>(
+        &mut self,
+        plan: &XiQueryPlan<D>,
+        sketch: &SketchSet<D>,
+    ) -> PartialEstimate {
+        self.xi_fill(plan, sketch);
+        PartialEstimate {
+            shape: sketch.schema().shape(),
+            atomic: self.atomic.clone(),
+        }
+    }
+
+    /// An all-zero partial estimate of the right shape (degenerate queries).
+    pub(crate) fn zero_partial(&self, shape: BoostShape) -> PartialEstimate {
+        PartialEstimate {
+            shape,
+            atomic: vec![0.0; shape.instances()],
+        }
+    }
+}
+
+/// An **unboosted** atomic-estimate grid: the shard-mergeable partial form
+/// of an estimate for the *linear* (single-sketch) query classes — range
+/// selectivity and stabbing counts.
+///
+/// ## Merge rules (what may be combined, and where)
+///
+/// Boosting (mean-then-median) is nonlinear, so partial results must merge
+/// **before** it:
+///
+/// * **Counters** merge exactly: sketches are linear over `i64` counters,
+///   so folding shard counters and then estimating is *bit-identical* to
+///   estimating an unsharded sketch of the same objects. This is the merge
+///   the serving router uses when bit-reproducibility matters.
+/// * **Partial grids** (this type) merge per instance in `f64`: summing the
+///   per-shard `Z_i` grids yields an unbiased estimator of the shard union
+///   whose expectation equals the counter-merged estimate, but whose
+///   floating-point rounding may differ in the last bits (different
+///   summation order). Partial grids are what a *distributed* deployment
+///   ships — `k1·k2` floats instead of `k1·k2·|words|` counters.
+/// * **Boosted [`Estimate`]s never merge**: medians of sums are not sums of
+///   medians. Combining finished estimates from two shards is a semantic
+///   error, which is why the router only exposes pre-boost merge points.
+///
+/// Bilinear pair estimators (joins, containment, ε-joins) have no per-shard
+/// partial form at all: the atomic estimate multiplies `R`- and `S`-side
+/// counters, so cross-shard product terms would be lost. Their only correct
+/// merge point is the counter level, on both sides, before any product.
+#[derive(Debug, Clone)]
+pub struct PartialEstimate {
+    shape: BoostShape,
+    /// Atomic estimates, instance-major (`atomic[row * k1 + col]`).
+    atomic: Vec<f64>,
+}
+
+impl PartialEstimate {
+    /// The boosting-grid shape this partial was computed over.
+    pub fn shape(&self) -> BoostShape {
+        self.shape
+    }
+
+    /// The unboosted atomic grid, instance-major.
+    pub fn atomic(&self) -> &[f64] {
+        &self.atomic
+    }
+
+    /// Accumulates another shard's partial grid (instance-wise `f64` sum).
+    /// Both partials must come from sketches over the same boosting shape —
+    /// in practice the same schema.
+    pub fn merge_from(&mut self, other: &PartialEstimate) -> crate::error::Result<()> {
+        if self.shape != other.shape {
+            return Err(crate::error::SketchError::InvalidParameter(
+                "partial estimates have different boosting shapes",
+            ));
+        }
+        for (a, b) in self.atomic.iter_mut().zip(other.atomic.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Boosts the (merged) grid into the final [`Estimate`].
+    pub fn boost(&self) -> Estimate {
+        Estimate::from_grid(&self.atomic, self.shape.k1, self.shape.k2)
     }
 }
 

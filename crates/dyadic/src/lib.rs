@@ -16,7 +16,10 @@
 //!   fully dyadic sketch (`maxLevel = log2 n`);
 //! * [`freq`] — exact cover-frequency maps `f(δ)` and self-join sizes
 //!   `SJ = Σ f(δ)²` (Equation 5), the quantities that drive all of the
-//!   paper's variance bounds and space planning.
+//!   paper's variance bounds and space planning;
+//! * [`partition`] — dyadic-aligned domain partitioning for sharded sketch
+//!   stores: contiguous shard spans on slab boundaries, with cover-clean
+//!   interval splitting (the serving layer's routing substrate).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,8 @@
 pub mod cover;
 pub mod freq;
 pub mod node;
+pub mod partition;
 
 pub use cover::{interval_cover, interval_cover_into, point_cover, point_cover_into};
 pub use node::{DyadicDomain, NodeId};
+pub use partition::DomainPartition;

@@ -1,0 +1,248 @@
+//! Dyadic-aligned domain partitioning for sharded sketch stores.
+//!
+//! A [`DomainPartition`] splits a power-of-two coordinate domain into `N`
+//! contiguous shard regions whose boundaries sit on *dyadic slab*
+//! boundaries: the domain is divided into `2^s` equal dyadic slabs (the
+//! smallest power of two ≥ `N`, so every slab is a single dyadic node) and
+//! each shard owns a contiguous run of slabs. Two properties follow:
+//!
+//! * **Covers split cleanly.** Splitting an interval at shard boundaries
+//!   ([`DomainPartition::split_interval`]) yields pieces whose minimal
+//!   dyadic covers ([`crate::cover::interval_cover`]) lie entirely inside
+//!   their shard's span — no cover node ever straddles a shard boundary,
+//!   because a minimal cover's nodes are contained in the covered interval
+//!   and each piece is contained in one shard's dyadic-aligned span.
+//! * **Point routing is branch-free.** [`DomainPartition::shard_of`] is a
+//!   shift and a multiply, cheap enough for per-object ingest routing.
+//!
+//! Shard counts need not be powers of two: with `2^s` slabs and `N ≤ 2^s`
+//! shards, slab `j` belongs to shard `⌊j·N/2^s⌋` — the standard balanced
+//! contiguous assignment (every shard gets `⌊2^s/N⌋` or `⌈2^s/N⌉` slabs).
+
+use crate::node::NodeId;
+use geometry::{Coord, Interval};
+
+/// A dyadic-aligned partition of the domain `[0, 2^bits)` into `shards`
+/// contiguous regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainPartition {
+    bits: u32,
+    shards: usize,
+    /// Coordinate bits per slab: slab boundaries are multiples of
+    /// `2^slab_bits`, i.e. dyadic nodes of that level.
+    slab_bits: u32,
+    /// Number of slabs (`2^(bits - slab_bits)`), kept as u64 for routing.
+    slabs: u64,
+}
+
+impl DomainPartition {
+    /// Creates a partition of `[0, 2^bits)` into `shards` regions.
+    ///
+    /// The effective shard count is clamped to the domain size (a 2-bit
+    /// domain cannot feed more than 4 shards); [`DomainPartition::shards`]
+    /// reports the effective count.
+    pub fn new(bits: u32, shards: usize) -> Self {
+        assert!(bits <= 62, "domain bits out of range");
+        assert!(shards >= 1, "partitions need at least one shard");
+        let size = 1u64 << bits;
+        let shards = (shards as u64).min(size) as usize;
+        let slabs = (shards as u64).next_power_of_two();
+        let slab_bits = bits - slabs.trailing_zeros();
+        Self {
+            bits,
+            shards,
+            slab_bits,
+            slabs,
+        }
+    }
+
+    /// Domain bits this partition was built for.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Effective shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Coordinate bits per dyadic slab (shard boundaries are multiples of
+    /// `2^slab_bits`).
+    pub fn slab_bits(&self) -> u32 {
+        self.slab_bits
+    }
+
+    /// The shard owning coordinate `x`.
+    pub fn shard_of(&self, x: Coord) -> usize {
+        debug_assert!(x < (1u64 << self.bits));
+        let slab = x >> self.slab_bits;
+        (slab * self.shards as u64 / self.slabs) as usize
+    }
+
+    /// The contiguous coordinate range owned by shard `s`.
+    pub fn span(&self, s: usize) -> Interval {
+        assert!(s < self.shards, "shard index out of range");
+        let first = self.first_slab(s);
+        let end = self.first_slab(s + 1);
+        Interval::new(first << self.slab_bits, (end << self.slab_bits) - 1)
+    }
+
+    /// First slab of shard `s` (the standard inverse of `⌊j·N/2^s⌋`).
+    fn first_slab(&self, s: usize) -> u64 {
+        (s as u64 * self.slabs).div_ceil(self.shards as u64)
+    }
+
+    /// The inclusive range of shards whose spans overlap `iv`.
+    pub fn shards_overlapping(&self, iv: &Interval) -> std::ops::RangeInclusive<usize> {
+        self.shard_of(iv.lo())..=self.shard_of(iv.hi())
+    }
+
+    /// Splits `iv` at shard boundaries into `(shard, piece)` pairs in
+    /// ascending order. The pieces partition `iv` exactly, each lies inside
+    /// its shard's [`DomainPartition::span`], and — because spans are
+    /// dyadic-aligned — each piece's minimal dyadic cover stays inside that
+    /// span (no cover node crosses a shard boundary).
+    pub fn split_interval(&self, iv: &Interval) -> Vec<(usize, Interval)> {
+        let mut out = Vec::new();
+        let mut cur = iv.lo();
+        loop {
+            let s = self.shard_of(cur);
+            let end = self.span(s).hi().min(iv.hi());
+            out.push((s, Interval::new(cur, end)));
+            if end == iv.hi() {
+                return out;
+            }
+            cur = end + 1;
+        }
+    }
+
+    /// Whether dyadic node `id` (heap numbering of
+    /// [`crate::node::DyadicDomain`]) lies entirely inside one shard's span —
+    /// true for every node of every split piece's cover. Exposed for tests
+    /// and diagnostics.
+    pub fn node_within_one_shard(&self, domain: &crate::node::DyadicDomain, id: NodeId) -> bool {
+        let range = domain.node_range(id);
+        self.shard_of(range.lo()) == self.shard_of(range.hi())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{interval_cover, point_cover};
+    use crate::node::DyadicDomain;
+
+    #[test]
+    fn spans_partition_the_domain() {
+        for bits in [3u32, 8] {
+            let size = 1u64 << bits;
+            for shards in 1..=9usize {
+                let p = DomainPartition::new(bits, shards);
+                assert!(p.shards() <= shards);
+                // Spans are contiguous, disjoint and cover [0, size).
+                let mut next = 0u64;
+                for s in 0..p.shards() {
+                    let span = p.span(s);
+                    assert_eq!(span.lo(), next, "bits={bits} shards={shards} s={s}");
+                    assert!(span.hi() >= span.lo());
+                    // Dyadic alignment: both boundaries are slab multiples.
+                    assert_eq!(span.lo() % (1 << p.slab_bits()), 0);
+                    assert_eq!((span.hi() + 1) % (1 << p.slab_bits()), 0);
+                    next = span.hi() + 1;
+                }
+                assert_eq!(next, size);
+                // shard_of agrees with span membership everywhere.
+                for x in 0..size {
+                    let s = p.shard_of(x);
+                    assert!(p.span(s).contains(x), "bits={bits} shards={shards} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamped_to_domain() {
+        let p = DomainPartition::new(2, 100);
+        assert_eq!(p.shards(), 4);
+        assert_eq!(p.slab_bits(), 0);
+    }
+
+    #[test]
+    fn split_pieces_partition_and_stay_in_span() {
+        let p = DomainPartition::new(8, 3);
+        for (lo, hi) in [(0u64, 255u64), (1, 254), (17, 18), (100, 101), (0, 0)] {
+            let iv = Interval::new(lo, hi);
+            let pieces = p.split_interval(&iv);
+            let mut next = lo;
+            for (s, piece) in &pieces {
+                assert_eq!(piece.lo(), next);
+                assert!(p.span(*s).contains_interval(piece));
+                next = piece.hi() + 1;
+            }
+            assert_eq!(next, hi + 1);
+            // Shards appear in ascending order, once each.
+            for w in pieces.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn split_covers_never_cross_shard_boundaries() {
+        // The property the serving layer relies on: every cover node of a
+        // split piece lies inside one shard.
+        let d = DyadicDomain::new(7);
+        for shards in [1usize, 2, 3, 5, 8] {
+            let p = DomainPartition::new(7, shards);
+            for (lo, hi) in [(0u64, 127u64), (3, 99), (64, 65), (31, 32), (15, 112)] {
+                for (s, piece) in p.split_interval(&Interval::new(lo, hi)) {
+                    for id in interval_cover(&d, &piece, 7) {
+                        assert!(
+                            p.node_within_one_shard(&d, id),
+                            "shards={shards} piece=[{},{}] node {id}",
+                            piece.lo(),
+                            piece.hi()
+                        );
+                        assert!(p.span(s).contains_interval(&d.node_range(id)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_covers_split_at_slab_level() {
+        // Point covers stay within the owning shard up to the slab level;
+        // coarser nodes necessarily span shards (they sit above the split).
+        let d = DyadicDomain::new(6);
+        let p = DomainPartition::new(6, 4);
+        for x in [0u64, 15, 16, 33, 63] {
+            let s = p.shard_of(x);
+            for id in point_cover(&d, x, 6) {
+                if d.level(id) <= p.slab_bits() {
+                    assert!(p.span(s).contains_interval(&d.node_range(id)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_overlapping_matches_split() {
+        let p = DomainPartition::new(8, 5);
+        for (lo, hi) in [(0u64, 255u64), (10, 200), (60, 61), (250, 255)] {
+            let iv = Interval::new(lo, hi);
+            let from_split: Vec<usize> =
+                p.split_interval(&iv).into_iter().map(|(s, _)| s).collect();
+            let range: Vec<usize> = p.shards_overlapping(&iv).collect();
+            assert_eq!(from_split, range);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = DomainPartition::new(10, 1);
+        assert_eq!(p.span(0), Interval::new(0, 1023));
+        assert_eq!(p.shard_of(517), 0);
+        assert_eq!(p.split_interval(&Interval::new(5, 900)).len(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Per-worker serving state: reusable estimation scratch, cached store
+//! epochs, and cached cross-shard merge views — everything a serving loop
+//! needs to keep the hot path allocation-free and lock-free.
+
+use crate::store::{ShardedStore, StoreEpoch};
+use sketch::{par_merge_batch, QueryContext, QueryKernel, Result, SketchSet};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Most stores one worker caches views/epochs for (oldest evicted first).
+const STORE_CACHE_CAPACITY: usize = 8;
+
+/// One worker's serving state.
+///
+/// Holds a core [`QueryContext`] (kernel scratch + compiled-plan cache), a
+/// cached `Arc<StoreEpoch>` per store — revalidated against the store's
+/// epoch tag with a single atomic load, so steady-state queries never touch
+/// a lock — and a cached *merged view* per store: one reusable [`SketchSet`]
+/// holding the integer fold of the selected shards' counters. The view is
+/// rebuilt only when the epoch or the shard selection changes; between
+/// ingests, every query runs at full single-sketch speed with zero
+/// allocation.
+#[derive(Debug, Default)]
+pub struct WorkerContext<const D: usize> {
+    /// The core estimation scratch (kernel choice, atomic grid, plan cache).
+    pub query: QueryContext,
+    /// Reusable shard-selection mask: the router takes it, fills it per
+    /// query and puts it back, so warm queries allocate nothing.
+    pub(crate) mask: Vec<bool>,
+    epochs: Vec<CachedEpoch<D>>,
+    views: Vec<StoreView<D>>,
+}
+
+#[derive(Debug)]
+struct CachedEpoch<const D: usize> {
+    store: u64,
+    epoch: Arc<StoreEpoch<D>>,
+}
+
+/// A cached cross-shard merge: the counters of every selected shard folded
+/// into one sketch (exact `i64` linearity — see the router docs).
+#[derive(Debug)]
+pub(crate) struct StoreView<const D: usize> {
+    store: u64,
+    epoch: u64,
+    mask: Vec<bool>,
+    pub(crate) merged: SketchSet<D>,
+}
+
+impl<const D: usize> WorkerContext<D> {
+    /// Fresh worker state (default `Auto` kernel).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the estimation kernel (builder form).
+    pub fn with_kernel(mut self, kernel: QueryKernel) -> Self {
+        self.query.set_kernel(kernel);
+        self
+    }
+
+    /// The store epoch this worker serves from, revalidated against the
+    /// store's lock-free epoch tag; only an actual epoch change re-reads
+    /// the store's published pointer.
+    pub fn epoch_for(&mut self, store: &ShardedStore<D>) -> Arc<StoreEpoch<D>> {
+        let tag = store.epoch_tag();
+        if let Some(c) = self.epochs.iter().find(|c| c.store == store.id()) {
+            if c.epoch.epoch() == tag {
+                return Arc::clone(&c.epoch);
+            }
+        }
+        let fresh = store.load();
+        match self.epochs.iter_mut().find(|c| c.store == store.id()) {
+            Some(c) => c.epoch = Arc::clone(&fresh),
+            None => {
+                if self.epochs.len() >= STORE_CACHE_CAPACITY {
+                    self.epochs.remove(0);
+                }
+                self.epochs.push(CachedEpoch {
+                    store: store.id(),
+                    epoch: Arc::clone(&fresh),
+                });
+            }
+        }
+        fresh
+    }
+
+    /// Brings the merged view of `epoch`'s shards selected by `mask` up to
+    /// date, rebuilding it only on epoch/selection change, and refreshes
+    /// the entry's recency (least recently *ensured* is evicted first).
+    /// Look the view up afterwards with [`WorkerContext::split`] +
+    /// [`view_of`] — views are addressed by store id, never by position:
+    /// ensuring a *second* store's view may evict the oldest cache entry
+    /// and shift positions.
+    pub(crate) fn ensure_view(
+        &mut self,
+        store: &ShardedStore<D>,
+        epoch: &StoreEpoch<D>,
+        mask: &[bool],
+        merge_threads: usize,
+    ) -> Result<()> {
+        // LRU, not FIFO: a hit moves to the back, so a multi-store query
+        // (join) that ensures its views back to back can never evict one
+        // of its own — the invariant `view_of` relies on.
+        match self.views.iter().position(|v| v.store == store.id()) {
+            Some(i) => {
+                let hit = self.views.remove(i);
+                self.views.push(hit);
+            }
+            None => {
+                if self.views.len() >= STORE_CACHE_CAPACITY {
+                    self.views.remove(0);
+                }
+                self.views.push(StoreView {
+                    store: store.id(),
+                    epoch: 0, // forces the first build below
+                    mask: Vec::new(),
+                    merged: store.empty_sketch(),
+                });
+            }
+        }
+        let view = self.views.last_mut().expect("just positioned at the back");
+        if view.epoch != epoch.epoch() || view.mask != mask {
+            view.merged.reset();
+            let parts: Vec<&SketchSet<D>> = epoch
+                .shards()
+                .iter()
+                .zip(mask.iter())
+                .filter(|(_, &selected)| selected)
+                .map(|(s, _)| s.sketch())
+                .collect();
+            if merge_threads > 1 && parts.len() > 1 {
+                par_merge_batch(&mut view.merged, &parts, merge_threads)?;
+            } else {
+                for p in parts {
+                    view.merged.merge_from(p)?;
+                }
+            }
+            view.epoch = epoch.epoch();
+            view.mask.clear();
+            view.mask.extend_from_slice(mask);
+        }
+        Ok(())
+    }
+
+    /// Splits the worker into its estimation scratch and its views, so a
+    /// router can borrow the query context mutably alongside one or two
+    /// merged views immutably.
+    pub(crate) fn split(&mut self) -> (&mut QueryContext, &[StoreView<D>]) {
+        (&mut self.query, &self.views)
+    }
+}
+
+/// The merged view of `store_id` within a split worker's view list.
+///
+/// # Panics
+///
+/// Panics if the view is absent — callers must have run
+/// [`WorkerContext::ensure_view`] for every store of the query *before*
+/// splitting. That is always safe: the cache holds
+/// [`STORE_CACHE_CAPACITY`] ≥ 2 entries, evicts least-recently-*ensured*
+/// first, and every `ensure_view` (hit or miss) moves its entry to the
+/// back, so ensuring one query's stores back to back can never evict each
+/// other.
+pub(crate) fn view_of<const D: usize>(views: &[StoreView<D>], store_id: u64) -> &SketchSet<D> {
+    &views
+        .iter()
+        .find(|v| v.store == store_id)
+        .expect("merged view evicted between ensure_view and use")
+        .merged
+}
+
+/// A fixed set of [`WorkerContext`]s shared by concurrent request handlers.
+///
+/// [`ContextPool::with`] hands the calling thread an uncontended slot when
+/// one is free (slots are probed starting from a thread-local hash, so
+/// steady worker threads keep hitting *their* slot and its warm caches) and
+/// blocks on one slot only when every context is busy.
+#[derive(Debug)]
+pub struct ContextPool<const D: usize> {
+    slots: Vec<Mutex<WorkerContext<D>>>,
+}
+
+impl<const D: usize> ContextPool<D> {
+    /// A pool of `workers` contexts (at least one).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            slots: (0..workers.max(1))
+                .map(|_| Mutex::new(WorkerContext::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of pooled contexts.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs `f` with a checked-out worker context.
+    pub fn with<R>(&self, f: impl FnOnce(&mut WorkerContext<D>) -> R) -> R {
+        let mut hasher = DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        let start = (hasher.finish() as usize) % self.slots.len();
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[(start + i) % self.slots.len()];
+            if let Ok(mut ctx) = slot.try_lock() {
+                return f(&mut ctx);
+            }
+        }
+        // Every slot busy: wait for "our" slot.
+        f(&mut self.slots[start].lock().expect("pool lock poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sketch::{ie_words, BoostShape, DimSpec, EndpointPolicy, SketchSchema};
+
+    fn store(shards: usize) -> ShardedStore<2> {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            fourwise::XiKind::Bch,
+            BoostShape::new(5, 3),
+            [DimSpec::dyadic(8); 2],
+        );
+        ShardedStore::new(
+            schema,
+            Arc::new(ie_words::<2>()),
+            EndpointPolicy::Raw,
+            shards,
+        )
+    }
+
+    #[test]
+    fn epoch_cache_revalidates_by_tag() {
+        let st = store(2);
+        let mut ctx = WorkerContext::<2>::new();
+        let e1 = ctx.epoch_for(&st);
+        assert_eq!(e1.epoch(), 1);
+        assert!(Arc::ptr_eq(&e1, &ctx.epoch_for(&st)), "cache hit");
+        st.insert_slice(&[rect2(1, 5, 1, 5)]).unwrap();
+        let e2 = ctx.epoch_for(&st);
+        assert_eq!(e2.epoch(), 2);
+        assert!(!Arc::ptr_eq(&e1, &e2));
+    }
+
+    #[test]
+    fn merged_view_rebuilds_only_on_change() {
+        let st = store(3);
+        st.insert_slice(&[rect2(1, 5, 1, 5), rect2(200, 210, 7, 9)])
+            .unwrap();
+        let mut ctx = WorkerContext::<2>::new();
+        let epoch = ctx.epoch_for(&st);
+        let all = vec![true; 3];
+        ctx.ensure_view(&st, &epoch, &all, 1).unwrap();
+        assert_eq!(view_of(&ctx.views, st.id()).len(), 2);
+        // Same epoch + mask: counters must not double up.
+        ctx.ensure_view(&st, &epoch, &all, 1).unwrap();
+        assert_eq!(view_of(&ctx.views, st.id()).len(), 2);
+        // A different selection rebuilds.
+        let mut some = vec![true; 3];
+        some[st.partition().shard_of(200)] = false;
+        ctx.ensure_view(&st, &epoch, &some, 1).unwrap();
+        assert_eq!(view_of(&ctx.views, st.id()).len(), 1);
+        // Parallel merge agrees with sequential.
+        ctx.ensure_view(&st, &epoch, &all, 4).unwrap();
+        assert_eq!(view_of(&ctx.views, st.id()).len(), 2);
+    }
+
+    #[test]
+    fn views_resolve_by_store_id_across_evictions() {
+        // Fill the view cache past capacity, then ensure two more stores
+        // back to back (the join shape): both must resolve by id even
+        // though the second ensure evicted an entry and shifted positions.
+        let old: Vec<ShardedStore<2>> = (0..STORE_CACHE_CAPACITY).map(|_| store(2)).collect();
+        let mut ctx = WorkerContext::<2>::new();
+        for st in &old {
+            let epoch = ctx.epoch_for(st);
+            ctx.ensure_view(st, &epoch, &[false, false], 1).unwrap();
+        }
+        assert_eq!(ctx.views.len(), STORE_CACHE_CAPACITY);
+        let r = store(2);
+        let s = store(2);
+        r.insert_slice(&[rect2(1, 5, 1, 5)]).unwrap();
+        s.insert_slice(&[rect2(1, 5, 1, 5), rect2(9, 12, 1, 2)])
+            .unwrap();
+        let re = ctx.epoch_for(&r);
+        let se = ctx.epoch_for(&s);
+        ctx.ensure_view(&r, &re, &[true, true], 1).unwrap();
+        ctx.ensure_view(&s, &se, &[true, true], 1).unwrap();
+        assert_eq!(view_of(&ctx.views, r.id()).len(), 1);
+        assert_eq!(view_of(&ctx.views, s.id()).len(), 2);
+        assert_eq!(ctx.views.len(), STORE_CACHE_CAPACITY);
+
+        // The LRU case a FIFO cache gets wrong: a join whose first store's
+        // view is the *oldest* cached entry and whose second store is new.
+        // The hit must refresh recency so the miss evicts some other entry,
+        // never the view just ensured.
+        let oldest = ctx.views[0].store;
+        let first = old
+            .iter()
+            .chain([&r, &s])
+            .find(|st| st.id() == oldest)
+            .unwrap();
+        let fe = ctx.epoch_for(first);
+        let fresh = store(2);
+        let fresh_epoch = ctx.epoch_for(&fresh);
+        ctx.ensure_view(first, &fe, &[false, false], 1).unwrap();
+        ctx.ensure_view(&fresh, &fresh_epoch, &[false, false], 1)
+            .unwrap();
+        assert!(ctx.views.iter().any(|v| v.store == first.id()));
+        let _ = view_of(&ctx.views, first.id());
+        let _ = view_of(&ctx.views, fresh.id());
+    }
+
+    #[test]
+    fn pool_hands_out_contexts_concurrently() {
+        let pool = Arc::new(ContextPool::<2>::new(3));
+        assert_eq!(pool.workers(), 3);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        pool.with(|ctx| {
+                            let _ = &mut ctx.query;
+                        });
+                    }
+                });
+            }
+        });
+    }
+}

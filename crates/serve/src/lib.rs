@@ -1,0 +1,63 @@
+//! # serve — the serving layer for spatial sketches
+//!
+//! Production serving over many sketches, built on three pieces (see
+//! `DESIGN.md` § "Serving layer" for the full picture):
+//!
+//! * [`store::ShardedStore`] — partitions the keyed domain across N
+//!   [`shard::SketchShard`]s along a dyadic-aligned
+//!   [`dyadic::DomainPartition`] (shard boundaries sit on dyadic slab
+//!   boundaries, so range/stab covers split cleanly at them), and publishes
+//!   immutable epochs: ingest builds into staging shards and atomically
+//!   swaps a new epoch in, readers revalidate a cached epoch with one
+//!   atomic load — the steady-state read path takes no lock and allocates
+//!   nothing.
+//! * [`router::QueryRouter`] — compiles a query once (through the worker's
+//!   plan-caching [`sketch::QueryContext`]), fans out to the selected
+//!   shards, and merges **at the counter level**, the only merge point that
+//!   is correct for boosting (nonlinear) and pair estimators (bilinear) —
+//!   and exact: integer linearity makes every router answer bit-identical
+//!   to a single unsharded [`sketch::SketchSet`] over the selected shards'
+//!   objects.
+//! * [`context::ContextPool`] — per-worker [`context::WorkerContext`]s
+//!   (estimation scratch + cached epochs + cached merged views) so
+//!   concurrent request handlers stay allocation-free.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use serve::{ContextPool, QueryRouter, ShardedStore};
+//! use sketch::estimators::SketchConfig;
+//! use sketch::{RangeQuery, RangeStrategy};
+//! use geometry::rect2;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+//! let rq = RangeQuery::<2>::new(
+//!     &mut rng,
+//!     SketchConfig::new(16, 5),
+//!     [8, 8],
+//!     RangeStrategy::Transform,
+//! );
+//! let store = ShardedStore::like(&rq.new_sketch(), 4);
+//! store.insert_slice(&[rect2(10, 40, 10, 40), rect2(100, 140, 90, 120)]).unwrap();
+//!
+//! let router = QueryRouter::new();
+//! let pool = ContextPool::new(2);
+//! let est = pool
+//!     .with(|ctx| router.estimate_range(&rq, &store, ctx, &rect2(0, 80, 0, 80)))
+//!     .unwrap();
+//! assert!(est.value.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod router;
+pub mod shard;
+pub mod store;
+
+pub use context::{ContextPool, WorkerContext};
+pub use router::{QueryRouter, RouterMode};
+pub use shard::SketchShard;
+pub use store::{ShardedStore, StoreEpoch, StoreSnapshot};

@@ -1,0 +1,479 @@
+//! The sharded sketch store: partitioned ingest with an epoch-swapped,
+//! lock-free read path.
+//!
+//! A [`ShardedStore`] partitions the keyed domain (dimension 0 of the data
+//! coordinate space) across `N` [`SketchShard`]s along a dyadic-aligned
+//! [`DomainPartition`], so shard boundaries sit on dyadic slab boundaries
+//! and range/stab covers split cleanly at them (see
+//! [`dyadic::partition`]). Every shard shares one [`SketchSchema`], word
+//! set and endpoint policy — the precondition for the router's exact
+//! counter-level merge (sketches are linear, so the fold of all shard
+//! counters is bit-identical to one unsharded sketch of the same objects).
+//!
+//! ## Epoch/swap concurrency
+//!
+//! Readers never lock on the hot path. The store publishes immutable
+//! [`StoreEpoch`]s (an `Arc`'d shard vector); ingest **builds into staging
+//! shards** — clones of just the shards a batch touches — assembles a new
+//! epoch, and atomically swaps it in. An epoch *tag* is mirrored in an
+//! `AtomicU64` outside the lock: a reader holding a cached
+//! `Arc<StoreEpoch>` (every pooled [`crate::context::WorkerContext`] does)
+//! revalidates with a single atomic load and only touches the `RwLock` on
+//! an actual epoch change — steady-state queries are one atomic load plus
+//! the estimate, with zero locks and zero allocation.
+//!
+//! Writers are serialized by the swap lock; batches are atomic (readers
+//! see either the previous epoch or the fully ingested one, never a
+//! partial batch).
+
+use crate::shard::SketchShard;
+use dyadic::DomainPartition;
+use geometry::HyperRect;
+use serde::{Deserialize, Serialize};
+use sketch::{
+    restore_schema, restore_sketch_with_schema, snapshot_sketch, EndpointPolicy, Result,
+    SketchError, SketchSchema, SketchSet, SketchSnapshot, Word,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+static STORE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable published state of a [`ShardedStore`]: the shard vector of
+/// one ingest generation. Readers clone the `Arc` once per epoch change and
+/// evaluate whole queries against it without further synchronization.
+#[derive(Debug)]
+pub struct StoreEpoch<const D: usize> {
+    epoch: u64,
+    shards: Vec<Arc<SketchShard<D>>>,
+}
+
+impl<const D: usize> StoreEpoch<D> {
+    /// The generation number (strictly increasing per ingest batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shards of this generation.
+    pub fn shards(&self) -> &[Arc<SketchShard<D>>] {
+        &self.shards
+    }
+
+    /// Net objects summarized across all shards.
+    pub fn total_len(&self) -> i64 {
+        self.shards.iter().map(|s| s.sketch().len()).sum()
+    }
+}
+
+/// A sharded sketch store over one schema; see the module docs.
+#[derive(Debug)]
+pub struct ShardedStore<const D: usize> {
+    id: u64,
+    schema: Arc<SketchSchema<D>>,
+    words: Arc<Vec<Word<D>>>,
+    policy: EndpointPolicy,
+    partition: DomainPartition,
+    /// Admissible data-domain bits per dimension (schema bits minus the
+    /// policy's transform headroom) — the ingest validation bound.
+    data_bits: [u32; D],
+    current: RwLock<Arc<StoreEpoch<D>>>,
+    /// Epoch tag mirrored outside the lock for the reader fast path.
+    epoch_tag: AtomicU64,
+    /// Serializes ingest batches (clone → update → swap).
+    writer: Mutex<()>,
+}
+
+impl<const D: usize> ShardedStore<D> {
+    /// Creates an empty store of `shards` shards sharing `schema`, `words`
+    /// and `policy` (the effective shard count is clamped to the dimension-0
+    /// domain size; see [`DomainPartition::new`]).
+    pub fn new(
+        schema: Arc<SketchSchema<D>>,
+        words: Arc<Vec<Word<D>>>,
+        policy: EndpointPolicy,
+        shards: usize,
+    ) -> Self {
+        let data_bits: [u32; D] =
+            std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
+        let partition = DomainPartition::new(data_bits[0], shards);
+        let shards: Vec<Arc<SketchShard<D>>> = (0..partition.shards())
+            .map(|_| {
+                Arc::new(SketchShard::new(SketchSet::new(
+                    Arc::clone(&schema),
+                    Arc::clone(&words),
+                    policy,
+                )))
+            })
+            .collect();
+        Self {
+            id: STORE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            schema,
+            words,
+            policy,
+            partition,
+            data_bits,
+            current: RwLock::new(Arc::new(StoreEpoch { epoch: 1, shards })),
+            epoch_tag: AtomicU64::new(1),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Creates a store shaped like an estimator's sketch (same schema,
+    /// words and policy), so router answers stay combinable with — and
+    /// bit-comparable to — sketches the estimator builds directly.
+    pub fn like(prototype: &SketchSet<D>, shards: usize) -> Self {
+        Self::new(
+            Arc::clone(prototype.schema()),
+            Arc::clone(prototype.words()),
+            prototype.policy(),
+            shards,
+        )
+    }
+
+    /// Process-unique store identity (worker caches key on it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared schema.
+    pub fn schema(&self) -> &Arc<SketchSchema<D>> {
+        &self.schema
+    }
+
+    /// The dimension-0 partition routing objects to shards.
+    pub fn partition(&self) -> &DomainPartition {
+        &self.partition
+    }
+
+    /// Effective shard count.
+    pub fn shard_count(&self) -> usize {
+        self.partition.shards()
+    }
+
+    /// An empty sketch over the store's schema/words/policy — the merge
+    /// target shape workers allocate once and reuse.
+    pub fn empty_sketch(&self) -> SketchSet<D> {
+        SketchSet::new(
+            Arc::clone(&self.schema),
+            Arc::clone(&self.words),
+            self.policy,
+        )
+    }
+
+    /// The current epoch tag without taking any lock (reader fast path:
+    /// compare against a cached epoch's tag).
+    pub fn epoch_tag(&self) -> u64 {
+        self.epoch_tag.load(Ordering::Acquire)
+    }
+
+    /// The current published epoch (brief read lock to clone the `Arc`;
+    /// pooled workers cache the result and revalidate by tag instead of
+    /// calling this per query).
+    pub fn load(&self) -> Arc<StoreEpoch<D>> {
+        Arc::clone(&self.current.read().expect("store lock poisoned"))
+    }
+
+    /// Inserts a batch; see [`ShardedStore::update_slice`].
+    pub fn insert_slice(&self, rects: &[HyperRect<D>]) -> Result<()> {
+        self.update_slice(rects, 1)
+    }
+
+    /// Deletes a batch; see [`ShardedStore::update_slice`].
+    pub fn delete_slice(&self, rects: &[HyperRect<D>]) -> Result<()> {
+        self.update_slice(rects, -1)
+    }
+
+    /// Applies one signed update per rectangle, routed to shards by the
+    /// dimension-0 lower endpoint, and publishes the result as one new
+    /// epoch. Which shard an object lands in never changes any *exact-mode*
+    /// router answer (counter merges are linear); routing only shapes
+    /// coverage locality for pruned-mode queries.
+    ///
+    /// All rectangles are validated up front: either the whole batch
+    /// becomes visible atomically or the store is untouched.
+    pub fn update_slice(&self, rects: &[HyperRect<D>], delta: i64) -> Result<()> {
+        for r in rects {
+            self.validate(r)?;
+        }
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let cur = self.load();
+        // Route into per-shard groups.
+        let mut groups: Vec<Vec<HyperRect<D>>> = vec![Vec::new(); cur.shards.len()];
+        for r in rects {
+            groups[self.partition.shard_of(r.range(0).lo())].push(*r);
+        }
+        // Build staging shards for the touched partitions only.
+        let mut shards = cur.shards.clone();
+        for (s, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut staging = (*shards[s]).clone();
+            staging.apply(group, delta).expect("validated above");
+            shards[s] = Arc::new(staging);
+        }
+        let next = Arc::new(StoreEpoch {
+            epoch: cur.epoch + 1,
+            shards,
+        });
+        // Swap, then advance the tag: a reader observing the new tag will
+        // find (at least) the new epoch behind the lock.
+        *self.current.write().expect("store lock poisoned") = Arc::clone(&next);
+        self.epoch_tag.store(next.epoch, Ordering::Release);
+        Ok(())
+    }
+
+    fn validate(&self, rect: &HyperRect<D>) -> Result<()> {
+        for dim in 0..D {
+            let max = (1u64 << self.data_bits[dim]) - 1;
+            if rect.range(dim).hi() > max {
+                return Err(SketchError::DomainOverflow {
+                    coord: rect.range(dim).hi(),
+                    max,
+                    dim,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Captures the current epoch as a self-contained snapshot.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let epoch = self.load();
+        StoreSnapshot {
+            shards: epoch
+                .shards
+                .iter()
+                .map(|s| snapshot_sketch(s.sketch()))
+                .collect(),
+            coverage: epoch
+                .shards
+                .iter()
+                .map(|s| {
+                    s.coverage()
+                        .map(|c| (0..D).map(|d| (c.range(d).lo(), c.range(d).hi())).collect())
+                })
+                .collect(),
+            updates: epoch.shards.iter().map(|s| s.updates()).collect(),
+        }
+    }
+
+    /// Restores a store from a snapshot. All shards are rebuilt against one
+    /// freshly restored schema, so they stay mutually mergeable — and
+    /// combinable with sketches restored *from the same snapshot's* schema.
+    pub fn restore(snap: &StoreSnapshot) -> Result<Self> {
+        let first = snap.shards.first().ok_or(SketchError::InvalidParameter(
+            "store snapshot carries no shards",
+        ))?;
+        if snap.coverage.len() != snap.shards.len() || snap.updates.len() != snap.shards.len() {
+            return Err(SketchError::InvalidParameter(
+                "store snapshot metadata arity mismatch",
+            ));
+        }
+        let schema = restore_schema::<D>(first.schema())?;
+        let mut shards = Vec::with_capacity(snap.shards.len());
+        for (i, shard_snap) in snap.shards.iter().enumerate() {
+            let sketch = restore_sketch_with_schema(shard_snap, Arc::clone(&schema))?;
+            let coverage = match &snap.coverage[i] {
+                None => None,
+                Some(ranges) => {
+                    if ranges.len() != D {
+                        return Err(SketchError::InvalidParameter(
+                            "store snapshot coverage has wrong dimensionality",
+                        ));
+                    }
+                    Some(HyperRect::new(std::array::from_fn(|d| {
+                        geometry::Interval::new(ranges[d].0, ranges[d].1)
+                    })))
+                }
+            };
+            shards.push(Arc::new(SketchShard::with_restored_meta(
+                sketch,
+                coverage,
+                snap.updates[i],
+            )));
+        }
+        let proto = shards[0].sketch();
+        let words = Arc::clone(proto.words());
+        let policy = proto.policy();
+        for s in &shards {
+            if *s.sketch().words() != words || s.sketch().policy() != policy {
+                return Err(SketchError::WordMismatch);
+            }
+        }
+        let data_bits: [u32; D] =
+            std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
+        let partition = DomainPartition::new(data_bits[0], shards.len());
+        if partition.shards() != shards.len() {
+            return Err(SketchError::InvalidParameter(
+                "store snapshot shard count exceeds the partition domain",
+            ));
+        }
+        Ok(Self {
+            id: STORE_COUNTER.fetch_add(1, Ordering::Relaxed),
+            schema,
+            words,
+            policy,
+            partition,
+            data_bits,
+            current: RwLock::new(Arc::new(StoreEpoch { epoch: 1, shards })),
+            epoch_tag: AtomicU64::new(1),
+            writer: Mutex::new(()),
+        })
+    }
+}
+
+/// Serializable form of a [`ShardedStore`]: per-shard sketch snapshots
+/// (sharing one schema on restore) plus the shard bookkeeping the pruned
+/// router mode depends on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    shards: Vec<SketchSnapshot>,
+    /// Per shard, the coverage box as `(lo, hi)` per dimension (`None` for
+    /// untouched shards).
+    coverage: Vec<Option<Vec<(u64, u64)>>>,
+    /// Per shard, the gross update count.
+    updates: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::rect2;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+    use sketch::{ie_words, BoostShape, DimSpec};
+
+    fn store(shards: usize, seed: u64) -> ShardedStore<2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            fourwise::XiKind::Bch,
+            BoostShape::new(13, 3),
+            [DimSpec::dyadic(8); 2],
+        );
+        ShardedStore::new(
+            schema,
+            Arc::new(ie_words::<2>()),
+            EndpointPolicy::Raw,
+            shards,
+        )
+    }
+
+    fn rects(n: usize, seed: u64) -> Vec<HyperRect<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0..200u64);
+                let y = rng.gen_range(0..200u64);
+                rect2(
+                    x,
+                    x + rng.gen_range(1..50u64),
+                    y,
+                    y + rng.gen_range(1..50u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_swaps_epochs_and_matches_unsharded_counters() {
+        let st = store(3, 1);
+        assert_eq!(st.epoch_tag(), 1);
+        let data = rects(120, 2);
+        st.insert_slice(&data).unwrap();
+        assert_eq!(st.epoch_tag(), 2);
+        st.delete_slice(&data[..40]).unwrap();
+        assert_eq!(st.epoch_tag(), 3);
+
+        // Folding all shards reproduces an unsharded sketch bit-for-bit.
+        let mut oracle = st.empty_sketch();
+        oracle.insert_slice(&data).unwrap();
+        oracle.delete_slice(&data[..40]).unwrap();
+        let mut merged = st.empty_sketch();
+        let epoch = st.load();
+        for s in epoch.shards() {
+            merged.merge_from(s.sketch()).unwrap();
+        }
+        assert_eq!(merged.len(), oracle.len());
+        assert_eq!(epoch.total_len(), oracle.len());
+        for inst in 0..st.schema().instances() {
+            assert_eq!(
+                merged.instance_counters(inst),
+                oracle.instance_counters(inst)
+            );
+        }
+    }
+
+    #[test]
+    fn objects_route_by_dim0_lower_endpoint() {
+        let st = store(4, 3);
+        let r = rect2(200, 255, 0, 10); // lo = 200 → last shard
+        st.insert_slice(&[r]).unwrap();
+        let epoch = st.load();
+        let expect = st.partition().shard_of(200);
+        for (i, s) in epoch.shards().iter().enumerate() {
+            assert_eq!(s.is_untouched(), i != expect, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn failed_batch_leaves_store_and_epoch_untouched() {
+        let st = store(3, 4);
+        let mut data = rects(10, 5);
+        data.push(rect2(0, 999, 0, 5)); // out of domain
+        assert!(st.insert_slice(&data).is_err());
+        assert_eq!(st.epoch_tag(), 1);
+        assert!(st.load().shards().iter().all(|s| s.is_untouched()));
+    }
+
+    #[test]
+    fn old_epochs_stay_readable_after_swap() {
+        let st = store(2, 6);
+        let before = st.load();
+        st.insert_slice(&rects(30, 7)).unwrap();
+        let after = st.load();
+        assert_eq!(before.epoch(), 1);
+        assert_eq!(after.epoch(), 2);
+        // The pre-swap epoch still answers from its own shards.
+        assert_eq!(before.total_len(), 0);
+        assert_eq!(after.total_len(), 30);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let st = store(3, 8);
+        let data = rects(60, 9);
+        st.insert_slice(&data).unwrap();
+        st.delete_slice(&data[..10]).unwrap();
+        let snap = st.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StoreSnapshot = serde_json::from_str(&json).unwrap();
+        let restored: ShardedStore<2> = ShardedStore::restore(&back).unwrap();
+        assert_eq!(restored.shard_count(), st.shard_count());
+        let (a, b) = (st.load(), restored.load());
+        for (x, y) in a.shards().iter().zip(b.shards().iter()) {
+            assert_eq!(x.updates(), y.updates());
+            assert_eq!(x.coverage(), y.coverage());
+            assert_eq!(x.sketch().len(), y.sketch().len());
+            for inst in 0..st.schema().instances() {
+                assert_eq!(
+                    x.sketch().instance_counters(inst),
+                    y.sketch().instance_counters(inst)
+                );
+            }
+        }
+        // Restored shards share one schema: still mergeable.
+        let mut merged = restored.empty_sketch();
+        for s in b.shards() {
+            merged.merge_from(s.sketch()).unwrap();
+        }
+        assert_eq!(merged.len(), 50);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_domain() {
+        let st = store(1000, 10);
+        assert_eq!(st.shard_count(), 256);
+    }
+}

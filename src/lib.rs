@@ -20,6 +20,7 @@
 //! | [`exact`] | `spatial-exact` | ground-truth join/range/ε-join processors |
 //! | [`histograms`] | `spatial-histograms` | the EH and GH baselines of Section 7 |
 //! | [`datagen`] | `spatial-datagen` | Zipfian/uniform/GIS workloads and update streams |
+//! | [`serve`] | `spatial-serve` | sharded sketch stores, epoch-swapped reads, the concurrent query router |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use exact;
 pub use fourwise;
 pub use geometry;
 pub use histograms;
+pub use serve;
 pub use sketch;
 
 #[cfg(test)]
