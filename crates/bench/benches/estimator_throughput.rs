@@ -3,8 +3,8 @@
 //! Measures whole `estimate` calls — scratch-reusing [`QueryContext`] form —
 //! for the spatial join (counter-product combine) and the range query
 //! (query-side ξ evaluation against maintained counters) across instance
-//! counts and the full kernel matrix: scalar oracle, 64-lane batched and
-//! 256-lane wide. The build-side twin lives in
+//! counts and the full kernel matrix: scalar oracle, 64-lane batched,
+//! 256-lane wide and 512-lane wide. The build-side twin lives in
 //! `update_throughput`/`xi_throughput`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
@@ -15,7 +15,12 @@ use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{QueryContext, QueryKernel, RangeQuery, RangeStrategy};
 
-const KERNELS: [QueryKernel; 3] = [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide];
+const KERNELS: [QueryKernel; 4] = [
+    QueryKernel::Scalar,
+    QueryKernel::Batched,
+    QueryKernel::Wide,
+    QueryKernel::Wide512,
+];
 
 fn rects(n: usize, seed: u64) -> Vec<HyperRect<2>> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,11 +1,14 @@
 //! Microbench: four-wise independent variable generation — the innermost
 //! operation of every sketch update. Compares the BCH construction (with
 //! and without shared cube precomputation) against the cubic-polynomial
-//! family, the bit-sliced block evaluation behind the batched (64-lane) and
-//! wide (256-lane) build kernels, plus the GF(2^k) cube itself.
+//! family, the bit-sliced block evaluation behind the batched (64-lane),
+//! wide (256-lane) and wide512 (512-lane) build kernels, plus the GF(2^k)
+//! cube itself.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use fourwise::{Lane, LaneCounter, WideLane, XiBlock, XiContext, XiFamily, XiKind, XiSeed};
+use fourwise::{
+    Lane, LaneCounter, WideLane, WideLane512, XiBlock, XiContext, XiFamily, XiKind, XiSeed,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,7 +50,7 @@ fn bench_xi(c: &mut Criterion) {
 
     // Block evaluation: a whole lane word of instances per pass (the
     // blocked build kernels' inner operation) against the equivalent scalar
-    // evaluations, at both lane widths.
+    // evaluations, at every lane width.
     fn bench_blocks<L: Lane>(c: &mut Criterion, rng: &mut StdRng, bits: u32, indices: &[u64]) {
         let mut group = c.benchmark_group(format!("xi_block_{}lanes", L::LANES));
         group.throughput(Throughput::Elements(indices.len() as u64 * L::LANES as u64));
@@ -80,6 +83,7 @@ fn bench_xi(c: &mut Criterion) {
     }
     bench_blocks::<u64>(c, &mut rng, bits, &indices);
     bench_blocks::<WideLane>(c, &mut rng, bits, &indices);
+    bench_blocks::<WideLane512>(c, &mut rng, bits, &indices);
 
     // The shared per-index precomputation itself (table-hit path).
     let ctx = XiContext::new(XiKind::Bch, bits);

@@ -2,12 +2,15 @@
 //! if the hot paths regressed against the committed anchor numbers.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_check --
-//!          [--anchor BENCH_pr4.json] [--tolerance 0.25]
+//!          [--anchor BENCH_pr6.json] [--tolerance 0.25]
 //!
 //! Compares the blocked kernels' build ns/(obj·inst) and estimate
 //! ns/(est·inst) — join and range paths — at the 440-instance
 //! configuration against the matching records in the anchor file (a copy
 //! of `perf_probe` output; see EXPERIMENTS.md "Performance baseline").
+//! Anchor entries are matched by **lane width**, not kernel name: each
+//! bit-sliced width (64/256/512) carries its own anchor set, so adding a
+//! width means extending the anchor file rather than re-keying it.
 //!
 //! ## Tolerance
 //!
@@ -45,7 +48,7 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr4.json");
+    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr6.json");
     let anchor_path = workspace_file(anchor_name);
     let anchors = Anchors::load(&anchor_path).unwrap_or_else(|e| {
         eprintln!(
@@ -64,14 +67,22 @@ fn main() {
     let build = build_probe(
         threads,
         true,
-        &[BuildKernel::Batched, BuildKernel::Wide],
+        &[
+            BuildKernel::Batched,
+            BuildKernel::Wide,
+            BuildKernel::Wide512,
+        ],
         "ci-build",
         false,
     );
     let estimate = estimate_probe(
         threads,
         true,
-        &[QueryKernel::Batched, QueryKernel::Wide],
+        &[
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+        ],
         "ci-estimate",
     );
     assert_eq!(build.instances, vec![ANCHOR_INSTANCES as usize]);
@@ -81,21 +92,21 @@ fn main() {
     for k in &build.kernels {
         metrics.push((
             format!("build/{} ns/(obj·inst)", k.kernel),
-            anchors.build(&k.kernel),
+            anchors.build(k.lane_width),
             k.ns_per_obj_instance[0],
         ));
     }
     for k in &estimate.join_kernels {
         metrics.push((
             format!("estimate/join/{} ns/(est·inst)", k.kernel),
-            anchors.estimate("join", &k.kernel),
+            anchors.estimate("join", k.lane_width),
             k.ns_per_estimate_instance[0],
         ));
     }
     for k in &estimate.range_kernels {
         metrics.push((
             format!("estimate/range/{} ns/(est·inst)", k.kernel),
-            anchors.estimate("range", &k.kernel),
+            anchors.estimate("range", k.lane_width),
             k.ns_per_estimate_instance[0],
         ));
     }
@@ -159,27 +170,25 @@ impl Anchors {
         }
     }
 
-    /// Anchor build ns/(obj·inst) of `kernel` at the compared instances.
-    fn build(&self, kernel: &str) -> f64 {
+    /// Anchor build ns/(obj·inst) of the `lane_width`-lane kernel at the
+    /// compared instances.
+    fn build(&self, lane_width: usize) -> f64 {
         let record = self.record("build");
         let idx = self.instance_index(record);
-        let kernels = seq(get(record, "kernels"));
-        let entry = kernels
-            .iter()
-            .find(|k| str_of(get(k, "kernel")) == kernel)
-            .unwrap_or_else(|| die(&format!("anchor has no build kernel `{kernel}`")));
+        let entry = kernel_by_width(seq(get(record, "kernels")), lane_width, "build");
         num(&seq(get(entry, "ns_per_obj_instance"))[idx])
     }
 
-    /// Anchor estimate ns/(est·inst) of `path` (`join`/`range`) × `kernel`.
-    fn estimate(&self, path: &str, kernel: &str) -> f64 {
+    /// Anchor estimate ns/(est·inst) of `path` (`join`/`range`) at
+    /// `lane_width` lanes.
+    fn estimate(&self, path: &str, lane_width: usize) -> f64 {
         let record = self.record("estimate");
         let idx = self.instance_index(record);
-        let kernels = seq(get(record, &format!("{path}_kernels")));
-        let entry = kernels
-            .iter()
-            .find(|k| str_of(get(k, "kernel")) == kernel)
-            .unwrap_or_else(|| die(&format!("anchor has no {path} kernel `{kernel}`")));
+        let entry = kernel_by_width(
+            seq(get(record, &format!("{path}_kernels"))),
+            lane_width,
+            path,
+        );
         num(&seq(get(entry, "ns_per_estimate_instance"))[idx])
     }
 
@@ -200,6 +209,19 @@ impl Anchors {
                 ))
             })
     }
+}
+
+/// Finds the anchor entry whose `lane_width` matches — the per-width anchor
+/// sets keyed by lane width rather than kernel name.
+fn kernel_by_width<'a>(kernels: &'a [Value], lane_width: usize, what: &str) -> &'a Value {
+    kernels
+        .iter()
+        .find(|k| num(get(k, "lane_width")) as usize == lane_width)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "anchor has no {what} kernel at {lane_width} lanes"
+            ))
+        })
 }
 
 fn get<'a>(v: &'a Value, key: &str) -> &'a Value {

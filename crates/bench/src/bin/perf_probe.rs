@@ -1,17 +1,20 @@
 //! Build/estimate/serve throughput probe plus quick maxLevel sanity sweeps.
 //!
-//! The default probe times the sketch build under *all three* maintenance
-//! kernels (scalar oracle, 64-lane batched, 256-lane wide; see
-//! `sketch::BuildKernel`) and appends one JSON record per run to
+//! The default probe times the sketch build under the whole maintenance
+//! kernel matrix (scalar oracle, 64-lane batched, 256-lane wide, 512-lane
+//! wide; see `sketch::BuildKernel`) and appends one JSON record per run to
 //! `results/perf_probe.json` — the committed `BENCH_*.json` anchors are
 //! copies of such records. Every per-kernel record carries the kernel
-//! variant, its lane width and its instance-block size so anchors stay
+//! variant, its lane width and its instance-block size, and every record
+//! carries the runtime dispatch decision (detected CPU class, any
+//! `SKETCH_KERNEL` pin, the auto-selected width cap), so anchors stay
 //! self-describing. `--probe estimate` times the *estimation* path the same
 //! way under all query kernels (`sketch::QueryKernel`), join and range;
-//! `--probe wide` is the quick wide-vs-batched head-to-head (build and
-//! estimate, blocked kernels only); `--probe serve` times the serving
-//! layer — router QPS vs shard count (1/2/4) through `spatial-serve`'s
-//! sharded store, against the direct single-sketch baseline.
+//! `--probe wide` is the quick blocked-width head-to-head sweeping all
+//! three bit-sliced widths (64/256/512, build and estimate); `--probe
+//! serve` times the serving layer — router QPS vs shard count (1/2/4)
+//! through `spatial-serve`'s sharded store, against the direct
+//! single-sketch baseline.
 //!
 //! The probe harnesses themselves live in `spatial_bench::probes`, shared
 //! with the CI `perf_check` regression guard.
@@ -43,24 +46,37 @@ fn main() {
             estimate_probe(
                 threads,
                 args.has("quick"),
-                &[QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide],
+                &[
+                    QueryKernel::Scalar,
+                    QueryKernel::Batched,
+                    QueryKernel::Wide,
+                    QueryKernel::Wide512,
+                ],
                 "estimate",
             );
             return;
         }
         Some("wide") => {
-            // Quick head-to-head of the two blocked widths, build + estimate.
+            // Head-to-head of the three blocked widths, build + estimate.
             build_probe(
                 threads,
                 args.has("quick"),
-                &[BuildKernel::Batched, BuildKernel::Wide],
+                &[
+                    BuildKernel::Batched,
+                    BuildKernel::Wide,
+                    BuildKernel::Wide512,
+                ],
                 "wide-build",
                 false,
             );
             estimate_probe(
                 threads,
                 args.has("quick"),
-                &[QueryKernel::Batched, QueryKernel::Wide],
+                &[
+                    QueryKernel::Batched,
+                    QueryKernel::Wide,
+                    QueryKernel::Wide512,
+                ],
                 "wide-estimate",
             );
             return;
@@ -160,7 +176,12 @@ fn main() {
     build_probe(
         threads,
         args.has("quick"),
-        &[BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide],
+        &[
+            BuildKernel::Scalar,
+            BuildKernel::Batched,
+            BuildKernel::Wide,
+            BuildKernel::Wide512,
+        ],
         "build",
         true,
     );

@@ -25,6 +25,7 @@ pub fn build_kernel_meta(kernel: BuildKernel) -> (&'static str, usize, usize) {
         BuildKernel::Scalar => ("scalar", 1, 1),
         BuildKernel::Batched => ("batched", 64, 64),
         BuildKernel::Wide => ("wide", 256, 256),
+        BuildKernel::Wide512 => ("wide512", 512, 512),
     }
 }
 
@@ -34,7 +35,30 @@ pub fn query_kernel_meta(kernel: QueryKernel) -> (&'static str, usize, usize) {
         QueryKernel::Scalar => ("scalar", 1, 1),
         QueryKernel::Batched => ("batched", 64, 64),
         QueryKernel::Wide => ("wide", 256, 256),
+        QueryKernel::Wide512 => ("wide512", 512, 512),
         QueryKernel::Auto => ("auto", 0, 0),
+    }
+}
+
+/// The runtime kernel-dispatch decision recorded with every probe record,
+/// so an anchor file documents the machine class it was measured on.
+#[derive(serde::Serialize)]
+pub struct DispatchMeta {
+    /// Detected CPU vector capability (`avx512` / `avx2` / `portable`).
+    pub cpu: String,
+    /// The `SKETCH_KERNEL` pin active during the probe, if any.
+    pub env_override: Option<String>,
+    /// Widest lane width the runtime dispatcher will auto-select here.
+    pub max_lane_width: usize,
+}
+
+/// Snapshots [`sketch::dispatch_report`] into the serializable probe form.
+pub fn dispatch_meta() -> DispatchMeta {
+    let report = sketch::dispatch_report();
+    DispatchMeta {
+        cpu: report.cpu.name().into(),
+        env_override: report.env_override.map(Into::into),
+        max_lane_width: report.max_lane_width,
     }
 }
 
@@ -130,6 +154,8 @@ pub struct EstimateProbeRecord {
     pub domain_bits: u32,
     /// Instance counts probed.
     pub instances: Vec<usize>,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
     /// Join-path timings per kernel.
     pub join_kernels: Vec<QueryKernelRecord>,
     /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
@@ -162,6 +188,7 @@ pub fn estimate_probe(
         objects: data.len(),
         domain_bits: bits,
         instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        dispatch: dispatch_meta(),
         join_kernels: Vec::new(),
         join_speedups: Vec::new(),
         range_kernels: Vec::new(),
@@ -293,6 +320,8 @@ pub struct BuildProbeRecord {
     pub threads: usize,
     /// Instance counts probed.
     pub instances: Vec<usize>,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
     /// Per-kernel timings.
     pub kernels: Vec<KernelRecord>,
     /// Adjacent-kernel ratios (e.g. batched over scalar, wide over batched).
@@ -325,6 +354,7 @@ pub fn build_probe(
         domain_bits: 14,
         threads,
         instances: configs.iter().map(|&(k1, k2)| k1 * k2).collect(),
+        dispatch: dispatch_meta(),
         kernels: Vec::new(),
         speedups: Vec::new(),
         exact_join_pairs: None,
@@ -416,6 +446,8 @@ pub struct ServeProbeRecord {
     pub domain_bits: u32,
     /// Boosting instances per sketch.
     pub instances: usize,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
     /// Distinct queries cycled (exercises the compiled-plan cache the way
     /// a serving hot set would).
     pub query_set: usize,
@@ -465,6 +497,7 @@ pub fn serve_probe(threads: usize, quick: bool) -> ServeProbeRecord {
         objects: data.len(),
         domain_bits: bits,
         instances: k1 * k2,
+        dispatch: dispatch_meta(),
         query_set: queries.len(),
         unsharded_ns_per_query: base_ns,
         shard_points: Vec::new(),

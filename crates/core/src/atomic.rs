@@ -9,20 +9,20 @@
 //!
 //! The hot loop is arranged so that per-object work shared by *all*
 //! instances (dyadic covers and the GF(2^k) index cubes) is computed once
-//! into a per-object scratch. Three kernels can then apply the scratch to
+//! into a per-object scratch. Four kernels can then apply the scratch to
 //! the counters (see [`BuildKernel`]): the scalar reference path walks
 //! instances one at a time, while the blocked paths evaluate ξ for a whole
 //! [`Lane`] word of instances per operation (bit-sliced seed planes,
-//! `fourwise::batch`) — [`BLOCK_LANES`] lanes batched, 256 lanes wide — and
-//! walk the counter array one contiguous instance-block at a time. All
-//! three produce bit-identical counters.
+//! `fourwise::batch`) — [`BLOCK_LANES`] lanes batched, 256 or 512 lanes
+//! wide — and walk the counter array one contiguous instance-block at a
+//! time. All four produce bit-identical counters.
 
 use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::kernel::{self, Width};
 use crate::schema::{SchemaLanes, SketchSchema};
 use dyadic::{interval_cover_into, point_cover_into};
-use fourwise::{IndexPre, Lane, LaneCounter, WideLane};
+use fourwise::{IndexPre, Lane, LaneCounter, WideLane, WideLane512};
 
 #[cfg(doc)]
 use fourwise::BLOCK_LANES;
@@ -39,11 +39,14 @@ pub(crate) const OBJ_CHUNK: usize = 128;
 ///
 /// All kernels compute the exact same integer counter updates — the scalar
 /// path is retained as the differential-test oracle and for pathological
-/// shapes (it has no per-block fixed costs), and the batched path doubles
-/// as the oracle for the wide path (the oracle chain Scalar → Batched →
-/// Wide). [`SketchSet::new`] picks the default per schema: the
-/// `SKETCH_KERNEL` env override if set, otherwise [`BuildKernel::Wide`] for
-/// grids of at least [`kernel::WIDE_MIN_INSTANCES`] instances and
+/// shapes (it has no per-block fixed costs), and each blocked width doubles
+/// as the oracle for the next (the oracle chain Scalar → Batched → Wide →
+/// Wide512). [`SketchSet::new`] picks the default per schema through the
+/// runtime dispatcher (`sketch::kernel`): the `SKETCH_KERNEL` env override
+/// if set, otherwise the instance-count heuristic capped by the detected
+/// CPU vector width — [`BuildKernel::Wide512`] from
+/// [`kernel::WIDE512_MIN_INSTANCES`] instances on `avx512f` machines,
+/// [`BuildKernel::Wide`] from [`kernel::WIDE_MIN_INSTANCES`], and
 /// [`BuildKernel::Batched`] below.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BuildKernel {
@@ -58,6 +61,9 @@ pub enum BuildKernel {
     /// [`BuildKernel::Batched`] instantiated at the four-word lane width
     /// LLVM autovectorizes.
     Wide,
+    /// Bit-sliced evaluation of 512 instances per pass over
+    /// [`WideLane512`]-packed seed planes (the AVX-512 register shape).
+    Wide512,
 }
 
 impl From<Width> for BuildKernel {
@@ -66,6 +72,7 @@ impl From<Width> for BuildKernel {
             Width::Scalar => BuildKernel::Scalar,
             Width::Batched => BuildKernel::Batched,
             Width::Wide => BuildKernel::Wide,
+            Width::Wide512 => BuildKernel::Wide512,
         }
     }
 }
@@ -203,16 +210,34 @@ impl DimLanes {
         }
     }
 
+    /// Multiplies one word component's column into the per-lane product
+    /// buffer: `prod[j] *= component(word[dim], lane j)`. Every arm is a
+    /// contiguous elementwise `i64` loop the compiler autovectorizes at any
+    /// lane width — the per-lane multiply order (dimension by dimension)
+    /// matches the scalar kernel exactly, keeping the counters
+    /// bit-identical.
     #[inline]
-    fn get(&self, comp: Comp, lane: usize) -> i64 {
+    fn mul_into(&self, comp: Comp, prod: &mut [i64]) {
         match comp {
-            Comp::Interval => self.interval[lane],
-            Comp::Endpoints => self.lo[lane] + self.hi[lane],
-            Comp::LowerPoint => self.lo[lane],
-            Comp::UpperPoint => self.hi[lane],
-            Comp::LowerLeaf => self.leaf_lo[lane],
-            Comp::UpperLeaf => self.leaf_hi[lane],
+            Comp::Interval => mul_lanes(prod, &self.interval),
+            Comp::Endpoints => {
+                for (p, (lo, hi)) in prod.iter_mut().zip(self.lo.iter().zip(self.hi.iter())) {
+                    *p *= *lo + *hi;
+                }
+            }
+            Comp::LowerPoint => mul_lanes(prod, &self.lo),
+            Comp::UpperPoint => mul_lanes(prod, &self.hi),
+            Comp::LowerLeaf => mul_lanes(prod, &self.leaf_lo),
+            Comp::UpperLeaf => mul_lanes(prod, &self.leaf_hi),
         }
+    }
+}
+
+/// Elementwise product-accumulate over lanes (`prod[j] *= vals[j]`).
+#[inline]
+fn mul_lanes(prod: &mut [i64], vals: &[i64]) {
+    for (p, v) in prod.iter_mut().zip(vals.iter()) {
+        *p *= *v;
     }
 }
 
@@ -224,6 +249,8 @@ impl DimLanes {
 pub(crate) struct LaneScratch<L: Lane, const D: usize> {
     counter: LaneCounter<L>,
     dims: [DimLanes; D],
+    /// Per-lane running word product (see [`DimLanes::mul_into`]).
+    prod: Vec<i64>,
 }
 
 impl<L: Lane, const D: usize> LaneScratch<L, D> {
@@ -231,6 +258,7 @@ impl<L: Lane, const D: usize> LaneScratch<L, D> {
         Self {
             counter: LaneCounter::new(),
             dims: std::array::from_fn(|_| DimLanes::new(L::LANES)),
+            prod: vec![0; L::LANES],
         }
     }
 }
@@ -255,6 +283,8 @@ pub struct SketchSet<const D: usize> {
     lanes: Option<LaneScratch<u64, D>>,
     /// Wide-kernel working memory, likewise lazy.
     lanes_wide: Option<LaneScratch<WideLane, D>>,
+    /// 512-lane-kernel working memory, likewise lazy.
+    lanes_wide512: Option<LaneScratch<WideLane512, D>>,
 }
 
 impl<const D: usize> SketchSet<D> {
@@ -300,6 +330,7 @@ impl<const D: usize> SketchSet<D> {
             scratch: RectScratch::new(),
             lanes: None,
             lanes_wide: None,
+            lanes_wide512: None,
         }
     }
 
@@ -454,6 +485,18 @@ impl<const D: usize> SketchSet<D> {
                     delta,
                 );
                 self.lanes_wide = Some(lanes);
+            }
+            BuildKernel::Wide512 => {
+                let mut lanes = self.lanes_wide512.take().unwrap_or_else(LaneScratch::new);
+                apply_chunk_blocked(
+                    &self.schema,
+                    &self.words,
+                    scratches,
+                    &mut lanes,
+                    &mut self.counters,
+                    delta,
+                );
+                self.lanes_wide512 = Some(lanes);
             }
             BuildKernel::Scalar => {
                 let w = self.words.len();
@@ -658,7 +701,13 @@ pub(crate) fn apply_chunk_blocked<L: SchemaLanes, const D: usize>(
     for b in 0..L::instance_blocks(schema) {
         let base = b * L::LANES;
         let rows = L::seed_blocks(schema, 0)[b].lanes();
-        for scratch in scratches {
+        for (i, scratch) in scratches.iter().enumerate() {
+            // Software prefetch: touch the next scratch's streamed node
+            // lists while this one is being applied, so its cache lines are
+            // resident when the walk gets there.
+            if let Some(next) = scratches.get(i + 1) {
+                prefetch_scratch(next);
+            }
             apply_block(
                 schema,
                 words,
@@ -672,14 +721,38 @@ pub(crate) fn apply_chunk_blocked<L: SchemaLanes, const D: usize>(
     }
 }
 
+/// Portable software prefetch of one object scratch: demand-reads one entry
+/// per cache line of every streamed node list (`IndexPre` is 16 bytes, so
+/// stride 4 covers 64-byte lines) and anchors the reads behind
+/// [`std::hint::black_box`] so they survive optimization. The workspace
+/// forbids `unsafe`, which rules out `_mm_prefetch`; an early demand touch
+/// of lines the block walk is about to stream is the portable equivalent.
+#[inline]
+fn prefetch_scratch<const D: usize>(scratch: &RectScratch<D>) {
+    const STRIDE: usize = 4;
+    let mut acc = 0u64;
+    for ds in &scratch.dims {
+        for list in [&ds.cover, &ds.pcover_lo, &ds.pcover_hi] {
+            let mut i = 0;
+            while i < list.len() {
+                acc ^= list[i].index;
+                i += STRIDE;
+            }
+        }
+    }
+    std::hint::black_box(acc);
+}
+
 /// Applies one object's scratch to a whole instance block's counter rows.
 ///
 /// `counter_rows` must hold exactly the block's rows (`lanes × words.len()`
 /// counters, instance-major). The per-dimension component sums for all lanes
-/// are computed by one bit-sliced pass over the cover nodes; only the final
-/// word products touch individual lanes. Generic over the [`Lane`] width —
-/// the batched (64-lane) and wide (256-lane) kernels are the two
-/// instantiations.
+/// are computed by one bit-sliced pass over the cover nodes; the word
+/// products then run word-major — per word, the per-lane product column is
+/// built up dimension by dimension with contiguous elementwise multiplies
+/// (see [`DimLanes::mul_into`]) and scattered into the counter rows once.
+/// Generic over the [`Lane`] width — the batched (64-lane) and the two wide
+/// (256/512-lane) kernels are the instantiations.
 pub(crate) fn apply_block<L: SchemaLanes, const D: usize>(
     schema: &SketchSchema<D>,
     words: &[Word<D>],
@@ -690,7 +763,11 @@ pub(crate) fn apply_block<L: SchemaLanes, const D: usize>(
     delta: i64,
 ) {
     let lanes = L::seed_blocks(schema, 0)[block].lanes();
-    let LaneScratch { counter, dims } = ls;
+    let LaneScratch {
+        counter,
+        dims,
+        prod,
+    } = ls;
     for (dim, dl) in dims.iter_mut().enumerate() {
         let xb = &L::seed_blocks(schema, dim)[block];
         let ds = &scratch.dims[dim];
@@ -712,13 +789,14 @@ pub(crate) fn apply_block<L: SchemaLanes, const D: usize>(
     }
     let w = words.len();
     debug_assert_eq!(counter_rows.len(), lanes * w);
-    for (lane, row) in counter_rows.chunks_exact_mut(w).enumerate() {
-        for (slot, word) in row.iter_mut().zip(words.iter()) {
-            let mut prod = delta;
-            for dim in 0..D {
-                prod *= dims[dim].get(word[dim], lane);
-            }
-            *slot += prod;
+    let prod = &mut prod[..lanes];
+    for (wi, word) in words.iter().enumerate() {
+        prod.fill(delta);
+        for dim in 0..D {
+            dims[dim].mul_into(word[dim], prod);
+        }
+        for (lane, p) in prod.iter().enumerate() {
+            counter_rows[lane * w + wi] += *p;
         }
     }
 }

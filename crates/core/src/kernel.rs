@@ -1,21 +1,30 @@
 //! Kernel-width selection shared by the build and query dispatches.
 //!
 //! Both kernel enums ([`crate::atomic::BuildKernel`],
-//! [`crate::query::QueryKernel`]) offer the same three implementations —
-//! scalar oracle, 64-lane batched, 256-lane wide — and pick the same default
-//! the same way:
+//! [`crate::query::QueryKernel`]) offer the same four implementations —
+//! scalar oracle, 64-lane batched, 256-lane wide, 512-lane wide — and pick
+//! the same default the same way, in dispatch order:
 //!
 //! 1. the `SKETCH_KERNEL` environment variable, when set to `scalar`,
-//!    `batched` or `wide`, pins every default-kernel code path in the
-//!    process (the tests-release CI lane uses this to run the whole suite
-//!    under each kernel of the matrix); otherwise
-//! 2. a width heuristic on the schema's instance count: the wide kernel
-//!    amortizes its four-word lane operations once the boosting grid spans
-//!    a few 64-lane blocks ([`WIDE_MIN_INSTANCES`]), below that the batched
-//!    kernel's smaller blocks waste fewer tail lanes.
+//!    `batched`, `wide` or `wide512`, pins every default-kernel code path in
+//!    the process (the tests-release CI lane uses this to run the whole
+//!    suite under each kernel of the matrix); otherwise
+//! 2. runtime CPU detection caps the lane width: the 512-lane kernel is
+//!    only preferred where the CPU reports 512-bit vector registers
+//!    (`avx512f`), since an eight-word lane on a 256-bit machine doubles
+//!    register pressure for no extra lane-op throughput — detection runs
+//!    once per process via [`std::arch::is_x86_feature_detected`] on
+//!    x86_64 and falls back to the portable 256-lane cap elsewhere; then
+//! 3. a width heuristic on the schema's instance count: wider lanes
+//!    amortize their fixed per-block costs only once the boosting grid
+//!    fills most of one block ([`WIDE_MIN_INSTANCES`],
+//!    [`WIDE512_MIN_INSTANCES`]); below the thresholds the narrower blocks
+//!    waste fewer tail lanes.
 //!
-//! Explicit kernel choices (`with_kernel`/`set_kernel`) always win over
-//! both; all kernels are bit-identical, so selection is purely about speed.
+//! Explicit kernel choices (`with_kernel`/`set_kernel`) always win over all
+//! three; all kernels are bit-identical, so selection is purely about speed.
+//! [`dispatch_report`] exposes the resolved decision inputs for probes and
+//! tests.
 
 use std::sync::OnceLock;
 
@@ -24,12 +33,92 @@ use std::sync::OnceLock;
 /// where fewer, fatter passes beat smaller tails.
 pub const WIDE_MIN_INSTANCES: usize = 3 * fourwise::BLOCK_LANES;
 
+/// Instance count at which schemas default to the 512-lane kernels (where
+/// the CPU cap allows them): six 64-lane blocks fill one 512-lane block to
+/// ≥75%, the same occupancy bar the 256-lane threshold clears.
+pub const WIDE512_MIN_INSTANCES: usize = 6 * fourwise::BLOCK_LANES;
+
 /// A resolved kernel width (no `Auto`): what the dispatches branch on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Width {
     Scalar,
     Batched,
     Wide,
+    Wide512,
+}
+
+impl Width {
+    /// Instance lanes per block at this width.
+    pub(crate) fn lanes(self) -> usize {
+        match self {
+            Width::Scalar => 1,
+            Width::Batched => fourwise::BLOCK_LANES,
+            Width::Wide => fourwise::WIDE_LANES,
+            Width::Wide512 => fourwise::WIDE512_LANES,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Width::Scalar => "scalar",
+            Width::Batched => "batched",
+            Width::Wide => "wide",
+            Width::Wide512 => "wide512",
+        }
+    }
+}
+
+/// The CPU's vector capability class, detected once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuVector {
+    /// 512-bit vector registers (`avx512f`): the 512-lane width is native.
+    Avx512,
+    /// 256-bit vector registers (`avx2`): cap at the 256-lane width.
+    Avx2,
+    /// No detected wide vectors (or a non-x86_64 target): the 256-lane
+    /// width still wins on fixed costs, so the cap stays at 256 lanes.
+    Portable,
+}
+
+impl CpuVector {
+    /// Short name for probe records and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuVector::Avx512 => "avx512",
+            CpuVector::Avx2 => "avx2",
+            CpuVector::Portable => "portable",
+        }
+    }
+
+    /// The widest lane width (in instance lanes) this capability prefers.
+    pub fn max_lane_width(self) -> usize {
+        match self {
+            CpuVector::Avx512 => fourwise::WIDE512_LANES,
+            CpuVector::Avx2 | CpuVector::Portable => fourwise::WIDE_LANES,
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_cpu() -> CpuVector {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        CpuVector::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        CpuVector::Avx2
+    } else {
+        CpuVector::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_cpu() -> CpuVector {
+    CpuVector::Portable
+}
+
+/// The process-wide CPU vector capability, detected on first use.
+pub fn cpu_vector() -> CpuVector {
+    static CPU: OnceLock<CpuVector> = OnceLock::new();
+    *CPU.get_or_init(detect_cpu)
 }
 
 /// Parses a `SKETCH_KERNEL` value. Empty strings mean "no override" so CI
@@ -40,8 +129,9 @@ pub(crate) fn parse_override(value: &str) -> Result<Option<Width>, String> {
         "scalar" => Ok(Some(Width::Scalar)),
         "batched" => Ok(Some(Width::Batched)),
         "wide" => Ok(Some(Width::Wide)),
+        "wide512" => Ok(Some(Width::Wide512)),
         other => Err(format!(
-            "SKETCH_KERNEL must be `scalar`, `batched` or `wide` (got `{other}`)"
+            "SKETCH_KERNEL must be `scalar`, `batched`, `wide` or `wide512` (got `{other}`)"
         )),
     }
 }
@@ -61,13 +151,55 @@ pub(crate) fn env_override() -> Option<Width> {
 }
 
 /// The default kernel width for a schema with `instances` boosting
-/// instances: the env override when present, the width heuristic otherwise.
+/// instances: the env override when present; otherwise the instance-count
+/// heuristic capped by the detected CPU vector width.
 pub(crate) fn preferred(instances: usize) -> Width {
-    env_override().unwrap_or(if instances >= WIDE_MIN_INSTANCES {
+    if let Some(width) = env_override() {
+        return width;
+    }
+    if instances >= WIDE512_MIN_INSTANCES && cpu_vector() == CpuVector::Avx512 {
+        Width::Wide512
+    } else if instances >= WIDE_MIN_INSTANCES {
         Width::Wide
     } else {
         Width::Batched
-    })
+    }
+}
+
+/// The lane width (instances per block) the default dispatch picks for a
+/// schema with `instances` boosting instances — the public, resolved view
+/// of the dispatch chain for probes and dispatch-aware tests.
+pub fn preferred_lane_width(instances: usize) -> usize {
+    preferred(instances).lanes()
+}
+
+/// The inputs and caps of the kernel dispatch decision, resolved once at
+/// runtime: what probes record next to every measurement and what
+/// dispatch-aware tests branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// The pinned `SKETCH_KERNEL` kernel name, if the variable is set.
+    pub env_override: Option<&'static str>,
+    /// Detected CPU vector capability class.
+    pub cpu: CpuVector,
+    /// Widest lane width the capability allows the heuristic to pick.
+    pub max_lane_width: usize,
+    /// Instance threshold for the 256-lane width.
+    pub wide_min_instances: usize,
+    /// Instance threshold for the 512-lane width (subject to the CPU cap).
+    pub wide512_min_instances: usize,
+}
+
+/// The process-wide dispatch decision: env override → CPU capability →
+/// instance thresholds. Stable for the life of the process.
+pub fn dispatch_report() -> DispatchReport {
+    DispatchReport {
+        env_override: env_override().map(Width::name),
+        cpu: cpu_vector(),
+        max_lane_width: cpu_vector().max_lane_width(),
+        wide_min_instances: WIDE_MIN_INSTANCES,
+        wide512_min_instances: WIDE512_MIN_INSTANCES,
+    }
 }
 
 #[cfg(test)]
@@ -81,19 +213,56 @@ mod tests {
         assert_eq!(parse_override("scalar"), Ok(Some(Width::Scalar)));
         assert_eq!(parse_override("Batched"), Ok(Some(Width::Batched)));
         assert_eq!(parse_override("WIDE"), Ok(Some(Width::Wide)));
+        assert_eq!(parse_override("wide512"), Ok(Some(Width::Wide512)));
         assert!(parse_override("simd").is_err());
     }
 
     #[test]
     fn heuristic_switches_at_threshold() {
-        // Guard against env leakage from the surrounding test run: the
-        // heuristic itself is only meaningful without an override.
-        if env_override().is_some() {
+        // Dispatch-aware: under a SKETCH_KERNEL override every instance
+        // count resolves to the pinned width; without one, the thresholds
+        // apply up to the CPU capability cap.
+        if let Some(width) = env_override() {
+            for instances in [1, WIDE_MIN_INSTANCES, WIDE512_MIN_INSTANCES, 4100] {
+                assert_eq!(preferred(instances), width);
+            }
             return;
         }
         assert_eq!(preferred(1), Width::Batched);
         assert_eq!(preferred(WIDE_MIN_INSTANCES - 1), Width::Batched);
         assert_eq!(preferred(WIDE_MIN_INSTANCES), Width::Wide);
-        assert_eq!(preferred(4100), Width::Wide);
+        assert_eq!(preferred(WIDE512_MIN_INSTANCES - 1), Width::Wide);
+        let top = if cpu_vector() == CpuVector::Avx512 {
+            Width::Wide512
+        } else {
+            Width::Wide
+        };
+        assert_eq!(preferred(WIDE512_MIN_INSTANCES), top);
+        assert_eq!(preferred(4100), top);
+    }
+
+    #[test]
+    fn report_is_consistent_with_dispatch() {
+        let report = dispatch_report();
+        assert_eq!(report.cpu, cpu_vector());
+        assert_eq!(report.max_lane_width, cpu_vector().max_lane_width());
+        assert!(report.max_lane_width >= fourwise::WIDE_LANES);
+        assert_eq!(report.wide_min_instances, WIDE_MIN_INSTANCES);
+        assert_eq!(report.wide512_min_instances, WIDE512_MIN_INSTANCES);
+        match report.env_override {
+            Some(name) => {
+                assert!(["scalar", "batched", "wide", "wide512"].contains(&name));
+                assert_eq!(
+                    preferred_lane_width(WIDE512_MIN_INSTANCES),
+                    env_override().unwrap().lanes()
+                );
+            }
+            None => {
+                // The resolved lane width never exceeds the CPU cap.
+                for instances in [1, 200, 400, 4100] {
+                    assert!(preferred_lane_width(instances) <= report.max_lane_width);
+                }
+            }
+        }
     }
 }

@@ -5,12 +5,12 @@
 //! perfectly across the instance axis: the per-object dyadic covers and
 //! GF(2^k) cubes are computed once (they are seed-independent), then worker
 //! threads apply them to disjoint slices of the counter array. Under the
-//! blocked kernels ([`BuildKernel::Batched`], [`BuildKernel::Wide`]) the
-//! split is aligned to whole instance blocks *at the kernel's lane width*
-//! (64 or 256 instances) so each worker runs the bit-sliced kernel over its
-//! own contiguous counter range; the scalar kernel splits per instance as
-//! before. This is how the experiment harness affords the paper's
-//! thousands-of-instances configurations.
+//! blocked kernels ([`BuildKernel::Batched`], [`BuildKernel::Wide`],
+//! [`BuildKernel::Wide512`]) the split is aligned to whole instance blocks
+//! *at the kernel's lane width* (64, 256 or 512 instances) so each worker
+//! runs the bit-sliced kernel over its own contiguous counter range; the
+//! scalar kernel splits per instance as before. This is how the experiment
+//! harness affords the paper's thousands-of-instances configurations.
 //!
 //! Estimation parallelizes the same way ([`par_estimate`]): the atomic
 //! estimate grid splits into whole instance blocks at the width the
@@ -28,7 +28,7 @@ use crate::estimator::PairEstimator;
 use crate::query::{pair_fill_blocked, QueryKernel};
 use crate::schema::{SchemaLanes, SketchSchema};
 use crate::Word;
-use fourwise::WideLane;
+use fourwise::{WideLane, WideLane512};
 use geometry::HyperRect;
 
 /// Objects per scratch block: bounds the scratch memory (a few KB per
@@ -93,6 +93,9 @@ pub fn par_update_batch<const D: usize>(
             BuildKernel::Wide => {
                 par_apply_blocked::<WideLane, D>(&schema, &words, filled, counters, threads, delta)
             }
+            BuildKernel::Wide512 => par_apply_blocked::<WideLane512, D>(
+                &schema, &words, filled, counters, threads, delta,
+            ),
         }
     }
     sketch.add_len(delta * rects.len() as i64);
@@ -233,6 +236,7 @@ pub fn par_estimate<const D: usize>(
     let mut atomic = vec![0.0f64; shape.instances()];
     match QueryKernel::Auto.resolve(shape.instances()) {
         QueryKernel::Wide => par_fill_pair::<WideLane, D>(pair, r, s, threads, &mut atomic),
+        QueryKernel::Wide512 => par_fill_pair::<WideLane512, D>(pair, r, s, threads, &mut atomic),
         // The scalar oracle has no blocked form; its estimates are
         // bit-identical to the batched fill, which parallelizes.
         _ => par_fill_pair::<u64, D>(pair, r, s, threads, &mut atomic),
@@ -283,7 +287,12 @@ mod tests {
         for r in &data {
             seq.insert(r).unwrap();
         }
-        for kernel in [BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide] {
+        for kernel in [
+            BuildKernel::Scalar,
+            BuildKernel::Batched,
+            BuildKernel::Wide,
+            BuildKernel::Wide512,
+        ] {
             for threads in [1usize, 2, 3, 8] {
                 let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
                     .with_kernel(kernel);
@@ -319,7 +328,11 @@ mod tests {
         for r in &data {
             seq.insert(r).unwrap();
         }
-        for kernel in [BuildKernel::Batched, BuildKernel::Wide] {
+        for kernel in [
+            BuildKernel::Batched,
+            BuildKernel::Wide,
+            BuildKernel::Wide512,
+        ] {
             for threads in [1usize, 2, 5] {
                 let mut par = SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw)
                     .with_kernel(kernel);
@@ -394,7 +407,12 @@ mod tests {
         par_insert_batch(&mut r, &rects(150, 6), 4).unwrap();
         par_insert_batch(&mut s, &rects(150, 7), 4).unwrap();
         let seq = join.estimate(&r, &s).unwrap();
-        for kernel in [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide] {
+        for kernel in [
+            QueryKernel::Scalar,
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+        ] {
             let mut ctx = QueryContext::new().with_kernel(kernel);
             let est = join.estimate_with(&mut ctx, &r, &s).unwrap();
             assert_eq!(seq.value.to_bits(), est.value.to_bits(), "{kernel:?}");

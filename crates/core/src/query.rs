@@ -27,11 +27,15 @@
 //! * [`QueryKernel::Wide`] — the same blocked kernel instantiated at the
 //!   256-lane [`fourwise::WideLane`] width: four-word lane operations LLVM
 //!   autovectorizes, and a quarter of the per-block fixed costs.
+//! * [`QueryKernel::Wide512`] — the blocked kernel at the 512-lane
+//!   [`fourwise::WideLane512`] width, an eighth of the per-block fixed
+//!   costs; preferred by the runtime dispatcher only on CPUs reporting
+//!   512-bit vector registers.
 //!
 //! The default ([`QueryKernel::Auto`]) resolves per estimate from the
-//! sketch's schema: the `SKETCH_KERNEL` env override if set, otherwise wide
-//! for grids of at least [`crate::kernel::WIDE_MIN_INSTANCES`] instances
-//! and batched below.
+//! sketch's schema through the shared dispatch chain ([`crate::kernel`]):
+//! the `SKETCH_KERNEL` env override if set, otherwise the instance-count
+//! width heuristic capped by runtime CPU detection.
 //!
 //! A [`QueryContext`] owns all the kernel scratch (atomic grid, lane sums,
 //! boosting buffers) **plus a compiled-plan cache**: query-side
@@ -45,7 +49,7 @@ use crate::boost::{mean_median_with, Estimate};
 use crate::estimator::Term;
 use crate::kernel::{self, Width};
 use crate::schema::{BoostShape, SchemaLanes};
-use fourwise::{BlockSums, IndexPre, WideLane};
+use fourwise::{BlockSums, IndexPre, WideLane, WideLane512};
 
 #[cfg(doc)]
 use fourwise::BLOCK_LANES;
@@ -76,6 +80,9 @@ pub enum QueryKernel {
     /// Bit-sliced evaluation of 256 instances per pass over the schema's
     /// [`fourwise::WideLane`]-packed seed planes.
     Wide,
+    /// Bit-sliced evaluation of 512 instances per pass over the schema's
+    /// [`fourwise::WideLane512`]-packed seed planes.
+    Wide512,
 }
 
 impl QueryKernel {
@@ -87,6 +94,7 @@ impl QueryKernel {
                 Width::Scalar => QueryKernel::Scalar,
                 Width::Batched => QueryKernel::Batched,
                 Width::Wide => QueryKernel::Wide,
+                Width::Wide512 => QueryKernel::Wide512,
             },
             k => k,
         }
@@ -159,6 +167,8 @@ pub struct QueryContext {
     sums: BlockSums<u64>,
     /// The wide kernel's sum bank.
     sums_wide: BlockSums<WideLane>,
+    /// The 512-lane kernel's sum bank.
+    sums_wide512: BlockSums<WideLane512>,
     /// Compiled query plans, memoized per (schema, query).
     plans: PlanCache,
 }
@@ -262,6 +272,9 @@ impl QueryContext {
             QueryKernel::Scalar => pair_fill_scalar(terms, r, s, 0, &mut self.atomic),
             QueryKernel::Batched => pair_fill_blocked::<u64, D>(terms, r, s, 0, &mut self.atomic),
             QueryKernel::Wide => pair_fill_blocked::<WideLane, D>(terms, r, s, 0, &mut self.atomic),
+            QueryKernel::Wide512 => {
+                pair_fill_blocked::<WideLane512, D>(terms, r, s, 0, &mut self.atomic)
+            }
             QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
         }
         self.boost(shape)
@@ -283,6 +296,13 @@ impl QueryContext {
                 0,
                 &mut self.atomic,
                 &mut self.sums_wide,
+            ),
+            QueryKernel::Wide512 => xi_fill_blocked::<WideLane512, D>(
+                plan,
+                sketch,
+                0,
+                &mut self.atomic,
+                &mut self.sums_wide512,
             ),
             QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
         }
@@ -567,12 +587,16 @@ pub(crate) fn xi_fill_blocked<L: SchemaLanes, const D: usize>(
         z.fill(0.0);
         for t in &plan.terms {
             let word = t.word;
+            // The per-lane query product is folded once per term across all
+            // lanes ([`BlockSums::slot_products`]) instead of re-walking the
+            // dimension slots inside the lane loop: the inner loop below is
+            // then a single multiply-accumulate per lane, which LLVM
+            // autovectorizes. Fold order matches the scalar path's dimension
+            // order, so the (exact) i64 products are bit-identical.
+            let ids: [usize; D] = std::array::from_fn(|d| d * stride + t.slots[d]);
+            let q = sums.slot_products(&ids, lanes);
             for (lane, slot) in z.iter_mut().enumerate() {
-                let mut qprod: i64 = 1;
-                for (dim, &list_slot) in t.slots.iter().enumerate() {
-                    qprod *= sums.lane_sums(dim * stride + list_slot)[lane];
-                }
-                *slot += prod_f64(qprod, cb[lane * w + word]);
+                *slot += prod_f64(q[lane], cb[lane * w + word]);
             }
         }
         filled += lanes;
@@ -613,7 +637,7 @@ mod tests {
 
     #[test]
     fn auto_resolves_by_width_and_explicit_kernels_pass_through() {
-        use crate::kernel::WIDE_MIN_INSTANCES;
+        use crate::kernel::{cpu_vector, CpuVector, WIDE512_MIN_INSTANCES, WIDE_MIN_INSTANCES};
         if crate::kernel::env_override().is_none() {
             assert_eq!(
                 QueryKernel::Auto.resolve(WIDE_MIN_INSTANCES - 1),
@@ -623,8 +647,19 @@ mod tests {
                 QueryKernel::Auto.resolve(WIDE_MIN_INSTANCES),
                 QueryKernel::Wide
             );
+            let top = if cpu_vector() == CpuVector::Avx512 {
+                QueryKernel::Wide512
+            } else {
+                QueryKernel::Wide
+            };
+            assert_eq!(QueryKernel::Auto.resolve(WIDE512_MIN_INSTANCES), top);
         }
-        for k in [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide] {
+        for k in [
+            QueryKernel::Scalar,
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+        ] {
             assert_eq!(k.resolve(1), k);
             assert_eq!(k.resolve(10_000), k);
         }
@@ -669,21 +704,31 @@ mod tests {
         let mut scalar_out = vec![0.0; schema.instances()];
         let mut batched_out = vec![0.0; schema.instances()];
         let mut wide_out = vec![0.0; schema.instances()];
+        let mut wide512_out = vec![0.0; schema.instances()];
         pair_fill_scalar(&terms, &r, &s, 0, &mut scalar_out);
         pair_fill_blocked::<u64, 2>(&terms, &r, &s, 0, &mut batched_out);
         pair_fill_blocked::<fourwise::WideLane, 2>(&terms, &r, &s, 0, &mut wide_out);
+        pair_fill_blocked::<fourwise::WideLane512, 2>(&terms, &r, &s, 0, &mut wide512_out);
         for (i, (a, b)) in scalar_out.iter().zip(batched_out.iter()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "batched instance {i}");
         }
         for (i, (a, b)) in scalar_out.iter().zip(wide_out.iter()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "wide instance {i}");
         }
+        for (i, (a, b)) in scalar_out.iter().zip(wide512_out.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "wide512 instance {i}");
+        }
         // Context dispatch returns the boosted estimate of the same grid,
         // whichever kernel is selected.
         let mut ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
         let es = ctx.pair_estimate(&terms, &r, &s);
         assert_eq!(es.row_means.len(), 2);
-        for kernel in [QueryKernel::Batched, QueryKernel::Wide, QueryKernel::Auto] {
+        for kernel in [
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+            QueryKernel::Auto,
+        ] {
             ctx.set_kernel(kernel);
             let eb = ctx.pair_estimate(&terms, &r, &s);
             assert_eq!(es.value.to_bits(), eb.value.to_bits(), "{kernel:?}");

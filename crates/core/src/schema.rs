@@ -10,7 +10,7 @@
 
 use crate::error::{Result, SketchError};
 use dyadic::DyadicDomain;
-use fourwise::{Lane, WideLane, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES};
+use fourwise::{Lane, WideLane, WideLane512, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -92,6 +92,10 @@ pub struct SketchSchema<const D: usize> {
     /// wide block allocates full-width planes, so small schemas would store
     /// strictly more than their 64-lane packing).
     seed_blocks_wide: OnceLock<[Vec<XiBlock<WideLane>>; D]>,
+    /// And at the 512-lane [`WideLane512`] width, equally lazily — only
+    /// schemas the runtime dispatcher (or an explicit kernel choice) sends
+    /// down the 512-lane path ever pack these planes.
+    seed_blocks_wide512: OnceLock<[Vec<XiBlock<WideLane512>>; D]>,
 }
 
 impl<const D: usize> SketchSchema<D> {
@@ -127,6 +131,7 @@ impl<const D: usize> SketchSchema<D> {
             seeds,
             seed_blocks,
             seed_blocks_wide: OnceLock::new(),
+            seed_blocks_wide512: OnceLock::new(),
         })
     }
 
@@ -155,6 +160,7 @@ impl<const D: usize> SketchSchema<D> {
             seeds,
             seed_blocks,
             seed_blocks_wide: OnceLock::new(),
+            seed_blocks_wide512: OnceLock::new(),
         })
     }
 
@@ -224,6 +230,20 @@ impl<const D: usize> SketchSchema<D> {
         self.instances().div_ceil(WideLane::LANES)
     }
 
+    /// 512-lane evaluation blocks of dimension `dim`; the [`WideLane512`]
+    /// analogue of [`SketchSchema::seed_blocks`], packed lazily on first use
+    /// like the 256-lane planes.
+    pub fn seed_blocks_wide512(&self, dim: usize) -> &[XiBlock<WideLane512>] {
+        &self
+            .seed_blocks_wide512
+            .get_or_init(|| pack_seed_blocks(&self.xi_ctx, &self.seeds))[dim]
+    }
+
+    /// Number of 512-lane instance blocks per dimension.
+    pub fn instance_blocks_wide512(&self) -> usize {
+        self.instances().div_ceil(WideLane512::LANES)
+    }
+
     /// Validates that a sketch coordinate fits dimension `dim`.
     pub fn check_coord(&self, dim: usize, coord: u64) -> Result<()> {
         let max = (1u64 << self.dims[dim].sketch_bits) - 1;
@@ -265,8 +285,8 @@ fn pack_seed_blocks<L: Lane, const D: usize>(
 
 /// Lane-width-generic access to a schema's packed seed planes: the bridge
 /// that lets one build/query kernel implementation serve every [`Lane`]
-/// width. Implemented for the two supported widths, `u64` (64 lanes) and
-/// [`WideLane`] (256 lanes).
+/// width. Implemented for the three supported widths, `u64` (64 lanes),
+/// [`WideLane`] (256 lanes) and [`WideLane512`] (512 lanes).
 pub trait SchemaLanes: Lane {
     /// The schema's packed seed blocks of dimension `dim` at this width.
     fn seed_blocks<const D: usize>(schema: &SketchSchema<D>, dim: usize) -> &[XiBlock<Self>];
@@ -292,6 +312,16 @@ impl SchemaLanes for WideLane {
 
     fn instance_blocks<const D: usize>(schema: &SketchSchema<D>) -> usize {
         schema.instance_blocks_wide()
+    }
+}
+
+impl SchemaLanes for WideLane512 {
+    fn seed_blocks<const D: usize>(schema: &SketchSchema<D>, dim: usize) -> &[XiBlock<Self>] {
+        schema.seed_blocks_wide512(dim)
+    }
+
+    fn instance_blocks<const D: usize>(schema: &SketchSchema<D>) -> usize {
+        schema.instance_blocks_wide512()
     }
 }
 
@@ -411,6 +441,35 @@ mod tests {
             let fam = ctx.family(s.instance_seeds(inst)[0]);
             let block = &s.seed_blocks_wide(0)[inst / 256];
             let got = 1 - 2 * block.eval_mask(pre).bit(inst % 256) as i64;
+            assert_eq!(got, fam.xi_pre(pre), "instance {inst}");
+        }
+    }
+
+    #[test]
+    fn wide512_seed_blocks_mirror_narrow_packing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // 520 instances: one full 512-lane block plus an 8-lane tail.
+        let s = SketchSchema::<1>::new(
+            &mut rng,
+            XiKind::Bch,
+            BoostShape::new(260, 2),
+            [DimSpec::dyadic(8)],
+        );
+        assert_eq!(s.instance_blocks(), 9);
+        assert_eq!(s.instance_blocks_wide(), 3);
+        assert_eq!(s.instance_blocks_wide512(), 2);
+        let blocks = s.seed_blocks_wide512(0);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].lanes(), 512);
+        assert_eq!(blocks[1].lanes(), 8);
+        assert_eq!(blocks[1].occupied_words(), 1);
+        // Every 512-lane evaluates exactly its instance's family.
+        let ctx = &s.xi_ctx()[0];
+        let pre = ctx.precompute(99);
+        for inst in [0usize, 63, 64, 255, 256, 511, 512, 519] {
+            let fam = ctx.family(s.instance_seeds(inst)[0]);
+            let block = &s.seed_blocks_wide512(0)[inst / 512];
+            let got = 1 - 2 * block.eval_mask(pre).bit(inst % 512) as i64;
             assert_eq!(got, fam.xi_pre(pre), "instance {inst}");
         }
     }

@@ -1,8 +1,9 @@
 //! Differential suite: the blocked query kernels against the scalar oracle.
 //!
-//! Every estimator under the kernel matrix (`QueryKernel::Batched` 64-lane
-//! and `QueryKernel::Wide` 256-lane bit-sliced block evaluation, plus the
-//! default `Auto` resolution) must produce **bit-identical** `Estimate`s —
+//! Every estimator under the kernel matrix (`QueryKernel::Batched` 64-lane,
+//! `QueryKernel::Wide` 256-lane and `QueryKernel::Wide512` 512-lane
+//! bit-sliced block evaluation, plus the default `Auto` resolution) must
+//! produce **bit-identical** `Estimate`s —
 //! boosted value *and* every row mean — to the scalar reference kernel
 //! across all five query classes (spatial join, overlap+, range/stab,
 //! containment, ε-join), both ξ constructions and dimensions 1–3. The
@@ -51,12 +52,16 @@ fn assert_bit_identical(scalar: &Estimate, batched: &Estimate, label: &str) {
 }
 
 /// Runs the same estimate under the full kernel matrix (scalar oracle vs
-/// batched vs wide, plus the default `Auto` resolution) and demands
-/// bit-identical results.
+/// batched vs wide vs wide512, plus the default `Auto` resolution) and
+/// demands bit-identical results.
 fn both(mut estimate: impl FnMut(&mut QueryContext) -> Estimate, label: &str) {
     let mut scalar_ctx = QueryContext::new().with_kernel(QueryKernel::Scalar);
     let scalar = estimate(&mut scalar_ctx);
-    for kernel in [QueryKernel::Batched, QueryKernel::Wide] {
+    for kernel in [
+        QueryKernel::Batched,
+        QueryKernel::Wide,
+        QueryKernel::Wide512,
+    ] {
         let mut ctx = QueryContext::new().with_kernel(kernel);
         let got = estimate(&mut ctx);
         assert_bit_identical(&scalar, &got, &format!("{label}/{kernel:?}"));
@@ -339,11 +344,19 @@ fn self_join_estimates_agree() {
 #[test]
 fn boosting_grid_shapes_agree() {
     // Shapes below, at, and straddling the 64-lane block width — plus one
-    // straddling the 256-lane wide width; the row means feed the median, so
-    // every row must match bitwise, not just the final value.
-    for (i, (k1, k2)) in [(5usize, 3usize), (64, 1), (13, 5), (33, 4), (130, 2)]
-        .into_iter()
-        .enumerate()
+    // straddling the 256-lane wide width and one straddling the 512-lane
+    // width; the row means feed the median, so every row must match
+    // bitwise, not just the final value.
+    for (i, (k1, k2)) in [
+        (5usize, 3usize),
+        (64, 1),
+        (13, 5),
+        (33, 4),
+        (130, 2),
+        (173, 3),
+    ]
+    .into_iter()
+    .enumerate()
     {
         let label = format!("shapes/{k1}x{k2}");
         let mut rng = StdRng::seed_from_u64(440 + i as u64);

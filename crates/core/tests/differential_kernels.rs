@@ -1,12 +1,13 @@
 //! Differential suite: the blocked build kernels against the scalar oracle.
 //!
-//! The kernel matrix — `BuildKernel::Batched` (64-lane bit-sliced) and
-//! `BuildKernel::Wide` (256-lane bit-sliced) — must produce
-//! **bit-identical** `SketchSet` counters to the scalar reference path for
-//! every construction, endpoint policy, dimensionality and insert/delete
-//! mix — sketches are exact integer linear summaries, so any divergence at
-//! all is a kernel bug. The oracle chain is Scalar → Batched → Wide: the
-//! scalar path anchors both blocked widths at once.
+//! The kernel matrix — `BuildKernel::Batched` (64-lane bit-sliced),
+//! `BuildKernel::Wide` (256-lane bit-sliced) and `BuildKernel::Wide512`
+//! (512-lane bit-sliced) — must produce **bit-identical** `SketchSet`
+//! counters to the scalar reference path for every construction, endpoint
+//! policy, dimensionality and insert/delete mix — sketches are exact
+//! integer linear summaries, so any divergence at all is a kernel bug. The
+//! oracle chain is Scalar → Batched → Wide → Wide512: the scalar path
+//! anchors all blocked widths at once.
 //!
 //! Seeded stand-ins for property tests: each configuration streams ≥200
 //! random objects (with interleaved deletions of earlier inserts) through
@@ -30,7 +31,11 @@ const POLICIES: [EndpointPolicy; 3] = [
 ];
 
 /// The blocked kernels checked against the scalar oracle.
-const MATRIX: [BuildKernel; 2] = [BuildKernel::Batched, BuildKernel::Wide];
+const MATRIX: [BuildKernel; 3] = [
+    BuildKernel::Batched,
+    BuildKernel::Wide,
+    BuildKernel::Wide512,
+];
 
 /// Every component class in one word list: the `{I,E}^D` join words plus
 /// point- and leaf-reading words (range/containment/ε-join shapes).
@@ -137,8 +142,14 @@ fn run_config<const D: usize>(
 const BLOCK_SPANNING: BoostShape = BoostShape { k1: 67, k2: 1 };
 
 /// 300 instances: one full 256-lane wide block plus a 44-lane tail, five
-/// 64-lane blocks.
+/// 64-lane blocks — and a partial 512-lane block with 5 of 8 backing words
+/// occupied (the occupancy-skip path).
 const WIDE_SPANNING: BoostShape = BoostShape { k1: 150, k2: 2 };
+
+/// 520 instances: one full 512-lane block plus an 8-lane tail (a single
+/// occupied backing word in the tail block), two 256-lane wide blocks plus
+/// a tail, nine 64-lane blocks.
+const WIDE512_SPANNING: BoostShape = BoostShape { k1: 260, k2: 2 };
 
 #[test]
 fn differential_bch_all_policies_1d() {
@@ -248,6 +259,25 @@ fn differential_wide_spanning_shapes() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn differential_wide512_spanning_shapes() {
+    // Shapes straddling the 512-lane block width: a full block plus a tiny
+    // tail (one occupied backing word of eight), and an exact fit.
+    run_config::<2>(
+        fourwise::XiKind::Bch,
+        EndpointPolicy::Tripled,
+        WIDE512_SPANNING,
+        975,
+    );
+    run_config::<1>(
+        fourwise::XiKind::Poly,
+        EndpointPolicy::Raw,
+        BoostShape::new(512, 1),
+        976,
+    );
+}
+
+#[test]
 fn default_kernel_follows_width_heuristic() {
     // Only meaningful when no SKETCH_KERNEL override pins the default (the
     // tests-release CI lane sets one to run this suite per kernel).
@@ -273,8 +303,23 @@ fn default_kernel_follows_width_heuristic() {
         BoostShape::new(sketch::WIDE_MIN_INSTANCES, 1),
         [DimSpec::dyadic(8)],
     );
-    let sk = SketchSet::new(large, words, EndpointPolicy::Raw);
+    let sk = SketchSet::new(large, words.clone(), EndpointPolicy::Raw);
     assert_eq!(sk.kernel(), BuildKernel::Wide);
+    // Above the 512-lane threshold the dispatch is CPU-capped: Wide512 only
+    // where runtime detection reports 512-bit vectors. The public resolved
+    // view (`preferred_lane_width`) is the portable way to phrase it.
+    let huge = SketchSchema::<1>::new(
+        &mut rng,
+        fourwise::XiKind::Bch,
+        BoostShape::new(sketch::WIDE512_MIN_INSTANCES, 1),
+        [DimSpec::dyadic(8)],
+    );
+    let expected = match sketch::preferred_lane_width(sketch::WIDE512_MIN_INSTANCES) {
+        512 => BuildKernel::Wide512,
+        _ => BuildKernel::Wide,
+    };
+    let sk = SketchSet::new(huge, words, EndpointPolicy::Raw);
+    assert_eq!(sk.kernel(), expected);
 }
 
 #[test]
@@ -294,7 +339,12 @@ fn slice_ingestion_matches_streaming_inserts() {
     for r in &data {
         streamed.insert(r).unwrap();
     }
-    for kernel in [BuildKernel::Scalar, BuildKernel::Batched, BuildKernel::Wide] {
+    for kernel in [
+        BuildKernel::Scalar,
+        BuildKernel::Batched,
+        BuildKernel::Wide,
+        BuildKernel::Wide512,
+    ] {
         let mut sliced =
             SketchSet::new(schema.clone(), words.clone(), EndpointPolicy::Raw).with_kernel(kernel);
         sliced.insert_slice(&data).unwrap();
@@ -348,10 +398,13 @@ fn kernels_are_switchable_mid_stream() {
     let mut mixed = SketchSet::new(schema, words, EndpointPolicy::Raw);
     for (i, r) in data.iter().enumerate() {
         oracle.insert(r).unwrap();
-        if i == 40 {
+        if i == 30 {
             mixed.set_kernel(BuildKernel::Wide);
         }
-        if i == 80 {
+        if i == 60 {
+            mixed.set_kernel(BuildKernel::Wide512);
+        }
+        if i == 90 {
             mixed.set_kernel(BuildKernel::Scalar);
         }
         mixed.insert(r).unwrap();

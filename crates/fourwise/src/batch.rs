@@ -12,10 +12,20 @@
 //!
 //! Everything here is generic over the [`Lane`] word: the portable `u64`
 //! width (64 instances per block, [`BLOCK_LANES`]) is the default and the
-//! differential oracle; the [`WideLane`] width (`[u64; 4]`, 256 instances
-//! per block) runs the identical algorithms with four-word lane-wise
-//! operations that LLVM autovectorizes. Both produce bit-identical per-lane
-//! sums — lane width only changes how many instances share one pass.
+//! differential oracle; the [`WideLane`] (`[u64; 4]`, 256 instances) and
+//! [`WideLane512`] (`[u64; 8]`, 512 instances) widths run the identical
+//! algorithms with multi-word lane-wise operations that LLVM autovectorizes.
+//! All widths produce bit-identical per-lane sums — lane width only changes
+//! how many instances share one pass.
+//!
+//! Partial tail blocks (a schema whose instance count is not a multiple of
+//! the lane width) carry an *occupancy* word count: every backing word at or
+//! above `lanes.div_ceil(64)` is all-zero in the seed planes, every sign
+//! mask, and every counter plane, so the fold loops run prefix-limited
+//! ([`Lane::xor_assign_prefix`] and friends) and skip the dead words — a
+//! 128-lane tail in a 512-lane block pays for 2 words, not 8. (Majority-
+//! occupied tails stay on the full fixed-width vector code: folding the
+//! provably-zero dead words is free and keeps the loops unrolled.)
 //!
 //! For the BCH family the sign of lane `j` is
 //! `b0_j ⊕ <s1_j, i> ⊕ <s3_j, i³>`; XOR-ing the `s1` plane of every set bit
@@ -33,7 +43,7 @@
 //! oracle computes.
 
 use crate::family::{IndexPre, XiContext, XiKind, XiSeed};
-use crate::lane::{Lane, WideLane};
+use crate::lane::{Lane, WideLane, WideLane512};
 use crate::poly::PolyFamily;
 
 #[cfg(doc)]
@@ -45,6 +55,9 @@ pub const BLOCK_LANES: usize = 64;
 /// Instances per block at the wide ([`WideLane`]) width.
 pub const WIDE_LANES: usize = WideLane::LANES;
 
+/// Instances per block at the 512-lane ([`WideLane512`]) width.
+pub const WIDE512_LANES: usize = WideLane512::LANES;
+
 /// Upper bound on the number of masks a [`LaneCounter`] can absorb
 /// (`2^PLANES - 1`). Dyadic covers have at most `2·bits ≤ 126` nodes, within
 /// bounds for every supported domain.
@@ -55,6 +68,9 @@ const PLANES: usize = 8;
 #[derive(Debug, Clone)]
 pub struct BchBlock<L: Lane = u64> {
     lanes: u32,
+    /// Occupied backing words, `lanes.div_ceil(64)`: every seed plane is
+    /// all-zero at and above this word, so the fold loops skip them.
+    words: u32,
     /// Lane `j` holds seed `j`'s sign-flip bit.
     b0: L,
     /// `s1[b]` lane `j` = bit `b` of seed `j`'s first-order mask.
@@ -86,22 +102,31 @@ impl<L: Lane> BchBlock<L> {
             }
             lanes += 1;
         }
-        Self { lanes, b0, s1, s3 }
+        let words = (lanes as usize).div_ceil(64) as u32;
+        Self {
+            lanes,
+            words,
+            b0,
+            s1,
+            s3,
+        }
     }
 
     /// Sign mask of the block at one index: lane `j`'s bit set ⇔ lane `j`'s
-    /// `xi = -1`. Bits at or above the block's lane count are unspecified.
+    /// `xi = -1`. Bits at or above the block's lane count are zero (partial
+    /// tail blocks fold only their occupied backing words).
     #[inline]
     pub fn eval_mask(&self, pre: IndexPre) -> L {
+        let words = self.words as usize;
         let mut acc = self.b0;
         let mut i = pre.index;
         while i != 0 {
-            acc.xor_assign(&self.s1[i.trailing_zeros() as usize]);
+            acc.xor_assign_prefix(&self.s1[i.trailing_zeros() as usize], words);
             i &= i - 1;
         }
         let mut c = pre.cube;
         while c != 0 {
-            acc.xor_assign(&self.s3[c.trailing_zeros() as usize]);
+            acc.xor_assign_prefix(&self.s3[c.trailing_zeros() as usize], words);
             c &= c - 1;
         }
         acc
@@ -188,6 +213,16 @@ impl<L: Lane> XiBlock<L> {
         }
     }
 
+    /// Number of occupied backing words (`lanes().div_ceil(64)`) — the
+    /// occupancy mask partial tail blocks hand to the prefix-limited folds.
+    #[inline]
+    pub fn occupied_words(&self) -> usize {
+        match self {
+            XiBlock::Bch(b) => b.words as usize,
+            XiBlock::Poly(p) => p.fams.len().div_ceil(64),
+        }
+    }
+
     /// Sign mask of the whole block at one index: lane `j`'s bit set ⇔ lane
     /// `j`'s `xi_i = -1`. Bits at or above [`XiBlock::lanes`] are
     /// unspecified.
@@ -207,19 +242,23 @@ impl<L: Lane> XiBlock<L> {
     #[inline]
     pub fn sum_pre_into(&self, pres: &[IndexPre], counter: &mut LaneCounter<L>, out: &mut [i64]) {
         let out = &mut out[..self.lanes()];
+        // Partial tail blocks only occupy a prefix of the backing words:
+        // every mask (and therefore every counter plane) is zero above it,
+        // so the carry-save folds run prefix-limited.
+        let words = self.occupied_words();
         let mut chunks = pres.chunks(LaneCounter::<L>::CAPACITY as usize);
         // First chunk writes, later chunks accumulate; covers are far below
         // capacity, so the hot path is exactly one write pass.
         let first = chunks.next().unwrap_or(&[]);
         counter.clear();
         for p in first {
-            counter.add_mask(self.eval_mask(*p));
+            counter.add_mask_prefix(self.eval_mask(*p), words);
         }
         counter.signed_sums_into(out);
         for chunk in chunks {
             counter.clear();
             for p in chunk {
-                counter.add_mask(self.eval_mask(*p));
+                counter.add_mask_prefix(self.eval_mask(*p), words);
             }
             counter.signed_sums_accum(out);
         }
@@ -239,6 +278,8 @@ pub struct BlockSums<L: Lane = u64> {
     counter: LaneCounter<L>,
     /// Slot `s` occupies `sums[s*L::LANES..(s+1)*L::LANES]`.
     sums: Vec<i64>,
+    /// Scratch for [`BlockSums::slot_products`] (one lane word's worth).
+    prod: Vec<i64>,
 }
 
 impl<L: Lane> Default for BlockSums<L> {
@@ -246,6 +287,7 @@ impl<L: Lane> Default for BlockSums<L> {
         Self {
             counter: LaneCounter::new(),
             sums: Vec::new(),
+            prod: Vec::new(),
         }
     }
 }
@@ -288,6 +330,37 @@ impl<L: Lane> BlockSums<L> {
     #[inline]
     pub fn lane_sums(&self, slot: usize) -> &[i64] {
         &self.sums[slot * L::LANES..(slot + 1) * L::LANES]
+    }
+
+    /// Per-lane product across slots: entry `j` of the result is
+    /// `Π_s lane_sums(slots[s])[j]` over the first `lanes` lanes, multiplied
+    /// in slot order — bit-identical to the per-lane scalar fold the query
+    /// kernels used to run, but restructured as plain elementwise `i64`
+    /// loops over contiguous buffers so the inner loop autovectorizes at
+    /// every lane width. Single-slot calls borrow the sums directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or any slot was never evaluated.
+    #[inline]
+    pub fn slot_products(&mut self, slots: &[usize], lanes: usize) -> &[i64] {
+        debug_assert!(lanes <= L::LANES);
+        let (&first, rest) = slots
+            .split_first()
+            .expect("slot_products needs at least one slot");
+        if rest.is_empty() {
+            return &self.sums[first * L::LANES..first * L::LANES + lanes];
+        }
+        self.prod.resize(L::LANES, 0);
+        let prod = &mut self.prod[..lanes];
+        prod.copy_from_slice(&self.sums[first * L::LANES..first * L::LANES + lanes]);
+        for &s in rest {
+            let src = &self.sums[s * L::LANES..s * L::LANES + lanes];
+            for (p, v) in prod.iter_mut().zip(src) {
+                *p *= *v;
+            }
+        }
+        &self.prod[..lanes]
     }
 }
 
@@ -345,6 +418,16 @@ impl<L: Lane> LaneCounter<L> {
     /// builds too (the predictable branch costs ~1 cycle per mask).
     #[inline]
     pub fn add_mask(&mut self, mask: L) {
+        self.add_mask_prefix(mask, L::WORDS)
+    }
+
+    /// [`LaneCounter::add_mask`] restricted to the first `words` backing
+    /// words — the occupancy skip for partial tail blocks. Sound only when
+    /// `mask` (and every mask since the last clear) is all-zero at and above
+    /// word `words`: the counter planes then stay zero there too, and the
+    /// prefix-limited carry-save step is bit-identical to the full one.
+    #[inline]
+    pub fn add_mask_prefix(&mut self, mask: L, words: usize) {
         assert!(
             self.added < Self::CAPACITY,
             "LaneCounter overflow: more than {} masks",
@@ -352,11 +435,11 @@ impl<L: Lane> LaneCounter<L> {
         );
         let mut carry = mask;
         for plane in &mut self.planes {
-            if carry.is_zero() {
+            if carry.is_zero_prefix(words) {
                 break;
             }
-            let t = plane.and(&carry);
-            plane.xor_assign(&carry);
+            let t = plane.and_prefix(&carry, words);
+            plane.xor_assign_prefix(&carry, words);
             carry = t;
         }
         self.added += 1;
@@ -466,6 +549,7 @@ mod tests {
     fn eval_mask_matches_scalar_families() {
         eval_mask_matches_scalar_families_at::<u64>();
         eval_mask_matches_scalar_families_at::<WideLane>();
+        eval_mask_matches_scalar_families_at::<WideLane512>();
     }
 
     fn sum_pre_into_matches_scalar_sum_at<L: Lane>() {
@@ -494,22 +578,22 @@ mod tests {
     fn sum_pre_into_matches_scalar_sum() {
         sum_pre_into_matches_scalar_sum_at::<u64>();
         sum_pre_into_matches_scalar_sum_at::<WideLane>();
+        sum_pre_into_matches_scalar_sum_at::<WideLane512>();
     }
 
-    #[test]
-    fn wide_and_narrow_blocks_agree_lane_for_lane() {
-        // The same 256 seeds packed as one wide block and four narrow blocks
-        // must produce identical per-lane sums — the oracle chain the
-        // differential suites lean on.
+    fn wide_and_narrow_blocks_agree_lane_for_lane_at<L: Lane>() {
+        // The same L::LANES seeds packed as one wide block and L::WORDS
+        // narrow blocks must produce identical per-lane sums — the oracle
+        // chain the differential suites lean on.
         let mut rng = StdRng::seed_from_u64(91);
         for kind in [XiKind::Bch, XiKind::Poly] {
-            let (ctx, seeds) = random_block(kind, 11, WIDE_LANES, 92);
-            let wide = XiBlock::<WideLane>::pack(&ctx, &seeds);
+            let (ctx, seeds) = random_block(kind, 11, L::LANES, 92);
+            let wide = XiBlock::<L>::pack(&ctx, &seeds);
             let pres: Vec<IndexPre> = (0..120)
                 .map(|_| ctx.precompute(rng.gen_range(0..2048u64)))
                 .collect();
-            let mut wide_counter = LaneCounter::<WideLane>::new();
-            let mut wide_sums = vec![0i64; WIDE_LANES];
+            let mut wide_counter = LaneCounter::<L>::new();
+            let mut wide_sums = vec![0i64; L::LANES];
             wide.sum_pre_into(&pres, &mut wide_counter, &mut wide_sums);
             let mut counter = LaneCounter::<u64>::new();
             let mut sums = [0i64; BLOCK_LANES];
@@ -523,6 +607,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wide_and_narrow_blocks_agree_lane_for_lane() {
+        wide_and_narrow_blocks_agree_lane_for_lane_at::<WideLane>();
+        wide_and_narrow_blocks_agree_lane_for_lane_at::<WideLane512>();
+    }
+
+    fn tail_blocks_skip_dead_words_and_match_scalar_at<L: Lane>(lanes: usize) {
+        // A partial tail block occupies lanes.div_ceil(64) backing words;
+        // the prefix-limited folds must still match the scalar families
+        // exactly (and the occupancy count must match the geometry).
+        let mut rng = StdRng::seed_from_u64(4096 + lanes as u64);
+        for kind in [XiKind::Bch, XiKind::Poly] {
+            let (ctx, seeds) = random_block(kind, 12, lanes, 55 + lanes as u64);
+            let block = XiBlock::<L>::pack(&ctx, &seeds);
+            assert_eq!(block.lanes(), lanes);
+            assert_eq!(block.occupied_words(), lanes.div_ceil(64));
+            let pres: Vec<IndexPre> = (0..90)
+                .map(|_| ctx.precompute(rng.gen_range(0..4096u64)))
+                .collect();
+            let mut counter = LaneCounter::<L>::new();
+            let mut sums = vec![0i64; lanes];
+            block.sum_pre_into(&pres, &mut counter, &mut sums);
+            for (j, &seed) in seeds.iter().enumerate() {
+                let fam = ctx.family(seed);
+                assert_eq!(
+                    sums[j],
+                    fam.sum_pre(&pres),
+                    "{kind:?} lanes={lanes} lane {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_blocks_skip_dead_words_and_match_scalar() {
+        // 70 lanes → 2 of 4 / 2 of 8 occupied words; 300 → 5 of 8; 511/513
+        // straddle the word boundary on the widest block.
+        tail_blocks_skip_dead_words_and_match_scalar_at::<WideLane>(70);
+        tail_blocks_skip_dead_words_and_match_scalar_at::<WideLane>(129);
+        tail_blocks_skip_dead_words_and_match_scalar_at::<WideLane512>(70);
+        tail_blocks_skip_dead_words_and_match_scalar_at::<WideLane512>(300);
+        tail_blocks_skip_dead_words_and_match_scalar_at::<WideLane512>(449);
     }
 
     #[test]
@@ -577,6 +705,44 @@ mod tests {
     fn block_sums_holds_independent_slots() {
         block_sums_holds_independent_slots_at::<u64>();
         block_sums_holds_independent_slots_at::<WideLane>();
+        block_sums_holds_independent_slots_at::<WideLane512>();
+    }
+
+    fn slot_products_match_per_lane_fold_at<L: Lane>() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (ctx, seeds) = random_block(XiKind::Bch, 10, L::LANES, 79);
+        let block = XiBlock::<L>::pack(&ctx, &seeds);
+        let lists: Vec<Vec<IndexPre>> = (0..3)
+            .map(|n| {
+                (0..20 + 9 * n)
+                    .map(|_| ctx.precompute(rng.gen_range(0..1024u64)))
+                    .collect()
+            })
+            .collect();
+        let mut sums = BlockSums::<L>::new();
+        for (slot, list) in lists.iter().enumerate() {
+            sums.eval_into(slot, &block, list);
+        }
+        for slots in [&[1usize][..], &[0, 2], &[2, 0, 1]] {
+            let lanes = L::LANES - 3;
+            let expect: Vec<i64> = (0..lanes)
+                .map(|j| {
+                    let mut p = 1i64;
+                    for &s in slots {
+                        p *= sums.lane_sums(s)[j];
+                    }
+                    p
+                })
+                .collect();
+            assert_eq!(sums.slot_products(slots, lanes), &expect[..], "{slots:?}");
+        }
+    }
+
+    #[test]
+    fn slot_products_match_per_lane_fold() {
+        slot_products_match_per_lane_fold_at::<u64>();
+        slot_products_match_per_lane_fold_at::<WideLane>();
+        slot_products_match_per_lane_fold_at::<WideLane512>();
     }
 
     #[test]
@@ -668,5 +834,41 @@ mod tests {
         let ctx = XiContext::new(XiKind::Bch, 8);
         let seeds: Vec<XiSeed> = (0..257).map(|_| ctx.random_seed(&mut rng)).collect();
         let _ = XiBlock::<WideLane>::pack(&ctx, &seeds);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=512 seeds")]
+    fn pack_rejects_oversized_wide512_block() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ctx = XiContext::new(XiKind::Bch, 8);
+        let seeds: Vec<XiSeed> = (0..513).map(|_| ctx.random_seed(&mut rng)).collect();
+        let _ = XiBlock::<WideLane512>::pack(&ctx, &seeds);
+    }
+
+    #[test]
+    fn prefix_adds_match_full_adds() {
+        // Same masks folded with add_mask and add_mask_prefix (under the
+        // occupancy contract: masks zero above the prefix) must produce
+        // identical planes, counts and sums.
+        let mut rng = StdRng::seed_from_u64(23);
+        let words = 3usize; // 192 occupied lanes of 512
+        let mut full = LaneCounter::<WideLane512>::new();
+        let mut prefix = LaneCounter::<WideLane512>::new();
+        for _ in 0..200 {
+            let mut m = WideLane512::zero();
+            for _ in 0..rng.gen_range(0..40) {
+                m.set_bit(rng.gen_range(0..words * 64));
+            }
+            full.add_mask(m);
+            prefix.add_mask_prefix(m, words);
+        }
+        let mut want = vec![0i64; words * 64];
+        let mut got = vec![0i64; words * 64];
+        full.signed_sums_into(&mut want);
+        prefix.signed_sums_into(&mut got);
+        assert_eq!(want, got);
+        for lane in [0usize, 63, 64, 191] {
+            assert_eq!(full.count(lane), prefix.count(lane), "lane {lane}");
+        }
     }
 }

@@ -14,13 +14,21 @@
 //!   `target_feature` gating; even without vector units it quarters the
 //!   per-block fixed costs (loop control, counter extraction setup, scratch
 //!   walks).
+//! * [`WideLane512`] (`[u64; 8]`) — 512 instances per block, the AVX-512
+//!   register shape. Same autovectorizable loops, one more halving of the
+//!   per-block fixed costs; the runtime dispatcher in `sketch::kernel` only
+//!   prefers it where the CPU reports 512-bit vectors and the schema is wide
+//!   enough to fill the lanes.
 //!
 //! The trait surface is exactly what the kernels need: splat/set/test of
 //! per-lane bits, lane-wise XOR/AND (the GF(2) plane fold and the carry-save
-//! adder step), a zero test (early carry exit), and per-lane popcount.
-//! Everything heavier — packing seeds into planes, evaluating ξ masks,
-//! carry-save accumulation — is built on top in [`crate::batch`] and stays
-//! width-generic.
+//! adder step), a zero test (early carry exit), and per-lane popcount — plus
+//! *prefix* variants of the fold operations that touch only the first `words`
+//! backing words, which the batch kernels use to skip the all-zero upper
+//! words of partial tail blocks (a 300-lane tail in a 512-lane block only
+//! occupies 5 of 8 words). Everything heavier — packing seeds into planes,
+//! evaluating ξ masks, carry-save accumulation — is built on top in
+//! [`crate::batch`] and stays width-generic.
 
 use std::fmt::Debug;
 
@@ -62,6 +70,36 @@ pub trait Lane: Copy + Clone + Debug + Default + PartialEq + Eq + Send + Sync + 
 
     /// Number of set lane bits (popcount across all lanes).
     fn count_ones(&self) -> u32;
+
+    /// [`Lane::xor_assign`] restricted to the first `words` backing words.
+    ///
+    /// The occupancy-skip contract: callers may only pass `words <
+    /// Self::WORDS` when both operands are known all-zero in every skipped
+    /// word, so the restricted fold is bit-identical to the full one.
+    #[inline(always)]
+    fn xor_assign_prefix(&mut self, rhs: &Self, words: usize) {
+        debug_assert!(words >= Self::WORDS);
+        let _ = words;
+        self.xor_assign(rhs);
+    }
+
+    /// [`Lane::and`] restricted to the first `words` backing words (skipped
+    /// words of the result are zero — which equals the full AND under the
+    /// occupancy-skip contract above).
+    #[inline(always)]
+    fn and_prefix(&self, rhs: &Self, words: usize) -> Self {
+        debug_assert!(words >= Self::WORDS);
+        let _ = words;
+        self.and(rhs)
+    }
+
+    /// [`Lane::is_zero`] restricted to the first `words` backing words.
+    #[inline(always)]
+    fn is_zero_prefix(&self, words: usize) -> bool {
+        debug_assert!(words >= Self::WORDS);
+        let _ = words;
+        self.is_zero()
+    }
 }
 
 impl Lane for u64 {
@@ -122,18 +160,36 @@ impl Lane for u64 {
 /// The 256-lane wide word: four `u64`s evaluated lane-wise in lockstep.
 pub type WideLane = [u64; 4];
 
-impl Lane for WideLane {
-    const LANES: usize = 256;
-    const WORDS: usize = 4;
+/// The 512-lane wide word: eight `u64`s — one AVX-512 register — evaluated
+/// lane-wise in lockstep.
+pub type WideLane512 = [u64; 8];
+
+/// One width-generic implementation covers [`WideLane`] and [`WideLane512`]
+/// (and any future `[u64; N]` width): all operations are fixed-trip-count
+/// loops over the backing words, the shape LLVM unrolls and autovectorizes.
+/// The prefix variants take a variable trip count instead, trading vector
+/// width for skipping words that are provably zero in partial tail blocks.
+/// They cut over to the full fixed-width code as soon as the occupied
+/// prefix is the majority of the word (`2 * words >= N`): under the
+/// occupancy contract the dead words are zero, so full-width folds compute
+/// the identical result, and one unrolled vector pass beats a short
+/// variable-trip scalar loop — a mostly-full tail block (say 440 of 512
+/// lanes) then runs exactly the full-block code.
+impl<const N: usize> Lane for [u64; N]
+where
+    [u64; N]: Default,
+{
+    const LANES: usize = 64 * N;
+    const WORDS: usize = N;
 
     #[inline(always)]
     fn zero() -> Self {
-        [0; 4]
+        [0; N]
     }
 
     #[inline(always)]
     fn splat(bit: bool) -> Self {
-        [if bit { u64::MAX } else { 0 }; 4]
+        [if bit { u64::MAX } else { 0 }; N]
     }
 
     #[inline(always)]
@@ -169,12 +225,46 @@ impl Lane for WideLane {
 
     #[inline(always)]
     fn is_zero(&self) -> bool {
-        (self[0] | self[1] | self[2] | self[3]) == 0
+        self.iter().fold(0u64, |acc, &w| acc | w) == 0
     }
 
     #[inline(always)]
     fn count_ones(&self) -> u32 {
         self.iter().map(|w| w.count_ones()).sum()
+    }
+
+    #[inline(always)]
+    fn xor_assign_prefix(&mut self, rhs: &Self, words: usize) {
+        if 2 * words >= N {
+            self.xor_assign(rhs);
+        } else {
+            for (a, b) in self[..words].iter_mut().zip(rhs[..words].iter()) {
+                *a ^= *b;
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn and_prefix(&self, rhs: &Self, words: usize) -> Self {
+        if 2 * words >= N {
+            return self.and(rhs);
+        }
+        let mut out = [0u64; N];
+        for (o, (a, b)) in out[..words]
+            .iter_mut()
+            .zip(self[..words].iter().zip(rhs[..words].iter()))
+        {
+            *o = a & b;
+        }
+        out
+    }
+
+    #[inline(always)]
+    fn is_zero_prefix(&self, words: usize) -> bool {
+        if 2 * words >= N {
+            return self.is_zero();
+        }
+        self[..words].iter().fold(0u64, |acc, &w| acc | w) == 0
     }
 }
 
@@ -217,13 +307,84 @@ mod tests {
         assert!(L::splat(false).is_zero());
     }
 
+    /// Prefix ops agree with the full-width ops whenever both operands are
+    /// zero in the skipped words (the occupancy-skip contract), at every
+    /// prefix length.
+    fn exercise_prefix<L: Lane>() {
+        for words in 1..=L::WORDS {
+            let lanes = words * 64;
+            let mut a = L::zero();
+            let mut b = L::zero();
+            // Populate only the first `words` backing words.
+            for lane in [0, lanes / 2, lanes - 1] {
+                a.set_bit(lane);
+            }
+            for lane in [0, lanes - 1] {
+                b.set_bit(lane);
+            }
+            let mut full = a;
+            full.xor_assign(&b);
+            let mut prefix = a;
+            prefix.xor_assign_prefix(&b, words);
+            assert_eq!(prefix, full, "xor prefix {words}/{}", L::WORDS);
+            assert_eq!(a.and_prefix(&b, words), a.and(&b), "and prefix {words}");
+            assert_eq!(
+                a.is_zero_prefix(words),
+                a.is_zero(),
+                "is_zero prefix {words}"
+            );
+            assert!(L::zero().is_zero_prefix(words));
+        }
+    }
+
     #[test]
     fn u64_lane_semantics() {
         exercise::<u64>();
+        exercise_prefix::<u64>();
     }
 
     #[test]
     fn wide_lane_semantics() {
         exercise::<WideLane>();
+        exercise_prefix::<WideLane>();
+    }
+
+    #[test]
+    fn wide512_lane_semantics() {
+        exercise::<WideLane512>();
+        exercise_prefix::<WideLane512>();
+    }
+
+    #[test]
+    fn minority_prefix_ops_ignore_suffix_words() {
+        // Below the majority cutover (`2 * words < N`) the prefix ops take
+        // the short variable-trip path: with garbage in the words past the
+        // prefix they must not read them (is_zero) nor let them affect the
+        // folded prefix words. (At or above the cutover the ops run the
+        // full fixed-width code, which is only equivalent under the
+        // occupancy contract — suffix words all-zero.)
+        let mut a = WideLane512::zero();
+        let mut b = WideLane512::zero();
+        a[7] = u64::MAX;
+        b[6] = 0xDEAD_BEEF;
+        a.set_bit(3);
+        b.set_bit(3);
+        assert!(!a.is_zero_prefix(1)); // lane 3 lives in word 0
+        let mut x = a;
+        x.xor_assign_prefix(&b, 3);
+        assert_eq!(x.bit(3), 0);
+        assert_eq!(x[7], u64::MAX, "suffix words untouched");
+        assert_eq!(x[6], 0, "suffix words untouched");
+        let y = a.and_prefix(&b, 3);
+        assert_eq!(y.bit(3), 1);
+        assert_eq!(y[6], 0);
+        assert_eq!(y[7], 0, "and prefix zeroes the suffix");
+        let mut only_tail = WideLane512::zero();
+        only_tail[5] = 1;
+        assert!(
+            only_tail.is_zero_prefix(2),
+            "word 5 is past a 2-word prefix"
+        );
+        assert!(!only_tail.is_zero_prefix(6));
     }
 }

@@ -21,11 +21,11 @@
 //! [`family`] wraps both behind one interface shaped for the sketch hot loop
 //! (shared per-index precomputation across thousands of instances),
 //! [`lane`] defines the [`Lane`] machine-word abstraction (portable 64-lane
-//! `u64` and the autovectorizable 256-lane [`WideLane`]), [`batch`] builds
-//! the lane-width-generic bit-sliced evaluation blocks behind the batched
-//! build *and* query kernels (plus the [`BlockSums`] scratch the query side
-//! evaluates whole covers into), and [`gf2`] supplies the carry-less
-//! GF(2^k) arithmetic the BCH family needs.
+//! `u64` and the autovectorizable 256-lane [`WideLane`] and 512-lane
+//! [`WideLane512`]), [`batch`] builds the lane-width-generic bit-sliced
+//! evaluation blocks behind the batched build *and* query kernels (plus the
+//! [`BlockSums`] scratch the query side evaluates whole covers into), and
+//! [`gf2`] supplies the carry-less GF(2^k) arithmetic the BCH family needs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +37,9 @@ pub mod gf2;
 pub mod lane;
 pub mod poly;
 
-pub use batch::{BlockSums, LaneCounter, XiBlock, BLOCK_LANES, WIDE_LANES};
+pub use batch::{BlockSums, LaneCounter, XiBlock, BLOCK_LANES, WIDE512_LANES, WIDE_LANES};
 pub use bch::{BchFamily, BchSeed};
 pub use family::{IndexPre, XiContext, XiFamily, XiKind, XiSeed, CUBE_TABLE_MAX_BITS};
 pub use gf2::GfContext;
-pub use lane::{Lane, WideLane};
+pub use lane::{Lane, WideLane, WideLane512};
 pub use poly::{PolyFamily, PolySeed};

@@ -1,18 +1,18 @@
 //! Property tests for `fourwise::batch` across the cube-table boundary,
-//! at both lane widths.
+//! at every lane width.
 //!
 //! `XiContext` eagerly tabulates GF(2^k) cubes for `k <=`
 //! [`CUBE_TABLE_MAX_BITS`] and computes them on the fly above it; the block
 //! evaluation path consumes `IndexPre` either way and must agree with the
 //! scalar `XiFamily` evaluation bit for bit on both sides of the boundary —
-//! for the portable 64-lane `u64` blocks and the 256-lane [`WideLane`]
-//! blocks alike.
+//! for the portable 64-lane `u64` blocks, the 256-lane [`WideLane`] blocks
+//! and the 512-lane [`WideLane512`] blocks alike.
 //!
 //! Seeded stand-ins for property tests (deterministic randomized loops).
 
 use fourwise::{
-    IndexPre, Lane, LaneCounter, WideLane, XiBlock, XiContext, XiKind, XiSeed, BLOCK_LANES,
-    CUBE_TABLE_MAX_BITS,
+    IndexPre, Lane, LaneCounter, WideLane, WideLane512, XiBlock, XiContext, XiKind, XiSeed,
+    BLOCK_LANES, CUBE_TABLE_MAX_BITS,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +70,7 @@ fn size_one_blocks_equal_family_evaluation_at<L: Lane>() {
 fn size_one_blocks_equal_family_evaluation() {
     size_one_blocks_equal_family_evaluation_at::<u64>();
     size_one_blocks_equal_family_evaluation_at::<WideLane>();
+    size_one_blocks_equal_family_evaluation_at::<WideLane512>();
 }
 
 fn full_blocks_equal_family_sums_at<L: Lane>() {
@@ -98,26 +99,28 @@ fn full_blocks_equal_family_sums_at<L: Lane>() {
 fn full_blocks_equal_family_sums_at_boundary() {
     full_blocks_equal_family_sums_at::<u64>();
     full_blocks_equal_family_sums_at::<WideLane>();
+    full_blocks_equal_family_sums_at::<WideLane512>();
 }
 
-#[test]
-fn wide_tail_blocks_match_narrow_blocks_at_boundary() {
-    // A 100-lane wide block (partial tail) against the equivalent 64+36
-    // narrow split, above the cube-table cutoff.
+/// A `lanes`-lane partial tail block at width `L` against the equivalent
+/// narrow split, above the cube-table cutoff — exercising the occupancy
+/// skip (only `lanes.div_ceil(64)` of `L::WORDS` backing words are live).
+fn tail_blocks_match_narrow_blocks_at<L: Lane>(lanes: usize, seed: u64) {
     let k = CUBE_TABLE_MAX_BITS + 1;
     let ctx = XiContext::new(XiKind::Bch, k);
-    let mut rng = StdRng::seed_from_u64(3000);
-    let seeds: Vec<XiSeed> = (0..100).map(|_| ctx.random_seed(&mut rng)).collect();
-    let wide = XiBlock::<WideLane>::pack(&ctx, &seeds);
-    assert_eq!(wide.lanes(), 100);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seeds: Vec<XiSeed> = (0..lanes).map(|_| ctx.random_seed(&mut rng)).collect();
+    let wide = XiBlock::<L>::pack(&ctx, &seeds);
+    assert_eq!(wide.lanes(), lanes);
+    assert_eq!(wide.occupied_words(), lanes.div_ceil(64));
     let pres: Vec<IndexPre> = (0..60)
         .map(|_| ctx.precompute(rng.gen_range(0..1u64 << k)))
         .collect();
-    let mut wide_counter = LaneCounter::<WideLane>::new();
-    let mut wide_sums = vec![0i64; 100];
+    let mut wide_counter = LaneCounter::<L>::new();
+    let mut wide_sums = vec![0i64; lanes];
     wide.sum_pre_into(&pres, &mut wide_counter, &mut wide_sums);
     let mut counter = LaneCounter::<u64>::new();
-    let mut narrow_sums = vec![0i64; 100];
+    let mut narrow_sums = vec![0i64; lanes];
     for (b, chunk) in seeds.chunks(BLOCK_LANES).enumerate() {
         let narrow = XiBlock::<u64>::pack(&ctx, chunk);
         narrow.sum_pre_into(
@@ -127,4 +130,17 @@ fn wide_tail_blocks_match_narrow_blocks_at_boundary() {
         );
     }
     assert_eq!(wide_sums, narrow_sums);
+}
+
+#[test]
+fn wide_tail_blocks_match_narrow_blocks_at_boundary() {
+    // 100 lanes: 2 of 4 occupied words in a 256-lane block.
+    tail_blocks_match_narrow_blocks_at::<WideLane>(100, 3000);
+}
+
+#[test]
+fn wide512_tail_blocks_match_narrow_blocks_at_boundary() {
+    // 100 and 300 lanes: 2 and 5 of 8 occupied words in a 512-lane block.
+    tail_blocks_match_narrow_blocks_at::<WideLane512>(100, 3000);
+    tail_blocks_match_narrow_blocks_at::<WideLane512>(300, 3001);
 }

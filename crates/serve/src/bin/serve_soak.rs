@@ -1,7 +1,7 @@
 //! Serving-layer soak test: bounded, deterministic mixed ingest + query
 //! rounds asserting that every router answer **bit-matches** an unsharded
 //! oracle — the binary the CI `serve-smoke` lane runs under each blocked
-//! kernel (`SKETCH_KERNEL=batched|wide`).
+//! kernel (`SKETCH_KERNEL=batched|wide|wide512`).
 //!
 //! Usage: cargo run --release -p spatial-serve --bin serve_soak --
 //!          [--iters N] [--shards N] [--seed N] [--readers N]
@@ -94,6 +94,13 @@ fn assert_bit_identical(want: &Estimate, got: &Estimate, label: &str) {
 
 fn main() {
     let args = parse_args();
+    let report = sketch::dispatch_report();
+    println!(
+        "serve-smoke dispatch: cpu={} max_lane_width={} override={}",
+        report.cpu.name(),
+        report.max_lane_width,
+        report.env_override.unwrap_or("none"),
+    );
     let mut rng = StdRng::seed_from_u64(args.seed);
 
     let rq = RangeQuery::<2>::new(
