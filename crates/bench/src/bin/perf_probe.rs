@@ -14,13 +14,15 @@
 //! three bit-sliced widths (64/256/512, build and estimate); `--probe
 //! serve` times the serving layer — router QPS vs shard count (1/2/4)
 //! through `spatial-serve`'s sharded store, against the direct
-//! single-sketch baseline.
+//! single-sketch baseline; `--probe net` measures the TCP front-end
+//! end-to-end (p50/p99/p999 batch round-trip latency and aggregate QPS,
+//! concurrent clients, epoch churn running throughout).
 //!
 //! The probe harnesses themselves live in `spatial_bench::probes`, shared
 //! with the CI `perf_check` regression guard.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve>]
+//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve|net>]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -30,7 +32,7 @@ use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryKernel};
 use spatial_bench::cli::Args;
-use spatial_bench::probes::{build_probe, estimate_probe, serve_probe};
+use spatial_bench::probes::{build_probe, estimate_probe, net_probe, serve_probe};
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
 
@@ -85,8 +87,12 @@ fn main() {
             serve_probe(threads, args.has("quick"));
             return;
         }
+        Some("net") => {
+            net_probe(args.has("quick"));
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve)");
+            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve, net)");
             std::process::exit(2);
         }
         None => {}

@@ -8,10 +8,13 @@
 //! copies of such records) and returns it for in-process comparison.
 
 use rand::SeedableRng;
-use serve::{ContextPool, QueryRouter, ShardedStore};
+use serve::net::{range_query as wire_range, SketchClient, WireReply};
+use serve::{ContextPool, QueryRouter, ServeConfig, ShardedStore, SketchService};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{par_insert_batch, BuildKernel, QueryContext, QueryKernel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Milliseconds of repeated calls per timing point (the estimate path is
@@ -415,6 +418,165 @@ pub fn build_probe(
         record.exact_join_pairs = Some(c);
         record.exact_join_secs = Some(el.as_secs_f64());
     }
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}
+
+/// The `--probe net` record: end-to-end latency percentiles and QPS of
+/// the TCP front-end under concurrent ingest.
+///
+/// Latency is the *batch round-trip* seen by a blocking client — encode,
+/// loopback TCP, queue admission, one pooled-context worker pass over the
+/// whole batch, reply framing — the number a serving SLO would be written
+/// against. Percentiles come from the sorted per-round latencies of all
+/// clients (fixed round counts, so the workload itself is deterministic;
+/// only the timings vary with the machine).
+#[derive(serde::Serialize)]
+pub struct NetProbeRecord {
+    /// Probe tag (`net`).
+    pub probe: String,
+    /// Objects summarized in the served store.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Boosting instances per sketch.
+    pub instances: usize,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Queries per batch frame.
+    pub batch: usize,
+    /// Batch round-trips per client.
+    pub rounds_per_client: usize,
+    /// Median batch round-trip latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile batch round-trip latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile batch round-trip latency, microseconds.
+    pub p999_us: f64,
+    /// Aggregate queries per second across all clients (batch answers
+    /// count each query once).
+    pub qps: f64,
+    /// Queries the server evaluated (its own counter; shed queries are
+    /// counted separately and were zero if `shed` is zero).
+    pub served: u64,
+    /// Queries shed at admission during the run.
+    pub shed: u64,
+    /// Store epochs swapped in by the concurrent-ingest writer while the
+    /// clients measured.
+    pub ingest_epochs: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// End-to-end network serving probe: a real TCP server, concurrent
+/// clients streaming fixed batch rounds, and a writer swapping epochs in
+/// for the whole measurement window. Appends a record to
+/// `results/perf_probe.json`.
+pub fn net_probe(quick: bool) -> NetProbeRecord {
+    let bits = 14u32;
+    let objects = if quick { 5_000 } else { 20_000 };
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(objects, bits, 0.0, 5).generate();
+    let (k1, k2) = (203usize, 5usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rq = sketch::RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(k1, k2),
+        [bits, bits],
+        sketch::RangeStrategy::Transform,
+    );
+    let store = Arc::new(ShardedStore::like(&rq.new_sketch(), 2));
+    for chunk in data.chunks(512) {
+        store.insert_slice(chunk).unwrap();
+    }
+    let epochs_before = store.load().epoch();
+
+    let service = Arc::new(SketchService::new(rq.clone(), vec![Arc::clone(&store)]));
+    let pool = Arc::new(ContextPool::new(2));
+    let server = serve::net::serve(service, pool, &ServeConfig::default(), 0)
+        .expect("net probe: cannot bind loopback server");
+    let addr = server.local_addr();
+
+    let clients = 2usize;
+    let batch = 8usize;
+    let rounds = if quick { 150 } else { 600 };
+    let queries = range_query_workload(9, 32, bits);
+
+    // Writer churn: insert + delete the same chunk, so epochs keep
+    // swapping while the store's contents stay fixed.
+    let churn = &data[..512.min(data.len())];
+    let done = AtomicUsize::new(0);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(clients * rounds);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let queries = &queries;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut client =
+                        SketchClient::connect(addr).expect("net probe: cannot connect");
+                    let mut lat = Vec::with_capacity(rounds);
+                    for round in 0..rounds {
+                        let wire: Vec<_> = (0..batch)
+                            .map(|j| {
+                                wire_range(0, &queries[(t + round * batch + j) % queries.len()])
+                            })
+                            .collect();
+                        let t0 = Instant::now();
+                        let replies = client.query_batch(&wire).expect("net probe batch");
+                        lat.push(t0.elapsed().as_nanos() as f64 / 1e3);
+                        assert!(
+                            replies
+                                .iter()
+                                .all(|r| matches!(r, WireReply::Estimate { .. })),
+                            "net probe: non-estimate reply under default capacity"
+                        );
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    lat
+                })
+            })
+            .collect();
+        while done.load(Ordering::SeqCst) < clients {
+            store.insert_slice(churn).unwrap();
+            store.delete_slice(churn).unwrap();
+        }
+        for handle in handles {
+            latencies_us.extend(handle.join().expect("net probe client"));
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let ingest_epochs = store.load().epoch() - epochs_before;
+    let stats = server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let record = NetProbeRecord {
+        probe: "net".into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances: k1 * k2,
+        dispatch: dispatch_meta(),
+        clients,
+        batch,
+        rounds_per_client: rounds,
+        p50_us: percentile(&latencies_us, 0.5),
+        p99_us: percentile(&latencies_us, 0.99),
+        p999_us: percentile(&latencies_us, 0.999),
+        qps: (clients * rounds * batch) as f64 / wall,
+        served: stats.served,
+        shed: stats.shed,
+        ingest_epochs,
+    };
+    println!(
+        "net    {clients} clients x {rounds} rounds x {batch}/batch: p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs, {:.0} qps ({} epochs churned, {} shed)",
+        record.p50_us, record.p99_us, record.p999_us, record.qps, record.ingest_epochs, record.shed
+    );
     let path = crate::report::append_json("perf_probe", &record);
     println!("appended to {}", path.display());
     record

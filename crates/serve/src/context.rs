@@ -63,27 +63,37 @@ impl<const D: usize> WorkerContext<D> {
     /// The store epoch this worker serves from, revalidated against the
     /// store's lock-free epoch tag; only an actual epoch change re-reads
     /// the store's published pointer.
+    ///
+    /// Like `WorkerContext::ensure_view`, the cache is LRU over *uses*,
+    /// not FIFO over insertions: every hit — including an in-place refresh
+    /// of a stale epoch — moves the entry to the back. A hot store whose
+    /// epoch keeps changing therefore cannot be evicted by
+    /// `STORE_CACHE_CAPACITY` cold one-shot stores, and the epoch cache's
+    /// eviction order always mirrors the view cache's.
     pub fn epoch_for(&mut self, store: &ShardedStore<D>) -> Arc<StoreEpoch<D>> {
         let tag = store.epoch_tag();
-        if let Some(c) = self.epochs.iter().find(|c| c.store == store.id()) {
-            if c.epoch.epoch() == tag {
-                return Arc::clone(&c.epoch);
+        match self.epochs.iter().position(|c| c.store == store.id()) {
+            Some(i) => {
+                let mut hit = self.epochs.remove(i);
+                if hit.epoch.epoch() != tag {
+                    hit.epoch = store.load();
+                }
+                let epoch = Arc::clone(&hit.epoch);
+                self.epochs.push(hit);
+                epoch
             }
-        }
-        let fresh = store.load();
-        match self.epochs.iter_mut().find(|c| c.store == store.id()) {
-            Some(c) => c.epoch = Arc::clone(&fresh),
             None => {
                 if self.epochs.len() >= STORE_CACHE_CAPACITY {
                     self.epochs.remove(0);
                 }
+                let fresh = store.load();
                 self.epochs.push(CachedEpoch {
                     store: store.id(),
                     epoch: Arc::clone(&fresh),
                 });
+                fresh
             }
         }
-        fresh
     }
 
     /// Brings the merged view of `epoch`'s shards selected by `mask` up to
@@ -150,6 +160,18 @@ impl<const D: usize> WorkerContext<D> {
     pub(crate) fn split(&mut self) -> (&mut QueryContext, &[StoreView<D>]) {
         (&mut self.query, &self.views)
     }
+
+    /// Clears every cache and scratch after a panic unwound through this
+    /// context. A panic can strike mid-[`WorkerContext::ensure_view`] and
+    /// leave a half-folded merged view (or a stale epoch) behind, so
+    /// nothing cached is trustworthy; all of it is rebuildable from the
+    /// store on the next query. The kernel pin survives — it is
+    /// configuration, not state.
+    fn reset_after_panic(&mut self) {
+        let kernel = self.query.kernel();
+        *self = Self::default();
+        self.query.set_kernel(kernel);
+    }
 }
 
 /// The merged view of `store_id` within a split worker's view list.
@@ -198,18 +220,42 @@ impl<const D: usize> ContextPool<D> {
     }
 
     /// Runs `f` with a checked-out worker context.
+    ///
+    /// A slot whose previous holder panicked is **recovered**, not skipped:
+    /// the poisoned guard is taken back, the worker state (caches +
+    /// scratch, all rebuildable from the store) is reset, and the slot
+    /// serves `f` normally. Without this, one handler panic would brick the
+    /// slot for the lifetime of the pool — the `try_lock` probe loop would
+    /// silently skip it forever (quietly shrinking the pool) and the
+    /// blocking fallback would panic every caller hashed onto it.
     pub fn with<R>(&self, f: impl FnOnce(&mut WorkerContext<D>) -> R) -> R {
         let mut hasher = DefaultHasher::new();
         std::thread::current().id().hash(&mut hasher);
         let start = (hasher.finish() as usize) % self.slots.len();
         for i in 0..self.slots.len() {
             let slot = &self.slots[(start + i) % self.slots.len()];
-            if let Ok(mut ctx) = slot.try_lock() {
-                return f(&mut ctx);
+            match slot.try_lock() {
+                Ok(mut ctx) => return f(&mut ctx),
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    let mut ctx = poisoned.into_inner();
+                    ctx.reset_after_panic();
+                    slot.clear_poison();
+                    return f(&mut ctx);
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {}
             }
         }
         // Every slot busy: wait for "our" slot.
-        f(&mut self.slots[start].lock().expect("pool lock poisoned"))
+        let slot = &self.slots[start];
+        match slot.lock() {
+            Ok(mut ctx) => f(&mut ctx),
+            Err(poisoned) => {
+                let mut ctx = poisoned.into_inner();
+                ctx.reset_after_panic();
+                slot.clear_poison();
+                f(&mut ctx)
+            }
+        }
     }
 }
 
@@ -317,6 +363,109 @@ mod tests {
         assert!(ctx.views.iter().any(|v| v.store == first.id()));
         let _ = view_of(&ctx.views, first.id());
         let _ = view_of(&ctx.views, fresh.id());
+    }
+
+    #[test]
+    fn epoch_cache_is_lru_not_fifo() {
+        // Fill the epoch cache to capacity, then keep the *oldest* entry
+        // hot by refreshing it (its store's epoch changes every time, so
+        // each hit takes the refresh-in-place path). Cold one-shot stores
+        // must evict each other, never the hot store — the FIFO bug this
+        // pins down evicted by insertion order and dropped the hot store
+        // after STORE_CACHE_CAPACITY cold lookups.
+        let hot = store(2);
+        let mut ctx = WorkerContext::<2>::new();
+        ctx.epoch_for(&hot);
+        let mut cold: Vec<ShardedStore<2>> = Vec::new();
+        for i in 0..STORE_CACHE_CAPACITY - 1 {
+            cold.push(store(2));
+            ctx.epoch_for(cold.last().unwrap());
+            // Refresh the hot store through an actual epoch change: the
+            // stale-entry refresh must move it to the back, like a hit.
+            hot.insert_slice(&[rect2(1, 5, 1, 5)]).unwrap();
+            let e = ctx.epoch_for(&hot);
+            assert_eq!(e.epoch(), 2 + i as u64);
+        }
+        assert_eq!(ctx.epochs.len(), STORE_CACHE_CAPACITY);
+        // One more cold store overflows the cache: the victim must be the
+        // oldest *cold* entry, and the hot store must survive at the back.
+        cold.push(store(2));
+        ctx.epoch_for(cold.last().unwrap());
+        assert_eq!(ctx.epochs.len(), STORE_CACHE_CAPACITY);
+        assert!(
+            ctx.epochs.iter().any(|c| c.store == hot.id()),
+            "hot store evicted by cold one-shot lookups"
+        );
+        assert!(
+            !ctx.epochs.iter().any(|c| c.store == cold[0].id()),
+            "oldest cold entry should have been the victim"
+        );
+        // Pure hits (no epoch change) refresh recency too.
+        ctx.epoch_for(&cold[1]);
+        assert_eq!(ctx.epochs.last().unwrap().store, cold[1].id());
+    }
+
+    #[test]
+    fn pool_recovers_poisoned_slot() {
+        use geometry::HyperRect;
+        use sketch::{QueryContext, QueryKernel, RangeQuery, RangeStrategy};
+
+        let mut rng = StdRng::seed_from_u64(31);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            sketch::estimators::SketchConfig::new(13, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let st = ShardedStore::like(&rq.new_sketch(), 3);
+        let data: Vec<HyperRect<2>> = (0..40).map(|i| rect2(i, i + 9, 2 * i, 2 * i + 5)).collect();
+        st.insert_slice(&data).unwrap();
+        let mut oracle = rq.new_sketch();
+        oracle.insert_slice(&data).unwrap();
+
+        // One slot, so the panicking holder and every later caller share it.
+        let pool = ContextPool::<2>::new(1);
+        let router = crate::QueryRouter::new();
+        let q = rect2(5, 60, 5, 60);
+        // Warm the slot's caches so the reset actually discards something,
+        // and pin a non-default kernel so recovery must preserve it.
+        pool.with(|ctx| {
+            ctx.query.set_kernel(QueryKernel::Batched);
+            router.estimate_range(&rq, &st, ctx, &q).unwrap();
+        });
+
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with(|_ctx| panic!("injected handler panic while holding the slot"));
+        }));
+        assert!(panicked.is_err());
+
+        // The slot must serve again — repeatedly — and answers must still
+        // bit-match the unsharded oracle (the half-warm caches were reset,
+        // not trusted). Before the fix this `with` panicked forever on
+        // "pool lock poisoned".
+        let mut octx = QueryContext::new().with_kernel(QueryKernel::Batched);
+        let want = rq.estimate_with(&mut octx, &oracle, &q).unwrap();
+        for round in 0..3 {
+            let got = pool
+                .with(|ctx| {
+                    assert_eq!(
+                        ctx.query.kernel(),
+                        QueryKernel::Batched,
+                        "kernel pin must survive recovery"
+                    );
+                    router.estimate_range(&rq, &st, ctx, &q)
+                })
+                .unwrap();
+            assert_eq!(
+                want.value.to_bits(),
+                got.value.to_bits(),
+                "round {round} after recovery diverged from the oracle"
+            );
+            assert_eq!(want.row_means, got.row_means);
+        }
+        // The poison flag was cleared: the probing fast path sees a clean
+        // mutex again (a poisoned one would re-enter recovery every call).
+        assert!(pool.slots[0].try_lock().is_ok());
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   (estimation scratch + cached epochs + cached merged views) so
 //!   concurrent request handlers stay allocation-free.
 //!
+//! The [`net`] module puts the three behind a TCP front-end: a compact
+//! framed binary protocol, request batching through single pooled-context
+//! passes, bounded-queue backpressure with load shedding, and graceful
+//! drain — see `DESIGN.md` § "Network front-end".
+//!
 //! ## Quick start
 //!
 //! ```
@@ -53,11 +58,13 @@
 #![warn(missing_docs)]
 
 pub mod context;
+pub mod net;
 pub mod router;
 pub mod shard;
 pub mod store;
 
 pub use context::{ContextPool, WorkerContext};
+pub use net::{ServeConfig, ServeStats, ServerHandle, SketchClient, SketchService};
 pub use router::{QueryRouter, RouterMode};
 pub use shard::SketchShard;
 pub use store::{ShardedStore, StoreEpoch, StoreSnapshot};

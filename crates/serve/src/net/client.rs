@@ -1,0 +1,82 @@
+//! A minimal blocking client: one connection, synchronous batch
+//! round-trips. Enough for the differential suites, the soak binary and
+//! the latency probe; a production pipeline would multiplex, but the wire
+//! format already permits that (frames are self-delimiting).
+
+use super::codec::{
+    decode_replies, encode_queries, read_frame, write_frame, Opcode, WireError, WireQuery,
+    WireReply,
+};
+use geometry::{HyperRect, Point};
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a sketch server.
+#[derive(Debug)]
+pub struct SketchClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl SketchClient {
+    /// Connects (with `TCP_NODELAY`, since frames are small and
+    /// latency-sensitive).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one query batch and blocks for its replies, which arrive in
+    /// request order, exactly one per query ([`WireError::ReplyArity`]
+    /// otherwise — a server that drops entries is broken, not slow).
+    pub fn query_batch(&mut self, queries: &[WireQuery]) -> Result<Vec<WireReply>, WireError> {
+        write_frame(
+            &mut self.writer,
+            Opcode::QueryBatch,
+            &encode_queries(queries),
+        )?;
+        let (opcode, payload) = read_frame(&mut self.reader)?;
+        if opcode != Opcode::ReplyBatch {
+            return Err(WireError::BadOpcode(opcode as u8));
+        }
+        let replies = decode_replies(&payload)?;
+        if replies.len() != queries.len() {
+            return Err(WireError::ReplyArity {
+                sent: queries.len(),
+                got: replies.len(),
+            });
+        }
+        Ok(replies)
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        write_frame(&mut self.writer, Opcode::Ping, &[])?;
+        let (opcode, payload) = read_frame(&mut self.reader)?;
+        if opcode != Opcode::Pong || !payload.is_empty() {
+            return Err(WireError::BadOpcode(opcode as u8));
+        }
+        Ok(())
+    }
+}
+
+/// The wire form of a range query against store `store`.
+pub fn range_query<const D: usize>(store: u32, q: &HyperRect<D>) -> WireQuery {
+    WireQuery::Range {
+        store,
+        ranges: (0..D).map(|d| (q.range(d).lo(), q.range(d).hi())).collect(),
+    }
+}
+
+/// The wire form of a stabbing query at `p` against store `store`.
+pub fn stab_query<const D: usize>(store: u32, p: &Point<D>) -> WireQuery {
+    WireQuery::Stab {
+        store,
+        point: p.to_vec(),
+    }
+}

@@ -1,0 +1,35 @@
+//! The network front-end: a framed TCP protocol over the serving layer.
+//!
+//! ```text
+//!   clients ──frames──▶ connection handlers ──jobs──▶ BatchQueue (bounded)
+//!                             ▲                            │ drain ≤ max_batch
+//!                             │ replies (request order)    ▼
+//!                             └──────────────── workers ── ContextPool pass
+//!                                                          QueryRouter
+//!                                                          ShardedStore
+//! ```
+//!
+//! Three pieces, one per submodule:
+//!
+//! * [`codec`] — the versioned little-endian frame format and the
+//!   query/reply payload encodings. Estimates travel as f64 *bit
+//!   patterns*, so the wire preserves the serving layer's bit-identity
+//!   contract end to end.
+//! * [`server`] — connection handlers, the bounded batch queue
+//!   (backpressure: full ⇒ per-query `Overloaded` shed), worker threads
+//!   answering whole batches through single [`crate::ContextPool`]
+//!   passes, `catch_unwind` crash containment, graceful drain.
+//! * [`client`] — a small blocking client used by the differential
+//!   suites, the `net_soak` CI binary and the `perf_probe --probe net`
+//!   latency harness.
+//!
+//! No external dependencies: the whole layer is `std::net` + `std::io`,
+//! in keeping with the workspace's vendored/offline dependency policy.
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::{range_query, stab_query, SketchClient};
+pub use codec::{WireError, WireErrorCode, WireQuery, WireReply};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle, SketchService};

@@ -1,0 +1,603 @@
+//! The TCP serving front-end: per-connection framed handlers feeding a
+//! bounded batch queue, worker threads answering whole batches through one
+//! [`ContextPool`] pass, load-shedding at admission, graceful drain on
+//! shutdown.
+//!
+//! ## Batching
+//!
+//! Connection handlers never evaluate queries. They decode a `QueryBatch`
+//! frame, enqueue one job per query into the shared `BatchQueue`, and
+//! wait on a per-frame reply channel. Worker threads drain up to
+//! [`ServeConfig::max_batch`] queued jobs at a time — possibly from many
+//! connections — and answer the whole batch inside a **single**
+//! [`ContextPool::with`] pass. That is the shape the serving layer is
+//! built for: the first query of a pass revalidates the store epoch and
+//! (at most) re-folds the merged view; every other query in the batch
+//! reuses both for free, so batching amortizes exactly the work the
+//! worker caches exist to avoid repeating.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded by [`ServeConfig::queue_capacity`]. Admission is
+//! per query, not per frame: when the queue is full (or closed for
+//! shutdown) the query is *shed* — answered immediately with
+//! [`WireErrorCode::Overloaded`], never silently dropped and never
+//! blocking the handler. An overloaded server therefore stays responsive
+//! and the client learns, per query, what to retry.
+//!
+//! ## Crash resilience
+//!
+//! Each worker pass runs under `catch_unwind`: a panic while evaluating a
+//! batch (the fault-injection hook, or a real bug) converts the whole
+//! batch to [`WireErrorCode::Internal`] replies, and the poisoned pool
+//! slot is recovered — reset, not abandoned — by [`ContextPool::with`] on
+//! the next pass. One bad query costs its batch, never the server.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] closes the queue (late arrivals shed),
+//! unblocks and joins the acceptor, joins the workers — which first
+//! **drain** every already-admitted job so no accepted query goes
+//! unanswered — then shuts down the connection sockets and joins the
+//! handlers.
+
+use super::codec::{
+    decode_queries, encode_replies, read_frame, write_frame, Opcode, WireErrorCode, WireQuery,
+    WireReply,
+};
+use crate::context::{ContextPool, WorkerContext};
+use crate::router::QueryRouter;
+use crate::store::ShardedStore;
+use geometry::{HyperRect, Interval};
+use sketch::estimators::joins::SpatialJoin;
+use sketch::RangeQuery;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the batch queue (each holds one
+    /// [`ContextPool`] slot per pass; pools at least this large avoid
+    /// blocking).
+    pub workers: usize,
+    /// Most queries one worker admits into a single context pass.
+    pub max_batch: usize,
+    /// Bound on queued-but-unevaluated queries; admission beyond it sheds
+    /// with [`WireErrorCode::Overloaded`]. Zero sheds everything — useful
+    /// for deterministic overload tests.
+    pub queue_capacity: usize,
+    /// Honor [`WireQuery::FaultPanic`] (soak tests / CI only). Off by
+    /// default: a production server answers the opcode with
+    /// [`WireErrorCode::BadRequest`] instead of letting a peer panic it.
+    pub fault_injection: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 16,
+            queue_capacity: 256,
+            fault_injection: false,
+        }
+    }
+}
+
+/// The queries a server answers: one range estimator, optionally one join
+/// estimator, over an indexed table of sharded stores.
+///
+/// Wire queries address stores by table index; [`SketchService::answer`]
+/// validates the index, the dimensionality and the interval bounds before
+/// touching the router, answering malformed queries with
+/// [`WireErrorCode::BadRequest`] rather than failing the connection.
+#[derive(Debug)]
+pub struct SketchService<const D: usize> {
+    range: RangeQuery<D>,
+    join: Option<SpatialJoin<D>>,
+    stores: Vec<Arc<ShardedStore<D>>>,
+    router: QueryRouter,
+}
+
+impl<const D: usize> SketchService<D> {
+    /// A service answering range/stab queries over `stores` with `range`.
+    pub fn new(range: RangeQuery<D>, stores: Vec<Arc<ShardedStore<D>>>) -> Self {
+        Self {
+            range,
+            join: None,
+            stores,
+            router: QueryRouter::new(),
+        }
+    }
+
+    /// Also answer join queries with `join` (builder form). The join's
+    /// stores must share its schema, as everywhere in the serving layer.
+    pub fn with_join(mut self, join: SpatialJoin<D>) -> Self {
+        self.join = Some(join);
+        self
+    }
+
+    /// Routes queries with `router` instead of the default exact-mode one
+    /// (builder form).
+    pub fn with_router(mut self, router: QueryRouter) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// The store table a wire query's `store` index resolves against.
+    pub fn stores(&self) -> &[Arc<ShardedStore<D>>] {
+        &self.stores
+    }
+
+    fn store(&self, index: u32) -> Result<&Arc<ShardedStore<D>>, WireReply> {
+        self.stores
+            .get(index as usize)
+            .ok_or_else(|| WireReply::Error {
+                code: WireErrorCode::BadRequest,
+                message: format!(
+                    "store index {index} out of range ({} stores)",
+                    self.stores.len()
+                ),
+            })
+    }
+
+    /// Answers one wire query with `ctx`. Infallible by design: every
+    /// failure mode becomes a [`WireReply::Error`] entry so a bad query
+    /// can never take down its batch-mates or the connection.
+    ///
+    /// # Panics
+    ///
+    /// [`WireQuery::FaultPanic`] panics when `fault_injection` is true —
+    /// deliberately, to exercise the worker's `catch_unwind` + pool
+    /// recovery path from the wire.
+    pub fn answer(
+        &self,
+        ctx: &mut WorkerContext<D>,
+        query: &WireQuery,
+        fault_injection: bool,
+    ) -> WireReply {
+        match query {
+            WireQuery::Range { store, ranges } => {
+                let store = match self.store(*store) {
+                    Ok(s) => s,
+                    Err(reply) => return reply,
+                };
+                let Some(rect) = rect_of::<D>(ranges) else {
+                    return bad_request(format!(
+                        "range query needs {D} non-inverted (lo, hi) pairs"
+                    ));
+                };
+                estimate_reply(self.router.estimate_range(&self.range, store, ctx, &rect))
+            }
+            WireQuery::Stab { store, point } => {
+                let store = match self.store(*store) {
+                    Ok(s) => s,
+                    Err(reply) => return reply,
+                };
+                let Ok(p) = <[u64; D]>::try_from(point.as_slice()) else {
+                    return bad_request(format!("stab query needs {D} coordinates"));
+                };
+                estimate_reply(self.router.estimate_stab(&self.range, store, ctx, &p))
+            }
+            WireQuery::Join { r_store, s_store } => {
+                let Some(join) = &self.join else {
+                    return bad_request("this service has no join estimator".into());
+                };
+                let r = match self.store(*r_store) {
+                    Ok(s) => Arc::clone(s),
+                    Err(reply) => return reply,
+                };
+                let s = match self.store(*s_store) {
+                    Ok(s) => Arc::clone(s),
+                    Err(reply) => return reply,
+                };
+                estimate_reply(self.router.estimate_join(join, &r, &s, ctx))
+            }
+            WireQuery::FaultPanic => {
+                if fault_injection {
+                    panic!("injected fault: wire-requested handler panic");
+                }
+                bad_request("fault injection is disabled on this server".into())
+            }
+        }
+    }
+}
+
+/// Builds a `HyperRect` from wire `(lo, hi)` pairs; `None` on arity or
+/// interval-order violations (closed intervals, `lo <= hi`).
+fn rect_of<const D: usize>(ranges: &[(u64, u64)]) -> Option<HyperRect<D>> {
+    if ranges.len() != D {
+        return None;
+    }
+    let mut intervals = Vec::with_capacity(D);
+    for &(lo, hi) in ranges {
+        intervals.push(Interval::try_new(lo, hi)?);
+    }
+    Some(HyperRect::new(std::array::from_fn(|d| intervals[d])))
+}
+
+fn bad_request(message: String) -> WireReply {
+    WireReply::Error {
+        code: WireErrorCode::BadRequest,
+        message,
+    }
+}
+
+fn estimate_reply(result: sketch::Result<sketch::Estimate>) -> WireReply {
+    match result {
+        Ok(est) => WireReply::Estimate {
+            value: est.value,
+            row_means: est.row_means,
+        },
+        Err(e) => WireReply::Error {
+            code: WireErrorCode::Estimate,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// One admitted query: what to evaluate, where it sits in its frame, and
+/// the handler's reply channel.
+struct Job {
+    query: WireQuery,
+    slot: usize,
+    reply: mpsc::Sender<(usize, WireReply)>,
+}
+
+/// The bounded in-flight queue between connection handlers and workers.
+struct BatchQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl BatchQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `job`, or gives it back when the queue is full or closed —
+    /// the caller sheds it. Never blocks.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for work and takes up to `max` jobs. An empty result means
+    /// the queue is closed **and** fully drained: workers exit only after
+    /// every admitted job has been taken.
+    fn drain(&self, max: usize) -> Vec<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.jobs.is_empty() {
+                let take = state.jobs.len().min(max);
+                return state.jobs.drain(..take).collect();
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Monotonic serving counters, readable while the server runs.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries evaluated (successfully or as per-query errors).
+    pub served: u64,
+    /// Queries shed at admission with [`WireErrorCode::Overloaded`].
+    pub shed: u64,
+    /// Worker passes that panicked (each converts its batch to
+    /// [`WireErrorCode::Internal`] replies and recovers the pool slot).
+    pub panics: u64,
+}
+
+/// Open connections and their handler threads, registered by the acceptor
+/// so shutdown can unblock and join them.
+#[derive(Default)]
+struct ConnRegistry {
+    streams: Vec<TcpStream>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+/// A running server. Dropping the handle shuts the server down (prefer
+/// calling [`ServerHandle::shutdown`] to observe the drain explicitly).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    queue: Arc<BatchQueue>,
+    counters: Arc<ServeCounters>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<ConnRegistry>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            panics: self.counters.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stop admitting, answer everything already admitted,
+    /// then tear the threads down (see the module docs for the order).
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return; // already shut down
+        };
+        self.stopping.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // The acceptor blocks in accept(); a throwaway local connection
+        // wakes it to observe `stopping`.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // Workers drain the queue dry, then see `closed` and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Unblock handlers parked in read_frame, then join them.
+        let mut conns = self.conns.lock().expect("conn registry lock");
+        for stream in conns.streams.drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers: Vec<JoinHandle<()>> = conns.handlers.drain(..).collect();
+        drop(conns);
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Binds `127.0.0.1:<port>` (port 0 = ephemeral, the test/CI default) and
+/// starts serving `service` through `pool`.
+pub fn serve<const D: usize>(
+    service: Arc<SketchService<D>>,
+    pool: Arc<ContextPool<D>>,
+    config: &ServeConfig,
+    port: u16,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let queue = Arc::new(BatchQueue::new(config.queue_capacity));
+    let counters = Arc::new(ServeCounters::default());
+    let stopping = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(Mutex::new(ConnRegistry::default()));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let (service, pool, queue, counters) = (
+                Arc::clone(&service),
+                Arc::clone(&pool),
+                Arc::clone(&queue),
+                Arc::clone(&counters),
+            );
+            let (max_batch, fault) = (config.max_batch.max(1), config.fault_injection);
+            std::thread::spawn(move || {
+                worker_loop(&service, &pool, &queue, &counters, max_batch, fault)
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let (queue, counters, stopping, conns) = (
+            Arc::clone(&queue),
+            Arc::clone(&counters),
+            Arc::clone(&stopping),
+            Arc::clone(&conns),
+        );
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(stream) = stream else { continue };
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                let (queue, counters) = (Arc::clone(&queue), Arc::clone(&counters));
+                let handler =
+                    std::thread::spawn(move || handle_connection(stream, &queue, &counters));
+                let mut registry = conns.lock().expect("conn registry lock");
+                registry.streams.push(clone);
+                registry.handlers.push(handler);
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        queue,
+        counters,
+        stopping,
+        acceptor: Some(acceptor),
+        workers,
+        conns,
+    })
+}
+
+/// One worker: drain a batch, answer it in a single pooled-context pass,
+/// route the replies back. Exits when the queue is closed and dry.
+fn worker_loop<const D: usize>(
+    service: &SketchService<D>,
+    pool: &ContextPool<D>,
+    queue: &BatchQueue,
+    counters: &ServeCounters,
+    max_batch: usize,
+    fault_injection: bool,
+) {
+    loop {
+        let batch = queue.drain(max_batch);
+        if batch.is_empty() {
+            return;
+        }
+        // One pool pass per batch: the first query pays epoch revalidation
+        // and any view re-fold, the rest ride the warm caches. A panic
+        // anywhere in the pass poisons the slot; `ContextPool::with`
+        // recovers it on the next checkout, and this batch answers
+        // `Internal` rather than leaving its handlers waiting forever.
+        let replies = catch_unwind(AssertUnwindSafe(|| {
+            pool.with(|ctx| {
+                batch
+                    .iter()
+                    .map(|job| service.answer(ctx, &job.query, fault_injection))
+                    .collect::<Vec<WireReply>>()
+            })
+        }));
+        match replies {
+            Ok(replies) => {
+                counters
+                    .served
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                for (job, reply) in batch.iter().zip(replies) {
+                    let _ = job.reply.send((job.slot, reply));
+                }
+            }
+            Err(_) => {
+                counters.panics.fetch_add(1, Ordering::Relaxed);
+                for job in &batch {
+                    let _ = job.reply.send((
+                        job.slot,
+                        WireReply::Error {
+                            code: WireErrorCode::Internal,
+                            message: "handler panicked evaluating this batch".into(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// One connection: frames in, frames out. Any protocol violation closes
+/// the connection (there is no sound way to resynchronize a byte stream
+/// after a framing error); per-query problems are reply entries instead.
+fn handle_connection(stream: TcpStream, queue: &BatchQueue, counters: &ServeCounters) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let Ok((opcode, payload)) = read_frame(&mut reader) else {
+            return; // EOF, socket error, or a framing violation
+        };
+        match opcode {
+            Opcode::Ping => {
+                if write_frame(&mut writer, Opcode::Pong, &[]).is_err() {
+                    return;
+                }
+            }
+            Opcode::QueryBatch => {
+                let Ok(queries) = decode_queries(&payload) else {
+                    return;
+                };
+                let (tx, rx) = mpsc::channel();
+                let mut replies: Vec<Option<WireReply>> = vec![None; queries.len()];
+                let mut pending = 0usize;
+                for (slot, query) in queries.into_iter().enumerate() {
+                    match queue.push(Job {
+                        query,
+                        slot,
+                        reply: tx.clone(),
+                    }) {
+                        Ok(()) => pending += 1,
+                        Err(_) => {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            replies[slot] = Some(WireReply::Error {
+                                code: WireErrorCode::Overloaded,
+                                message: "in-flight queue full; retry with backoff".into(),
+                            });
+                        }
+                    }
+                }
+                drop(tx);
+                for _ in 0..pending {
+                    // Workers always reply to admitted jobs, including on
+                    // panic and during shutdown drain; Err here means the
+                    // channel died with the worker pool (process teardown).
+                    let Ok((slot, reply)) = rx.recv() else { break };
+                    replies[slot] = Some(reply);
+                }
+                let out: Vec<WireReply> = replies
+                    .into_iter()
+                    .map(|r| {
+                        r.unwrap_or(WireReply::Error {
+                            code: WireErrorCode::Internal,
+                            message: "reply lost during server teardown".into(),
+                        })
+                    })
+                    .collect();
+                if write_frame(&mut writer, Opcode::ReplyBatch, &encode_replies(&out)).is_err() {
+                    return;
+                }
+            }
+            // Server-to-client opcodes from a client are a protocol error.
+            Opcode::ReplyBatch | Opcode::Pong => return,
+        }
+    }
+}

@@ -103,7 +103,7 @@ impl QueryRouter {
     /// The shard-selection mask this router would use for a query against
     /// `epoch` (`None` = a query without a spatial footprint, e.g. a join
     /// side). Exposed for tests and diagnostics; the serving paths fill a
-    /// worker-owned scratch via [`QueryRouter::selection_into`] instead.
+    /// worker-owned scratch via `QueryRouter::selection_into` instead.
     pub fn selection<const D: usize>(
         &self,
         epoch: &StoreEpoch<D>,

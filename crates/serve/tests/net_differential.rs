@@ -1,0 +1,327 @@
+//! Differential suite for the network front-end: batched answers over a
+//! real TCP connection against the in-process `QueryRouter` oracle.
+//!
+//! The wire carries f64 *bit patterns*, the workers answer through the
+//! same router + pooled contexts the in-process path uses, and counter
+//! merges are integer folds — so every networked estimate must be
+//! **bit-identical** to the in-process answer, across the query-kernel
+//! matrix and batch sizes 1/7/64. Also covered: deterministic load
+//! shedding, wire-injected panic + pool recovery, protocol-violation
+//! handling, and ping liveness.
+//!
+//! Heavyweight cases (the full kernel × batch-size sweep) are gated to
+//! the `tests-release` lane with `#[cfg_attr(debug_assertions, ignore)]`,
+//! following the ROADMAP convention.
+
+use geometry::{HyperRect, Interval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::net::{
+    range_query, serve, stab_query, SketchClient, WireErrorCode, WireQuery, WireReply,
+};
+use serve::{ContextPool, QueryRouter, ServeConfig, ShardedStore, SketchService, WorkerContext};
+use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
+use sketch::estimators::SketchConfig;
+use sketch::{Estimate, QueryKernel, RangeQuery, RangeStrategy};
+use std::io::Write;
+use std::sync::Arc;
+
+const KERNELS: [QueryKernel; 3] = [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide];
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
+
+/// A served fixture: range + join estimators over three sharded stores
+/// (range at index 0, join R/S at 1/2), with unsharded oracle routing
+/// state kept alongside for the differential checks.
+struct Fixture {
+    rq: RangeQuery<2>,
+    join: SpatialJoin<2>,
+    stores: Vec<Arc<ShardedStore<2>>>,
+    data: Vec<HyperRect<2>>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rq = RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(13, 3),
+        [8, 8],
+        RangeStrategy::Transform,
+    );
+    let join = SpatialJoin::<2>::new(
+        &mut rng,
+        SketchConfig::new(13, 3),
+        [8, 8],
+        EndpointStrategy::Transform,
+    );
+    let range_store = Arc::new(ShardedStore::like(&rq.new_sketch(), 3));
+    let r_store = Arc::new(ShardedStore::like(&join.new_sketch_r(), 2));
+    let s_store = Arc::new(ShardedStore::like(&join.new_sketch_s(), 4));
+    let data = rand_rects(&mut rng, 80);
+    // Multi-epoch history with deletes, mirrored into all three stores.
+    for store in [&range_store, &r_store, &s_store] {
+        for chunk in data.chunks(30) {
+            store.insert_slice(chunk).unwrap();
+        }
+        store.delete_slice(&data[..15]).unwrap();
+    }
+    Fixture {
+        rq,
+        join,
+        stores: vec![range_store, r_store, s_store],
+        data,
+    }
+}
+
+fn rand_rects(rng: &mut StdRng, n: usize) -> Vec<HyperRect<2>> {
+    (0..n)
+        .map(|_| {
+            HyperRect::new(std::array::from_fn(|_| {
+                let lo = rng.gen_range(0..255 - 17u64);
+                Interval::new(lo, lo + rng.gen_range(1..=16u64))
+            }))
+        })
+        .collect()
+}
+
+fn assert_wire_bit_identical(want: &Estimate, got: &WireReply, label: &str) {
+    let WireReply::Estimate { value, row_means } = got else {
+        panic!("{label}: expected an estimate, got {got:?}");
+    };
+    assert_eq!(
+        want.value.to_bits(),
+        value.to_bits(),
+        "{label}: networked value diverged ({value} vs {})",
+        want.value
+    );
+    assert_eq!(want.row_means.len(), row_means.len(), "{label}: row count");
+    for (i, (a, b)) in want.row_means.iter().zip(row_means.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: row mean {i} diverged");
+    }
+}
+
+/// The full matrix: for each query kernel and batch size, a mixed
+/// range/stab/join batch answered over TCP must bit-match the in-process
+/// router driven with the same kernel.
+fn kernel_batch_matrix(fx: &Fixture, kernels: &[QueryKernel], sizes: &[usize]) {
+    let mut rng = StdRng::seed_from_u64(907);
+    let router = QueryRouter::new();
+    for &kernel in kernels {
+        let service = Arc::new(
+            SketchService::new(fx.rq.clone(), fx.stores.clone()).with_join(fx.join.clone()),
+        );
+        // Pin the served kernel through the pool contexts.
+        let pool = Arc::new(ContextPool::new(2));
+        pool.with(|ctx| ctx.query.set_kernel(kernel));
+        pool.with(|ctx| ctx.query.set_kernel(kernel));
+        let server = serve(service, pool, &ServeConfig::default(), 0).unwrap();
+        let mut client = SketchClient::connect(server.local_addr()).unwrap();
+        let mut ctx = WorkerContext::new().with_kernel(kernel);
+
+        for &size in sizes {
+            let label = format!("{kernel:?}/batch{size}");
+            let mut queries = Vec::with_capacity(size);
+            let mut oracle: Vec<Estimate> = Vec::with_capacity(size);
+            for i in 0..size {
+                match i % 3 {
+                    0 => {
+                        let q = rand_rects(&mut rng, 1)[0];
+                        queries.push(range_query(0, &q));
+                        oracle.push(
+                            router
+                                .estimate_range(&fx.rq, &fx.stores[0], &mut ctx, &q)
+                                .unwrap(),
+                        );
+                    }
+                    1 => {
+                        let anchor = fx.data[rng.gen_range(15..fx.data.len())];
+                        let p = [anchor.range(0).lo(), anchor.range(1).lo()];
+                        queries.push(stab_query(0, &p));
+                        oracle.push(
+                            router
+                                .estimate_stab(&fx.rq, &fx.stores[0], &mut ctx, &p)
+                                .unwrap(),
+                        );
+                    }
+                    _ => {
+                        queries.push(WireQuery::Join {
+                            r_store: 1,
+                            s_store: 2,
+                        });
+                        oracle.push(
+                            router
+                                .estimate_join(&fx.join, &fx.stores[1], &fx.stores[2], &mut ctx)
+                                .unwrap(),
+                        );
+                    }
+                }
+            }
+            let replies = client.query_batch(&queries).unwrap();
+            assert_eq!(replies.len(), size, "{label}: reply arity");
+            for (i, (want, got)) in oracle.iter().zip(replies.iter()).enumerate() {
+                assert_wire_bit_identical(want, got, &format!("{label}/q{i}"));
+            }
+        }
+        drop(client);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn networked_batches_bit_match_router_small() {
+    let fx = fixture(901);
+    kernel_batch_matrix(&fx, &[QueryKernel::Batched], &[1, 7]);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn networked_batches_bit_match_router_matrix() {
+    let fx = fixture(902);
+    kernel_batch_matrix(&fx, &KERNELS, &BATCH_SIZES);
+}
+
+#[test]
+fn zero_capacity_server_sheds_every_query() {
+    let fx = fixture(903);
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    let pool = Arc::new(ContextPool::new(1));
+    let config = ServeConfig {
+        queue_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let server = serve(service, pool, &config, 0).unwrap();
+    let mut client = SketchClient::connect(server.local_addr()).unwrap();
+    let queries: Vec<WireQuery> = fx.data[..5].iter().map(|q| range_query(0, q)).collect();
+    let replies = client.query_batch(&queries).unwrap();
+    for (i, reply) in replies.iter().enumerate() {
+        assert!(
+            matches!(
+                reply,
+                WireReply::Error {
+                    code: WireErrorCode::Overloaded,
+                    ..
+                }
+            ),
+            "query {i} was not shed: {reply:?}"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 5);
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn wire_injected_panic_recovers_single_worker() {
+    // One worker, one pool slot: the panicking batch and every later batch
+    // share the same context, so recovery (not just survival) is proven.
+    let fx = fixture(904);
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    let pool = Arc::new(ContextPool::new(1));
+    let config = ServeConfig {
+        workers: 1,
+        fault_injection: true,
+        ..ServeConfig::default()
+    };
+    let server = serve(service, pool, &config, 0).unwrap();
+    let mut client = SketchClient::connect(server.local_addr()).unwrap();
+
+    // Warm the slot's caches first so the reset discards real state.
+    let q = fx.data[20];
+    let warm = client.query_batch(&[range_query(0, &q)]).unwrap();
+    assert!(matches!(warm[0], WireReply::Estimate { .. }));
+
+    let replies = client.query_batch(&[WireQuery::FaultPanic]).unwrap();
+    assert!(
+        matches!(
+            replies[0],
+            WireReply::Error {
+                code: WireErrorCode::Internal,
+                ..
+            }
+        ),
+        "injected panic should answer Internal, got {:?}",
+        replies[0]
+    );
+
+    // The recovered slot must serve bit-identical answers again.
+    let router = QueryRouter::new();
+    let mut ctx = WorkerContext::new();
+    for round in 0..3 {
+        let want = router
+            .estimate_range(&fx.rq, &fx.stores[0], &mut ctx, &q)
+            .unwrap();
+        let got = client.query_batch(&[range_query(0, &q)]).unwrap();
+        assert_wire_bit_identical(&want, &got[0], &format!("post-panic round {round}"));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.panics, 1);
+}
+
+#[test]
+fn malformed_queries_answer_bad_request_without_killing_batchmates() {
+    let fx = fixture(905);
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    let pool = Arc::new(ContextPool::new(1));
+    let server = serve(service, pool, &ServeConfig::default(), 0).unwrap();
+    let mut client = SketchClient::connect(server.local_addr()).unwrap();
+
+    let good = fx.data[30];
+    let queries = vec![
+        range_query(0, &good),
+        WireQuery::Range {
+            store: 99, // unknown store index
+            ranges: vec![(0, 10), (0, 10)],
+        },
+        WireQuery::Stab {
+            store: 0,
+            point: vec![1, 2, 3], // wrong dimensionality
+        },
+        WireQuery::Join {
+            r_store: 1,
+            s_store: 2, // service has no join estimator
+        },
+        WireQuery::FaultPanic, // fault injection disabled
+        range_query(0, &good),
+    ];
+    let replies = client.query_batch(&queries).unwrap();
+    let router = QueryRouter::new();
+    let mut ctx = WorkerContext::new();
+    let want = router
+        .estimate_range(&fx.rq, &fx.stores[0], &mut ctx, &good)
+        .unwrap();
+    assert_wire_bit_identical(&want, &replies[0], "good before bad");
+    assert_wire_bit_identical(&want, &replies[5], "good after bad");
+    for (i, reply) in replies[1..5].iter().enumerate() {
+        assert!(
+            matches!(
+                reply,
+                WireReply::Error {
+                    code: WireErrorCode::BadRequest,
+                    ..
+                }
+            ),
+            "bad query {} did not answer BadRequest: {reply:?}",
+            i + 1
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn garbage_frames_close_only_the_offending_connection() {
+    let fx = fixture(906);
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    let pool = Arc::new(ContextPool::new(1));
+    let server = serve(service, pool, &ServeConfig::default(), 0).unwrap();
+
+    // A peer that writes garbage gets dropped…
+    let mut garbage = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    garbage.flush().unwrap();
+    let mut probe = SketchClient::connect(server.local_addr()).unwrap();
+    // …while a well-behaved connection keeps serving.
+    probe.ping().unwrap();
+    let q = fx.data[40];
+    let replies = probe.query_batch(&[range_query(0, &q)]).unwrap();
+    assert!(matches!(replies[0], WireReply::Estimate { .. }));
+    server.shutdown();
+}
