@@ -4,8 +4,9 @@
 //! for the spatial join (counter-product combine) and the range query
 //! (query-side ξ evaluation against maintained counters) across instance
 //! counts and the full kernel matrix: scalar oracle, 64-lane batched,
-//! 256-lane wide and 512-lane wide. The build-side twin lives in
-//! `update_throughput`/`xi_throughput`.
+//! 256-lane wide and 512-lane wide — plus the multi-query batch kernel
+//! (`estimate_batch_with`) at batch sizes 1/8/64 over a serving-shaped hot
+//! set. The build-side twin lives in `update_throughput`/`xi_throughput`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use geometry::{HyperRect, Interval};
@@ -13,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng as _, SeedableRng};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{QueryContext, QueryKernel, RangeQuery, RangeStrategy};
+use sketch::{BatchQuery, QueryContext, QueryKernel, RangeQuery, RangeStrategy};
 
 const KERNELS: [QueryKernel; 4] = [
     QueryKernel::Scalar,
@@ -88,6 +89,51 @@ fn bench_estimators(c: &mut Criterion) {
                     rq.estimate_with(&mut ctx, black_box(&sk), black_box(&q))
                         .unwrap()
                         .value
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Multi-query batches: one merged-plan sweep answers the whole batch
+    // (throughput counts queries, so ns/query amortization shows directly).
+    let mut group = c.benchmark_group("estimate_range_batch_2d");
+    let (k1, k2) = (203usize, 5usize);
+    let mut rng = StdRng::seed_from_u64(13);
+    let rq = RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(k1, k2),
+        [10, 10],
+        RangeStrategy::Transform,
+    );
+    let mut sk = rq.new_sketch();
+    sk.insert_slice(&rects(500, 4)).unwrap();
+    let hot: Vec<BatchQuery<2>> = rects(32, 5)
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 8 == 7 {
+                BatchQuery::Stab([q.range(0).lo(), q.range(1).lo()])
+            } else {
+                BatchQuery::Range(*q)
+            }
+        })
+        .collect();
+    for batch in [1usize, 8, 64] {
+        let queries: Vec<BatchQuery<2>> = (0..batch).map(|j| hot[j % hot.len()]).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        for kernel in [
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+        ] {
+            group.bench_function(format!("{kernel:?}/batch{batch}"), |b| {
+                let mut ctx = QueryContext::new().with_kernel(kernel);
+                b.iter(|| {
+                    rq.estimate_batch_with(&mut ctx, black_box(&sk), black_box(&queries))
+                        .iter()
+                        .map(|r| r.as_ref().unwrap().value)
+                        .sum::<f64>()
                 })
             });
         }

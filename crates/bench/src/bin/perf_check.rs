@@ -2,7 +2,7 @@
 //! if the hot paths regressed against the committed anchor numbers.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_check --
-//!          [--anchor BENCH_pr7.json] [--tolerance 0.25]
+//!          [--anchor BENCH_pr8.json] [--tolerance 0.25]
 //!
 //! Compares the blocked kernels' build ns/(obj·inst) and estimate
 //! ns/(est·inst) — join and range paths — at the 440-instance
@@ -13,7 +13,12 @@
 //! width means extending the anchor file rather than re-keying it. The
 //! network front-end's `net` record is guarded too: p50 batch round-trip
 //! latency (measured over anchor) and aggregate QPS (anchor over
-//! measured, so a *drop* fails).
+//! measured, so a *drop* fails). The multi-query batch kernel's `batchq`
+//! record is guarded twice: amortized batch-64 ns/query against its
+//! anchor, and — machine-independently — the batch-64-over-batch-1
+//! speedup against a hard 1.5x floor (tolerance 0): if batching a request
+//! batch into one sweep stops paying at least 1.5x, the kernel (or its
+//! dedup) broke, whatever the runner.
 //!
 //! ## Tolerance
 //!
@@ -37,7 +42,7 @@
 
 use serde::Value;
 use sketch::{BuildKernel, QueryKernel};
-use spatial_bench::probes::{build_probe, estimate_probe, net_probe};
+use spatial_bench::probes::{batchq_probe, build_probe, estimate_probe, net_probe};
 use spatial_bench::report::Table;
 use spatial_bench::runner::default_threads;
 use std::path::{Path, PathBuf};
@@ -48,6 +53,11 @@ const DEFAULT_TOLERANCE: f64 = 0.25;
 /// Floor tolerance for the network metrics — loopback latency jitters far
 /// more across CI runners than the arithmetic kernels (see module docs).
 const NET_TOLERANCE: f64 = 1.0;
+
+/// Minimum batch-64-over-batch-1 speedup the multi-query kernel must keep
+/// paying. Machine-independent (both sides measured in the same run), so
+/// it is enforced with zero tolerance.
+const BATCH_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// The instance configuration compared (first point of both the quick
 /// presets and the anchor sweeps).
@@ -64,7 +74,7 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr7.json");
+    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr8.json");
     let anchor_path = workspace_file(anchor_name);
     let anchors = Anchors::load(&anchor_path).unwrap_or_else(|e| {
         eprintln!(
@@ -106,6 +116,7 @@ fn main() {
 
     let net = net_probe(true);
     let net_tolerance = tolerance.max(NET_TOLERANCE);
+    let batchq = batchq_probe(threads, true);
 
     // (name, anchor, measured, ratio-where->1-is-worse, tolerance)
     let mut metrics: Vec<(String, f64, f64, f64, f64)> = Vec::new();
@@ -162,6 +173,29 @@ fn main() {
         net.qps,
         qps_anchor / net.qps,
         net_tolerance,
+    ));
+    // The batch kernel: amortized batch-64 latency vs its anchor, plus the
+    // machine-independent speedup floor (both sides of that ratio come from
+    // this run, so it gets no tolerance).
+    let b64 = batchq
+        .points
+        .iter()
+        .find(|p| p.batch == 64)
+        .expect("batchq probe always times batch 64");
+    let b64_anchor = anchors.batchq_ns_per_query(64);
+    metrics.push((
+        "batchq/b64 ns/query".into(),
+        b64_anchor,
+        b64.ns_per_query,
+        b64.ns_per_query / b64_anchor,
+        tolerance,
+    ));
+    metrics.push((
+        format!("batchq/b64-over-b1 speedup (floor {BATCH_SPEEDUP_FLOOR}x)"),
+        BATCH_SPEEDUP_FLOOR,
+        batchq.speedup_b64_over_b1,
+        BATCH_SPEEDUP_FLOOR / batchq.speedup_b64_over_b1,
+        0.0,
     ));
 
     let mut table = Table::new(
@@ -247,6 +281,17 @@ impl Anchors {
     /// Anchor scalar `field` (`p50_us` / `qps`) of the `net` record.
     fn net(&self, field: &str) -> f64 {
         num(get(self.record("net"), field))
+    }
+
+    /// Anchor amortized ns/query of the `batchq` record at `batch` queries
+    /// per call.
+    fn batchq_ns_per_query(&self, batch: u64) -> f64 {
+        let points = seq(get(self.record("batchq"), "points"));
+        let point = points
+            .iter()
+            .find(|p| num(get(p, "batch")) as u64 == batch)
+            .unwrap_or_else(|| die(&format!("anchor batchq record has no batch-{batch} point")));
+        num(get(point, "ns_per_query"))
     }
 
     fn record(&self, probe: &str) -> &Value {

@@ -16,13 +16,17 @@
 //! through `spatial-serve`'s sharded store, against the direct
 //! single-sketch baseline; `--probe net` measures the TCP front-end
 //! end-to-end (p50/p99/p999 batch round-trip latency and aggregate QPS,
-//! concurrent clients, epoch churn running throughout).
+//! concurrent clients, epoch churn running throughout); `--probe batchq`
+//! measures the multi-query batch kernel — amortized ns/query of
+//! `estimate_batch_with` at batch sizes 1/8/64 over a serving-shaped hot
+//! set, with the plan-cache hit/miss/eviction counters reported next to
+//! the dispatch decision.
 //!
 //! The probe harnesses themselves live in `spatial_bench::probes`, shared
 //! with the CI `perf_check` regression guard.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve|net>]
+//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve|net|batchq>]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -32,7 +36,7 @@ use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryKernel};
 use spatial_bench::cli::Args;
-use spatial_bench::probes::{build_probe, estimate_probe, net_probe, serve_probe};
+use spatial_bench::probes::{batchq_probe, build_probe, estimate_probe, net_probe, serve_probe};
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
 
@@ -91,8 +95,12 @@ fn main() {
             net_probe(args.has("quick"));
             return;
         }
+        Some("batchq") => {
+            batchq_probe(threads, args.has("quick"));
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve, net)");
+            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve, net, batchq)");
             std::process::exit(2);
         }
         None => {}

@@ -12,7 +12,7 @@ use serve::net::{range_query as wire_range, SketchClient, WireReply};
 use serve::{ContextPool, QueryRouter, ServeConfig, ShardedStore, SketchService};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{par_insert_batch, BuildKernel, QueryContext, QueryKernel};
+use sketch::{par_insert_batch, BatchQuery, BuildKernel, QueryContext, QueryKernel};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -576,6 +576,180 @@ pub fn net_probe(quick: bool) -> NetProbeRecord {
     println!(
         "net    {clients} clients x {rounds} rounds x {batch}/batch: p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs, {:.0} qps ({} epochs churned, {} shed)",
         record.p50_us, record.p99_us, record.p999_us, record.qps, record.ingest_epochs, record.shed
+    );
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}
+
+/// Compiled-plan cache counters recorded with the batch probe — the
+/// serializable mirror of [`sketch::PlanCacheReport`], covering both the
+/// single-query plan LRU and the merged multi-query plan LRU.
+#[derive(serde::Serialize)]
+pub struct PlanCacheMeta {
+    /// Single-query plan cache hits.
+    pub single_hits: u64,
+    /// Single-query plan cache misses (cold compiles).
+    pub single_misses: u64,
+    /// Single-query plans evicted by the LRU.
+    pub single_evictions: u64,
+    /// Merged multi-query plan cache hits.
+    pub multi_hits: u64,
+    /// Merged multi-query plan cache misses (batch merges).
+    pub multi_misses: u64,
+    /// Merged plans evicted by the LRU.
+    pub multi_evictions: u64,
+}
+
+/// Snapshots a [`sketch::PlanCacheReport`] into the serializable probe
+/// form.
+pub fn plan_cache_meta(report: &sketch::PlanCacheReport) -> PlanCacheMeta {
+    PlanCacheMeta {
+        single_hits: report.single.hits,
+        single_misses: report.single.misses,
+        single_evictions: report.single.evictions,
+        multi_hits: report.multi.hits,
+        multi_misses: report.multi.misses,
+        multi_evictions: report.multi.evictions,
+    }
+}
+
+/// One batch size's timings in the `--probe batchq` sweep.
+#[derive(serde::Serialize)]
+pub struct BatchPoint {
+    /// Queries per `estimate_batch_with` call.
+    pub batch: usize,
+    /// Amortized latency per query at this batch size.
+    pub ns_per_query: f64,
+    /// Latency normalized per query and boosting instance.
+    pub ns_per_query_instance: f64,
+}
+
+/// The `--probe batchq` record: multi-query batch kernel throughput vs the
+/// sequential single-query path, over a serving-shaped hot set.
+#[derive(serde::Serialize)]
+pub struct BatchProbeRecord {
+    /// Probe tag (`batchq`).
+    pub probe: String,
+    /// Objects summarized per sketch.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Boosting instances per sketch.
+    pub instances: usize,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
+    /// Distinct queries in the cycled hot set.
+    pub query_set: usize,
+    /// Amortized per-query timings at each batch size (batch 1 takes the
+    /// sequential single-query path — the baseline the kernel amortizes).
+    pub points: Vec<BatchPoint>,
+    /// Batch-1 ns/query over batch-64 ns/query: how much cheaper each
+    /// query gets when a whole batch shares one sweep over the sketch.
+    pub speedup_b64_over_b1: f64,
+    /// Plan-cache counters accumulated across the whole sweep.
+    pub plan_cache: PlanCacheMeta,
+}
+
+/// Multi-query batch throughput: amortized ns/query of
+/// `estimate_batch_with` at batch sizes 1/8/64 over a 32-query hot set
+/// (the shape the TCP front-end's `max_batch` drain produces), on the same
+/// sketch configuration as the net probe so the records compose. Batch 1
+/// routes through the sequential single-query path, so
+/// `speedup_b64_over_b1` is exactly the batching win. Appends a record to
+/// `results/perf_probe.json`.
+pub fn batchq_probe(threads: usize, quick: bool) -> BatchProbeRecord {
+    let bits = 14u32;
+    let objects = if quick { 5_000 } else { 20_000 };
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(objects, bits, 0.0, 5).generate();
+    let (k1, k2) = (203usize, 5usize);
+    let instances = k1 * k2;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rq = sketch::RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(k1, k2),
+        [bits, bits],
+        sketch::RangeStrategy::Transform,
+    );
+    let mut sk = rq.new_sketch();
+    par_insert_batch(&mut sk, &data, threads).unwrap();
+
+    // Serving-shaped hot set: 28 ranges + 4 stabs at range corners.
+    let rects = range_query_workload(9, 32, bits);
+    let hot: Vec<BatchQuery<2>> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            if i % 8 == 7 {
+                BatchQuery::Stab([q.range(0).lo(), q.range(1).lo()])
+            } else {
+                BatchQuery::Range(*q)
+            }
+        })
+        .collect();
+
+    let mut record = BatchProbeRecord {
+        probe: "batchq".into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances,
+        dispatch: dispatch_meta(),
+        query_set: hot.len(),
+        points: Vec::new(),
+        speedup_b64_over_b1: 0.0,
+        plan_cache: plan_cache_meta(&sketch::PlanCacheReport::default()),
+    };
+    let mut ctx = QueryContext::new();
+    for &batch in &[1usize, 8, 64] {
+        // Deterministic compositions cycling the hot set, so the merged
+        // plans recur the way a steady serving hot set makes them recur.
+        let compositions = if batch >= hot.len() {
+            1
+        } else {
+            hot.len() / batch
+        };
+        let batches: Vec<Vec<BatchQuery<2>>> = (0..compositions)
+            .map(|c| {
+                (0..batch)
+                    .map(|j| hot[(c * batch + j) % hot.len()])
+                    .collect()
+            })
+            .collect();
+        let mut bi = 0usize;
+        let ns_call = time_ns_per_call(|| {
+            bi = (bi + 1) % batches.len();
+            rq.estimate_batch_with(&mut ctx, &sk, &batches[bi])
+                .iter()
+                .map(|r| r.as_ref().unwrap().value)
+                .sum()
+        });
+        let ns_per_query = ns_call / batch as f64;
+        println!(
+            "batchq batch {batch:>2}: {ns_per_query:.0} ns/query ({:.2} ns/(query.inst))",
+            ns_per_query / instances as f64
+        );
+        record.points.push(BatchPoint {
+            batch,
+            ns_per_query,
+            ns_per_query_instance: ns_per_query / instances as f64,
+        });
+    }
+    record.speedup_b64_over_b1 =
+        record.points[0].ns_per_query / record.points.last().unwrap().ns_per_query;
+    record.plan_cache = plan_cache_meta(&ctx.plan_cache_report());
+    println!(
+        "batchq batch-64 speedup over batch-1: {:.2}x",
+        record.speedup_b64_over_b1
+    );
+    println!(
+        "batchq plan cache: single {}h/{}m/{}e, multi {}h/{}m/{}e",
+        record.plan_cache.single_hits,
+        record.plan_cache.single_misses,
+        record.plan_cache.single_evictions,
+        record.plan_cache.multi_hits,
+        record.plan_cache.multi_misses,
+        record.plan_cache.multi_evictions,
     );
     let path = crate::report::append_json("perf_probe", &record);
     println!("appended to {}", path.display());

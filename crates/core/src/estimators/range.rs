@@ -24,14 +24,15 @@ use crate::comp::{Comp, Word};
 use crate::error::{Result, SketchError};
 use crate::estimators::SketchConfig;
 use crate::query::{
-    PartialEstimate, PlanKey, QueryContext, XiQueryPlan, XiWordTerm, PLAN_CLASS_OVERLAP,
-    PLAN_CLASS_STAB,
+    MultiQueryPlan, PartialEstimate, PlanKey, QueryContext, QueryKernel, XiQueryPlan, XiWordTerm,
+    PLAN_CLASS_MULTI, PLAN_CLASS_OVERLAP, PLAN_CLASS_STAB,
 };
 use crate::schema::{DimSpec, SketchSchema};
 use dyadic::{interval_cover, point_cover};
 use geometry::transform::{shrink_interval, triple};
 use geometry::{HyperRect, Interval, Point};
 use rand::Rng;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How the estimator deals with query/data endpoint coincidences.
@@ -43,6 +44,19 @@ pub enum RangeStrategy {
     /// Section 5.2 transform: data tripled, query shrunk at estimate time;
     /// unbiased for arbitrary queries.
     Transform,
+}
+
+/// One query of a multi-query batch: either an overlap range query
+/// ([`RangeQuery::estimate_with`] semantics) or a stabbing count
+/// ([`RangeQuery::estimate_stab_with`] semantics). Both classes reduce to
+/// dyadic-cover sums over the same maintained sketch, so a mixed batch
+/// shares one kernel sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchQuery<const D: usize> {
+    /// Count objects whose intersection with the rect is full-dimensional.
+    Range(HyperRect<D>),
+    /// Count objects containing the point (closed containment).
+    Stab(Point<D>),
 }
 
 /// Estimator for `|Q(q, R)|` (Definition 3) over one maintained sketch.
@@ -200,15 +214,10 @@ impl<const D: usize> RangeQuery<D> {
         self.estimate_with(&mut QueryContext::new(), sketch, q)
     }
 
-    /// Validates an overlap query and compiles (or recalls) its plan;
-    /// `None` means the query is degenerate and selects nothing.
-    fn overlap_plan_for(
-        &self,
-        ctx: &mut QueryContext,
-        sketch: &SketchSet<D>,
-        q: &HyperRect<D>,
-    ) -> Result<Option<std::sync::Arc<XiQueryPlan<D>>>> {
-        self.check_sketch(sketch)?;
+    /// Validates an overlap query against the sketch's domain and returns
+    /// its cache key; `Ok(None)` means the query is degenerate and selects
+    /// nothing under Definition 3.
+    fn overlap_key(&self, sketch: &SketchSet<D>, q: &HyperRect<D>) -> Result<Option<PlanKey>> {
         for dim in 0..D {
             let max = (1u64 << sketch.data_bits()[dim]) - 1;
             if q.range(dim).hi() > max {
@@ -229,8 +238,26 @@ impl<const D: usize> RangeQuery<D> {
             coords.push(q.range(dim).lo());
             coords.push(q.range(dim).hi());
         }
-        let key = PlanKey::new(self.schema.id(), PLAN_CLASS_OVERLAP, coords);
-        Ok(Some(ctx.plan_for(key, || self.overlap_plan(q))))
+        Ok(Some(PlanKey::new(
+            self.schema.id(),
+            PLAN_CLASS_OVERLAP,
+            coords,
+        )))
+    }
+
+    /// Validates an overlap query and compiles (or recalls) its plan;
+    /// `None` means the query is degenerate and selects nothing.
+    fn overlap_plan_for(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        q: &HyperRect<D>,
+    ) -> Result<Option<std::sync::Arc<XiQueryPlan<D>>>> {
+        self.check_sketch(sketch)?;
+        match self.overlap_key(sketch, q)? {
+            None => Ok(None),
+            Some(key) => Ok(Some(ctx.plan_for(key, || self.overlap_plan(q)))),
+        }
     }
 
     /// Estimates `|Q(q, R)|` using the caller's [`QueryContext`] (kernel
@@ -271,6 +298,18 @@ impl<const D: usize> RangeQuery<D> {
         self.estimate_stab_with(&mut QueryContext::new(), sketch, p)
     }
 
+    /// Validates a stab query against the sketch's domain and returns its
+    /// cache key.
+    fn stab_key(&self, sketch: &SketchSet<D>, p: &Point<D>) -> Result<PlanKey> {
+        for (dim, &coord) in p.iter().enumerate() {
+            let max = (1u64 << sketch.data_bits()[dim]) - 1;
+            if coord > max {
+                return Err(SketchError::DomainOverflow { coord, max, dim });
+            }
+        }
+        Ok(PlanKey::new(self.schema.id(), PLAN_CLASS_STAB, p.to_vec()))
+    }
+
     /// Validates a stab query and compiles (or recalls) its plan.
     fn stab_plan_for(
         &self,
@@ -279,13 +318,7 @@ impl<const D: usize> RangeQuery<D> {
         p: &Point<D>,
     ) -> Result<std::sync::Arc<XiQueryPlan<D>>> {
         self.check_sketch(sketch)?;
-        for (dim, &coord) in p.iter().enumerate() {
-            let max = (1u64 << sketch.data_bits()[dim]) - 1;
-            if coord > max {
-                return Err(SketchError::DomainOverflow { coord, max, dim });
-            }
-        }
-        let key = PlanKey::new(self.schema.id(), PLAN_CLASS_STAB, p.to_vec());
+        let key = self.stab_key(sketch, p)?;
         Ok(ctx.plan_for(key, || self.stab_plan(p)))
     }
 
@@ -310,6 +343,139 @@ impl<const D: usize> RangeQuery<D> {
     ) -> Result<PartialEstimate> {
         let plan = self.stab_plan_for(ctx, sketch, p)?;
         Ok(ctx.xi_partial(&plan, sketch))
+    }
+
+    /// Answers a whole batch of range/stab queries in **one kernel sweep**
+    /// over the sketch: the batch's unique queries are compiled (or
+    /// recalled) and merged into a `MultiQueryPlan` whose per-dimension
+    /// worklists deduplicate shared cover cells, so each unique cell pays
+    /// one ξ evaluation per instance block and only a cheap carry-save fold
+    /// per owning query. Every answer is **bit-identical** to the
+    /// corresponding single-query call (`estimate_with` /
+    /// `estimate_stab_with`) — exact `i64` lane sums make sharing free, and
+    /// per-query f64 term order is preserved.
+    ///
+    /// Per-query failures (domain overflow) fail only that slot; degenerate
+    /// rects yield zero estimates; duplicate queries are answered once and
+    /// cloned. Batches on the scalar kernel — and batches with a single
+    /// unique query — take the sequential per-query path, which doubles as
+    /// the differential oracle.
+    pub fn estimate_batch_with(
+        &self,
+        ctx: &mut QueryContext,
+        sketch: &SketchSet<D>,
+        queries: &[BatchQuery<D>],
+    ) -> Vec<Result<Estimate>> {
+        enum Outcome {
+            Fail(SketchError),
+            Zero,
+            Unique(usize),
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if let Err(e) = self.check_sketch(sketch) {
+            return queries.iter().map(|_| Err(e.clone())).collect();
+        }
+        // Validate and deduplicate: identical queries (and a stab at the
+        // same coordinates as a rect corner — distinct plan class) map to
+        // one unique slot each.
+        let mut outcomes: Vec<Outcome> = Vec::with_capacity(queries.len());
+        let mut uniques: Vec<(PlanKey, BatchQuery<D>)> = Vec::new();
+        let mut index: HashMap<PlanKey, usize> = HashMap::new();
+        for q in queries {
+            let key = match q {
+                BatchQuery::Range(rect) => match self.overlap_key(sketch, rect) {
+                    Err(e) => {
+                        outcomes.push(Outcome::Fail(e));
+                        continue;
+                    }
+                    Ok(None) => {
+                        outcomes.push(Outcome::Zero);
+                        continue;
+                    }
+                    Ok(Some(key)) => key,
+                },
+                BatchQuery::Stab(p) => match self.stab_key(sketch, p) {
+                    Err(e) => {
+                        outcomes.push(Outcome::Fail(e));
+                        continue;
+                    }
+                    Ok(key) => key,
+                },
+            };
+            let u = *index.entry(key.clone()).or_insert_with(|| {
+                uniques.push((key, *q));
+                uniques.len() - 1
+            });
+            outcomes.push(Outcome::Unique(u));
+        }
+        let kernel = ctx.kernel().resolve(self.schema.instances());
+        let estimates: Vec<Estimate> = if kernel == QueryKernel::Scalar || uniques.len() <= 1 {
+            // Sequential path: per-query plans and fills, exactly the
+            // single-query code — the oracle the merged path must bit-match,
+            // and the no-overhead path for batches of one.
+            uniques
+                .iter()
+                .map(|(key, q)| {
+                    let plan = match q {
+                        BatchQuery::Range(rect) => {
+                            ctx.plan_for(key.clone(), || self.overlap_plan(rect))
+                        }
+                        BatchQuery::Stab(p) => ctx.plan_for(key.clone(), || self.stab_plan(p)),
+                    };
+                    ctx.xi_estimate(&plan, sketch)
+                })
+                .collect()
+        } else {
+            // Merged path: one worklist sweep for all unique queries. The
+            // merged plan is memoized under the batch's flattened signature
+            // (class tag + coordinates per unique query, in batch order) —
+            // a serving loop draining a recurring hot set compiles it once.
+            let mut sig = Vec::with_capacity(uniques.len() * (1 + 2 * D));
+            for (_, q) in &uniques {
+                match q {
+                    BatchQuery::Range(rect) => {
+                        sig.push(u64::from(PLAN_CLASS_OVERLAP));
+                        for dim in 0..D {
+                            sig.push(rect.range(dim).lo());
+                            sig.push(rect.range(dim).hi());
+                        }
+                    }
+                    BatchQuery::Stab(p) => {
+                        sig.push(u64::from(PLAN_CLASS_STAB));
+                        sig.extend_from_slice(p);
+                    }
+                }
+            }
+            let mkey = PlanKey::new(self.schema.id(), PLAN_CLASS_MULTI, sig);
+            let mplan = match ctx.multi_plan_lookup::<D>(&mkey) {
+                Some(plan) => plan,
+                None => {
+                    let singles: Vec<Arc<XiQueryPlan<D>>> = uniques
+                        .iter()
+                        .map(|(key, q)| match q {
+                            BatchQuery::Range(rect) => {
+                                ctx.plan_for(key.clone(), || self.overlap_plan(rect))
+                            }
+                            BatchQuery::Stab(p) => ctx.plan_for(key.clone(), || self.stab_plan(p)),
+                        })
+                        .collect();
+                    let merged = Arc::new(MultiQueryPlan::merge(&singles));
+                    ctx.multi_plan_insert(mkey, Arc::clone(&merged));
+                    merged
+                }
+            };
+            ctx.multi_xi_estimate(&mplan, sketch)
+        };
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                Outcome::Fail(e) => Err(e),
+                Outcome::Zero => Ok(ctx.zero_estimate(self.schema.shape())),
+                Outcome::Unique(u) => Ok(estimates[u].clone()),
+            })
+            .collect()
     }
 }
 

@@ -98,7 +98,7 @@ pub use estimator::{DimTerm, PairEstimator, PairTerms, Term};
 pub use estimators::containment::{IntervalContainment, RectContainment};
 pub use estimators::eps::EpsJoin;
 pub use estimators::joins::{EndpointStrategy, OverlapPlusJoin, SpatialJoin};
-pub use estimators::range::{RangeQuery, RangeStrategy};
+pub use estimators::range::{BatchQuery, RangeQuery, RangeStrategy};
 pub use estimators::SketchConfig;
 pub use kernel::{
     cpu_vector, dispatch_report, preferred_lane_width, CpuVector, DispatchReport,
@@ -110,5 +110,5 @@ pub use persist::{
     snapshot_schema, snapshot_sketch, SchemaSnapshot, SketchPairSnapshot, SketchSnapshot,
 };
 pub use plan::Guarantee;
-pub use query::{PartialEstimate, QueryContext, QueryKernel};
+pub use query::{PartialEstimate, PlanCacheReport, PlanCacheStats, QueryContext, QueryKernel};
 pub use schema::{BoostShape, DimSpec, SchemaLanes, SketchSchema};

@@ -49,7 +49,7 @@ use crate::boost::{mean_median_with, Estimate};
 use crate::estimator::Term;
 use crate::kernel::{self, Width};
 use crate::schema::{BoostShape, SchemaLanes};
-use fourwise::{BlockSums, IndexPre, WideLane, WideLane512};
+use fourwise::{BlockSums, IndexPre, MultiBlockSums, WideLane, WideLane512};
 
 #[cfg(doc)]
 use fourwise::BLOCK_LANES;
@@ -105,10 +105,16 @@ impl QueryKernel {
 /// entries are evicted first). Plans are a few hundred bytes each.
 const PLAN_CACHE_CAPACITY: usize = 64;
 
+/// Most compiled [`MultiQueryPlan`]s one [`QueryContext`] retains. Merged
+/// batch plans are keyed by the whole batch signature and can reach tens of
+/// kilobytes each, so the cache is smaller than the single-plan one —
+/// serving loops see few distinct batch compositions per worker.
+const MULTI_PLAN_CACHE_CAPACITY: usize = 16;
+
 /// Identity of a compiled query plan: the schema (which pins the ξ kind,
 /// domain layout and maxLevel), the query class, and the query coordinates
 /// the covers were compiled from.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct PlanKey {
     schema_id: u64,
     class: u8,
@@ -129,23 +135,88 @@ impl PlanKey {
 /// from the same coordinates).
 pub(crate) const PLAN_CLASS_OVERLAP: u8 = 0;
 pub(crate) const PLAN_CLASS_STAB: u8 = 1;
+/// A merged multi-query plan, keyed by the batch's unique-query signature.
+pub(crate) const PLAN_CLASS_MULTI: u8 = 2;
 
-/// A bounded LRU of compiled, type-erased [`XiQueryPlan`]s.
-#[derive(Clone, Default)]
+/// Point-in-time counters of one compiled-plan cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (cover compilation skipped).
+    pub hits: u64,
+    /// Lookups that compiled a fresh plan.
+    pub misses: u64,
+    /// Entries dropped to make room (least recently used first).
+    pub evictions: u64,
+}
+
+/// Counters of both of a [`QueryContext`]'s plan caches, reported next to
+/// [`crate::kernel::dispatch_report`] by the bench probes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheReport {
+    /// The single-query `XiQueryPlan` LRU.
+    pub single: PlanCacheStats,
+    /// The merged `MultiQueryPlan` LRU fed by the batch entry points.
+    pub multi: PlanCacheStats,
+}
+
+/// A bounded LRU of compiled, type-erased query plans.
+#[derive(Clone)]
 struct PlanCache {
     /// Most recently used last; linear scans are fine at this capacity.
     entries: Vec<(PlanKey, Arc<dyn Any + Send + Sync>)>,
-    hits: u64,
-    misses: u64,
+    capacity: usize,
+    stats: PlanCacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(PLAN_CACHE_CAPACITY)
+    }
 }
 
 impl std::fmt::Debug for PlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
             .field("entries", &self.entries.len())
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
+            .field("stats", &self.stats)
             .finish()
+    }
+}
+
+impl PlanCache {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            capacity,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts a miss (and
+    /// drops the stale entry) when the stored plan is of the wrong type —
+    /// impossible for well-formed keys, handled defensively rather than
+    /// serving a wrong-typed plan.
+    fn lookup<T: Any + Send + Sync>(&mut self, key: &PlanKey) -> Option<Arc<T>> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(pos);
+            if let Ok(plan) = entry.1.clone().downcast::<T>() {
+                self.entries.push(entry);
+                self.stats.hits += 1;
+                return Some(plan);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Caches a freshly compiled plan, evicting the least recently used
+    /// entry at capacity.
+    fn insert<T: Any + Send + Sync>(&mut self, key: PlanKey, plan: Arc<T>) {
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push((key, plan as Arc<dyn Any + Send + Sync>));
     }
 }
 
@@ -154,7 +225,7 @@ impl std::fmt::Debug for PlanCache {
 /// the boosting buffers, and the compiled-plan cache. Construction-free to
 /// share across dimensionalities — one context can serve a 2-d join and a
 /// 4-d containment estimator back to back.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QueryContext {
     kernel: QueryKernel,
     /// Atomic estimates, instance-major (`atomic[row * k1 + col]`).
@@ -169,8 +240,36 @@ pub struct QueryContext {
     sums_wide: BlockSums<WideLane>,
     /// The 512-lane kernel's sum bank.
     sums_wide512: BlockSums<WideLane512>,
+    /// The multi-query kernel's slot banks, one per lane width.
+    msums: MultiBlockSums<u64>,
+    msums_wide: MultiBlockSums<WideLane>,
+    msums_wide512: MultiBlockSums<WideLane512>,
+    /// Batched atomic grids, query-major (`atomic_multi[q * instances + i]`).
+    atomic_multi: Vec<f64>,
     /// Compiled query plans, memoized per (schema, query).
     plans: PlanCache,
+    /// Merged multi-query plans, memoized per batch signature.
+    mplans: PlanCache,
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        Self {
+            kernel: QueryKernel::default(),
+            atomic: Vec::new(),
+            rows: Vec::new(),
+            med: Vec::new(),
+            sums: BlockSums::new(),
+            sums_wide: BlockSums::new(),
+            sums_wide512: BlockSums::new(),
+            msums: MultiBlockSums::new(),
+            msums_wide: MultiBlockSums::new(),
+            msums_wide512: MultiBlockSums::new(),
+            atomic_multi: Vec::new(),
+            plans: PlanCache::default(),
+            mplans: PlanCache::with_capacity(MULTI_PLAN_CACHE_CAPACITY),
+        }
+    }
 }
 
 impl QueryContext {
@@ -201,7 +300,17 @@ impl QueryContext {
     /// was created. A repeated query hitting the cache skips query-side
     /// cover compilation entirely.
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.plans.hits, self.plans.misses)
+        (self.plans.stats.hits, self.plans.stats.misses)
+    }
+
+    /// Hit/miss/eviction counters of both plan caches (the single-query
+    /// `XiQueryPlan` LRU and the merged multi-query LRU) since the context
+    /// was created.
+    pub fn plan_cache_report(&self) -> PlanCacheReport {
+        PlanCacheReport {
+            single: self.plans.stats,
+            multi: self.mplans.stats,
+        }
     }
 
     /// Looks up the compiled plan for `key`, compiling and caching it on a
@@ -212,26 +321,31 @@ impl QueryContext {
         key: PlanKey,
         compile: impl FnOnce() -> XiQueryPlan<D>,
     ) -> Arc<XiQueryPlan<D>> {
-        if let Some(pos) = self.plans.entries.iter().position(|(k, _)| *k == key) {
-            let entry = self.plans.entries.remove(pos);
-            // Same key ⇒ same schema ⇒ same dimensionality, so the downcast
-            // cannot fail for well-formed keys; treat failure as a miss
-            // defensively rather than serving a wrong-typed plan.
-            if let Ok(plan) = entry.1.clone().downcast::<XiQueryPlan<D>>() {
-                self.plans.entries.push(entry);
-                self.plans.hits += 1;
-                return plan;
-            }
+        if let Some(plan) = self.plans.lookup::<XiQueryPlan<D>>(&key) {
+            return plan;
         }
-        self.plans.misses += 1;
         let plan = Arc::new(compile());
-        if self.plans.entries.len() >= PLAN_CACHE_CAPACITY {
-            self.plans.entries.remove(0);
-        }
-        self.plans
-            .entries
-            .push((key, plan.clone() as Arc<dyn Any + Send + Sync>));
+        self.plans.insert(key, plan.clone());
         plan
+    }
+
+    /// Looks up a merged multi-query plan by its batch signature. Split from
+    /// the insert so the miss path can compile the constituent single-query
+    /// plans through [`QueryContext::plan_for`] in between.
+    pub(crate) fn multi_plan_lookup<const D: usize>(
+        &mut self,
+        key: &PlanKey,
+    ) -> Option<Arc<MultiQueryPlan<D>>> {
+        self.mplans.lookup::<MultiQueryPlan<D>>(key)
+    }
+
+    /// Caches a freshly merged multi-query plan under its batch signature.
+    pub(crate) fn multi_plan_insert<const D: usize>(
+        &mut self,
+        key: PlanKey,
+        plan: Arc<MultiQueryPlan<D>>,
+    ) {
+        self.mplans.insert(key, plan);
     }
 
     /// Boosts whatever the fill pass left in `self.atomic`.
@@ -316,6 +430,55 @@ impl QueryContext {
     ) -> Estimate {
         self.xi_fill(plan, sketch);
         self.boost(sketch.schema().shape())
+    }
+
+    /// Multi-query combine: fills every merged query's atomic grid in one
+    /// blocked pass over the sketch and boosts each, in merge order. Only
+    /// the blocked kernels reach this — the batch entry points answer
+    /// [`QueryKernel::Scalar`] batches through the sequential per-query
+    /// oracle instead.
+    pub(crate) fn multi_xi_estimate<const D: usize>(
+        &mut self,
+        plan: &MultiQueryPlan<D>,
+        sketch: &SketchSet<D>,
+    ) -> Vec<Estimate> {
+        let shape = sketch.schema().shape();
+        let instances = shape.instances();
+        let nq = plan.queries.len();
+        self.atomic_multi.clear();
+        self.atomic_multi.resize(nq * instances, 0.0);
+        match self.kernel.resolve(instances) {
+            QueryKernel::Batched => multi_xi_fill_blocked::<u64, D>(
+                plan,
+                sketch,
+                &mut self.atomic_multi,
+                &mut self.msums,
+            ),
+            QueryKernel::Wide => multi_xi_fill_blocked::<WideLane, D>(
+                plan,
+                sketch,
+                &mut self.atomic_multi,
+                &mut self.msums_wide,
+            ),
+            QueryKernel::Wide512 => multi_xi_fill_blocked::<WideLane512, D>(
+                plan,
+                sketch,
+                &mut self.atomic_multi,
+                &mut self.msums_wide512,
+            ),
+            QueryKernel::Scalar => unreachable!("scalar batches take the sequential oracle path"),
+            QueryKernel::Auto => unreachable!("resolve() never returns Auto"),
+        }
+        let mut out = Vec::with_capacity(nq);
+        for q in 0..nq {
+            let grid = &self.atomic_multi[q * instances..(q + 1) * instances];
+            let value = mean_median_with(grid, shape.k1, shape.k2, &mut self.rows, &mut self.med);
+            out.push(Estimate {
+                value,
+                row_means: self.rows.clone(),
+            });
+        }
+        out
     }
 
     /// Query-side combine, returned unboosted as a shard-mergeable
@@ -442,6 +605,96 @@ impl<const D: usize> XiQueryPlan<D> {
     /// Largest per-dimension list count (the slot stride of the lane bank).
     fn max_slots(&self) -> usize {
         self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// One dimension's merged cover worklist: every merged query's cover cells
+/// in that dimension, deduplicated and sorted by index, with a CSR
+/// ownership table fanning each cell back out to the dim-local slots whose
+/// lists contain it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MultiDimList {
+    /// Unique cover cells, ascending by index.
+    pub cells: Vec<IndexPre>,
+    /// CSR offsets: cell `i` owns `owners[owner_off[i]..owner_off[i + 1]]`.
+    pub owner_off: Vec<u32>,
+    /// Dim-local slot ids, multiplicity-preserving (a cell listed twice in
+    /// one list appears twice).
+    pub owners: Vec<u32>,
+    /// Total dim-local slots (Σ over merged plans of their list counts).
+    pub slots: usize,
+}
+
+/// A batch of compiled single-query plans merged into one deduplicated,
+/// sorted worklist per dimension: shared cover cells across the batch are
+/// evaluated **once** per instance block by [`MultiBlockSums`], and each
+/// query's word terms index its own slots of the shared bank.
+#[derive(Debug, Clone)]
+pub(crate) struct MultiQueryPlan<const D: usize> {
+    /// Per-dimension merged worklists.
+    pub dims: [MultiDimList; D],
+    /// Per merged query (in merge order), its word terms with slot ids
+    /// rebased onto the dim-local slot space.
+    pub queries: Vec<Vec<XiWordTerm<D>>>,
+}
+
+impl<const D: usize> MultiQueryPlan<D> {
+    /// Merges single-query plans (all compiled against the same schema)
+    /// into one worklist. Slot assignment is sequential per (plan, list) in
+    /// plan order, so term evaluation order inside each query — and hence
+    /// its f64 rounding — is unchanged from the single-query path.
+    pub(crate) fn merge(plans: &[Arc<XiQueryPlan<D>>]) -> Self {
+        let mut dims: [MultiDimList; D] = std::array::from_fn(|_| MultiDimList::default());
+        let mut slot_base = vec![[0usize; D]; plans.len()];
+        for (p, plan) in plans.iter().enumerate() {
+            for (d, dim) in dims.iter_mut().enumerate() {
+                slot_base[p][d] = dim.slots;
+                dim.slots += plan.lists[d].len();
+            }
+        }
+        for (d, dim) in dims.iter_mut().enumerate() {
+            // (index, cube, slot) triples; cube is a pure function of index
+            // (per dimension), so sorting by the full triple groups equal
+            // cells into runs with identical cubes.
+            let mut pairs: Vec<(u64, u64, u32)> = Vec::new();
+            for (p, plan) in plans.iter().enumerate() {
+                for (l, list) in plan.lists[d].iter().enumerate() {
+                    let slot = (slot_base[p][d] + l) as u32;
+                    for pre in list {
+                        pairs.push((pre.index, pre.cube, slot));
+                    }
+                }
+            }
+            pairs.sort_unstable();
+            for (index, cube, slot) in pairs {
+                if dim.cells.last().map(|c| c.index) != Some(index) {
+                    dim.cells.push(IndexPre { index, cube });
+                    dim.owner_off.push(dim.owners.len() as u32);
+                }
+                dim.owners.push(slot);
+            }
+            dim.owner_off.push(dim.owners.len() as u32);
+        }
+        let queries = plans
+            .iter()
+            .enumerate()
+            .map(|(p, plan)| {
+                plan.terms
+                    .iter()
+                    .map(|t| XiWordTerm {
+                        word: t.word,
+                        slots: std::array::from_fn(|d| slot_base[p][d] + t.slots[d]),
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { dims, queries }
+    }
+
+    /// Unique cover cells across all dimensions (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn unique_cells(&self) -> usize {
+        self.dims.iter().map(|d| d.cells.len()).sum()
     }
 }
 
@@ -604,6 +857,68 @@ pub(crate) fn xi_fill_blocked<L: SchemaLanes, const D: usize>(
     }
 }
 
+/// Fills every merged query's atomic grid in one blocked pass: per instance
+/// block, each dimension's merged worklist is evaluated once into the shared
+/// slot bank (one `eval_mask` per unique cell, carry-save fan-out per
+/// owner), then each query's word terms combine its slots' per-lane sums
+/// with the block's contiguous counter rows. `out` is query-major
+/// (`out[q * instances + inst]`).
+///
+/// Bit-identity: per-lane sums are exact `i64`s, so sharing cell
+/// evaluations cannot change them; per query, terms accumulate in plan
+/// order and slot products fold in dimension order — the same f64 operation
+/// sequence as [`xi_fill_blocked`], hence as the scalar oracle.
+pub(crate) fn multi_xi_fill_blocked<L: SchemaLanes, const D: usize>(
+    plan: &MultiQueryPlan<D>,
+    sketch: &SketchSet<D>,
+    out: &mut [f64],
+    sums: &mut MultiBlockSums<L>,
+) {
+    let schema = sketch.schema();
+    let instances = schema.instances();
+    let w = sketch.words().len();
+    let counters = sketch.counters();
+    let mut base = [0usize; D];
+    let mut total = 0usize;
+    for (d, dim) in plan.dims.iter().enumerate() {
+        base[d] = total;
+        total += dim.slots;
+    }
+    sums.reserve_slots(total);
+    let mut filled = 0usize;
+    let mut b = 0usize;
+    while filled < instances {
+        let inst0 = b * L::LANES;
+        let lanes = L::seed_blocks(schema, 0)[b].lanes();
+        for (d, dim) in plan.dims.iter().enumerate() {
+            let xb = &L::seed_blocks(schema, d)[b];
+            sums.eval_worklist(
+                xb,
+                &dim.cells,
+                &dim.owner_off,
+                &dim.owners,
+                base[d],
+                dim.slots,
+            );
+        }
+        let cb = &counters[inst0 * w..(inst0 + lanes) * w];
+        for (q, terms) in plan.queries.iter().enumerate() {
+            let z = &mut out[q * instances + filled..q * instances + filled + lanes];
+            z.fill(0.0);
+            for t in terms {
+                let word = t.word;
+                let ids: [usize; D] = std::array::from_fn(|d| base[d] + t.slots[d]);
+                let qv = sums.slot_products(&ids, lanes);
+                for (lane, slot) in z.iter_mut().enumerate() {
+                    *slot += prod_f64(qv[lane], cb[lane * w + word]);
+                }
+            }
+        }
+        filled += lanes;
+        b += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -733,6 +1048,89 @@ mod tests {
             let eb = ctx.pair_estimate(&terms, &r, &s);
             assert_eq!(es.value.to_bits(), eb.value.to_bits(), "{kernel:?}");
             assert_eq!(es.row_means, eb.row_means, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn multi_plan_merge_bit_matches_single_plans() {
+        let mut rng = StdRng::seed_from_u64(210);
+        // 70 instances: one full 64-lane block plus a 6-lane tail.
+        let schema = SketchSchema::<2>::new(
+            &mut rng,
+            XiKind::Bch,
+            crate::schema::BoostShape::new(35, 2),
+            [DimSpec::dyadic(8); 2],
+        );
+        let words = Arc::new(ie_words::<2>());
+        let mut sk = SketchSet::new(schema.clone(), words, EndpointPolicy::Raw);
+        for _ in 0..40 {
+            let x = rng.gen_range(0..200u64);
+            let y = rng.gen_range(0..200u64);
+            sk.insert(&rect2(x, x + 9, y, y + 5)).unwrap();
+        }
+        // Three synthetic plans with overlapping cover cells (shared ids
+        // across plans and a duplicate inside one list).
+        let plans: Vec<Arc<XiQueryPlan<2>>> = (0..3usize)
+            .map(|p| {
+                let mut plan = XiQueryPlan::<2>::default();
+                for (dim, lists) in plan.lists.iter_mut().enumerate() {
+                    let ctx = &schema.xi_ctx()[dim];
+                    for l in 0..2usize {
+                        let mut list: Vec<IndexPre> = (0..6 + 3 * l)
+                            .map(|_| ctx.precompute(rng.gen_range(0..64u64)))
+                            .collect();
+                        if p == 1 && l == 0 {
+                            let dup = list[0];
+                            list.push(dup);
+                        }
+                        lists.push(list);
+                    }
+                }
+                plan.terms = (0..4usize)
+                    .map(|mask| XiWordTerm {
+                        word: mask,
+                        slots: std::array::from_fn(|d| (mask >> d ^ p) & 1),
+                    })
+                    .collect();
+                Arc::new(plan)
+            })
+            .collect();
+        let merged = MultiQueryPlan::merge(&plans);
+        assert_eq!(merged.queries.len(), 3);
+        // Dedup really happened: unique cells < total list entries.
+        let total: usize = plans
+            .iter()
+            .flat_map(|p| p.lists.iter().flatten())
+            .map(Vec::len)
+            .sum();
+        assert!(merged.unique_cells() < total, "{} cells", total);
+
+        let instances = schema.instances();
+        check::<u64>(&plans, &merged, &sk, instances);
+        check::<fourwise::WideLane>(&plans, &merged, &sk, instances);
+        check::<fourwise::WideLane512>(&plans, &merged, &sk, instances);
+
+        fn check<L: SchemaLanes>(
+            plans: &[Arc<XiQueryPlan<2>>],
+            merged: &MultiQueryPlan<2>,
+            sk: &SketchSet<2>,
+            instances: usize,
+        ) {
+            let mut multi_out = vec![0.0f64; plans.len() * instances];
+            let mut msums = MultiBlockSums::<L>::new();
+            multi_xi_fill_blocked::<L, 2>(merged, sk, &mut multi_out, &mut msums);
+            let mut sums = BlockSums::<L>::new();
+            for (q, plan) in plans.iter().enumerate() {
+                let mut single = vec![0.0f64; instances];
+                xi_fill_blocked::<L, 2>(plan, sk, 0, &mut single, &mut sums);
+                for (i, (a, b)) in single
+                    .iter()
+                    .zip(&multi_out[q * instances..(q + 1) * instances])
+                    .enumerate()
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "query {q} instance {i}");
+                }
+            }
         }
     }
 

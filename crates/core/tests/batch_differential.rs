@@ -1,0 +1,188 @@
+//! Differential suite: the multi-query batch kernel against the sequential
+//! single-query oracle.
+//!
+//! `RangeQuery::estimate_batch_with` merges a batch's unique queries into
+//! one deduplicated dyadic-cover worklist and answers them in a single
+//! sweep per instance block. Exact `i64` lane sums make the cell sharing
+//! free and per-query f64 term order is preserved, so every batched answer
+//! must be **bit-identical** — boosted value *and* every row mean — to the
+//! corresponding single-query call, across both ξ constructions, dims 1–3,
+//! batch sizes 1/7/64, every kernel width, and batches containing
+//! overlapping rects, exact duplicates, stabs at shared data corners,
+//! degenerate rects and out-of-domain failures.
+//!
+//! Heavyweight cases (batch 64, multi-block 3-d) are gated to the
+//! `tests-release` lane with `#[cfg_attr(debug_assertions, ignore)]`,
+//! following the ROADMAP convention.
+
+use fourwise::XiKind;
+use geometry::{HyperRect, Interval};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sketch::estimators::SketchConfig;
+use sketch::{
+    BatchQuery, Estimate, QueryContext, QueryKernel, RangeQuery, RangeStrategy, Result, SketchSet,
+};
+
+const KINDS: [XiKind; 2] = [XiKind::Bch, XiKind::Poly];
+
+fn assert_bit_identical(want: &Estimate, got: &Estimate, label: &str) {
+    assert_eq!(
+        want.value.to_bits(),
+        got.value.to_bits(),
+        "{label}: boosted value diverged ({} vs {})",
+        want.value,
+        got.value
+    );
+    assert_eq!(
+        want.row_means.len(),
+        got.row_means.len(),
+        "{label}: row count diverged"
+    );
+    for (i, (a, b)) in want.row_means.iter().zip(got.row_means.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: row mean {i} diverged");
+    }
+}
+
+fn rand_rects<const D: usize>(rng: &mut StdRng, n: usize, max: u64) -> Vec<HyperRect<D>> {
+    (0..n)
+        .map(|_| {
+            HyperRect::new(std::array::from_fn(|_| {
+                let lo = rng.gen_range(0..max - 17);
+                Interval::new(lo, lo + rng.gen_range(1..=16u64))
+            }))
+        })
+        .collect()
+}
+
+/// A deterministic batch of `n` queries cycling a small hot pool:
+/// overlapping rects anchored on data endpoints (so covers share cells), an
+/// exact duplicate, stabs at shared data corners, one degenerate rect and
+/// one out-of-domain rect — every shape a serving batch can contain.
+fn batch_of<const D: usize>(data: &[HyperRect<D>], n: usize, max: u64) -> Vec<BatchQuery<D>> {
+    let rect = |k: usize| {
+        let base = &data[(k * 7) % data.len()];
+        BatchQuery::Range(HyperRect::new(std::array::from_fn(|d| {
+            let lo = base.range(d).lo().saturating_sub(k as u64);
+            Interval::new(lo, (lo + 12 + 3 * k as u64).min(max))
+        })))
+    };
+    let stab = |k: usize| {
+        let base = &data[(k * 11) % data.len()];
+        BatchQuery::Stab(std::array::from_fn(|d| base.range(d).lo()))
+    };
+    let pool = [
+        rect(0),
+        stab(0),
+        rect(1),
+        rect(0), // exact duplicate of slot 0
+        stab(1),
+        rect(2),
+        // Degenerate in every dimension: selects nothing, answers zero.
+        BatchQuery::Range(HyperRect::new(std::array::from_fn(|_| Interval::point(9)))),
+        rect(3),
+        // One past the domain: fails its slot alone (DomainOverflow).
+        BatchQuery::Range(HyperRect::new(std::array::from_fn(|_| {
+            Interval::new(0, max + 1)
+        }))),
+        rect(4),
+        stab(2),
+        rect(5),
+        rect(6),
+        stab(3),
+    ];
+    (0..n).map(|i| pool[i % pool.len()]).collect()
+}
+
+fn oracle<const D: usize>(
+    rq: &RangeQuery<D>,
+    ctx: &mut QueryContext,
+    sk: &SketchSet<D>,
+    q: &BatchQuery<D>,
+) -> Result<Estimate> {
+    match q {
+        BatchQuery::Range(rect) => rq.estimate_with(ctx, sk, rect),
+        BatchQuery::Stab(p) => rq.estimate_stab_with(ctx, sk, p),
+    }
+}
+
+/// One configuration: a sketch over random data, batches of every requested
+/// size through the full kernel matrix, each slot compared bit-for-bit
+/// against the sequential scalar oracle. Each kernel runs every batch twice
+/// — the second round rides the warm multi-plan cache and must not drift.
+fn batch_config<const D: usize>(kind: XiKind, k1: usize, sizes: &[usize], seed: u64) {
+    let label = format!("batch/{kind:?}/{D}d/{k1}x1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rq = RangeQuery::<D>::new(
+        &mut rng,
+        SketchConfig::new(k1, 1).with_kind(kind),
+        [8; D],
+        RangeStrategy::Transform,
+    );
+    let mut sk = rq.new_sketch();
+    let data = rand_rects::<D>(&mut rng, 60, 255);
+    sk.insert_slice(&data).unwrap();
+    let mut octx = QueryContext::new().with_kernel(QueryKernel::Scalar);
+    for &n in sizes {
+        let batch = batch_of(&data, n, 255);
+        let want: Vec<Result<Estimate>> = batch
+            .iter()
+            .map(|q| oracle(&rq, &mut octx, &sk, q))
+            .collect();
+        for kernel in [
+            QueryKernel::Scalar,
+            QueryKernel::Batched,
+            QueryKernel::Wide,
+            QueryKernel::Wide512,
+            QueryKernel::Auto,
+        ] {
+            let mut ctx = QueryContext::new().with_kernel(kernel);
+            for round in 0..2 {
+                let got = rq.estimate_batch_with(&mut ctx, &sk, &batch);
+                assert_eq!(got.len(), want.len(), "{label}: reply arity");
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    let slot = format!("{label}/{kernel:?}/n{n}/round{round}/slot{i}");
+                    match (g, w) {
+                        (Ok(g), Ok(w)) => assert_bit_identical(w, g, &slot),
+                        (Err(g), Err(w)) => assert_eq!(g, w, "{slot}: errors diverged"),
+                        (g, w) => panic!("{slot}: batched {g:?} vs oracle {w:?}"),
+                    }
+                }
+            }
+            if kernel == QueryKernel::Batched && n > 1 {
+                // The second round recalled the merged plan instead of
+                // recompiling it.
+                let report = ctx.plan_cache_report();
+                assert_eq!(report.multi.misses, 1, "{label}/n{n}: multi-plan misses");
+                assert_eq!(report.multi.hits, 1, "{label}/n{n}: multi-plan hits");
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_kernels_agree_1d_2d() {
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        // 67 instances: one full 64-lane block plus a 3-lane tail.
+        batch_config::<1>(kind, 67, &[1, 7], 400 + i as u64);
+        batch_config::<2>(kind, 13, &[1, 7], 410 + i as u64);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn batch_kernels_agree_batch64() {
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        batch_config::<1>(kind, 67, &[64], 420 + i as u64);
+        batch_config::<2>(kind, 67, &[64], 430 + i as u64);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn batch_kernels_agree_3d_multiblock() {
+    for (i, kind) in KINDS.into_iter().enumerate() {
+        // 150 instances: two full blocks plus a 22-lane tail.
+        batch_config::<3>(kind, 150, &[1, 7, 64], 440 + i as u64);
+    }
+}

@@ -37,7 +37,9 @@ pub mod gf2;
 pub mod lane;
 pub mod poly;
 
-pub use batch::{BlockSums, LaneCounter, XiBlock, BLOCK_LANES, WIDE512_LANES, WIDE_LANES};
+pub use batch::{
+    BlockSums, LaneCounter, MultiBlockSums, XiBlock, BLOCK_LANES, WIDE512_LANES, WIDE_LANES,
+};
 pub use bch::{BchFamily, BchSeed};
 pub use family::{IndexPre, XiContext, XiFamily, XiKind, XiSeed, CUBE_TABLE_MAX_BITS};
 pub use gf2::GfContext;

@@ -28,6 +28,9 @@ pub struct WorkerContext<const D: usize> {
     /// Reusable shard-selection mask: the router takes it, fills it per
     /// query and puts it back, so warm queries allocate nothing.
     pub(crate) mask: Vec<bool>,
+    /// Reusable per-group query gather for the router's batched entry
+    /// point (same take/put-back protocol as `mask`).
+    pub(crate) batch: Vec<sketch::BatchQuery<D>>,
     epochs: Vec<CachedEpoch<D>>,
     views: Vec<StoreView<D>>,
 }

@@ -54,6 +54,28 @@ impl SketchClient {
         Ok(replies)
     }
 
+    /// Like [`SketchClient::query_batch`], but splits an oversized query
+    /// list into frames of at most `max_batch` queries each instead of
+    /// failing (or letting the codec's batch-size assertion abort) the
+    /// whole request. Use the server's [`ServeConfig::max_batch`] as the
+    /// chunk size so each frame fits one worker pass — the shape the
+    /// batched kernel answers in a single sweep. Replies concatenate in
+    /// request order, exactly one per query; an empty query list performs
+    /// no round-trip at all.
+    ///
+    /// [`ServeConfig::max_batch`]: crate::net::ServeConfig::max_batch
+    pub fn query_batch_chunked(
+        &mut self,
+        queries: &[WireQuery],
+        max_batch: usize,
+    ) -> Result<Vec<WireReply>, WireError> {
+        let mut replies = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(max_batch.max(1)) {
+            replies.extend(self.query_batch(chunk)?);
+        }
+        Ok(replies)
+    }
+
     /// Liveness round-trip.
     pub fn ping(&mut self) -> Result<(), WireError> {
         write_frame(&mut self.writer, Opcode::Ping, &[])?;

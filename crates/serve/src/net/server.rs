@@ -206,6 +206,92 @@ impl<const D: usize> SketchService<D> {
             }
         }
     }
+
+    /// Answers a whole batch of wire queries with `ctx`, grouping the valid
+    /// range/stab queries per store so each store's group rides **one**
+    /// batched kernel sweep ([`QueryRouter::estimate_batch`]) instead of a
+    /// per-query pass. Malformed queries answer [`WireErrorCode::BadRequest`]
+    /// individually — a bad query never costs its batch-mates the fast
+    /// path — and join/fault queries fall through to
+    /// [`SketchService::answer`] unchanged. Every reply is bit-identical to
+    /// the per-query path's.
+    ///
+    /// # Panics
+    ///
+    /// Like [`SketchService::answer`], [`WireQuery::FaultPanic`] panics
+    /// when `fault_injection` is true.
+    pub fn answer_batch(
+        &self,
+        ctx: &mut WorkerContext<D>,
+        queries: &[&WireQuery],
+        fault_injection: bool,
+    ) -> Vec<WireReply> {
+        let mut replies: Vec<Option<WireReply>> = vec![None; queries.len()];
+        // Per distinct store index: the query slots and their parsed
+        // batch queries. Batches are `max_batch`-bounded, so linear scans
+        // over the handful of distinct stores are fine.
+        let mut group_store: Vec<u32> = Vec::new();
+        let mut group_slots: Vec<Vec<usize>> = Vec::new();
+        let mut group_queries: Vec<Vec<sketch::BatchQuery<D>>> = Vec::new();
+        let mut push = |store: u32, slot: usize, q: sketch::BatchQuery<D>| match group_store
+            .iter()
+            .position(|&s| s == store)
+        {
+            Some(g) => {
+                group_slots[g].push(slot);
+                group_queries[g].push(q);
+            }
+            None => {
+                group_store.push(store);
+                group_slots.push(vec![slot]);
+                group_queries.push(vec![q]);
+            }
+        };
+        for (slot, query) in queries.iter().enumerate() {
+            match query {
+                WireQuery::Range { store, ranges } => {
+                    if let Err(reply) = self.store(*store) {
+                        replies[slot] = Some(reply);
+                        continue;
+                    }
+                    let Some(rect) = rect_of::<D>(ranges) else {
+                        replies[slot] = Some(bad_request(format!(
+                            "range query needs {D} non-inverted (lo, hi) pairs"
+                        )));
+                        continue;
+                    };
+                    push(*store, slot, sketch::BatchQuery::Range(rect));
+                }
+                WireQuery::Stab { store, point } => {
+                    if let Err(reply) = self.store(*store) {
+                        replies[slot] = Some(reply);
+                        continue;
+                    }
+                    let Ok(p) = <[u64; D]>::try_from(point.as_slice()) else {
+                        replies[slot] =
+                            Some(bad_request(format!("stab query needs {D} coordinates")));
+                        continue;
+                    };
+                    push(*store, slot, sketch::BatchQuery::Stab(p));
+                }
+                // Joins and fault injection keep their per-query path.
+                _ => replies[slot] = Some(self.answer(ctx, query, fault_injection)),
+            }
+        }
+        for (g, store) in group_store.iter().enumerate() {
+            let store = self.store(*store).expect("validated at classification");
+            let answers = self
+                .router
+                .estimate_batch(&self.range, store, ctx, &group_queries[g]);
+            for (&slot, answer) in group_slots[g].iter().zip(answers) {
+                replies[slot] = Some(estimate_reply(answer));
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("every query classified"))
+            .collect()
+    }
 }
 
 /// Builds a `HyperRect` from wire `(lo, hi)` pairs; `None` on arity or
@@ -496,16 +582,16 @@ fn worker_loop<const D: usize>(
             return;
         }
         // One pool pass per batch: the first query pays epoch revalidation
-        // and any view re-fold, the rest ride the warm caches. A panic
-        // anywhere in the pass poisons the slot; `ContextPool::with`
-        // recovers it on the next checkout, and this batch answers
-        // `Internal` rather than leaving its handlers waiting forever.
+        // and any view re-fold, the rest ride the warm caches — and the
+        // batched answer path evaluates each store's queries in a single
+        // multi-query kernel sweep. A panic anywhere in the pass poisons
+        // the slot; `ContextPool::with` recovers it on the next checkout,
+        // and this batch answers `Internal` rather than leaving its
+        // handlers waiting forever.
         let replies = catch_unwind(AssertUnwindSafe(|| {
             pool.with(|ctx| {
-                batch
-                    .iter()
-                    .map(|job| service.answer(ctx, &job.query, fault_injection))
-                    .collect::<Vec<WireReply>>()
+                let queries: Vec<&WireQuery> = batch.iter().map(|job| &job.query).collect();
+                service.answer_batch(ctx, &queries, fault_injection)
             })
         }));
         match replies {

@@ -35,7 +35,7 @@ use crate::context::{view_of, WorkerContext};
 use crate::store::{ShardedStore, StoreEpoch};
 use geometry::{HyperRect, Point};
 use sketch::estimators::joins::SpatialJoin;
-use sketch::{Estimate, RangeQuery, Result, SketchSet};
+use sketch::{BatchQuery, Estimate, RangeQuery, Result, SketchSet};
 
 /// How the router selects the shards a query merges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -177,6 +177,86 @@ impl QueryRouter {
         self.route(store, ctx, Some(&footprint))?;
         let (query, views) = ctx.split();
         rq.estimate_stab_with(query, view_of(views, store.id()), p)
+    }
+
+    /// Routes a whole batch of range/stab estimates against one store,
+    /// answering it in as few kernel sweeps as the shard selections allow
+    /// (see [`RangeQuery::estimate_batch_with`] — answers are bit-identical
+    /// to the corresponding single-query routes).
+    ///
+    /// With [`RouterMode::Exact`] the shard selection is
+    /// footprint-independent, so the whole batch shares one merged view and
+    /// one multi-query sweep. With [`RouterMode::Pruned`] queries are
+    /// grouped by their shard selection; each group shares a view and a
+    /// sweep, preserving per-group pruning exactly.
+    pub fn estimate_batch<const D: usize>(
+        &self,
+        rq: &RangeQuery<D>,
+        store: &ShardedStore<D>,
+        ctx: &mut WorkerContext<D>,
+        queries: &[BatchQuery<D>],
+    ) -> Vec<Result<Estimate>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        match self.mode {
+            RouterMode::Exact => {
+                // Exact selection ignores the footprint: one route serves
+                // the whole batch.
+                if let Err(e) = self.route(store, ctx, None) {
+                    return queries.iter().map(|_| Err(e.clone())).collect();
+                }
+                let (query, views) = ctx.split();
+                rq.estimate_batch_with(query, view_of(views, store.id()), queries)
+            }
+            RouterMode::Pruned => {
+                let epoch = ctx.epoch_for(store);
+                let mut results: Vec<Option<Result<Estimate>>> =
+                    (0..queries.len()).map(|_| None).collect();
+                // Group queries by shard selection; batches are small
+                // (`max_batch`-bounded upstream), so a linear scan over the
+                // distinct masks beats hashing them.
+                let mut masks: Vec<Vec<bool>> = Vec::new();
+                let mut groups: Vec<Vec<usize>> = Vec::new();
+                let mut mask = std::mem::take(&mut ctx.mask);
+                for (i, q) in queries.iter().enumerate() {
+                    let footprint = match q {
+                        BatchQuery::Range(rect) => *rect,
+                        BatchQuery::Stab(p) => HyperRect::from_point(*p),
+                    };
+                    self.selection_into(&epoch, Some(&footprint), &mut mask);
+                    match masks.iter().position(|m| *m == mask) {
+                        Some(g) => groups[g].push(i),
+                        None => {
+                            masks.push(mask.clone());
+                            groups.push(vec![i]);
+                        }
+                    }
+                }
+                ctx.mask = mask;
+                let mut sub = std::mem::take(&mut ctx.batch);
+                for (m, idxs) in masks.iter().zip(&groups) {
+                    if let Err(e) = ctx.ensure_view(store, &epoch, m, self.merge_threads) {
+                        for &i in idxs {
+                            results[i] = Some(Err(e.clone()));
+                        }
+                        continue;
+                    }
+                    sub.clear();
+                    sub.extend(idxs.iter().map(|&i| queries[i]));
+                    let (query, views) = ctx.split();
+                    let answers = rq.estimate_batch_with(query, view_of(views, store.id()), &sub);
+                    for (&i, a) in idxs.iter().zip(answers) {
+                        results[i] = Some(a);
+                    }
+                }
+                ctx.batch = sub;
+                results
+                    .into_iter()
+                    .map(|r| r.expect("every query grouped"))
+                    .collect()
+            }
+        }
     }
 
     /// Routes a spatial-join estimate over two sharded stores sharing the
@@ -336,6 +416,48 @@ mod tests {
                 merged.instance_counters(inst),
                 oracle.instance_counters(inst)
             );
+        }
+    }
+
+    #[test]
+    fn batched_routes_bit_match_single_query_routes() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(13, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let store = ShardedStore::like(&rq.new_sketch(), 4);
+        store.insert_slice(&rects(80, 30, 255)).unwrap();
+        let queries = vec![
+            BatchQuery::Range(rect2(10, 60, 10, 60)),
+            BatchQuery::Stab([15, 33]),
+            BatchQuery::Range(rect2(0, 255, 0, 255)),
+            BatchQuery::Range(rect2(10, 60, 10, 60)), // duplicate of slot 0
+            BatchQuery::Range(rect2(0, 300, 0, 50)),  // out of domain: fails alone
+            BatchQuery::Range(rect2(200, 210, 5, 9)),
+        ];
+        for mode in [RouterMode::Exact, RouterMode::Pruned] {
+            let router = QueryRouter::new().with_mode(mode);
+            let mut bctx = WorkerContext::new();
+            let mut sctx = WorkerContext::new();
+            let got = router.estimate_batch(&rq, &store, &mut bctx, &queries);
+            assert_eq!(got.len(), queries.len());
+            for (i, (q, g)) in queries.iter().zip(&got).enumerate() {
+                let want = match q {
+                    BatchQuery::Range(rect) => router.estimate_range(&rq, &store, &mut sctx, rect),
+                    BatchQuery::Stab(p) => router.estimate_stab(&rq, &store, &mut sctx, p),
+                };
+                match (g, want) {
+                    (Ok(g), Ok(want)) => {
+                        assert_eq!(g.value.to_bits(), want.value.to_bits(), "{mode:?} slot {i}");
+                        assert_eq!(g.row_means, want.row_means, "{mode:?} slot {i}");
+                    }
+                    (Err(g), Err(want)) => assert_eq!(g, &want, "{mode:?} slot {i}"),
+                    (g, want) => panic!("{mode:?} slot {i}: batched {g:?} vs single {want:?}"),
+                }
+            }
         }
     }
 

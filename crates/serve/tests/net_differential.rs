@@ -306,6 +306,72 @@ fn malformed_queries_answer_bad_request_without_killing_batchmates() {
     server.shutdown();
 }
 
+fn assert_replies_bit_identical(want: &WireReply, got: &WireReply, label: &str) {
+    match (want, got) {
+        (
+            WireReply::Estimate {
+                value: va,
+                row_means: ra,
+            },
+            WireReply::Estimate {
+                value: vb,
+                row_means: rb,
+            },
+        ) => {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{label}: value diverged");
+            assert_eq!(ra.len(), rb.len(), "{label}: row count diverged");
+            for (i, (x, y)) in ra.iter().zip(rb.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{label}: row mean {i} diverged");
+            }
+        }
+        (want, got) => assert_eq!(want, got, "{label}: replies diverged"),
+    }
+}
+
+#[test]
+fn chunked_client_bit_matches_one_by_one() {
+    let fx = fixture(908);
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    let pool = Arc::new(ContextPool::new(2));
+    let config = ServeConfig::default();
+    let server = serve(service, pool, &config, 0).unwrap();
+    let mut client = SketchClient::connect(server.local_addr()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(908);
+    // 41 queries: more than two max_batch frames, with a short final chunk;
+    // mixes ranges, stabs and one bad slot so errors chunk through too.
+    let mut queries = Vec::new();
+    for i in 0..41 {
+        match i % 4 {
+            3 => {
+                let anchor = fx.data[rng.gen_range(15..fx.data.len())];
+                queries.push(stab_query(0, &[anchor.range(0).lo(), anchor.range(1).lo()]));
+            }
+            2 if i == 22 => queries.push(WireQuery::Stab {
+                store: 0,
+                point: vec![1, 2, 3], // wrong dimensionality: BadRequest slot
+            }),
+            _ => queries.push(range_query(0, &rand_rects(&mut rng, 1)[0])),
+        }
+    }
+
+    // An empty list performs no round-trip and answers nothing.
+    assert!(client
+        .query_batch_chunked(&[], config.max_batch)
+        .unwrap()
+        .is_empty());
+
+    let chunked = client
+        .query_batch_chunked(&queries, config.max_batch)
+        .unwrap();
+    assert_eq!(chunked.len(), queries.len(), "chunked reply arity");
+    for (i, q) in queries.iter().enumerate() {
+        let single = client.query_batch(std::slice::from_ref(q)).unwrap();
+        assert_replies_bit_identical(&single[0], &chunked[i], &format!("chunked slot {i}"));
+    }
+    server.shutdown();
+}
+
 #[test]
 fn garbage_frames_close_only_the_offending_connection() {
     let fx = fixture(906);
