@@ -2,7 +2,7 @@
 //! if the hot paths regressed against the committed anchor numbers.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_check --
-//!          [--anchor BENCH_pr8.json] [--tolerance 0.25]
+//!          [--anchor BENCH_pr9.json] [--tolerance 0.25]
 //!
 //! Compares the blocked kernels' build ns/(obj·inst) and estimate
 //! ns/(est·inst) — join and range paths — at the 440-instance
@@ -11,11 +11,15 @@
 //! Anchor entries are matched by **lane width**, not kernel name: each
 //! bit-sliced width (64/256/512) carries its own anchor set, so adding a
 //! width means extending the anchor file rather than re-keying it. The
-//! network front-end's `net` record is guarded too: p50 batch round-trip
-//! latency (measured over anchor) and aggregate QPS (anchor over
-//! measured, so a *drop* fails). The multi-query batch kernel's `batchq`
-//! record is guarded twice: amortized batch-64 ns/query against its
-//! anchor, and — machine-independently — the batch-64-over-batch-1
+//! network front-end's `net` sweep is guarded at the configurations that
+//! isolate each mechanism — anchor points are matched by
+//! `(clients, batch, coalesce_us)`: single-connection p50 round-trip
+//! latency (measured over anchor; per-frame overhead with nothing to
+//! amortize it) and 64-connection wire QPS with and without the
+//! coalescing window (anchor over measured, so a *drop* fails — the
+//! multiplexer's headline number). The multi-query batch kernel's
+//! `batchq` record is guarded twice: amortized batch-64 ns/query against
+//! its anchor, and — machine-independently — the batch-64-over-batch-1
 //! speedup against a hard 1.5x floor (tolerance 0): if batching a request
 //! batch into one sweep stops paying at least 1.5x, the kernel (or its
 //! dedup) broke, whatever the runner.
@@ -74,7 +78,7 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr8.json");
+    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr9.json");
     let anchor_path = workspace_file(anchor_name);
     let anchors = Anchors::load(&anchor_path).unwrap_or_else(|e| {
         eprintln!(
@@ -158,22 +162,29 @@ fn main() {
     }
     // Net latency regresses when measured grows; QPS regresses when
     // measured *shrinks*, so its ratio is inverted (anchor over measured).
-    let p50_anchor = anchors.net("p50_us");
+    // Each guard pins one sweep configuration: 1 conn × batch-1 isolates
+    // per-frame latency, 64 conns × batch-1 is the multiplexer's
+    // throughput headline (guarded with the window off and on).
+    let p50_point = net_config(&net, 1, 1, 0);
+    let p50_anchor = anchors.net(1, 1, 0, "p50_us");
     metrics.push((
-        "net/p50 µs per batch".into(),
+        "net/1conn/b1 p50 µs".into(),
         p50_anchor,
-        net.p50_us,
-        net.p50_us / p50_anchor,
+        p50_point.p50_us,
+        p50_point.p50_us / p50_anchor,
         net_tolerance,
     ));
-    let qps_anchor = anchors.net("qps");
-    metrics.push((
-        "net/qps".into(),
-        qps_anchor,
-        net.qps,
-        qps_anchor / net.qps,
-        net_tolerance,
-    ));
+    for coalesce_us in [0u64, 200] {
+        let qps_point = net_config(&net, 64, 1, coalesce_us);
+        let qps_anchor = anchors.net(64, 1, coalesce_us, "qps");
+        metrics.push((
+            format!("net/64conn/b1 qps (coalesce {coalesce_us} µs)"),
+            qps_anchor,
+            qps_point.qps,
+            qps_anchor / qps_point.qps,
+            net_tolerance,
+        ));
+    }
     // The batch kernel: amortized batch-64 latency vs its anchor, plus the
     // machine-independent speedup floor (both sides of that ratio come from
     // this run, so it gets no tolerance).
@@ -232,6 +243,24 @@ fn main() {
     );
 }
 
+/// The measured sweep point at `(clients, batch, coalesce_us)` — the probe
+/// always runs every guarded configuration, so a miss is a bug here.
+fn net_config(
+    net: &spatial_bench::probes::NetProbeRecord,
+    clients: usize,
+    batch: usize,
+    coalesce_us: u64,
+) -> &spatial_bench::probes::NetConfigPoint {
+    net.configs
+        .iter()
+        .find(|c| c.clients == clients && c.batch == batch && c.coalesce_us == coalesce_us)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "net probe produced no ({clients} clients, batch {batch}, coalesce {coalesce_us} µs) point"
+            ))
+        })
+}
+
 /// A file at the workspace root (next to the committed `BENCH_*.json`).
 fn workspace_file(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -278,9 +307,23 @@ impl Anchors {
         num(&seq(get(entry, "ns_per_estimate_instance"))[idx])
     }
 
-    /// Anchor scalar `field` (`p50_us` / `qps`) of the `net` record.
-    fn net(&self, field: &str) -> f64 {
-        num(get(self.record("net"), field))
+    /// Anchor scalar `field` (`p50_us` / `qps`) of the `net` sweep point
+    /// at `(clients, batch, coalesce_us)`.
+    fn net(&self, clients: u64, batch: u64, coalesce_us: u64, field: &str) -> f64 {
+        let configs = seq(get(self.record("net"), "configs"));
+        let point = configs
+            .iter()
+            .find(|c| {
+                num(get(c, "clients")) as u64 == clients
+                    && num(get(c, "batch")) as u64 == batch
+                    && num(get(c, "coalesce_us")) as u64 == coalesce_us
+            })
+            .unwrap_or_else(|| {
+                die(&format!(
+                    "anchor net record has no ({clients} clients, batch {batch}, coalesce {coalesce_us} µs) point"
+                ))
+            });
+        num(get(point, field))
     }
 
     /// Anchor amortized ns/query of the `batchq` record at `batch` queries

@@ -14,9 +14,14 @@
 //! three bit-sliced widths (64/256/512, build and estimate); `--probe
 //! serve` times the serving layer — router QPS vs shard count (1/2/4)
 //! through `spatial-serve`'s sharded store, against the direct
-//! single-sketch baseline; `--probe net` measures the TCP front-end
-//! end-to-end (p50/p99/p999 batch round-trip latency and aggregate QPS,
-//! concurrent clients, epoch churn running throughout); `--probe batchq`
+//! single-sketch baseline; `--probe net` sweeps the TCP front-end
+//! end-to-end — connection counts 1/8/64 at batch-of-1 frames × the
+//! cross-connection coalescing window off/on (200 µs), plus the legacy
+//! 2-client × batch-8 continuity point, recording p50/p99/p999 round-trip
+//! latency, wire QPS and realized sweeps per configuration, with epoch
+//! churn running throughout (server knobs come from the probe, not the
+//! `SKETCH_NET_REACTORS` / `SKETCH_NET_COALESCE_US` env vars, except the
+//! reactor count which honors the env default); `--probe batchq`
 //! measures the multi-query batch kernel — amortized ns/query of
 //! `estimate_batch_with` at batch sizes 1/8/64 over a serving-shaped hot
 //! set, with the plan-cache hit/miss/eviction counters reported next to

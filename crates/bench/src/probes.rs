@@ -423,31 +423,30 @@ pub fn build_probe(
     record
 }
 
-/// The `--probe net` record: end-to-end latency percentiles and QPS of
-/// the TCP front-end under concurrent ingest.
+/// One `(clients, batch, coalesce_us)` configuration's measurements in the
+/// `--probe net` sweep.
 ///
 /// Latency is the *batch round-trip* seen by a blocking client — encode,
-/// loopback TCP, queue admission, one pooled-context worker pass over the
-/// whole batch, reply framing — the number a serving SLO would be written
+/// loopback TCP, reactor decode, queue admission, one pooled-context
+/// worker pass, reply framing — the number a serving SLO would be written
 /// against. Percentiles come from the sorted per-round latencies of all
 /// clients (fixed round counts, so the workload itself is deterministic;
 /// only the timings vary with the machine).
 #[derive(serde::Serialize)]
-pub struct NetProbeRecord {
-    /// Probe tag (`net`).
-    pub probe: String,
-    /// Objects summarized in the served store.
-    pub objects: usize,
-    /// Data-domain bits per dimension.
-    pub domain_bits: u32,
-    /// Boosting instances per sketch.
-    pub instances: usize,
-    /// The runtime dispatch decision on the probing machine.
-    pub dispatch: DispatchMeta,
+pub struct NetConfigPoint {
     /// Concurrent client connections.
     pub clients: usize,
     /// Queries per batch frame.
     pub batch: usize,
+    /// Cross-connection coalescing window active on the server
+    /// (microseconds; `0` = coalescing off, drain immediately).
+    pub coalesce_us: u64,
+    /// Frames each client keeps in flight (1 = blocking round-trips, the
+    /// pure-RTT measurement; deeper pipelines measure wire throughput the
+    /// way a real caller drives the front-end). Latencies at depth > 1 are
+    /// frame *turnaround* times — they include queueing behind the
+    /// connection's own earlier frames.
+    pub pipeline: usize,
     /// Batch round-trips per client.
     pub rounds_per_client: usize,
     /// Median batch round-trip latency, microseconds.
@@ -464,8 +463,32 @@ pub struct NetProbeRecord {
     pub served: u64,
     /// Queries shed at admission during the run.
     pub shed: u64,
-    /// Store epochs swapped in by the concurrent-ingest writer while the
-    /// clients measured.
+    /// Kernel sweeps the workers ran — `served / batches` is the realized
+    /// coalescing factor (queries amortized per context pass).
+    pub batches: u64,
+}
+
+/// The `--probe net` record: a sweep of the TCP front-end over connection
+/// counts × coalescing windows, each configuration against a fresh server
+/// with concurrent ingest churning epochs underneath.
+#[derive(serde::Serialize)]
+pub struct NetProbeRecord {
+    /// Probe tag (`net`).
+    pub probe: String,
+    /// Objects summarized in the served store.
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Boosting instances per sketch.
+    pub instances: usize,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
+    /// Reactor threads multiplexing connections in every configuration.
+    pub reactors: usize,
+    /// One measurement per swept `(clients, batch, coalesce_us)` point.
+    pub configs: Vec<NetConfigPoint>,
+    /// Store epochs swapped in by the concurrent-ingest writer across the
+    /// whole sweep.
     pub ingest_epochs: u64,
 }
 
@@ -473,9 +496,124 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }
 
-/// End-to-end network serving probe: a real TCP server, concurrent
-/// clients streaming fixed batch rounds, and a writer swapping epochs in
-/// for the whole measurement window. Appends a record to
+/// Runs one `(clients, batch, coalesce_us)` configuration against its own
+/// freshly bound server, with the epoch-churn writer running for the whole
+/// measurement window.
+#[allow(clippy::too_many_arguments)]
+fn net_config_point<const D: usize>(
+    service: &Arc<SketchService<D>>,
+    pool: &Arc<ContextPool<D>>,
+    store: &Arc<ShardedStore<D>>,
+    churn: &[geometry::HyperRect<D>],
+    queries: &[geometry::HyperRect<D>],
+    clients: usize,
+    batch: usize,
+    coalesce_us: u64,
+    pipeline: usize,
+    rounds: usize,
+    reactors: usize,
+) -> NetConfigPoint {
+    // One worker sweep can answer a whole 64-connection wave: the drain
+    // limit matches the largest swept connection count so admission, not
+    // the config, bounds the realized coalescing factor.
+    let config = ServeConfig {
+        max_batch: 64,
+        reactors,
+        coalesce_us,
+        ..ServeConfig::default()
+    };
+    let server = serve::net::serve(Arc::clone(service), Arc::clone(pool), &config, 0)
+        .expect("net probe: cannot bind loopback server");
+    let addr = server.local_addr();
+
+    let done = AtomicUsize::new(0);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(clients * rounds);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let done = &done;
+                scope.spawn(move || {
+                    let mut client =
+                        SketchClient::connect(addr).expect("net probe: cannot connect");
+                    let mut lat = Vec::with_capacity(rounds);
+                    // Keep up to `pipeline` frames in flight: submit until
+                    // the window is full, then collect the oldest. Depth 1
+                    // degenerates to blocking round-trips.
+                    let mut window = std::collections::VecDeque::with_capacity(pipeline);
+                    let mut submitted = 0usize;
+                    while submitted < rounds || !window.is_empty() {
+                        while submitted < rounds && window.len() < pipeline {
+                            let round = submitted;
+                            let wire: Vec<_> = (0..batch)
+                                .map(|j| {
+                                    wire_range(0, &queries[(t + round * batch + j) % queries.len()])
+                                })
+                                .collect();
+                            let t0 = Instant::now();
+                            let ticket = client.submit(&wire).expect("net probe submit");
+                            window.push_back((ticket, t0));
+                            submitted += 1;
+                        }
+                        let (ticket, t0) = window.pop_front().expect("window non-empty");
+                        let replies = client.collect(ticket).expect("net probe batch");
+                        lat.push(t0.elapsed().as_nanos() as f64 / 1e3);
+                        assert!(
+                            replies
+                                .iter()
+                                .all(|r| matches!(r, WireReply::Estimate { .. })),
+                            "net probe: non-estimate reply under default capacity"
+                        );
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                    lat
+                })
+            })
+            .collect();
+        // Writer churn: insert + delete the same chunk, so epochs keep
+        // swapping while the store's contents stay fixed. Paced at a fixed
+        // cadence rather than a tight loop — the probe measures serving
+        // throughput *under* concurrent ingest, not how thoroughly an
+        // unthrottled rebuild loop can starve the workers of cores.
+        while done.load(Ordering::SeqCst) < clients {
+            store.insert_slice(churn).unwrap();
+            store.delete_slice(churn).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        for handle in handles {
+            latencies_us.extend(handle.join().expect("net probe client"));
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let point = NetConfigPoint {
+        clients,
+        batch,
+        coalesce_us,
+        pipeline,
+        rounds_per_client: rounds,
+        p50_us: percentile(&latencies_us, 0.5),
+        p99_us: percentile(&latencies_us, 0.99),
+        p999_us: percentile(&latencies_us, 0.999),
+        qps: (clients * rounds * batch) as f64 / wall,
+        served: stats.served,
+        shed: stats.shed,
+        batches: stats.batches,
+    };
+    println!(
+        "net    {clients:>2} conns x {batch}/frame depth {pipeline} coalesce {coalesce_us:>3} µs: p50 {:>6.0} µs, p99 {:>7.0} µs, p999 {:>7.0} µs, {:>6.0} qps ({} sweeps, {} shed)",
+        point.p50_us, point.p99_us, point.p999_us, point.qps, point.batches, point.shed
+    );
+    point
+}
+
+/// End-to-end network serving probe: sweeps connection counts (1/8/64,
+/// batch-of-1 frames) × coalescing window (off / 200 µs) plus the
+/// 2-client × batch-8 continuity point earlier anchors recorded, each
+/// against a fresh real TCP server, with a writer swapping epochs in for
+/// every measurement window. Appends a record to
 /// `results/perf_probe.json`.
 pub fn net_probe(quick: bool) -> NetProbeRecord {
     let bits = 14u32;
@@ -498,84 +636,76 @@ pub fn net_probe(quick: bool) -> NetProbeRecord {
 
     let service = Arc::new(SketchService::new(rq.clone(), vec![Arc::clone(&store)]));
     let pool = Arc::new(ContextPool::new(2));
-    let server = serve::net::serve(service, pool, &ServeConfig::default(), 0)
-        .expect("net probe: cannot bind loopback server");
-    let addr = server.local_addr();
-
-    let clients = 2usize;
-    let batch = 8usize;
-    let rounds = if quick { 150 } else { 600 };
     let queries = range_query_workload(9, 32, bits);
-
-    // Writer churn: insert + delete the same chunk, so epochs keep
-    // swapping while the store's contents stay fixed.
     let churn = &data[..512.min(data.len())];
-    let done = AtomicUsize::new(0);
-    let mut latencies_us: Vec<f64> = Vec::with_capacity(clients * rounds);
-    let start = Instant::now();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|t| {
-                let queries = &queries;
-                let done = &done;
-                scope.spawn(move || {
-                    let mut client =
-                        SketchClient::connect(addr).expect("net probe: cannot connect");
-                    let mut lat = Vec::with_capacity(rounds);
-                    for round in 0..rounds {
-                        let wire: Vec<_> = (0..batch)
-                            .map(|j| {
-                                wire_range(0, &queries[(t + round * batch + j) % queries.len()])
-                            })
-                            .collect();
-                        let t0 = Instant::now();
-                        let replies = client.query_batch(&wire).expect("net probe batch");
-                        lat.push(t0.elapsed().as_nanos() as f64 / 1e3);
-                        assert!(
-                            replies
-                                .iter()
-                                .all(|r| matches!(r, WireReply::Estimate { .. })),
-                            "net probe: non-estimate reply under default capacity"
-                        );
-                    }
-                    done.fetch_add(1, Ordering::SeqCst);
-                    lat
-                })
-            })
-            .collect();
-        while done.load(Ordering::SeqCst) < clients {
-            store.insert_slice(churn).unwrap();
-            store.delete_slice(churn).unwrap();
-        }
-        for handle in handles {
-            latencies_us.extend(handle.join().expect("net probe client"));
-        }
-    });
-    let wall = start.elapsed().as_secs_f64();
-    let ingest_epochs = store.load().epoch() - epochs_before;
-    let stats = server.shutdown();
+    let reactors = ServeConfig::default().reactors;
 
-    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    // The wire-QPS sweep: batch-of-1 frames (per-frame overhead dominates,
+    // the case the reactor multiplexer exists for) across connection
+    // counts, with and without the coalescing window. The single
+    // connection runs blocking round-trips (depth 1 — the pure-RTT
+    // latency guard); the concurrent counts pipeline a few frames per
+    // connection, the way a real caller drives this front-end and the
+    // only shape where wire throughput rather than client scheduling is
+    // what gets measured. Round counts shrink with the client count so
+    // every point collects a comparable number of latency samples.
+    let mut configs = Vec::new();
+    for &clients in &[1usize, 8, 64] {
+        let pipeline = if clients == 1 { 1 } else { 4 };
+        let rounds = if quick {
+            (2048 / clients).max(24)
+        } else {
+            (8192 / clients).max(96)
+        };
+        for &coalesce_us in &[0u64, 200] {
+            configs.push(net_config_point(
+                &service,
+                &pool,
+                &store,
+                churn,
+                &queries,
+                clients,
+                1,
+                coalesce_us,
+                pipeline,
+                rounds,
+                reactors,
+            ));
+        }
+    }
+    // Continuity point: the 2-client × batch-8 blocking round-trip shape
+    // every pre-sweep anchor recorded, so the series stays comparable
+    // across PRs.
+    configs.push(net_config_point(
+        &service,
+        &pool,
+        &store,
+        churn,
+        &queries,
+        2,
+        8,
+        0,
+        1,
+        if quick { 150 } else { 600 },
+        reactors,
+    ));
+    let ingest_epochs = store.load().epoch() - epochs_before;
+
     let record = NetProbeRecord {
         probe: "net".into(),
         objects: data.len(),
         domain_bits: bits,
         instances: k1 * k2,
         dispatch: dispatch_meta(),
-        clients,
-        batch,
-        rounds_per_client: rounds,
-        p50_us: percentile(&latencies_us, 0.5),
-        p99_us: percentile(&latencies_us, 0.99),
-        p999_us: percentile(&latencies_us, 0.999),
-        qps: (clients * rounds * batch) as f64 / wall,
-        served: stats.served,
-        shed: stats.shed,
+        reactors,
+        configs,
         ingest_epochs,
     };
     println!(
-        "net    {clients} clients x {rounds} rounds x {batch}/batch: p50 {:.0} µs, p99 {:.0} µs, p999 {:.0} µs, {:.0} qps ({} epochs churned, {} shed)",
-        record.p50_us, record.p99_us, record.p999_us, record.qps, record.ingest_epochs, record.shed
+        "net    sweep done: {} configs, {} reactors, {} epochs churned",
+        record.configs.len(),
+        record.reactors,
+        record.ingest_epochs
     );
     let path = crate::report::append_json("perf_probe", &record);
     println!("appended to {}", path.display());

@@ -6,7 +6,7 @@
 //! Usage: cargo run --release -p spatial-serve --bin net_soak --
 //!          [--iters N] [--shards N] [--seed N] [--clients N] [--batch N]
 //!
-//! Four phases:
+//! Five phases:
 //!
 //! 1. **Quiescent differential** — each round ingests into the sharded
 //!    stores *and* unsharded oracles, then sends a mixed range/stab/join
@@ -21,9 +21,16 @@
 //!    quiescence every connection must bit-match the oracle.
 //! 4. **Deterministic overload** — a zero-capacity server sheds every
 //!    query with `Overloaded`, never dropping or blocking.
+//! 5. **Slow-reader write-backpressure** — a client pipelines dozens of
+//!    frames into a server with a tiny reply write buffer and collects
+//!    nothing until the end; the reactor must stop *reading* that
+//!    connection instead of buffering replies without bound, resume when
+//!    the client drains, and every reply must still bit-match the oracle.
 //!
+//! The server honors the `SKETCH_NET_REACTORS` / `SKETCH_NET_COALESCE_US`
+//! env knobs, which the CI `serve-net` lane sweeps (coalescing on/off).
 //! Everything is seeded; a nonzero exit (assert) means a real bug in the
-//! codec, the batch queue, the pool recovery or the router.
+//! codec, the reactor, the batch queue, the pool recovery or the router.
 
 use geometry::{HyperRect, Interval};
 use rand::rngs::StdRng;
@@ -156,12 +163,20 @@ fn main() {
         .with_join(join.clone()),
     );
     let pool = Arc::new(ContextPool::new(2));
+    // The remaining knobs (reactors, coalesce_us, write-backpressure
+    // bounds) come from `Default`, which consults the `SKETCH_NET_*` env
+    // vars — the CI lane matrix sweeps coalescing on/off through them.
     let config = ServeConfig {
         workers: 2,
         max_batch: args.batch.max(4),
         queue_capacity: 256,
         fault_injection: true,
+        ..ServeConfig::default()
     };
+    println!(
+        "net-soak multiplexer: reactors={} coalesce_us={}",
+        config.reactors, config.coalesce_us
+    );
     let server = serve::net::serve(Arc::clone(&service), Arc::clone(&pool), &config, 0)
         .unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
     let addr = server.local_addr();
@@ -295,11 +310,11 @@ fn main() {
 
     // Phase 4: a zero-capacity server sheds deterministically.
     let shed_server = serve::net::serve(
-        service,
-        pool,
+        Arc::clone(&service),
+        Arc::clone(&pool),
         &ServeConfig {
             queue_capacity: 0,
-            ..config
+            ..config.clone()
         },
         0,
     )
@@ -321,8 +336,60 @@ fn main() {
     let shed_stats = shed_server.shutdown();
     assert_eq!(shed_stats.shed, batch.len() as u64);
 
+    // Phase 5: slow-reader write-backpressure. A tiny reply write buffer
+    // plus a client that pipelines every frame before collecting any
+    // forces the reactor past `write_buf_cap`; it must park the reads for
+    // that connection (bounding memory), keep the rest of the server
+    // live, and deliver every bit-identical reply once the client drains.
+    let bp_server = serve::net::serve(
+        Arc::clone(&service),
+        Arc::clone(&pool),
+        &ServeConfig {
+            write_buf_cap: 1024,
+            max_pipeline: 64,
+            fault_injection: false,
+            ..config.clone()
+        },
+        0,
+    )
+    .unwrap_or_else(|e| die(&format!("cannot bind backpressure server: {e}")));
+    let mut slow = SketchClient::connect(bp_server.local_addr()).expect("slow-reader connect");
+    let bp_rects = rand_rects(&mut rng, 24);
+    let tickets: Vec<_> = bp_rects
+        .iter()
+        .map(|q| {
+            let frame: Vec<WireQuery> = (0..3).map(|_| range_query(RANGE_STORE, q)).collect();
+            slow.submit(&frame).expect("pipelined submit")
+        })
+        .collect();
+    assert_eq!(slow.in_flight(), tickets.len());
+    // Give the server time to answer what it admitted and hit the write
+    // cap; a healthy reactor keeps serving *other* connections meanwhile.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let mut other = SketchClient::connect(bp_server.local_addr()).expect("second connect");
+    other.ping().expect("server responsive under backpressure");
+    // Drain in reverse submission order: completion order is the
+    // server's, association is by frame id.
+    for (i, ticket) in tickets.iter().enumerate().rev() {
+        let replies = slow.collect(*ticket).expect("backpressured collect");
+        assert_eq!(replies.len(), 3, "backpressure frame {i} arity");
+        let want = rq
+            .estimate_with(&mut octx, &range_oracle, &bp_rects[i])
+            .unwrap();
+        for reply in &replies {
+            assert_wire_matches(&want, reply, &format!("backpressure frame {i}"));
+            checks += 1;
+        }
+    }
+    let bp_stats = bp_server.shutdown();
+    assert_eq!(
+        bp_stats.served,
+        3 * bp_rects.len() as u64,
+        "every pipelined query must be served, none dropped under backpressure"
+    );
+
     println!(
-        "net-soak OK: {} rounds, {checks} bit-match checks, {} served, {} panic(s) recovered, {} shed",
-        args.iters, stats.served, stats.panics, shed_stats.shed
+        "net-soak OK: {} rounds, {checks} bit-match checks, {} served / {} batches, {} panic(s) recovered, {} shed, backpressure drained {}",
+        args.iters, stats.served, stats.batches, stats.panics, shed_stats.shed, bp_stats.served
     );
 }

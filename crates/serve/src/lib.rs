@@ -23,7 +23,9 @@
 //!   concurrent request handlers stay allocation-free.
 //!
 //! The [`net`] module puts the three behind a TCP front-end: a compact
-//! framed binary protocol, request batching through single pooled-context
+//! framed binary protocol with pipelined frame ids, an event-driven
+//! reactor multiplexing every connection over a few threads,
+//! cross-connection batch coalescing through single pooled-context
 //! passes, bounded-queue backpressure with load shedding, and graceful
 //! drain — see `DESIGN.md` § "Network front-end".
 //!
@@ -64,7 +66,7 @@ pub mod shard;
 pub mod store;
 
 pub use context::{ContextPool, WorkerContext};
-pub use net::{ServeConfig, ServeStats, ServerHandle, SketchClient, SketchService};
+pub use net::{ClientConfig, ServeConfig, ServeStats, ServerHandle, SketchClient, SketchService};
 pub use router::{QueryRouter, RouterMode};
 pub use shard::SketchShard;
 pub use store::{ShardedStore, StoreEpoch, StoreSnapshot};

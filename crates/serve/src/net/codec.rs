@@ -1,23 +1,36 @@
 //! The compact binary query/response codec of the network front-end.
 //!
-//! Everything on the wire is a **frame**: an 8-byte little-endian header
+//! Everything on the wire is a **frame**: a 12-byte little-endian header
 //! followed by `len` payload bytes:
 //!
 //! ```text
-//! ┌───────────┬──────────┬──────────┬────────────────┬─────────────┐
-//! │ magic u16 │ ver  u8  │ op   u8  │ len        u32 │ payload ... │
-//! │  0x534B   │  0x01    │  opcode  │  payload bytes │             │
-//! └───────────┴──────────┴──────────┴────────────────┴─────────────┘
+//! ┌───────────┬──────────┬──────────┬──────────────┬────────────────┬─────────────┐
+//! │ magic u16 │ ver  u8  │ op   u8  │ frame id u32 │ len        u32 │ payload ... │
+//! │  0x534B   │  0x02    │  opcode  │  pipelining  │  payload bytes │             │
+//! └───────────┴──────────┴──────────┴──────────────┴────────────────┴─────────────┘
 //! ```
+//!
+//! The **frame id** is the pipelining key: a client may keep many request
+//! frames in flight on one connection, and the server answers each with a
+//! reply frame carrying the *same* id — possibly **out of request order**,
+//! because batches from different frames (and different connections)
+//! complete whenever their kernel sweep does. Ids are chosen by the
+//! client; the only rule is that an id must not be reused while its reply
+//! is still outstanding. `Pong` echoes the `Ping`'s id.
 //!
 //! A `QueryBatch` payload is `count: u16` followed by `count` encoded
 //! [`WireQuery`]s; the matching `ReplyBatch` carries `count` encoded
-//! [`WireReply`]s **in request order**, one per query — a per-query failure
-//! (bad request, load shed, estimator error) is an error *entry*, never a
-//! broken stream, so one misrouted query cannot poison its batch-mates'
-//! answers. Connection-level failures (bad magic, unknown version,
-//! truncated frames) are unrecoverable by design: the server drops the
-//! connection rather than guessing at resynchronization.
+//! [`WireReply`]s **in request order within the frame**, one per query — a
+//! per-query failure (bad request, load shed, estimator error) is an error
+//! *entry*, never a broken stream, so one misrouted query cannot poison
+//! its batch-mates' answers. Connection-level failures (bad magic, unknown
+//! version, truncated frames, a duplicated in-flight id) are unrecoverable
+//! by design: the server drops the connection rather than guessing at
+//! resynchronization.
+//!
+//! This module owns the *format* — constants, payload encodings, error
+//! taxonomy. Actually moving frames over sockets (blocking helpers and the
+//! reactor's incremental decoder) lives in [`super::io`].
 //!
 //! The codec is deliberately self-contained `std`-only code (no serde):
 //! the vendored-dependency policy keeps the wire format free of external
@@ -26,14 +39,17 @@
 //! implement from any language.
 
 use std::fmt;
-use std::io::{Read, Write};
 
 /// Frame magic, `"SK"` little-endian — rejects non-protocol peers fast.
 pub const MAGIC: u16 = 0x4B53;
 
 /// Protocol version carried by every frame; peers reject mismatches
-/// rather than misinterpreting payload bytes.
-pub const VERSION: u8 = 1;
+/// rather than misinterpreting payload bytes. Version 2 added the
+/// `frame id` header field (pipelined out-of-order replies).
+pub const VERSION: u8 = 2;
+
+/// Bytes in a frame header: magic, version, opcode, frame id, payload len.
+pub const HEADER_LEN: usize = 12;
 
 /// Hard cap on a frame payload (1 MiB): a corrupt or hostile length field
 /// must not make a peer allocate unboundedly.
@@ -58,7 +74,7 @@ pub enum Opcode {
 }
 
 impl Opcode {
-    fn from_u8(raw: u8) -> Result<Self, WireError> {
+    pub(crate) fn from_u8(raw: u8) -> Result<Self, WireError> {
         match raw {
             0x01 => Ok(Opcode::QueryBatch),
             0x02 => Ok(Opcode::Ping),
@@ -167,8 +183,19 @@ impl WireErrorCode {
 /// Everything that can go wrong speaking the protocol.
 #[derive(Debug)]
 pub enum WireError {
-    /// Socket-level failure (includes EOF mid-frame).
+    /// Socket-level failure not covered by a more specific variant.
     Io(std::io::Error),
+    /// The peer went away: EOF (clean or mid-frame), connection reset,
+    /// aborted, or a broken pipe. The connection is unusable; a client
+    /// recovers with [`super::SketchClient::reconnect`].
+    Disconnected,
+    /// A configured read/write timeout elapsed mid-operation. The stream
+    /// may now be mid-frame, so the connection is unusable for framing;
+    /// a client recovers with [`super::SketchClient::reconnect`].
+    Timeout,
+    /// A reply frame arrived whose id matches no in-flight request (or a
+    /// ticket was redeemed twice / on the wrong connection).
+    UnknownFrame(u32),
     /// The peer did not send this protocol's magic.
     BadMagic(u16),
     /// The peer speaks an incompatible protocol version.
@@ -200,6 +227,9 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Disconnected => write!(f, "peer disconnected"),
+            WireError::Timeout => write!(f, "operation timed out"),
+            WireError::UnknownFrame(id) => write!(f, "reply for unknown frame id {id}"),
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::BadOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
@@ -217,47 +247,6 @@ impl fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
-
-impl From<std::io::Error> for WireError {
-    fn from(e: std::io::Error) -> Self {
-        WireError::Io(e)
-    }
-}
-
-/// Writes one frame (header + payload) and flushes.
-pub fn write_frame(w: &mut impl Write, opcode: Opcode, payload: &[u8]) -> Result<(), WireError> {
-    debug_assert!(payload.len() <= MAX_PAYLOAD);
-    let mut header = [0u8; 8];
-    header[..2].copy_from_slice(&MAGIC.to_le_bytes());
-    header[2] = VERSION;
-    header[3] = opcode as u8;
-    header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
-}
-
-/// Reads one frame, validating magic, version and the payload-length cap.
-pub fn read_frame(r: &mut impl Read) -> Result<(Opcode, Vec<u8>), WireError> {
-    let mut header = [0u8; 8];
-    r.read_exact(&mut header)?;
-    let magic = u16::from_le_bytes([header[0], header[1]]);
-    if magic != MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    if header[2] != VERSION {
-        return Err(WireError::BadVersion(header[2]));
-    }
-    let opcode = Opcode::from_u8(header[3])?;
-    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(WireError::Oversize(len));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok((opcode, payload))
-}
 
 /// Encodes a `QueryBatch` payload.
 pub fn encode_queries(queries: &[WireQuery]) -> Vec<u8> {
@@ -494,7 +483,7 @@ mod tests {
     }
 
     /// Seeded stand-in for a property test: random batches round-trip
-    /// bit-exactly through encode → frame → decode.
+    /// bit-exactly through encode → decode.
     #[test]
     fn queries_and_replies_roundtrip() {
         let mut rng = StdRng::seed_from_u64(41);
@@ -506,16 +495,12 @@ mod tests {
                 .map(|_| rand_reply(&mut rng))
                 .collect();
 
-            let mut wire = Vec::new();
-            write_frame(&mut wire, Opcode::QueryBatch, &encode_queries(&queries)).unwrap();
-            write_frame(&mut wire, Opcode::ReplyBatch, &encode_replies(&replies)).unwrap();
-            let mut r = wire.as_slice();
-            let (op, payload) = read_frame(&mut r).unwrap();
-            assert_eq!(op, Opcode::QueryBatch, "round {round}");
-            assert_eq!(decode_queries(&payload).unwrap(), queries, "round {round}");
-            let (op, payload) = read_frame(&mut r).unwrap();
-            assert_eq!(op, Opcode::ReplyBatch, "round {round}");
-            let back = decode_replies(&payload).unwrap();
+            assert_eq!(
+                decode_queries(&encode_queries(&queries)).unwrap(),
+                queries,
+                "round {round}"
+            );
+            let back = decode_replies(&encode_replies(&replies)).unwrap();
             assert_eq!(back.len(), replies.len(), "round {round}");
             for (a, b) in back.iter().zip(replies.iter()) {
                 match (a, b) {
@@ -539,41 +524,6 @@ mod tests {
                     (a, b) => assert_eq!(a, b, "round {round}"),
                 }
             }
-            assert!(r.is_empty(), "round {round}: trailing wire bytes");
-        }
-    }
-
-    /// Single-bit flips in the magic/version/opcode header bytes never pass
-    /// silently: they either fail `read_frame` outright or (the one benign
-    /// case) flip the opcode to a *different* valid opcode, which the
-    /// receiving side rejects by direction — a `ReplyBatch` payload is
-    /// never fed to `decode_queries`. (Flips in payload integer bytes
-    /// legitimately decode; the contract is that *framing* corruption is
-    /// caught, not that the format carries a checksum.)
-    #[test]
-    fn header_corruption_is_rejected() {
-        let queries = vec![
-            WireQuery::Range {
-                store: 3,
-                ranges: vec![(10, 20), (30, 40)],
-            },
-            WireQuery::FaultPanic,
-        ];
-        let mut wire = Vec::new();
-        write_frame(&mut wire, Opcode::QueryBatch, &encode_queries(&queries)).unwrap();
-        for byte in 0..4 {
-            for bit in 0..8 {
-                let mut corrupt = wire.clone();
-                corrupt[byte] ^= 1 << bit;
-                match read_frame(&mut corrupt.as_slice()) {
-                    Err(_) => {}
-                    Ok((opcode, _)) => assert_ne!(
-                        opcode,
-                        Opcode::QueryBatch,
-                        "flipping header byte {byte} bit {bit} preserved the opcode"
-                    ),
-                }
-            }
         }
     }
 
@@ -595,29 +545,10 @@ mod tests {
             decode_queries(&padded),
             Err(WireError::TrailingBytes(1))
         ));
-
-        // A frame whose stream ends mid-payload is an Io error, not a hang.
-        let mut wire = Vec::new();
-        write_frame(&mut wire, Opcode::QueryBatch, &payload).unwrap();
-        wire.truncate(wire.len() - 3);
-        assert!(matches!(
-            read_frame(&mut wire.as_slice()),
-            Err(WireError::Io(_))
-        ));
     }
 
     #[test]
-    fn oversize_lengths_are_rejected_before_allocating() {
-        let mut header = [0u8; 8];
-        header[..2].copy_from_slice(&MAGIC.to_le_bytes());
-        header[2] = VERSION;
-        header[3] = Opcode::QueryBatch as u8;
-        header[4..].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
-        assert!(matches!(
-            read_frame(&mut header.as_slice()),
-            Err(WireError::Oversize(_))
-        ));
-        // A batch count beyond MAX_BATCH is rejected structurally.
+    fn oversize_batch_counts_are_rejected_structurally() {
         let mut payload = Vec::new();
         payload.extend_from_slice(&u16::MAX.to_le_bytes());
         assert!(matches!(

@@ -1,0 +1,365 @@
+//! Frame I/O shared by the blocking client and the reactor.
+//!
+//! [`super::codec`] owns the wire *format*; this module owns moving frames
+//! over sockets, in both I/O styles the front-end uses:
+//!
+//! * **Blocking** — [`read_frame`] / [`write_frame`] for the client (and
+//!   test fakes), with every `std::io` failure mapped through
+//!   [`wire_error_of`] so timeouts surface as [`WireError::Timeout`] and
+//!   peer loss as [`WireError::Disconnected`] instead of a grab-bag
+//!   `Io(_)`.
+//! * **Incremental** — [`FrameDecoder`] for the reactor's non-blocking
+//!   sockets: bytes arrive in whatever chunks the kernel delivers,
+//!   [`FrameDecoder::extend`] appends them, and [`FrameDecoder::next_frame`]
+//!   yields complete frames as they materialize, resuming cleanly across
+//!   partial reads (a header split across two reads, a payload trickling
+//!   in byte by byte).
+//!
+//! Both paths validate the same things in the same order — magic, version,
+//! opcode, payload cap — so a framing violation is detected identically
+//! whether the bytes arrived blocking or not.
+
+use super::codec::{Opcode, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+use std::io::{ErrorKind, Read, Write};
+
+/// One complete frame as read off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind.
+    pub opcode: Opcode,
+    /// The pipelining id; replies echo their request's id.
+    pub frame_id: u32,
+    /// The undecoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Maps a socket error onto the protocol's error taxonomy: timeouts become
+/// [`WireError::Timeout`], peer loss becomes [`WireError::Disconnected`],
+/// anything else stays [`WireError::Io`]. (`WouldBlock` lands in `Timeout`
+/// because on blocking sockets with `set_read_timeout` that is how Unix
+/// reports an elapsed timeout; the reactor handles `WouldBlock` itself
+/// before ever consulting this mapping.)
+pub fn wire_error_of(e: std::io::Error) -> WireError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Timeout,
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe => WireError::Disconnected,
+        _ => WireError::Io(e),
+    }
+}
+
+/// Encodes a frame header in place.
+fn encode_header(opcode: Opcode, frame_id: u32, len: usize) -> [u8; HEADER_LEN] {
+    debug_assert!(len <= MAX_PAYLOAD);
+    let mut header = [0u8; HEADER_LEN];
+    header[..2].copy_from_slice(&MAGIC.to_le_bytes());
+    header[2] = VERSION;
+    header[3] = opcode as u8;
+    header[4..8].copy_from_slice(&frame_id.to_le_bytes());
+    header[8..].copy_from_slice(&(len as u32).to_le_bytes());
+    header
+}
+
+/// Validates a frame header, returning the opcode, frame id and declared
+/// payload length. Shared by the blocking reader and the decoder so both
+/// reject corruption identically.
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(Opcode, u32, usize), WireError> {
+    let magic = u16::from_le_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion(header[2]));
+    }
+    let opcode = Opcode::from_u8(header[3])?;
+    let frame_id = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    Ok((opcode, frame_id, len))
+}
+
+/// One frame as contiguous bytes (header + payload) — what the reactor
+/// appends to a connection's write buffer.
+pub fn frame_bytes(opcode: Opcode, frame_id: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&encode_header(opcode, frame_id, payload.len()));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame (header + payload) and flushes. Blocking.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: Opcode,
+    frame_id: u32,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    let header = encode_header(opcode, frame_id, payload.len());
+    w.write_all(&header).map_err(wire_error_of)?;
+    w.write_all(payload).map_err(wire_error_of)?;
+    w.flush().map_err(wire_error_of)?;
+    Ok(())
+}
+
+/// Reads one frame, validating magic, version and the payload-length cap.
+/// Blocking; honors the stream's configured read timeout
+/// ([`WireError::Timeout`]) and reports peer loss — EOF at any point,
+/// including mid-frame — as [`WireError::Disconnected`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header).map_err(wire_error_of)?;
+    let (opcode, frame_id, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(wire_error_of)?;
+    Ok(Frame {
+        opcode,
+        frame_id,
+        payload,
+    })
+}
+
+/// Compact the decode buffer once this many consumed bytes accumulate;
+/// bounds memory without memmoving after every frame.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// An incremental frame decoder for non-blocking reads.
+///
+/// Feed it whatever byte chunks the socket delivers with
+/// [`FrameDecoder::extend`]; pull complete frames with
+/// [`FrameDecoder::next_frame`]. State between calls is just the buffered
+/// bytes, so a frame split at *any* byte boundary — mid-header,
+/// mid-payload — resumes where it left off. A framing error (bad magic,
+/// unknown version/opcode, oversize length) is terminal for the stream:
+/// the caller must drop the connection, as there is no sound way to
+/// resynchronize.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with no buffered bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.at >= COMPACT_THRESHOLD || self.at == self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a terminal framing error. Oversize payload lengths are
+    /// rejected from the header alone, before any payload buffering.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: &[u8; HEADER_LEN] = pending[..HEADER_LEN].try_into().expect("length checked");
+        let (opcode, frame_id, len) = parse_header(header)?;
+        if pending.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let payload = pending[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.at += HEADER_LEN + len;
+        Ok(Some(Frame {
+            opcode,
+            frame_id,
+            payload,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::codec::{decode_queries, encode_queries, WireQuery};
+
+    fn sample_frames() -> Vec<(Opcode, u32, Vec<u8>)> {
+        vec![
+            (Opcode::Ping, 7, Vec::new()),
+            (
+                Opcode::QueryBatch,
+                u32::MAX,
+                encode_queries(&[WireQuery::Range {
+                    store: 3,
+                    ranges: vec![(10, 20), (30, 40)],
+                }]),
+            ),
+            (Opcode::Pong, 7, Vec::new()),
+            (
+                Opcode::QueryBatch,
+                0,
+                encode_queries(&[
+                    WireQuery::FaultPanic,
+                    WireQuery::Join {
+                        r_store: 1,
+                        s_store: 2,
+                    },
+                ]),
+            ),
+        ]
+    }
+
+    fn wire_of(frames: &[(Opcode, u32, Vec<u8>)]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        for (op, id, payload) in frames {
+            write_frame(&mut wire, *op, *id, payload).unwrap();
+        }
+        wire
+    }
+
+    /// Frames round-trip through the blocking path, ids intact.
+    #[test]
+    fn blocking_roundtrip_preserves_ids() {
+        let frames = sample_frames();
+        let wire = wire_of(&frames);
+        let mut r = wire.as_slice();
+        for (op, id, payload) in &frames {
+            let frame = read_frame(&mut r).unwrap();
+            assert_eq!(frame.opcode, *op);
+            assert_eq!(frame.frame_id, *id);
+            assert_eq!(&frame.payload, payload);
+        }
+        assert!(r.is_empty());
+    }
+
+    /// The decoder resumes across *every* possible split point: feeding the
+    /// wire bytes one at a time yields exactly the frames the blocking
+    /// reader sees, in order, with intact payloads.
+    #[test]
+    fn decoder_resumes_partial_reads_at_every_byte_boundary() {
+        let frames = sample_frames();
+        let wire = wire_of(&frames);
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &byte in &wire {
+            decoder.extend(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded.len(), frames.len());
+        for (frame, (op, id, payload)) in decoded.iter().zip(&frames) {
+            assert_eq!(frame.opcode, *op);
+            assert_eq!(frame.frame_id, *id);
+            assert_eq!(&frame.payload, payload);
+        }
+        assert_eq!(decoder.buffered(), 0);
+        // Payloads decode after reassembly — the split points left no scars.
+        assert!(decode_queries(&decoded[1].payload).is_ok());
+    }
+
+    /// One big extend with many frames drains them all; a trailing partial
+    /// frame stays buffered until its bytes arrive.
+    #[test]
+    fn decoder_drains_multiple_frames_per_extend() {
+        let frames = sample_frames();
+        let mut wire = wire_of(&frames);
+        let tail = wire.split_off(wire.len() - 5); // cut the last frame short
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire);
+        let mut decoded = Vec::new();
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded.len(), frames.len() - 1);
+        assert!(decoder.buffered() > 0);
+        decoder.extend(&tail);
+        let last = decoder.next_frame().unwrap().unwrap();
+        assert_eq!(last.frame_id, frames.last().unwrap().1);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// Single-bit flips in the magic/version/opcode header bytes never pass
+    /// silently, through either path: they fail outright or (the one benign
+    /// case) flip the opcode to a *different* valid opcode, which the
+    /// receiving side rejects by direction.
+    #[test]
+    fn header_corruption_is_rejected_by_both_paths() {
+        let wire = wire_of(&sample_frames()[1..2]);
+        for byte in 0..4 {
+            for bit in 0..8 {
+                let mut corrupt = wire.clone();
+                corrupt[byte] ^= 1 << bit;
+                match read_frame(&mut corrupt.as_slice()) {
+                    Err(_) => {}
+                    Ok(frame) => assert_ne!(
+                        frame.opcode,
+                        Opcode::QueryBatch,
+                        "flipping header byte {byte} bit {bit} preserved the opcode"
+                    ),
+                }
+                let mut decoder = FrameDecoder::new();
+                decoder.extend(&corrupt);
+                match decoder.next_frame() {
+                    Err(_) => {}
+                    Ok(Some(frame)) => assert_ne!(frame.opcode, Opcode::QueryBatch),
+                    Ok(None) => panic!("decoder stalled on a complete (corrupt) frame"),
+                }
+            }
+        }
+    }
+
+    /// Oversize payload lengths are rejected from the header alone —
+    /// before the blocking path allocates and before the decoder waits for
+    /// payload bytes that may never come.
+    #[test]
+    fn oversize_lengths_are_rejected_before_allocating() {
+        let mut header = encode_header(Opcode::QueryBatch, 1, 0);
+        header[8..].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut header.as_slice()),
+            Err(WireError::Oversize(_))
+        ));
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&header);
+        assert!(matches!(decoder.next_frame(), Err(WireError::Oversize(_))));
+    }
+
+    /// A stream that ends mid-frame is `Disconnected`, not a hang and not
+    /// a generic I/O error.
+    #[test]
+    fn eof_mid_frame_is_disconnected() {
+        let mut wire = wire_of(&sample_frames()[1..2]);
+        wire.truncate(wire.len() - 3);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(WireError::Disconnected)
+        ));
+        // Truncated at mid-header too.
+        assert!(matches!(
+            read_frame(&mut wire[..5].as_ref()),
+            Err(WireError::Disconnected)
+        ));
+    }
+
+    /// The decoder's compaction keeps memory bounded across a long stream
+    /// without corrupting frame boundaries.
+    #[test]
+    fn decoder_compaction_preserves_boundaries() {
+        let frame = frame_bytes(Opcode::Ping, 9, &[]);
+        let mut decoder = FrameDecoder::new();
+        for round in 0..20_000u32 {
+            decoder.extend(&frame);
+            let got = decoder.next_frame().unwrap().expect("complete frame");
+            assert_eq!(got.frame_id, 9, "round {round}");
+            assert_eq!(decoder.buffered(), 0);
+        }
+    }
+}

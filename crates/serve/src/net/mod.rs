@@ -1,35 +1,44 @@
 //! The network front-end: a framed TCP protocol over the serving layer.
 //!
 //! ```text
-//!   clients ──frames──▶ connection handlers ──jobs──▶ BatchQueue (bounded)
-//!                             ▲                            │ drain ≤ max_batch
-//!                             │ replies (request order)    ▼
-//!                             └──────────────── workers ── ContextPool pass
-//!                                                          QueryRouter
-//!                                                          ShardedStore
+//!   clients ──frames──▶ reactor threads ──jobs──▶ BatchQueue (bounded,
+//!   (pipelined ids)     (non-blocking conns,          │  coalescing window)
+//!        ▲               FrameDecoder,                │ drain ≤ max_batch
+//!        │               write backpressure)          ▼
+//!        └── reply frames ◀── completions ◀── workers ── ContextPool pass
+//!            (out of order,     (conn, frame, slot)      QueryRouter
+//!             matched by id)                             ShardedStore
 //! ```
 //!
-//! Three pieces, one per submodule:
+//! Four pieces, one per submodule:
 //!
-//! * [`codec`] — the versioned little-endian frame format and the
-//!   query/reply payload encodings. Estimates travel as f64 *bit
-//!   patterns*, so the wire preserves the serving layer's bit-identity
-//!   contract end to end.
-//! * [`server`] — connection handlers, the bounded batch queue
+//! * [`codec`] — the versioned little-endian frame format (12-byte header
+//!   carrying the pipelining frame id) and the query/reply payload
+//!   encodings. Estimates travel as f64 *bit patterns*, so the wire
+//!   preserves the serving layer's bit-identity contract end to end.
+//! * [`io`] — frame I/O shared by both sides: blocking `read_frame` /
+//!   `write_frame` helpers with a single socket-error taxonomy
+//!   (`Timeout` / `Disconnected`), and the incremental [`io::FrameDecoder`]
+//!   the reactor resumes across partial reads.
+//! * [`server`] — the reactor threads multiplexing every connection, the
+//!   bounded batch queue with its cross-connection coalescing window
 //!   (backpressure: full ⇒ per-query `Overloaded` shed), worker threads
 //!   answering whole batches through single [`crate::ContextPool`]
 //!   passes, `catch_unwind` crash containment, graceful drain.
-//! * [`client`] — a small blocking client used by the differential
-//!   suites, the `net_soak` CI binary and the `perf_probe --probe net`
-//!   latency harness.
+//! * [`client`] — a blocking client with frame pipelining
+//!   (`submit`/`collect` tickets), read/write timeouts and a reconnect
+//!   helper; used by the differential suites, the `net_soak` CI binary
+//!   and the `perf_probe --probe net` latency harness.
 //!
-//! No external dependencies: the whole layer is `std::net` + `std::io`,
+//! No external dependencies: the whole layer is `std::net` + `std::io`
+//! (no `unsafe`, no epoll binding — non-blocking sockets and short parks),
 //! in keeping with the workspace's vendored/offline dependency policy.
 
 pub mod client;
 pub mod codec;
+pub mod io;
 pub mod server;
 
-pub use client::{range_query, stab_query, SketchClient};
+pub use client::{range_query, stab_query, ClientConfig, SketchClient, Ticket};
 pub use codec::{WireError, WireErrorCode, WireQuery, WireReply};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle, SketchService};

@@ -1,29 +1,69 @@
-//! The TCP serving front-end: per-connection framed handlers feeding a
-//! bounded batch queue, worker threads answering whole batches through one
-//! [`ContextPool`] pass, load-shedding at admission, graceful drain on
-//! shutdown.
+//! The TCP serving front-end: a small fixed pool of **reactor** threads
+//! multiplexing every connection over non-blocking sockets, feeding a
+//! bounded batch queue with a cross-connection coalescing window, worker
+//! threads answering whole batches through one [`ContextPool`] pass,
+//! load-shedding at admission, graceful drain on shutdown.
 //!
-//! ## Batching
+//! ## The reactor
 //!
-//! Connection handlers never evaluate queries. They decode a `QueryBatch`
-//! frame, enqueue one job per query into the shared `BatchQueue`, and
-//! wait on a per-frame reply channel. Worker threads drain up to
-//! [`ServeConfig::max_batch`] queued jobs at a time — possibly from many
-//! connections — and answer the whole batch inside a **single**
-//! [`ContextPool::with`] pass. That is the shape the serving layer is
-//! built for: the first query of a pass revalidates the store epoch and
-//! (at most) re-folds the merged view; every other query in the batch
-//! reuses both for free, so batching amortizes exactly the work the
-//! worker caches exist to avoid repeating.
+//! Connections cost state, not threads. Each reactor thread owns a set of
+//! non-blocking `TcpStream`s and sweeps them in a readiness loop: read
+//! whatever bytes the kernel has (`WouldBlock` ends the attempt), feed
+//! them to the connection's incremental [`FrameDecoder`], admit decoded
+//! queries to the shared queue, and flush the connection's write buffer as
+//! far as the socket accepts. A connection is a state machine:
+//!
+//! ```text
+//!             bytes                    frames                 jobs
+//!   socket ──────────▶ FrameDecoder ──────────▶ PendingFrame ─────▶ BatchQueue
+//!     ▲                                          (one slot            │ drain ≤ max_batch,
+//!     │ flush ≤ WouldBlock                        per query)          │ coalescing window
+//!   WriteBuf ◀── encode ReplyBatch ◀── last slot filled ◀── Completion(conn, frame, slot)
+//! ```
+//!
+//! When a reactor sweep makes no progress it parks: first a few
+//! `yield_now` passes (cheap, keeps latency low while traffic flows),
+//! then a short `Condvar` timed wait that worker completions and the
+//! acceptor's new-connection handoff interrupt. Thousands of idle
+//! connections therefore cost a few parked threads and their buffers.
+//!
+//! ## Pipelining
+//!
+//! Every frame carries a client-chosen id, and a connection may have many
+//! request frames in flight ([`ServeConfig::max_pipeline`]). Each admitted
+//! query remembers its `(connection, frame id, slot)` origin; when the
+//! last slot of a frame completes, the reply frame — tagged with the
+//! request's id — is encoded into the connection's write buffer. Frames
+//! complete **out of request order** whenever their batches do; the id is
+//! what lets the client re-associate them.
+//!
+//! ## Cross-connection coalescing
+//!
+//! Workers drain up to [`ServeConfig::max_batch`] jobs at a time — from
+//! any mix of connections and frames. With a coalescing window
+//! ([`ServeConfig::coalesce_us`]) a worker that finds the queue non-empty
+//! but below `max_batch` waits up to the window for more arrivals before
+//! evaluating, so even a fleet of batch-of-1 clients feeds the batched
+//! kernel ([`SketchService::answer_batch`] →
+//! [`QueryRouter::estimate_batch`]) full sweeps. The window trades a
+//! bounded latency add at low load for per-query cost at high load;
+//! coalesced batches stay bit-identical to sequential evaluation because
+//! batching is the kernel's own contract.
 //!
 //! ## Backpressure
 //!
-//! The queue is bounded by [`ServeConfig::queue_capacity`]. Admission is
-//! per query, not per frame: when the queue is full (or closed for
-//! shutdown) the query is *shed* — answered immediately with
-//! [`WireErrorCode::Overloaded`], never silently dropped and never
-//! blocking the handler. An overloaded server therefore stays responsive
-//! and the client learns, per query, what to retry.
+//! Two distinct mechanisms:
+//!
+//! * **Admission**: the queue is bounded by
+//!   [`ServeConfig::queue_capacity`]; when it is full (or closed for
+//!   shutdown) the query is *shed* — answered immediately with
+//!   [`WireErrorCode::Overloaded`], never silently dropped.
+//! * **Write**: a connection whose peer reads slowly accumulates encoded
+//!   replies in its write buffer. Past [`ServeConfig::write_buf_cap`] (or
+//!   `max_pipeline` unanswered frames) the reactor stops *reading* that
+//!   connection — bytes queue in the kernel, eventually stalling the
+//!   sender — instead of buffering replies without bound. Other
+//!   connections on the same reactor are unaffected.
 //!
 //! ## Crash resilience
 //!
@@ -31,20 +71,23 @@
 //! batch (the fault-injection hook, or a real bug) converts the whole
 //! batch to [`WireErrorCode::Internal`] replies, and the poisoned pool
 //! slot is recovered — reset, not abandoned — by [`ContextPool::with`] on
-//! the next pass. One bad query costs its batch, never the server.
+//! the next pass. One bad query costs its batch, never the server. A
+//! protocol violation (bad magic, a reused in-flight frame id, a
+//! client-sent server opcode) kills only the offending connection.
 //!
 //! ## Shutdown
 //!
 //! [`ServerHandle::shutdown`] closes the queue (late arrivals shed),
 //! unblocks and joins the acceptor, joins the workers — which first
-//! **drain** every already-admitted job so no accepted query goes
-//! unanswered — then shuts down the connection sockets and joins the
-//! handlers.
+//! **drain** every already-admitted job and deliver its completion — then
+//! signals the reactors, which apply those final completions, flush each
+//! connection's write buffer (bounded, best-effort) and close the
+//! sockets. No accepted query goes unanswered.
+//!
+//! [`QueryRouter::estimate_batch`]: crate::router::QueryRouter::estimate_batch
 
-use super::codec::{
-    decode_queries, encode_replies, read_frame, write_frame, Opcode, WireErrorCode, WireQuery,
-    WireReply,
-};
+use super::codec::{decode_queries, encode_replies, Opcode, WireErrorCode, WireQuery, WireReply};
+use super::io::{frame_bytes, Frame, FrameDecoder};
 use crate::context::{ContextPool, WorkerContext};
 use crate::router::QueryRouter;
 use crate::store::ShardedStore;
@@ -52,12 +95,22 @@ use geometry::{HyperRect, Interval};
 use sketch::estimators::joins::SpatialJoin;
 use sketch::RangeQuery;
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Parses an environment knob, falling back to `default` when unset or
+/// malformed.
+fn env_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone)]
@@ -76,15 +129,40 @@ pub struct ServeConfig {
     /// default: a production server answers the opcode with
     /// [`WireErrorCode::BadRequest`] instead of letting a peer panic it.
     pub fault_injection: bool,
+    /// Reactor threads multiplexing the connections. Default: the
+    /// `SKETCH_NET_REACTORS` env var, else `available_parallelism / 4`
+    /// clamped to `1..=4` — connection I/O is cheap relative to kernel
+    /// sweeps, so a few reactors serve many cores of workers.
+    pub reactors: usize,
+    /// Cross-connection coalescing window in microseconds: how long a
+    /// worker that found the queue non-empty but below `max_batch` waits
+    /// for more arrivals before evaluating. `0` disables coalescing
+    /// (drain immediately — the latency-first setting). Default: the
+    /// `SKETCH_NET_COALESCE_US` env var, else `0`.
+    pub coalesce_us: u64,
+    /// Write-backpressure threshold in bytes: past this much un-flushed
+    /// reply data the reactor stops reading the connection until its peer
+    /// drains. Bounds per-connection memory against slow readers.
+    pub write_buf_cap: usize,
+    /// Most request frames one connection may have unanswered before the
+    /// reactor stops reading it — the server-side pipelining bound.
+    pub max_pipeline: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as u64;
         Self {
             workers: 2,
             max_batch: 16,
             queue_capacity: 256,
             fault_injection: false,
+            reactors: env_knob("SKETCH_NET_REACTORS", (cores / 4).clamp(1, 4)) as usize,
+            coalesce_us: env_knob("SKETCH_NET_COALESCE_US", 0),
+            write_buf_cap: 1 << 20,
+            max_pipeline: 128,
         }
     }
 }
@@ -327,15 +405,38 @@ fn estimate_reply(result: sketch::Result<sketch::Estimate>) -> WireReply {
     }
 }
 
-/// One admitted query: what to evaluate, where it sits in its frame, and
-/// the handler's reply channel.
-struct Job {
-    query: WireQuery,
-    slot: usize,
-    reply: mpsc::Sender<(usize, WireReply)>,
+fn overloaded() -> WireReply {
+    WireReply::Error {
+        code: WireErrorCode::Overloaded,
+        message: "in-flight queue full; retry with backoff".into(),
+    }
 }
 
-/// The bounded in-flight queue between connection handlers and workers.
+/// Where an admitted query came from, so its reply finds its way back to
+/// the right connection, frame and slot — the unit of out-of-order
+/// completion.
+struct Origin {
+    reactor: Arc<ReactorShared>,
+    conn: u64,
+    frame: u32,
+    slot: u32,
+}
+
+/// One admitted query: what to evaluate and where its reply goes.
+struct Job {
+    query: WireQuery,
+    origin: Origin,
+}
+
+/// One evaluated query on its way back to its reactor.
+struct Completion {
+    conn: u64,
+    frame: u32,
+    slot: u32,
+    reply: WireReply,
+}
+
+/// The bounded in-flight queue between reactors and workers.
 struct BatchQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
@@ -372,20 +473,49 @@ impl BatchQueue {
         Ok(())
     }
 
-    /// Blocks for work and takes up to `max` jobs. An empty result means
-    /// the queue is closed **and** fully drained: workers exit only after
-    /// every admitted job has been taken.
-    fn drain(&self, max: usize) -> Vec<Job> {
+    /// Blocks for work and takes up to `max` jobs. A non-zero coalescing
+    /// `window` makes a worker that found fewer than `max` jobs linger for
+    /// late arrivals — from any connection — before evaluating, so
+    /// batch-of-1 clients still produce full kernel sweeps. An empty
+    /// result means the queue is closed **and** fully drained: workers
+    /// exit only after every admitted job has been taken.
+    fn drain(&self, max: usize, window: Duration) -> Vec<Job> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if !state.jobs.is_empty() {
-                let take = state.jobs.len().min(max);
-                return state.jobs.drain(..take).collect();
+            if state.jobs.is_empty() {
+                if state.closed {
+                    return Vec::new();
+                }
+                state = self.ready.wait(state).expect("queue lock");
+                continue;
             }
-            if state.closed {
-                return Vec::new();
+            if !state.closed && state.jobs.len() < max && !window.is_zero() {
+                let deadline = Instant::now() + window;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline
+                        || state.closed
+                        || state.jobs.len() >= max
+                        || state.jobs.is_empty()
+                    {
+                        break;
+                    }
+                    let (s, wait) = self
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .expect("queue lock");
+                    state = s;
+                    if wait.timed_out() {
+                        break;
+                    }
+                }
+                if state.jobs.is_empty() {
+                    // Another worker took everything while we coalesced.
+                    continue;
+                }
             }
-            state = self.ready.wait(state).expect("queue lock");
+            let take = state.jobs.len().min(max);
+            return state.jobs.drain(..take).collect();
         }
     }
 
@@ -401,6 +531,7 @@ struct ServeCounters {
     served: AtomicU64,
     shed: AtomicU64,
     panics: AtomicU64,
+    batches: AtomicU64,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -413,14 +544,412 @@ pub struct ServeStats {
     /// Worker passes that panicked (each converts its batch to
     /// [`WireErrorCode::Internal`] replies and recovers the pool slot).
     pub panics: u64,
+    /// Worker passes executed; `served / batches` is the realized batch
+    /// size — the coalescing window's effect made visible.
+    pub batches: u64,
 }
 
-/// Open connections and their handler threads, registered by the acceptor
-/// so shutdown can unblock and join them.
+/// What the acceptor and workers hand a reactor thread: new connections
+/// to adopt, completions to apply, and the stop signal.
 #[derive(Default)]
-struct ConnRegistry {
-    streams: Vec<TcpStream>,
-    handlers: Vec<JoinHandle<()>>,
+struct ReactorShared {
+    inbox: Mutex<Inbox>,
+    wake: Condvar,
+}
+
+#[derive(Default)]
+struct Inbox {
+    conns: Vec<TcpStream>,
+    completions: Vec<Completion>,
+    stopping: bool,
+}
+
+impl ReactorShared {
+    fn adopt(&self, stream: TcpStream) {
+        self.inbox.lock().expect("reactor inbox").conns.push(stream);
+        self.wake.notify_one();
+    }
+
+    fn deliver(&self, completions: Vec<Completion>) {
+        self.inbox
+            .lock()
+            .expect("reactor inbox")
+            .completions
+            .extend(completions);
+        self.wake.notify_one();
+    }
+
+    fn stop(&self) {
+        self.inbox.lock().expect("reactor inbox").stopping = true;
+        self.wake.notify_one();
+    }
+}
+
+/// Per-reactor limits, copied out of [`ServeConfig`].
+#[derive(Clone, Copy)]
+struct ConnLimits {
+    write_buf_cap: usize,
+    max_pipeline: usize,
+}
+
+/// Everything a reactor sweep needs besides the connections themselves.
+struct ReactorEnv {
+    shared: Arc<ReactorShared>,
+    queue: Arc<BatchQueue>,
+    counters: Arc<ServeCounters>,
+    limits: ConnLimits,
+}
+
+/// A request frame with at least one query still unevaluated.
+struct PendingFrame {
+    frame: u32,
+    replies: Vec<Option<WireReply>>,
+    missing: usize,
+}
+
+/// A connection's un-flushed reply bytes, drained from the front as the
+/// socket accepts them.
+#[derive(Default)]
+struct WriteBuf {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl WriteBuf {
+    fn len(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn is_empty(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        if self.is_empty() || self.at >= 64 * 1024 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes as much as the socket accepts. Returns whether any bytes
+    /// moved; `Err(())` means the connection is lost.
+    fn flush(&mut self, stream: &mut TcpStream) -> Result<bool, ()> {
+        let mut progressed = false;
+        while self.at < self.buf.len() {
+            match stream.write(&self.buf[self.at..]) {
+                Ok(0) => return Err(()),
+                Ok(n) => {
+                    self.at += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if self.is_empty() && self.at > 0 {
+            self.buf.clear();
+            self.at = 0;
+        }
+        Ok(progressed)
+    }
+}
+
+/// One multiplexed connection: a non-blocking socket plus the state that
+/// replaces a dedicated thread — decoder, pending frames, write buffer.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    write_buf: WriteBuf,
+    pending: Vec<PendingFrame>,
+    read_closed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream) -> Self {
+        Self {
+            id,
+            stream,
+            decoder: FrameDecoder::new(),
+            write_buf: WriteBuf::default(),
+            pending: Vec::new(),
+            read_closed: false,
+            dead: false,
+        }
+    }
+
+    /// Reply-side backpressure: stop reading this connection while its
+    /// peer is behind on draining replies or has too many frames in
+    /// flight.
+    fn backpressured(&self, limits: &ConnLimits) -> bool {
+        self.write_buf.len() >= limits.write_buf_cap || self.pending.len() >= limits.max_pipeline
+    }
+
+    /// One sweep over this connection: flush, decode buffered bytes, read
+    /// fresh bytes, flush again. Returns whether anything moved.
+    fn pump(&mut self, env: &ReactorEnv, scratch: &mut [u8]) -> bool {
+        let mut progress = self.flush();
+        if self.dead {
+            return progress;
+        }
+        // Bytes may be sitting in the decoder from a sweep that ended
+        // backpressured; frames decode as soon as pressure lifts, without
+        // waiting for new socket bytes.
+        progress |= self.decode_frames(env);
+        let mut reads = 0;
+        while !self.dead && !self.read_closed && reads < 4 && !self.backpressured(&env.limits) {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    progress = true;
+                }
+                Ok(n) => {
+                    reads += 1;
+                    progress = true;
+                    self.decoder.extend(&scratch[..n]);
+                    self.decode_frames(env);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        progress |= self.flush();
+        if !self.dead && self.read_closed && self.pending.is_empty() && self.write_buf.is_empty() {
+            // Peer finished sending and every reply has been delivered.
+            self.dead = true;
+        }
+        progress
+    }
+
+    fn flush(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        match self.write_buf.flush(&mut self.stream) {
+            Ok(progressed) => progressed,
+            Err(()) => {
+                self.dead = true;
+                false
+            }
+        }
+    }
+
+    /// Decodes and handles every complete frame the buffer holds, up to
+    /// the backpressure bound. Returns whether any frame was handled.
+    fn decode_frames(&mut self, env: &ReactorEnv) -> bool {
+        let mut any = false;
+        while !self.dead && !self.backpressured(&env.limits) {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    any = true;
+                    self.handle_frame(frame, env);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // No sound resynchronization after a framing error.
+                    self.dead = true;
+                }
+            }
+        }
+        any
+    }
+
+    fn handle_frame(&mut self, frame: Frame, env: &ReactorEnv) {
+        match frame.opcode {
+            Opcode::Ping => {
+                self.write_buf
+                    .push(&frame_bytes(Opcode::Pong, frame.frame_id, &[]));
+            }
+            Opcode::QueryBatch => {
+                let Ok(queries) = decode_queries(&frame.payload) else {
+                    self.dead = true;
+                    return;
+                };
+                if self.pending.iter().any(|p| p.frame == frame.frame_id) {
+                    // Reusing an in-flight id would make replies ambiguous.
+                    self.dead = true;
+                    return;
+                }
+                if queries.is_empty() {
+                    self.write_buf.push(&frame_bytes(
+                        Opcode::ReplyBatch,
+                        frame.frame_id,
+                        &encode_replies(&[]),
+                    ));
+                    return;
+                }
+                let mut pending = PendingFrame {
+                    frame: frame.frame_id,
+                    replies: vec![None; queries.len()],
+                    missing: queries.len(),
+                };
+                for (slot, query) in queries.into_iter().enumerate() {
+                    let origin = Origin {
+                        reactor: Arc::clone(&env.shared),
+                        conn: self.id,
+                        frame: frame.frame_id,
+                        slot: slot as u32,
+                    };
+                    if env.queue.push(Job { query, origin }).is_err() {
+                        env.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        pending.replies[slot] = Some(overloaded());
+                        pending.missing -= 1;
+                    }
+                }
+                if pending.missing == 0 {
+                    // Fully shed: the reply needs no worker pass.
+                    let replies: Vec<WireReply> =
+                        pending.replies.into_iter().map(Option::unwrap).collect();
+                    self.write_buf.push(&frame_bytes(
+                        Opcode::ReplyBatch,
+                        pending.frame,
+                        &encode_replies(&replies),
+                    ));
+                } else {
+                    self.pending.push(pending);
+                }
+            }
+            // Server-to-client opcodes from a client are a protocol error.
+            Opcode::ReplyBatch | Opcode::Pong => self.dead = true,
+        }
+    }
+
+    /// Files one completed query into its pending frame; when the frame's
+    /// last slot fills, encodes the reply frame into the write buffer.
+    fn complete(&mut self, done: Completion) {
+        let Some(at) = self.pending.iter().position(|p| p.frame == done.frame) else {
+            return; // frame already abandoned (connection violation path)
+        };
+        let pending = &mut self.pending[at];
+        let slot = done.slot as usize;
+        if slot >= pending.replies.len() || pending.replies[slot].is_some() {
+            return;
+        }
+        pending.replies[slot] = Some(done.reply);
+        pending.missing -= 1;
+        if pending.missing == 0 {
+            let pending = self.pending.swap_remove(at);
+            let replies: Vec<WireReply> = pending
+                .replies
+                .into_iter()
+                .map(|r| r.expect("missing == 0"))
+                .collect();
+            self.write_buf.push(&frame_bytes(
+                Opcode::ReplyBatch,
+                pending.frame,
+                &encode_replies(&replies),
+            ));
+        }
+    }
+}
+
+/// Consecutive progress-free sweeps before a reactor parks on its condvar
+/// (it yields the CPU between those sweeps, so traffic bursts stay cheap).
+/// Kept small: every progress-free sweep probes *all* sockets — O(conns)
+/// `WouldBlock` reads — so long spins burn syscalls exactly when the box
+/// is busiest; parking instead hands the core to the workers (measurably
+/// faster under the 64-connection probe on small machines).
+const SPIN_SWEEPS: u32 = 4;
+/// Park bound while connections are open: an upper bound on how late a
+/// reactor notices fresh request bytes (completions interrupt the park).
+const PARK_ACTIVE: Duration = Duration::from_micros(100);
+/// Park bound with no connections at all.
+const PARK_IDLE: Duration = Duration::from_millis(2);
+/// How long shutdown keeps trying to flush un-delivered replies.
+const FINAL_FLUSH_BUDGET: Duration = Duration::from_secs(2);
+
+/// One reactor thread: adopt connections, apply completions, sweep every
+/// connection's state machine, park when nothing moves.
+fn reactor_loop(env: &ReactorEnv) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_id: u64 = 1;
+    let mut idle: u32 = 0;
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        let (adopted, completions, stopping) = {
+            let mut inbox = env.shared.inbox.lock().expect("reactor inbox");
+            (
+                std::mem::take(&mut inbox.conns),
+                std::mem::take(&mut inbox.completions),
+                inbox.stopping,
+            )
+        };
+        let mut progress = !adopted.is_empty() || !completions.is_empty();
+        for stream in adopted {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(next_id, stream));
+            next_id += 1;
+        }
+        for done in completions {
+            // Ids are assigned in increasing order and `retain` preserves
+            // order, so the vec stays sorted — binary search is sound.
+            if let Ok(at) = conns.binary_search_by_key(&done.conn, |c| c.id) {
+                conns[at].complete(done);
+            }
+        }
+        for conn in &mut conns {
+            progress |= conn.pump(env, &mut scratch);
+        }
+        conns.retain_mut(|conn| {
+            if conn.dead {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            !conn.dead
+        });
+        if stopping {
+            final_flush(&mut conns);
+            return;
+        }
+        if progress {
+            idle = 0;
+            continue;
+        }
+        idle += 1;
+        if idle <= SPIN_SWEEPS {
+            std::thread::yield_now();
+            continue;
+        }
+        let park = if conns.is_empty() {
+            PARK_IDLE
+        } else {
+            PARK_ACTIVE
+        };
+        let inbox = env.shared.inbox.lock().expect("reactor inbox");
+        if inbox.conns.is_empty() && inbox.completions.is_empty() && !inbox.stopping {
+            let _ = env
+                .shared
+                .wake
+                .wait_timeout(inbox, park)
+                .expect("reactor inbox");
+        }
+    }
+}
+
+/// Best-effort bounded flush of every connection's remaining reply bytes
+/// at shutdown, then close the sockets.
+fn final_flush(conns: &mut Vec<Conn>) {
+    let deadline = Instant::now() + FINAL_FLUSH_BUDGET;
+    loop {
+        let mut remaining = false;
+        for conn in conns.iter_mut() {
+            conn.flush();
+            remaining |= !conn.dead && !conn.write_buf.is_empty();
+        }
+        if !remaining || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for conn in conns.drain(..) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down (prefer
@@ -432,7 +961,8 @@ pub struct ServerHandle {
     stopping: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<ConnRegistry>>,
+    reactors: Vec<Arc<ReactorShared>>,
+    reactor_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -447,6 +977,7 @@ impl ServerHandle {
             served: self.counters.served.load(Ordering::Relaxed),
             shed: self.counters.shed.load(Ordering::Relaxed),
             panics: self.counters.panics.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -467,19 +998,17 @@ impl ServerHandle {
         // wakes it to observe `stopping`.
         let _ = TcpStream::connect(self.addr);
         let _ = acceptor.join();
-        // Workers drain the queue dry, then see `closed` and exit.
+        // Workers drain the queue dry — delivering every completion to its
+        // reactor — then see `closed` and exit.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // Unblock handlers parked in read_frame, then join them.
-        let mut conns = self.conns.lock().expect("conn registry lock");
-        for stream in conns.streams.drain(..) {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+        // Reactors apply those final completions, flush, and close.
+        for reactor in &self.reactors {
+            reactor.stop();
         }
-        let handlers: Vec<JoinHandle<()>> = conns.handlers.drain(..).collect();
-        drop(conns);
-        for handler in handlers {
-            let _ = handler.join();
+        for thread in self.reactor_threads.drain(..) {
+            let _ = thread.join();
         }
     }
 }
@@ -512,7 +1041,26 @@ pub fn serve<const D: usize>(
     let queue = Arc::new(BatchQueue::new(config.queue_capacity));
     let counters = Arc::new(ServeCounters::default());
     let stopping = Arc::new(AtomicBool::new(false));
-    let conns = Arc::new(Mutex::new(ConnRegistry::default()));
+    let limits = ConnLimits {
+        write_buf_cap: config.write_buf_cap.max(1),
+        max_pipeline: config.max_pipeline.max(1),
+    };
+
+    let reactors: Vec<Arc<ReactorShared>> = (0..config.reactors.max(1))
+        .map(|_| Arc::new(ReactorShared::default()))
+        .collect();
+    let reactor_threads = reactors
+        .iter()
+        .map(|shared| {
+            let env = ReactorEnv {
+                shared: Arc::clone(shared),
+                queue: Arc::clone(&queue),
+                counters: Arc::clone(&counters),
+                limits,
+            };
+            std::thread::spawn(move || reactor_loop(&env))
+        })
+        .collect();
 
     let workers = (0..config.workers.max(1))
         .map(|_| {
@@ -523,34 +1071,23 @@ pub fn serve<const D: usize>(
                 Arc::clone(&counters),
             );
             let (max_batch, fault) = (config.max_batch.max(1), config.fault_injection);
+            let window = Duration::from_micros(config.coalesce_us);
             std::thread::spawn(move || {
-                worker_loop(&service, &pool, &queue, &counters, max_batch, fault)
+                worker_loop(&service, &pool, &queue, &counters, max_batch, window, fault)
             })
         })
         .collect();
 
     let acceptor = {
-        let (queue, counters, stopping, conns) = (
-            Arc::clone(&queue),
-            Arc::clone(&counters),
-            Arc::clone(&stopping),
-            Arc::clone(&conns),
-        );
+        let stopping = Arc::clone(&stopping);
+        let reactors = reactors.clone();
         std::thread::spawn(move || {
-            for stream in listener.incoming() {
+            for (i, stream) in listener.incoming().enumerate() {
                 if stopping.load(Ordering::SeqCst) {
                     return;
                 }
                 let Ok(stream) = stream else { continue };
-                let Ok(clone) = stream.try_clone() else {
-                    continue;
-                };
-                let (queue, counters) = (Arc::clone(&queue), Arc::clone(&counters));
-                let handler =
-                    std::thread::spawn(move || handle_connection(stream, &queue, &counters));
-                let mut registry = conns.lock().expect("conn registry lock");
-                registry.streams.push(clone);
-                registry.handlers.push(handler);
+                reactors[i % reactors.len()].adopt(stream);
             }
         })
     };
@@ -562,22 +1099,25 @@ pub fn serve<const D: usize>(
         stopping,
         acceptor: Some(acceptor),
         workers,
-        conns,
+        reactors,
+        reactor_threads,
     })
 }
 
-/// One worker: drain a batch, answer it in a single pooled-context pass,
-/// route the replies back. Exits when the queue is closed and dry.
+/// One worker: drain a (possibly coalesced) batch, answer it in a single
+/// pooled-context pass, deliver the completions to their reactors. Exits
+/// when the queue is closed and dry.
 fn worker_loop<const D: usize>(
     service: &SketchService<D>,
     pool: &ContextPool<D>,
     queue: &BatchQueue,
     counters: &ServeCounters,
     max_batch: usize,
+    window: Duration,
     fault_injection: bool,
 ) {
     loop {
-        let batch = queue.drain(max_batch);
+        let batch = queue.drain(max_batch, window);
         if batch.is_empty() {
             return;
         }
@@ -587,103 +1127,59 @@ fn worker_loop<const D: usize>(
         // multi-query kernel sweep. A panic anywhere in the pass poisons
         // the slot; `ContextPool::with` recovers it on the next checkout,
         // and this batch answers `Internal` rather than leaving its
-        // handlers waiting forever.
+        // connections waiting forever.
         let replies = catch_unwind(AssertUnwindSafe(|| {
             pool.with(|ctx| {
                 let queries: Vec<&WireQuery> = batch.iter().map(|job| &job.query).collect();
                 service.answer_batch(ctx, &queries, fault_injection)
             })
         }));
-        match replies {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let replies = match replies {
             Ok(replies) => {
                 counters
                     .served
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                for (job, reply) in batch.iter().zip(replies) {
-                    let _ = job.reply.send((job.slot, reply));
-                }
+                replies
             }
             Err(_) => {
                 counters.panics.fetch_add(1, Ordering::Relaxed);
-                for job in &batch {
-                    let _ = job.reply.send((
-                        job.slot,
-                        WireReply::Error {
-                            code: WireErrorCode::Internal,
-                            message: "handler panicked evaluating this batch".into(),
-                        },
-                    ));
-                }
+                vec![
+                    WireReply::Error {
+                        code: WireErrorCode::Internal,
+                        message: "handler panicked evaluating this batch".into(),
+                    };
+                    batch.len()
+                ]
             }
-        }
+        };
+        route_completions(batch, replies);
     }
 }
 
-/// One connection: frames in, frames out. Any protocol violation closes
-/// the connection (there is no sound way to resynchronize a byte stream
-/// after a framing error); per-query problems are reply entries instead.
-fn handle_connection(stream: TcpStream, queue: &BatchQueue, counters: &ServeCounters) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let Ok((opcode, payload)) = read_frame(&mut reader) else {
-            return; // EOF, socket error, or a framing violation
+/// Groups a batch's completions per reactor so each reactor's inbox lock
+/// is taken (and its thread woken) once per pass, not once per query.
+fn route_completions(batch: Vec<Job>, replies: Vec<WireReply>) {
+    let mut groups: Vec<(Arc<ReactorShared>, Vec<Completion>)> = Vec::new();
+    for (job, reply) in batch.into_iter().zip(replies) {
+        let Origin {
+            reactor,
+            conn,
+            frame,
+            slot,
+        } = job.origin;
+        let done = Completion {
+            conn,
+            frame,
+            slot,
+            reply,
         };
-        match opcode {
-            Opcode::Ping => {
-                if write_frame(&mut writer, Opcode::Pong, &[]).is_err() {
-                    return;
-                }
-            }
-            Opcode::QueryBatch => {
-                let Ok(queries) = decode_queries(&payload) else {
-                    return;
-                };
-                let (tx, rx) = mpsc::channel();
-                let mut replies: Vec<Option<WireReply>> = vec![None; queries.len()];
-                let mut pending = 0usize;
-                for (slot, query) in queries.into_iter().enumerate() {
-                    match queue.push(Job {
-                        query,
-                        slot,
-                        reply: tx.clone(),
-                    }) {
-                        Ok(()) => pending += 1,
-                        Err(_) => {
-                            counters.shed.fetch_add(1, Ordering::Relaxed);
-                            replies[slot] = Some(WireReply::Error {
-                                code: WireErrorCode::Overloaded,
-                                message: "in-flight queue full; retry with backoff".into(),
-                            });
-                        }
-                    }
-                }
-                drop(tx);
-                for _ in 0..pending {
-                    // Workers always reply to admitted jobs, including on
-                    // panic and during shutdown drain; Err here means the
-                    // channel died with the worker pool (process teardown).
-                    let Ok((slot, reply)) = rx.recv() else { break };
-                    replies[slot] = Some(reply);
-                }
-                let out: Vec<WireReply> = replies
-                    .into_iter()
-                    .map(|r| {
-                        r.unwrap_or(WireReply::Error {
-                            code: WireErrorCode::Internal,
-                            message: "reply lost during server teardown".into(),
-                        })
-                    })
-                    .collect();
-                if write_frame(&mut writer, Opcode::ReplyBatch, &encode_replies(&out)).is_err() {
-                    return;
-                }
-            }
-            // Server-to-client opcodes from a client are a protocol error.
-            Opcode::ReplyBatch | Opcode::Pong => return,
+        match groups.iter_mut().find(|(r, _)| Arc::ptr_eq(r, &reactor)) {
+            Some((_, dones)) => dones.push(done),
+            None => groups.push((reactor, vec![done])),
         }
+    }
+    for (reactor, dones) in groups {
+        reactor.deliver(dones);
     }
 }

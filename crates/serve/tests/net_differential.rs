@@ -5,26 +5,34 @@
 //! same router + pooled contexts the in-process path uses, and counter
 //! merges are integer folds — so every networked estimate must be
 //! **bit-identical** to the in-process answer, across the query-kernel
-//! matrix and batch sizes 1/7/64. Also covered: deterministic load
-//! shedding, wire-injected panic + pool recovery, protocol-violation
-//! handling, and ping liveness.
+//! matrix and batch sizes 1/7/64. Also covered: pipelined out-of-order
+//! frame completion, cross-connection batch coalescing, client timeouts
+//! and reconnect against a dying server, deterministic load shedding,
+//! wire-injected panic + pool recovery, protocol-violation handling, and
+//! ping liveness.
 //!
-//! Heavyweight cases (the full kernel × batch-size sweep) are gated to
-//! the `tests-release` lane with `#[cfg_attr(debug_assertions, ignore)]`,
-//! following the ROADMAP convention.
+//! Heavyweight cases (the full kernel × batch-size sweep, the coalescing
+//! kernel matrix) are gated to the `tests-release` lane with
+//! `#[cfg_attr(debug_assertions, ignore)]`, following the ROADMAP
+//! convention.
 
 use geometry::{HyperRect, Interval};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serve::net::codec::{decode_queries, encode_replies, Opcode};
+use serve::net::io::{frame_bytes, read_frame, write_frame};
 use serve::net::{
-    range_query, serve, stab_query, SketchClient, WireErrorCode, WireQuery, WireReply,
+    range_query, serve, stab_query, ClientConfig, SketchClient, WireError, WireErrorCode,
+    WireQuery, WireReply,
 };
 use serve::{ContextPool, QueryRouter, ServeConfig, ShardedStore, SketchService, WorkerContext};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{Estimate, QueryKernel, RangeQuery, RangeStrategy};
 use std::io::Write;
+use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 const KERNELS: [QueryKernel; 3] = [QueryKernel::Scalar, QueryKernel::Batched, QueryKernel::Wide];
 const BATCH_SIZES: [usize; 3] = [1, 7, 64];
@@ -370,6 +378,334 @@ fn chunked_client_bit_matches_one_by_one() {
         assert_replies_bit_identical(&single[0], &chunked[i], &format!("chunked slot {i}"));
     }
     server.shutdown();
+}
+
+/// Many frames in flight on one connection, redeemed in *reverse*
+/// submission order: whatever order the server completes them in, the
+/// frame-id matching must hand every ticket its own replies, bit-identical
+/// to the in-process router.
+#[test]
+fn pipelined_frames_complete_out_of_order_bit_identically() {
+    let fx = fixture(909);
+    let service =
+        Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()).with_join(fx.join.clone()));
+    let pool = Arc::new(ContextPool::new(2));
+    let server = serve(service, pool, &ServeConfig::default(), 0).unwrap();
+    let mut client = SketchClient::connect(server.local_addr()).unwrap();
+    let router = QueryRouter::new();
+    let mut ctx = WorkerContext::new();
+    let mut rng = StdRng::seed_from_u64(909);
+
+    // Frames of varying size and kind, all submitted before any collect.
+    let mut frames: Vec<(serve::net::Ticket, Vec<Estimate>)> = Vec::new();
+    for f in 0..9usize {
+        let mut queries = Vec::new();
+        let mut oracle = Vec::new();
+        for i in 0..(f % 4) + 1 {
+            match (f + i) % 3 {
+                0 => {
+                    let q = rand_rects(&mut rng, 1)[0];
+                    queries.push(range_query(0, &q));
+                    oracle.push(
+                        router
+                            .estimate_range(&fx.rq, &fx.stores[0], &mut ctx, &q)
+                            .unwrap(),
+                    );
+                }
+                1 => {
+                    let anchor = fx.data[rng.gen_range(15..fx.data.len())];
+                    let p = [anchor.range(0).lo(), anchor.range(1).lo()];
+                    queries.push(stab_query(0, &p));
+                    oracle.push(
+                        router
+                            .estimate_stab(&fx.rq, &fx.stores[0], &mut ctx, &p)
+                            .unwrap(),
+                    );
+                }
+                _ => {
+                    queries.push(WireQuery::Join {
+                        r_store: 1,
+                        s_store: 2,
+                    });
+                    oracle.push(
+                        router
+                            .estimate_join(&fx.join, &fx.stores[1], &fx.stores[2], &mut ctx)
+                            .unwrap(),
+                    );
+                }
+            }
+        }
+        let ticket = client.submit(&queries).unwrap();
+        frames.push((ticket, oracle));
+    }
+    assert_eq!(client.in_flight(), frames.len());
+
+    for (f, (ticket, oracle)) in frames.iter().enumerate().rev() {
+        let replies = client.collect(*ticket).unwrap();
+        assert_eq!(replies.len(), oracle.len(), "frame {f} arity");
+        for (i, (want, got)) in oracle.iter().zip(replies.iter()).enumerate() {
+            assert_wire_bit_identical(want, got, &format!("pipelined frame {f} q{i}"));
+        }
+    }
+    assert_eq!(client.in_flight(), 0);
+    // A redeemed ticket is spent.
+    assert!(matches!(
+        client.collect(frames[0].0),
+        Err(WireError::UnknownFrame(_))
+    ));
+    server.shutdown();
+}
+
+/// A hand-rolled server that answers in **reverse** arrival order proves
+/// the client's id matching deterministically: the reply read off the
+/// wire first belongs to the frame submitted last.
+#[test]
+fn reply_matching_handles_out_of_order_server() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let frame = read_frame(&mut stream).unwrap();
+            assert_eq!(frame.opcode, Opcode::QueryBatch);
+            let queries = decode_queries(&frame.payload).unwrap();
+            // Tag each reply with its frame id so the test can prove the
+            // client handed the right replies to the right ticket.
+            let replies: Vec<WireReply> = queries
+                .iter()
+                .map(|_| WireReply::Estimate {
+                    value: f64::from(frame.frame_id),
+                    row_means: Vec::new(),
+                })
+                .collect();
+            got.push((frame.frame_id, encode_replies(&replies)));
+        }
+        got.reverse();
+        for (id, payload) in got {
+            write_frame(&mut stream, Opcode::ReplyBatch, id, &payload).unwrap();
+        }
+    });
+
+    let mut client = SketchClient::connect(addr).unwrap();
+    let q = WireQuery::Stab {
+        store: 0,
+        point: vec![1, 2],
+    };
+    let first = client.submit(std::slice::from_ref(&q)).unwrap();
+    let second = client.submit(std::slice::from_ref(&q)).unwrap();
+    assert_ne!(first.frame_id(), second.frame_id());
+    // Collect in submission order even though the wire carries the
+    // replies reversed: `first`'s collect stashes `second`'s reply.
+    let replies = client.collect(first).unwrap();
+    assert_eq!(replies.len(), 1);
+    assert!(
+        matches!(&replies[0], WireReply::Estimate { value, .. } if *value == f64::from(first.frame_id()))
+    );
+    let replies = client.collect(second).unwrap();
+    assert!(
+        matches!(&replies[0], WireReply::Estimate { value, .. } if *value == f64::from(second.frame_id()))
+    );
+    fake.join().unwrap();
+}
+
+/// Batch-of-1 clients on separate connections, a coalescing window wide
+/// enough to merge them: every reply must still be bit-identical to the
+/// sequential oracle — coalescing may change *when* queries are
+/// evaluated, never *what* they answer.
+fn coalescing_case(fx: &Fixture, kernel: QueryKernel, clients: usize, rounds: usize) {
+    let service = Arc::new(SketchService::new(fx.rq.clone(), fx.stores.clone()));
+    // One worker and one pool slot: every coalesced batch rides the same
+    // context, so cross-connection merging is maximal and kernel pinning
+    // is deterministic.
+    let pool = Arc::new(ContextPool::new(1));
+    pool.with(|ctx| ctx.query.set_kernel(kernel));
+    let config = ServeConfig {
+        workers: 1,
+        max_batch: 16,
+        coalesce_us: 2_000,
+        ..ServeConfig::default()
+    };
+    let server = serve(service, pool, &config, 0).unwrap();
+    let addr = server.local_addr();
+
+    let per_client: Vec<Vec<WireQuery>> = (0..clients)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(910 + t as u64);
+            (0..rounds)
+                .map(|i| {
+                    if i % 3 == 2 {
+                        let anchor = fx.data[rng.gen_range(15..fx.data.len())];
+                        stab_query(0, &[anchor.range(0).lo(), anchor.range(1).lo()])
+                    } else {
+                        range_query(0, &rand_rects(&mut rng, 1)[0])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let answers: Vec<Vec<WireReply>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_client
+            .iter()
+            .map(|queries| {
+                scope.spawn(move || {
+                    let mut client = SketchClient::connect(addr).expect("coalesce connect");
+                    queries
+                        .iter()
+                        .map(|q| {
+                            let replies =
+                                client.query_batch(std::slice::from_ref(q)).expect("batch");
+                            assert_eq!(replies.len(), 1);
+                            replies.into_iter().next().unwrap()
+                        })
+                        .collect::<Vec<WireReply>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, (clients * rounds) as u64);
+
+    let mut ctx = WorkerContext::new().with_kernel(kernel);
+    let router = QueryRouter::new();
+    for (t, (queries, replies)) in per_client.iter().zip(&answers).enumerate() {
+        for (i, (query, got)) in queries.iter().zip(replies).enumerate() {
+            let want = match query {
+                WireQuery::Range { ranges, .. } => {
+                    let rect = HyperRect::new(std::array::from_fn(|d| {
+                        Interval::new(ranges[d].0, ranges[d].1)
+                    }));
+                    router
+                        .estimate_range(&fx.rq, &fx.stores[0], &mut ctx, &rect)
+                        .unwrap()
+                }
+                WireQuery::Stab { point, .. } => router
+                    .estimate_stab(&fx.rq, &fx.stores[0], &mut ctx, &[point[0], point[1]])
+                    .unwrap(),
+                other => panic!("unexpected query {other:?}"),
+            };
+            assert_wire_bit_identical(&want, got, &format!("{kernel:?} client {t} round {i}"));
+        }
+    }
+}
+
+#[test]
+fn cross_connection_coalescing_is_bit_identical_small() {
+    let fx = fixture(911);
+    coalescing_case(&fx, QueryKernel::Batched, 4, 5);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "heavyweight: tests-release lane")]
+fn cross_connection_coalescing_is_bit_identical_matrix() {
+    let fx = fixture(912);
+    for kernel in KERNELS {
+        coalescing_case(&fx, kernel, 8, 12);
+    }
+}
+
+/// A server that accepts and reads but never replies must surface as
+/// [`WireError::Timeout`], not a forever-blocked client.
+#[test]
+fn client_times_out_instead_of_blocking_when_server_stalls() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Read the request, answer nothing, hold the socket open until
+        // the client has long given up.
+        let _ = read_frame(&mut stream);
+        std::thread::sleep(Duration::from_millis(800));
+    });
+    let mut client = SketchClient::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: Some(Duration::from_millis(120)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let q = WireQuery::Stab {
+        store: 0,
+        point: vec![3, 4],
+    };
+    assert!(matches!(
+        client.query_batch(std::slice::from_ref(&q)),
+        Err(WireError::Timeout)
+    ));
+    stall.join().unwrap();
+}
+
+/// The kill-the-server-mid-batch case: the peer dies after a *partial*
+/// reply frame. The client must report [`WireError::Disconnected`] — not
+/// hang, not misparse — and [`SketchClient::reconnect`] must yield a
+/// working connection.
+#[test]
+fn server_death_mid_frame_surfaces_disconnected_and_reconnect_recovers() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // First connection: die mid-frame, after the header but before
+        // the payload completes.
+        let (mut stream, _) = listener.accept().unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        let queries = decode_queries(&frame.payload).unwrap();
+        let replies: Vec<WireReply> = queries
+            .iter()
+            .map(|_| WireReply::Estimate {
+                value: 7.5,
+                row_means: Vec::new(),
+            })
+            .collect();
+        let bytes = frame_bytes(
+            Opcode::ReplyBatch,
+            frame.frame_id,
+            &encode_replies(&replies),
+        );
+        stream.write_all(&bytes[..bytes.len() - 3]).unwrap();
+        drop(stream); // mid-frame death
+
+        // Second connection (the reconnect): answer properly.
+        let (mut stream, _) = listener.accept().unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        let queries = decode_queries(&frame.payload).unwrap();
+        let replies: Vec<WireReply> = queries
+            .iter()
+            .map(|_| WireReply::Estimate {
+                value: 7.5,
+                row_means: Vec::new(),
+            })
+            .collect();
+        write_frame(
+            &mut stream,
+            Opcode::ReplyBatch,
+            frame.frame_id,
+            &encode_replies(&replies),
+        )
+        .unwrap();
+    });
+
+    let mut client = SketchClient::connect(addr).unwrap();
+    let q = WireQuery::Stab {
+        store: 0,
+        point: vec![5, 6],
+    };
+    assert!(matches!(
+        client.query_batch(std::slice::from_ref(&q)),
+        Err(WireError::Disconnected)
+    ));
+    client.reconnect().unwrap();
+    assert_eq!(
+        client.in_flight(),
+        0,
+        "reconnect invalidates in-flight state"
+    );
+    let replies = client.query_batch(std::slice::from_ref(&q)).unwrap();
+    assert!(matches!(&replies[0], WireReply::Estimate { value, .. } if *value == 7.5));
+    fake.join().unwrap();
 }
 
 #[test]
