@@ -2,7 +2,7 @@
 //! if the hot paths regressed against the committed anchor numbers.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_check --
-//!          [--anchor BENCH_pr9.json] [--tolerance 0.25]
+//!          [--anchor BENCH_pr10.json] [--tolerance 0.25]
 //!
 //! Compares the blocked kernels' build ns/(obj·inst) and estimate
 //! ns/(est·inst) — join and range paths — at the 440-instance
@@ -22,7 +22,14 @@
 //! its anchor, and — machine-independently — the batch-64-over-batch-1
 //! speedup against a hard 1.5x floor (tolerance 0): if batching a request
 //! batch into one sweep stops paying at least 1.5x, the kernel (or its
-//! dedup) broke, whatever the runner.
+//! dedup) broke, whatever the runner. The elastic-topology `rebalance`
+//! record is guarded three ways: split wall time and worst ingest cutover
+//! pause against their anchors (net-width tolerance — both are
+//! wall-clock, and the anchor was recorded from the same quick preset CI
+//! replays, since replay cost scales with the journal length), and —
+//! machine-independently, zero tolerance — the post-churn QPS recovery
+//! ratio against a hard 0.5x floor: topology churn must never leave the
+//! read path degraded.
 //!
 //! ## Tolerance
 //!
@@ -46,7 +53,9 @@
 
 use serde::Value;
 use sketch::{BuildKernel, QueryKernel};
-use spatial_bench::probes::{batchq_probe, build_probe, estimate_probe, net_probe};
+use spatial_bench::probes::{
+    batchq_probe, build_probe, estimate_probe, net_probe, rebalance_probe,
+};
 use spatial_bench::report::Table;
 use spatial_bench::runner::default_threads;
 use std::path::{Path, PathBuf};
@@ -63,6 +72,11 @@ const NET_TOLERANCE: f64 = 1.0;
 /// it is enforced with zero tolerance.
 const BATCH_SPEEDUP_FLOOR: f64 = 1.5;
 
+/// Minimum post-churn-over-pre-churn routed QPS ratio the rebalance probe
+/// must keep. Machine-independent (both sides measured in the same run),
+/// so it is enforced with zero tolerance.
+const REBALANCE_RECOVERY_FLOOR: f64 = 0.5;
+
 /// The instance configuration compared (first point of both the quick
 /// presets and the anchor sweeps).
 const ANCHOR_INSTANCES: u64 = 440;
@@ -78,7 +92,7 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr9.json");
+    let anchor_name = args.get("anchor").unwrap_or("BENCH_pr10.json");
     let anchor_path = workspace_file(anchor_name);
     let anchors = Anchors::load(&anchor_path).unwrap_or_else(|e| {
         eprintln!(
@@ -121,6 +135,7 @@ fn main() {
     let net = net_probe(true);
     let net_tolerance = tolerance.max(NET_TOLERANCE);
     let batchq = batchq_probe(threads, true);
+    let rebalance = rebalance_probe(threads, true);
 
     // (name, anchor, measured, ratio-where->1-is-worse, tolerance)
     let mut metrics: Vec<(String, f64, f64, f64, f64)> = Vec::new();
@@ -208,6 +223,38 @@ fn main() {
         BATCH_SPEEDUP_FLOOR / batchq.speedup_b64_over_b1,
         0.0,
     ));
+    // Elastic topology: the split's wall cost (journal replay + swap) and
+    // the worst write-path cutover pause are wall-clock measurements, so
+    // they get the net-width tolerance; the QPS recovery ratio is measured
+    // against itself within the run, so it gets the hard floor.
+    let split = rebalance
+        .ops
+        .iter()
+        .find(|o| o.op == "split")
+        .expect("rebalance probe always times a split");
+    let split_anchor = rebalance_anchor(&anchors, "split", "wall_ms");
+    metrics.push((
+        "rebalance/split wall ms".into(),
+        split_anchor,
+        split.wall_ms,
+        split.wall_ms / split_anchor,
+        net_tolerance,
+    ));
+    let stall_anchor = num(get(anchors.record("rebalance"), "max_ingest_stall_ms"));
+    metrics.push((
+        "rebalance/worst ingest stall ms".into(),
+        stall_anchor,
+        rebalance.max_ingest_stall_ms,
+        rebalance.max_ingest_stall_ms / stall_anchor,
+        net_tolerance,
+    ));
+    metrics.push((
+        format!("rebalance/qps recovery (floor {REBALANCE_RECOVERY_FLOOR}x)"),
+        REBALANCE_RECOVERY_FLOOR,
+        rebalance.recovery_ratio,
+        REBALANCE_RECOVERY_FLOOR / rebalance.recovery_ratio,
+        0.0,
+    ));
 
     let mut table = Table::new(
         "perf_check vs anchors",
@@ -259,6 +306,16 @@ fn net_config(
                 "net probe produced no ({clients} clients, batch {batch}, coalesce {coalesce_us} µs) point"
             ))
         })
+}
+
+/// Anchor scalar `field` of the rebalance record's `op` operation point.
+fn rebalance_anchor(anchors: &Anchors, op: &str, field: &str) -> f64 {
+    let ops = seq(get(anchors.record("rebalance"), "ops"));
+    let point = ops
+        .iter()
+        .find(|o| str_of(get(o, "op")) == op)
+        .unwrap_or_else(|| die(&format!("anchor rebalance record has no `{op}` op point")));
+    num(get(point, field))
 }
 
 /// A file at the workspace root (next to the committed `BENCH_*.json`).

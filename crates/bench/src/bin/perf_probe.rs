@@ -25,13 +25,18 @@
 //! measures the multi-query batch kernel — amortized ns/query of
 //! `estimate_batch_with` at batch sizes 1/8/64 over a serving-shaped hot
 //! set, with the plan-cache hit/miss/eviction counters reported next to
-//! the dispatch decision.
+//! the dispatch decision; `--probe rebalance` measures the elastic
+//! topology path — wall cost of an online split / boundary move / merge on
+//! a journaled store, the ingest cutover pause each one causes (worst
+//! blocked `insert_slice` from a concurrent writer), and warm routed QPS
+//! before, during and after a split/merge storm, every phase asserted
+//! bit-identical to an unsharded oracle.
 //!
 //! The probe harnesses themselves live in `spatial_bench::probes`, shared
 //! with the CI `perf_check` regression guard.
 //!
 //! Usage: cargo run --release -p spatial-bench --bin perf_probe
-//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve|net|batchq>]
+//!        [-- --gis | --range | --quick | --probe <estimate|wide|serve|net|batchq|rebalance>]
 //!
 //! `--quick` probes only the smallest instance count (fast iteration while
 //! touching the hot path).
@@ -41,7 +46,9 @@ use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{par_insert_batch, BoostShape, BuildKernel, QueryKernel};
 use spatial_bench::cli::Args;
-use spatial_bench::probes::{batchq_probe, build_probe, estimate_probe, net_probe, serve_probe};
+use spatial_bench::probes::{
+    batchq_probe, build_probe, estimate_probe, net_probe, rebalance_probe, serve_probe,
+};
 use spatial_bench::report::rel_error;
 use spatial_bench::runner::{default_threads, shape_for_words};
 
@@ -104,8 +111,14 @@ fn main() {
             batchq_probe(threads, args.has("quick"));
             return;
         }
+        Some("rebalance") => {
+            rebalance_probe(threads, args.has("quick"));
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown --probe `{other}` (supported: estimate, wide, serve, net, batchq)");
+            eprintln!(
+                "unknown --probe `{other}` (supported: estimate, wide, serve, net, batchq, rebalance)"
+            );
             std::process::exit(2);
         }
         None => {}

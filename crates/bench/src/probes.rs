@@ -13,7 +13,7 @@ use serve::{ContextPool, QueryRouter, ServeConfig, ShardedStore, SketchService};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
 use sketch::{par_insert_batch, BatchQuery, BuildKernel, QueryContext, QueryKernel};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -996,6 +996,271 @@ pub fn serve_probe(threads: usize, quick: bool) -> ServeProbeRecord {
             ingest_ns_per_obj: ingest_ns,
         });
     }
+    let path = crate::report::append_json("perf_probe", &record);
+    println!("appended to {}", path.display());
+    record
+}
+
+/// One online topology operation's cost, as measured by the rebalance
+/// probe.
+#[derive(serde::Serialize)]
+pub struct RebalanceOpPoint {
+    /// Operation kind (`split` / `move` / `merge`).
+    pub op: String,
+    /// Wall time of the operation: journal replay of the rebuilt shards
+    /// (merges skip it) plus the atomic epoch swap.
+    pub wall_ms: f64,
+    /// Longest single `insert_slice` a concurrent ingest thread observed
+    /// while the operation ran — the write-path cutover pause (topology
+    /// changes hold the writer lock; queries never wait on it).
+    pub ingest_stall_ms: f64,
+    /// Shard count after the operation.
+    pub shards_after: usize,
+}
+
+/// The `--probe rebalance` record: online split / boundary-move / merge
+/// cost, the write-path cutover pause, and warm routed QPS before, during
+/// and after the topology churn. Every phase is asserted bit-identical to
+/// an unsharded oracle before timing moves on.
+#[derive(serde::Serialize)]
+pub struct RebalanceProbeRecord {
+    /// Probe tag (`rebalance`).
+    pub probe: String,
+    /// Objects summarized and journaled — the replay-cost driver, so
+    /// anchors for this probe are preset-specific (CI compares quick runs
+    /// against a quick-preset anchor).
+    pub objects: usize,
+    /// Data-domain bits per dimension.
+    pub domain_bits: u32,
+    /// Boosting instances per sketch.
+    pub instances: usize,
+    /// The runtime dispatch decision on the probing machine.
+    pub dispatch: DispatchMeta,
+    /// Distinct queries cycled through the router.
+    pub query_set: usize,
+    /// Warm routed QPS before any topology change (2 shards).
+    pub qps_before: f64,
+    /// Per-operation timings: a split at an unaligned cut, a boundary
+    /// move, and a merge, in that order.
+    pub ops: Vec<RebalanceOpPoint>,
+    /// Worst write-path stall across the measured operations — the
+    /// headline cutover-pause number.
+    pub max_ingest_stall_ms: f64,
+    /// Warm routed QPS measured while a split/merge storm churned the
+    /// topology. Reads never pause for a cutover, so this should stay
+    /// near `qps_before`.
+    pub qps_during_storm: f64,
+    /// Topology operations completed during the storm window.
+    pub storm_ops: usize,
+    /// Warm routed QPS after the churn settled back to 2 shards.
+    pub qps_after: f64,
+    /// `qps_after / qps_before` — CI holds this above a floor: topology
+    /// churn must not leave the read path degraded.
+    pub recovery_ratio: f64,
+}
+
+/// Rebalance-path probe: cost of online split / boundary-move / merge on a
+/// journaled store, the ingest cutover pause each one causes, and routed
+/// QPS before / during / after the churn — with bit-match assertions
+/// against an unsharded oracle at every step. Appends a record to
+/// `results/perf_probe.json`.
+pub fn rebalance_probe(threads: usize, quick: bool) -> RebalanceProbeRecord {
+    use rand::Rng as _;
+    let bits = 14u32;
+    let objects = if quick { 5_000 } else { 20_000 };
+    let data: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(objects, bits, 0.0, 5).generate();
+    let (k1, k2) = (203usize, 5usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let rq = sketch::RangeQuery::<2>::new(
+        &mut rng,
+        SketchConfig::new(k1, k2),
+        [bits, bits],
+        sketch::RangeStrategy::Transform,
+    );
+    let queries = range_query_workload(9, 32, bits);
+
+    // Unsharded oracle plus a journaled 2-shard store (`LogRetention::Full`
+    // is what makes replay-based topology changes legal).
+    let mut oracle = rq.new_sketch();
+    par_insert_batch(&mut oracle, &data, threads).unwrap();
+    let store = Arc::new(ShardedStore::like(&oracle, 2).with_log(sketch::LogRetention::Full));
+    for chunk in data.chunks(512) {
+        store.insert_slice(chunk).unwrap();
+    }
+    // Side pool of rects the stall-measuring ingest threads drain (cycled);
+    // whatever they applied is replayed into the oracle afterwards so the
+    // bit-match assertions keep holding.
+    let extra: Vec<geometry::HyperRect<2>> =
+        datagen::SyntheticSpec::paper(256, bits, 0.0, 11).generate();
+
+    let router = QueryRouter::new();
+    let pool = ContextPool::new(1);
+    let routed_qps = |oracle: &sketch::SketchSet<2>, label: &str| -> f64 {
+        // Bit-match gate first: the number is only worth recording if the
+        // store still answers exactly like the unsharded oracle.
+        let mut octx = QueryContext::new();
+        for q in &queries {
+            let want = rq.estimate_with(&mut octx, oracle, q).unwrap().value;
+            let got = pool
+                .with(|ctx| router.estimate_range(&rq, &store, ctx, q))
+                .unwrap()
+                .value;
+            assert_eq!(
+                want.to_bits(),
+                got.to_bits(),
+                "routed answer diverged from the unsharded oracle ({label})"
+            );
+        }
+        let mut qi = 0usize;
+        let ns = time_ns_per_call(|| {
+            qi = (qi + 1) % queries.len();
+            pool.with(|ctx| router.estimate_range(&rq, &store, ctx, &queries[qi]))
+                .unwrap()
+                .value
+        });
+        1e9 / ns
+    };
+
+    let qps_before = routed_qps(&oracle, "before");
+    println!("rebalance  2 shards, warm routed: {qps_before:.0} qps");
+
+    let mut record = RebalanceProbeRecord {
+        probe: "rebalance".into(),
+        objects: data.len(),
+        domain_bits: bits,
+        instances: k1 * k2,
+        dispatch: dispatch_meta(),
+        query_set: queries.len(),
+        qps_before,
+        ops: Vec::new(),
+        max_ingest_stall_ms: 0.0,
+        qps_during_storm: 0.0,
+        storm_ops: 0,
+        qps_after: 0.0,
+        recovery_ratio: 0.0,
+    };
+
+    // The three measured ops, each chosen from the live load report: an
+    // unaligned split of shard 0, a move of the new boundary, and a merge
+    // folding it back. Each runs against a concurrent single-rect ingest
+    // loop whose worst per-insert wall time is the cutover pause.
+    let spans = |st: &ShardedStore<2>| -> Vec<geometry::Interval> {
+        st.load_report().shards().iter().map(|s| s.span).collect()
+    };
+    type TopologyOp = Box<dyn Fn() + Send + Sync>;
+    let ops: Vec<(&str, TopologyOp)> = {
+        let s0 = spans(&store)[0];
+        // An unaligned cut two-fifths in: replay must handle boundaries
+        // that match no dyadic block edge.
+        let split_at = s0.lo() + 2 * (s0.hi() - s0.lo()) / 5 + 1;
+        let move_to = s0.lo() + (s0.hi() - s0.lo()) / 2 + 3;
+        let (st_a, st_b, st_c) = (Arc::clone(&store), Arc::clone(&store), Arc::clone(&store));
+        vec![
+            (
+                "split",
+                Box::new(move || st_a.split_shard(0, split_at).unwrap()) as Box<_>,
+            ),
+            (
+                "move",
+                Box::new(move || st_b.move_shard_boundary(1, move_to).unwrap()) as Box<_>,
+            ),
+            (
+                "merge",
+                Box::new(move || st_c.merge_shards(0).unwrap()) as Box<_>,
+            ),
+        ]
+    };
+    for (name, op) in ops {
+        let stop = AtomicBool::new(false);
+        let (wall_ms, stall_ms, applied) = std::thread::scope(|scope| {
+            let ingest = scope.spawn(|| {
+                // Cycle single-rect inserts until told to stop; the insert
+                // issued while the op holds the writer lock blocks for the
+                // whole rebuild — its wall time is the pause.
+                let mut worst = 0.0f64;
+                let mut n = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    store
+                        .insert_slice(&extra[n % extra.len()..n % extra.len() + 1])
+                        .unwrap();
+                    worst = worst.max(t.elapsed().as_secs_f64() * 1e3);
+                    n += 1;
+                }
+                (worst, n)
+            });
+            let t = Instant::now();
+            op();
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            stop.store(true, Ordering::Relaxed);
+            let (stall_ms, applied) = ingest.join().unwrap();
+            (wall_ms, stall_ms, applied)
+        });
+        // Mirror the side ingest into the oracle (same rects, same cycle
+        // order) so the next bit-match gate compares like with like.
+        let replay: Vec<geometry::HyperRect<2>> =
+            (0..applied).map(|i| extra[i % extra.len()]).collect();
+        par_insert_batch(&mut oracle, &replay, threads).unwrap();
+        let shards_after = store.shard_count();
+        println!(
+            "rebalance  {name}: {wall_ms:.1} ms wall, {stall_ms:.1} ms worst ingest stall, \
+             {shards_after} shard(s) after"
+        );
+        record.max_ingest_stall_ms = record.max_ingest_stall_ms.max(stall_ms);
+        record.ops.push(RebalanceOpPoint {
+            op: name.into(),
+            wall_ms,
+            ingest_stall_ms: stall_ms,
+            shards_after,
+        });
+    }
+
+    // Storm phase: a policy thread keeps splitting (load-report candidate)
+    // and merging while the read path is timed. Data stays fixed, so every
+    // concurrently routed answer still bit-matches the oracle — asserted by
+    // the `routed_qps` gate right before timing starts and again after.
+    let stop = AtomicBool::new(false);
+    let ops_done = AtomicUsize::new(0);
+    record.qps_during_storm = std::thread::scope(|scope| {
+        let storm = scope.spawn(|| {
+            let mut srng = rand::rngs::StdRng::seed_from_u64(23);
+            while !stop.load(Ordering::Relaxed) {
+                if store.shard_count() > 2 {
+                    store.merge_shards(0).unwrap();
+                } else if let Some((shard, mid)) = store.load_report().split_candidate() {
+                    // Jitter the cut off the midpoint so successive storms
+                    // exercise different boundaries.
+                    let at = mid.saturating_sub(srng.gen_range(0..32)).max(1);
+                    if store.split_shard(shard, at).is_err() {
+                        store.split_shard(shard, mid).unwrap();
+                    }
+                }
+                ops_done.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let qps = routed_qps(&oracle, "mid-storm");
+        stop.store(true, Ordering::Relaxed);
+        storm.join().unwrap();
+        qps
+    });
+    record.storm_ops = ops_done.load(Ordering::Relaxed);
+    println!(
+        "rebalance  mid-storm routed: {:.0} qps over {} topology ops",
+        record.qps_during_storm, record.storm_ops
+    );
+
+    // Settle back to the starting topology and measure recovery.
+    while store.shard_count() > 2 {
+        store.merge_shards(0).unwrap();
+    }
+    record.qps_after = routed_qps(&oracle, "after");
+    record.recovery_ratio = record.qps_after / record.qps_before;
+    println!(
+        "rebalance  settled (2 shards): {:.0} qps — {:.2}x of pre-churn",
+        record.qps_after, record.recovery_ratio
+    );
+
     let path = crate::report::append_json("perf_probe", &record);
     println!("appended to {}", path.display());
     record

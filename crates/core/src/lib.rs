@@ -83,6 +83,7 @@ pub mod error;
 pub mod estimator;
 pub mod estimators;
 pub mod kernel;
+pub mod log;
 pub mod par;
 pub mod persist;
 pub mod plan;
@@ -104,6 +105,7 @@ pub use kernel::{
     cpu_vector, dispatch_report, preferred_lane_width, CpuVector, DispatchReport,
     WIDE512_MIN_INSTANCES, WIDE_MIN_INSTANCES,
 };
+pub use log::{LogEntry, LogRetention, UpdateLog};
 pub use par::{par_estimate, par_insert_batch, par_merge_batch, par_update_batch};
 pub use persist::{
     restore_pair, restore_schema, restore_sketch, restore_sketch_with_schema, snapshot_pair,

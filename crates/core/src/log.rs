@@ -1,0 +1,248 @@
+//! A bounded, epoch-tagged update log for rebuilding and catching up
+//! sketch stores.
+//!
+//! Sketches are linear, so a shard can be rebuilt *exactly* — counters,
+//! coverage, update counts — by replaying the store's updates filtered
+//! through a new routing function: `i64` counter arithmetic is associative
+//! and commutative over batch composition, so any replay that applies the
+//! same rectangles with the same deltas lands on bit-identical state. The
+//! [`UpdateLog`] records each published batch under the epoch that first
+//! contained it, which gives the two consumers their contract:
+//!
+//! * **Topology changes** (shard split / boundary move) replay the *whole*
+//!   log through the new partition — they need [`LogRetention::Full`].
+//! * **Replica catch-up** tails only the entries *after* the epoch its
+//!   snapshot captured — a bounded [`LogRetention::Entries`] window
+//!   suffices, and [`UpdateLog::tail_since`] reports truncation (the
+//!   snapshot is too old) as an error instead of silently skipping
+//!   updates.
+//!
+//! The log stores `Arc`-shared rectangle batches, so recording costs one
+//! refcount bump per batch, not a copy; retention [`LogRetention::None`]
+//! (the default for stores that never rebalance) costs nothing at all.
+
+use crate::error::{Result, SketchError};
+use geometry::HyperRect;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How much history an [`UpdateLog`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRetention {
+    /// Keep nothing (the default): recording is a no-op beyond advancing
+    /// the truncation floor. Topology changes and replica tailing are
+    /// unavailable.
+    None,
+    /// Keep at most this many most-recent entries — enough for replicas
+    /// whose snapshots lag by less than the window, at bounded memory.
+    Entries(usize),
+    /// Keep everything, enabling full-replay topology changes.
+    Full,
+}
+
+/// One logged update batch: the rectangles and shared delta of a single
+/// published store update, tagged with the epoch that first contained it.
+#[derive(Debug, Clone)]
+pub struct LogEntry<const D: usize> {
+    epoch: u64,
+    delta: i64,
+    rects: Arc<Vec<HyperRect<D>>>,
+}
+
+impl<const D: usize> LogEntry<D> {
+    /// The epoch whose publication first contained this batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared count delta of the batch (`+1` inserts, `-1` deletes).
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    /// The batch's rectangles.
+    pub fn rects(&self) -> &[HyperRect<D>] {
+        &self.rects
+    }
+}
+
+/// An epoch-ordered log of published update batches with configurable
+/// retention and an explicit truncation floor.
+#[derive(Debug, Clone)]
+pub struct UpdateLog<const D: usize> {
+    retention: LogRetention,
+    entries: VecDeque<LogEntry<D>>,
+    /// Highest epoch whose entry has been discarded; `0` means the log is
+    /// complete from the beginning of time.
+    floor: u64,
+}
+
+impl<const D: usize> UpdateLog<D> {
+    /// An empty log with the given retention policy and a complete history
+    /// (floor 0).
+    pub fn new(retention: LogRetention) -> Self {
+        Self::new_with_floor(retention, 0)
+    }
+
+    /// An empty log whose history is already truncated up to and including
+    /// `floor` — the shape of a store restored from an epoch-`floor`
+    /// snapshot, whose earlier updates exist only inside the snapshot.
+    pub fn new_with_floor(retention: LogRetention, floor: u64) -> Self {
+        Self {
+            retention,
+            entries: VecDeque::new(),
+            floor,
+        }
+    }
+
+    /// The retention policy.
+    pub fn retention(&self) -> LogRetention {
+        self.retention
+    }
+
+    /// Highest epoch whose entry has been discarded (`0` = nothing ever
+    /// was). [`UpdateLog::tail_since`] can serve any `since ≥ floor`.
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+
+    /// Whether the log still holds every update ever recorded — the
+    /// precondition for full-replay topology changes.
+    pub fn is_complete(&self) -> bool {
+        self.floor == 0
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a published batch under `epoch`, then prunes per the
+    /// retention policy (pruning advances the floor). Epochs must be
+    /// recorded in ascending order.
+    pub fn record(&mut self, epoch: u64, delta: i64, rects: Arc<Vec<HyperRect<D>>>) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.epoch < epoch) && epoch > self.floor,
+            "log entries must arrive in ascending epoch order"
+        );
+        match self.retention {
+            LogRetention::None => self.floor = epoch,
+            LogRetention::Entries(cap) => {
+                self.entries.push_back(LogEntry {
+                    epoch,
+                    delta,
+                    rects,
+                });
+                while self.entries.len() > cap {
+                    let dropped = self.entries.pop_front().expect("len > cap >= 0");
+                    self.floor = dropped.epoch;
+                }
+            }
+            LogRetention::Full => self.entries.push_back(LogEntry {
+                epoch,
+                delta,
+                rects,
+            }),
+        }
+    }
+
+    /// All retained entries in epoch order — the full-replay iterator for
+    /// topology changes (callers should check [`UpdateLog::is_complete`]
+    /// first).
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry<D>> {
+        self.entries.iter()
+    }
+
+    /// The entries recorded *after* epoch `since`, for replica catch-up.
+    /// Fails if the log has been truncated past `since` — entries the
+    /// caller needs have been discarded, so it must re-seed from a newer
+    /// snapshot instead of silently missing updates.
+    pub fn tail_since(&self, since: u64) -> Result<Vec<LogEntry<D>>> {
+        if since < self.floor {
+            return Err(SketchError::InvalidParameter(
+                "update log truncated past the requested epoch; re-seed from a newer snapshot",
+            ));
+        }
+        Ok(self
+            .entries
+            .iter()
+            .filter(|e| e.epoch > since)
+            .cloned()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geometry::Interval;
+
+    fn batch(lo: u64) -> Arc<Vec<HyperRect<1>>> {
+        Arc::new(vec![HyperRect::new([Interval::new(lo, lo + 1)])])
+    }
+
+    #[test]
+    fn retention_none_discards_but_tracks_floor() {
+        let mut log = UpdateLog::<1>::new(LogRetention::None);
+        assert!(log.is_complete());
+        log.record(1, 1, batch(0));
+        log.record(2, -1, batch(4));
+        assert!(log.is_empty());
+        assert_eq!(log.floor(), 2);
+        assert!(!log.is_complete());
+        assert!(log.tail_since(1).is_err());
+        assert_eq!(log.tail_since(2).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bounded_retention_prunes_oldest_and_reports_truncation() {
+        let mut log = UpdateLog::<1>::new(LogRetention::Entries(2));
+        for epoch in 1..=4u64 {
+            log.record(epoch, 1, batch(epoch));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.floor(), 2);
+        // A replica at epoch 2 can still catch up…
+        let tail = log.tail_since(2).unwrap();
+        assert_eq!(
+            tail.iter().map(LogEntry::epoch).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // …one at epoch 1 is told its snapshot is too old.
+        assert!(log.tail_since(1).is_err());
+        // One already caught up gets an empty tail.
+        assert!(log.tail_since(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_retention_replays_everything() {
+        let mut log = UpdateLog::<1>::new(LogRetention::Full);
+        for epoch in 1..=10u64 {
+            log.record(epoch, if epoch % 3 == 0 { -1 } else { 1 }, batch(epoch));
+        }
+        assert!(log.is_complete());
+        assert_eq!(log.entries().count(), 10);
+        let epochs: Vec<u64> = log.entries().map(LogEntry::epoch).collect();
+        assert!(epochs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(log.tail_since(0).unwrap().len(), 10);
+        assert_eq!(log.tail_since(7).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn restored_log_starts_at_its_snapshot_floor() {
+        let mut log = UpdateLog::<1>::new_with_floor(LogRetention::Full, 5);
+        assert!(!log.is_complete());
+        log.record(6, 1, batch(0));
+        assert!(log.tail_since(4).is_err());
+        assert_eq!(log.tail_since(5).unwrap().len(), 1);
+        // The batch is shared, not copied.
+        let rects = batch(9);
+        log.record(7, 1, Arc::clone(&rects));
+        assert_eq!(Arc::strong_count(&rects), 2);
+    }
+}

@@ -148,11 +148,18 @@ pub fn snapshot_sketch<const D: usize>(sketch: &SketchSet<D>) -> SketchSnapshot 
 }
 
 /// Restores a sketch set against an already-restored schema (so several
-/// sketches can share it).
+/// sketches can share it). The supplied schema must *be* the snapshot's
+/// schema — same kind, shape, dimensions and seeds
+/// ([`SketchError::SchemaMismatch`] otherwise): counters are only
+/// meaningful under the seeds that built them, so restoring against any
+/// other schema would silently corrupt every subsequent estimate.
 pub fn restore_sketch_with_schema<const D: usize>(
     snap: &SketchSnapshot,
     schema: Arc<SketchSchema<D>>,
 ) -> Result<SketchSet<D>> {
+    if snapshot_schema(&schema) != snap.schema {
+        return Err(SketchError::SchemaMismatch);
+    }
     let mut words: Vec<Word<D>> = Vec::with_capacity(snap.words.len());
     for w in &snap.words {
         if w.len() != D {

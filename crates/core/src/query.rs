@@ -549,6 +549,20 @@ impl PartialEstimate {
         &self.atomic
     }
 
+    /// Reassembles a partial from its `shape` and instance-major `atomic`
+    /// grid — the inverse of reading [`PartialEstimate::shape`] and
+    /// [`PartialEstimate::atomic`], for partials that crossed a process
+    /// boundary (e.g. the serving layer's wire codec). Fails if the grid
+    /// length does not match `shape.instances()`.
+    pub fn from_parts(shape: BoostShape, atomic: Vec<f64>) -> crate::error::Result<Self> {
+        if atomic.len() != shape.instances() {
+            return Err(crate::error::SketchError::InvalidParameter(
+                "partial estimate grid length does not match its boosting shape",
+            ));
+        }
+        Ok(Self { shape, atomic })
+    }
+
     /// Accumulates another shard's partial grid (instance-wise `f64` sum).
     /// Both partials must come from sketches over the same boosting shape —
     /// in practice the same schema.

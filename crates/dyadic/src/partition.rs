@@ -1,42 +1,56 @@
 //! Dyadic-aligned domain partitioning for sharded sketch stores.
 //!
 //! A [`DomainPartition`] splits a power-of-two coordinate domain into `N`
-//! contiguous shard regions whose boundaries sit on *dyadic slab*
-//! boundaries: the domain is divided into `2^s` equal dyadic slabs (the
-//! smallest power of two ≥ `N`, so every slab is a single dyadic node) and
-//! each shard owns a contiguous run of slabs. Two properties follow:
+//! contiguous shard regions. Boundaries are arbitrary coordinates, but
+//! every coordinate is maximally dyadic-aligned *at its own level*: a
+//! boundary `b` is a multiple of `2^(b.trailing_zeros())`, so the partition
+//! as a whole behaves like a dyadic slab assignment at level
+//! [`DomainPartition::slab_bits`] — the coarsest level at which **all**
+//! current boundaries are node-aligned. Two properties follow:
 //!
 //! * **Covers split cleanly.** Splitting an interval at shard boundaries
 //!   ([`DomainPartition::split_interval`]) yields pieces whose minimal
 //!   dyadic covers ([`crate::cover::interval_cover`]) lie entirely inside
 //!   their shard's span — no cover node ever straddles a shard boundary,
 //!   because a minimal cover's nodes are contained in the covered interval
-//!   and each piece is contained in one shard's dyadic-aligned span.
-//! * **Point routing is branch-free.** [`DomainPartition::shard_of`] is a
-//!   shift and a multiply, cheap enough for per-object ingest routing.
+//!   and each piece is contained in one shard's span.
+//! * **Routing is a binary search.** [`DomainPartition::shard_of`] is a
+//!   `partition_point` over the boundary list — a handful of well-predicted
+//!   comparisons, cheap enough for per-object ingest routing.
 //!
-//! Shard counts need not be powers of two: with `2^s` slabs and `N ≤ 2^s`
-//! shards, slab `j` belongs to shard `⌊j·N/2^s⌋` — the standard balanced
-//! contiguous assignment (every shard gets `⌊2^s/N⌋` or `⌈2^s/N⌉` slabs).
+//! The balanced constructor [`DomainPartition::new`] reproduces the classic
+//! slab assignment (domain divided into `2^s` equal dyadic slabs, shard `j`
+//! owning a contiguous run), while the topology operators
+//! ([`DomainPartition::split_at`], [`DomainPartition::merge_at`],
+//! [`DomainPartition::move_boundary`]) let a rebalancer deform that layout
+//! online — one boundary at a time, each producing a new valid partition —
+//! without ever breaking the cover-splitting guarantee.
 
 use crate::node::NodeId;
 use geometry::{Coord, Interval};
 
-/// A dyadic-aligned partition of the domain `[0, 2^bits)` into `shards`
-/// contiguous regions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A partition of the domain `[0, 2^bits)` into contiguous shard regions,
+/// described by the start coordinate of each shard.
+///
+/// Invariants (upheld by every constructor and operator):
+/// * `starts` is non-empty and `starts[0] == 0`;
+/// * `starts` is strictly ascending;
+/// * every start is `< 2^bits`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomainPartition {
     bits: u32,
-    shards: usize,
-    /// Coordinate bits per slab: slab boundaries are multiples of
-    /// `2^slab_bits`, i.e. dyadic nodes of that level.
-    slab_bits: u32,
-    /// Number of slabs (`2^(bits - slab_bits)`), kept as u64 for routing.
-    slabs: u64,
+    /// Start coordinate of each shard; shard `s` owns
+    /// `[starts[s], starts[s+1])` (the last shard runs to `2^bits`).
+    starts: Vec<Coord>,
 }
 
 impl DomainPartition {
-    /// Creates a partition of `[0, 2^bits)` into `shards` regions.
+    /// Creates a balanced partition of `[0, 2^bits)` into `shards` regions.
+    ///
+    /// The domain is divided into `2^s` equal dyadic slabs (the smallest
+    /// power of two ≥ `shards`) and slab `j` is assigned to shard
+    /// `⌊j·N/2^s⌋` — the standard balanced contiguous assignment (every
+    /// shard gets `⌊2^s/N⌋` or `⌈2^s/N⌉` slabs).
     ///
     /// The effective shard count is clamped to the domain size (a 2-bit
     /// domain cannot feed more than 4 shards); [`DomainPartition::shards`]
@@ -48,12 +62,25 @@ impl DomainPartition {
         let shards = (shards as u64).min(size) as usize;
         let slabs = (shards as u64).next_power_of_two();
         let slab_bits = bits - slabs.trailing_zeros();
-        Self {
-            bits,
-            shards,
-            slab_bits,
-            slabs,
+        let starts = (0..shards as u64)
+            .map(|s| (s * slabs).div_ceil(shards as u64) << slab_bits)
+            .collect();
+        Self { bits, starts }
+    }
+
+    /// Rebuilds a partition from its [`DomainPartition::boundaries`] list,
+    /// e.g. when restoring a store snapshot. Returns `None` unless `starts`
+    /// satisfies the type's invariants (non-empty, `starts[0] == 0`,
+    /// strictly ascending, all `< 2^bits`).
+    pub fn from_boundaries(bits: u32, starts: Vec<Coord>) -> Option<Self> {
+        if bits > 62 || starts.first() != Some(&0) {
+            return None;
         }
+        let ascending = starts.windows(2).all(|w| w[0] < w[1]);
+        if !ascending || *starts.last().expect("non-empty") >= (1u64 << bits) {
+            return None;
+        }
+        Some(Self { bits, starts })
     }
 
     /// Domain bits this partition was built for.
@@ -61,35 +88,115 @@ impl DomainPartition {
         self.bits
     }
 
-    /// Effective shard count.
+    /// Shard count.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.starts.len()
     }
 
-    /// Coordinate bits per dyadic slab (shard boundaries are multiples of
-    /// `2^slab_bits`).
+    /// Start coordinate of each shard, ascending; shard `s` owns
+    /// `[starts[s], starts[s+1])` and the last shard runs to the end of the
+    /// domain. Feed back through [`DomainPartition::from_boundaries`] to
+    /// reconstruct the partition.
+    pub fn boundaries(&self) -> &[Coord] {
+        &self.starts
+    }
+
+    /// The coarsest dyadic level at which every current shard boundary is
+    /// node-aligned: boundaries are multiples of `2^slab_bits`, so dyadic
+    /// nodes at levels ≤ `slab_bits` never straddle a shard boundary.
+    ///
+    /// Derived from the boundary list (the minimum of each nonzero
+    /// boundary's trailing-zero count), so it tightens as splits introduce
+    /// finer boundaries and relaxes again when merges remove them.
     pub fn slab_bits(&self) -> u32 {
-        self.slab_bits
+        self.starts
+            .iter()
+            .skip(1)
+            .map(|s| s.trailing_zeros())
+            .min()
+            .unwrap_or(self.bits)
+            .min(self.bits)
     }
 
     /// The shard owning coordinate `x`.
     pub fn shard_of(&self, x: Coord) -> usize {
         debug_assert!(x < (1u64 << self.bits));
-        let slab = x >> self.slab_bits;
-        (slab * self.shards as u64 / self.slabs) as usize
+        // starts[0] == 0 ≤ x, so the partition point is at least 1.
+        self.starts.partition_point(|&s| s <= x) - 1
     }
 
     /// The contiguous coordinate range owned by shard `s`.
     pub fn span(&self, s: usize) -> Interval {
-        assert!(s < self.shards, "shard index out of range");
-        let first = self.first_slab(s);
-        let end = self.first_slab(s + 1);
-        Interval::new(first << self.slab_bits, (end << self.slab_bits) - 1)
+        assert!(s < self.shards(), "shard index out of range");
+        let end = self.starts.get(s + 1).copied().unwrap_or(1u64 << self.bits);
+        Interval::new(self.starts[s], end - 1)
     }
 
-    /// First slab of shard `s` (the standard inverse of `⌊j·N/2^s⌋`).
-    fn first_slab(&self, s: usize) -> u64 {
-        (s as u64 * self.slabs).div_ceil(self.shards as u64)
+    /// Splits shard `shard` in two at coordinate `at`: the left child keeps
+    /// `[span.lo(), at)`, the right child takes `[at, span.hi()]`, and
+    /// every later shard's index shifts up by one. Returns `None` unless
+    /// `at` lies strictly inside the shard's span (both children must be
+    /// non-empty).
+    ///
+    /// Any interior coordinate is a valid split point — alignment is
+    /// automatic, because [`DomainPartition::slab_bits`] is derived from
+    /// the boundaries rather than fixed up front.
+    pub fn split_at(&self, shard: usize, at: Coord) -> Option<Self> {
+        if shard >= self.shards() {
+            return None;
+        }
+        let span = self.span(shard);
+        if at <= span.lo() || at > span.hi() {
+            return None;
+        }
+        let mut starts = self.starts.clone();
+        starts.insert(shard + 1, at);
+        Some(Self {
+            bits: self.bits,
+            starts,
+        })
+    }
+
+    /// Merges shard `left` with its right neighbour `left + 1` into one
+    /// shard owning both spans; every later shard's index shifts down by
+    /// one. Returns `None` if `left` is the last shard (nothing to its
+    /// right).
+    pub fn merge_at(&self, left: usize) -> Option<Self> {
+        if left + 1 >= self.shards() {
+            return None;
+        }
+        let mut starts = self.starts.clone();
+        starts.remove(left + 1);
+        Some(Self {
+            bits: self.bits,
+            starts,
+        })
+    }
+
+    /// Moves the boundary between shards `boundary - 1` and `boundary` to
+    /// coordinate `at`, shifting load between the two neighbours without
+    /// changing the shard count. Returns `None` unless
+    /// `1 ≤ boundary < shards`, `at` actually moves the boundary, and `at`
+    /// keeps both neighbours non-empty (strictly between shard
+    /// `boundary - 1`'s start and shard `boundary`'s end).
+    pub fn move_boundary(&self, boundary: usize, at: Coord) -> Option<Self> {
+        if boundary == 0 || boundary >= self.shards() {
+            return None;
+        }
+        let right_end = self
+            .starts
+            .get(boundary + 1)
+            .copied()
+            .unwrap_or(1u64 << self.bits);
+        if at <= self.starts[boundary - 1] || at >= right_end || at == self.starts[boundary] {
+            return None;
+        }
+        let mut starts = self.starts.clone();
+        starts[boundary] = at;
+        Some(Self {
+            bits: self.bits,
+            starts,
+        })
     }
 
     /// The inclusive range of shards whose spans overlap `iv`.
@@ -99,9 +206,10 @@ impl DomainPartition {
 
     /// Splits `iv` at shard boundaries into `(shard, piece)` pairs in
     /// ascending order. The pieces partition `iv` exactly, each lies inside
-    /// its shard's [`DomainPartition::span`], and — because spans are
-    /// dyadic-aligned — each piece's minimal dyadic cover stays inside that
-    /// span (no cover node crosses a shard boundary).
+    /// its shard's [`DomainPartition::span`], and — because every boundary
+    /// is maximally dyadic-aligned at its own level — each piece's minimal
+    /// dyadic cover stays inside that span (no cover node crosses a shard
+    /// boundary).
     pub fn split_interval(&self, iv: &Interval) -> Vec<(usize, Interval)> {
         let mut out = Vec::new();
         let mut cur = iv.lo();
@@ -132,30 +240,34 @@ mod tests {
     use crate::cover::{interval_cover, point_cover};
     use crate::node::DyadicDomain;
 
+    /// Shared structural check: spans are contiguous, disjoint, cover the
+    /// domain, sit on `slab_bits` multiples, and agree with `shard_of`.
+    fn assert_valid(p: &DomainPartition, label: &str) {
+        let size = 1u64 << p.bits();
+        let mut next = 0u64;
+        for s in 0..p.shards() {
+            let span = p.span(s);
+            assert_eq!(span.lo(), next, "{label} s={s}");
+            assert!(span.hi() >= span.lo());
+            // Dyadic alignment: both boundaries are slab multiples.
+            assert_eq!(span.lo() % (1 << p.slab_bits()), 0, "{label} s={s}");
+            assert_eq!((span.hi() + 1) % (1 << p.slab_bits()), 0, "{label} s={s}");
+            next = span.hi() + 1;
+        }
+        assert_eq!(next, size, "{label}");
+        for x in 0..size {
+            let s = p.shard_of(x);
+            assert!(p.span(s).contains(x), "{label} x={x}");
+        }
+    }
+
     #[test]
     fn spans_partition_the_domain() {
         for bits in [3u32, 8] {
-            let size = 1u64 << bits;
             for shards in 1..=9usize {
                 let p = DomainPartition::new(bits, shards);
                 assert!(p.shards() <= shards);
-                // Spans are contiguous, disjoint and cover [0, size).
-                let mut next = 0u64;
-                for s in 0..p.shards() {
-                    let span = p.span(s);
-                    assert_eq!(span.lo(), next, "bits={bits} shards={shards} s={s}");
-                    assert!(span.hi() >= span.lo());
-                    // Dyadic alignment: both boundaries are slab multiples.
-                    assert_eq!(span.lo() % (1 << p.slab_bits()), 0);
-                    assert_eq!((span.hi() + 1) % (1 << p.slab_bits()), 0);
-                    next = span.hi() + 1;
-                }
-                assert_eq!(next, size);
-                // shard_of agrees with span membership everywhere.
-                for x in 0..size {
-                    let s = p.shard_of(x);
-                    assert!(p.span(s).contains(x), "bits={bits} shards={shards} x={x}");
-                }
+                assert_valid(&p, &format!("bits={bits} shards={shards}"));
             }
         }
     }
@@ -244,5 +356,159 @@ mod tests {
         assert_eq!(p.span(0), Interval::new(0, 1023));
         assert_eq!(p.shard_of(517), 0);
         assert_eq!(p.split_interval(&Interval::new(5, 900)).len(), 1);
+    }
+
+    #[test]
+    fn boundaries_roundtrip_through_from_boundaries() {
+        for shards in [1usize, 3, 5, 8] {
+            let p = DomainPartition::new(8, shards);
+            let rebuilt = DomainPartition::from_boundaries(8, p.boundaries().to_vec())
+                .expect("own boundaries are valid");
+            assert_eq!(p, rebuilt);
+        }
+    }
+
+    #[test]
+    fn from_boundaries_rejects_invalid_lists() {
+        // Empty, wrong origin, unsorted, duplicate, out of domain.
+        assert!(DomainPartition::from_boundaries(8, vec![]).is_none());
+        assert!(DomainPartition::from_boundaries(8, vec![1, 64]).is_none());
+        assert!(DomainPartition::from_boundaries(8, vec![0, 64, 32]).is_none());
+        assert!(DomainPartition::from_boundaries(8, vec![0, 64, 64]).is_none());
+        assert!(DomainPartition::from_boundaries(8, vec![0, 256]).is_none());
+        assert!(DomainPartition::from_boundaries(63, vec![0]).is_none());
+    }
+
+    #[test]
+    fn split_at_validates_and_partitions() {
+        let p = DomainPartition::new(8, 2); // boundaries [0, 128]
+                                            // Split points must be strictly interior to the target span.
+        assert!(p.split_at(0, 0).is_none());
+        assert!(p.split_at(0, 128).is_none());
+        assert!(p.split_at(1, 100).is_none());
+        assert!(p.split_at(2, 10).is_none());
+
+        let q = p.split_at(0, 32).expect("interior split");
+        assert_eq!(q.shards(), 3);
+        assert_eq!(q.boundaries(), &[0, 32, 128]);
+        assert_eq!(q.span(0), Interval::new(0, 31));
+        assert_eq!(q.span(1), Interval::new(32, 127));
+        assert_valid(&q, "split_at(0, 32)");
+        // Original untouched (operators are persistent).
+        assert_eq!(p.shards(), 2);
+    }
+
+    #[test]
+    fn merge_at_reverses_split_at() {
+        let p = DomainPartition::new(8, 4);
+        let split = p.split_at(2, p.span(2).lo() + 1).unwrap();
+        let merged = split.merge_at(2).expect("merge children back");
+        assert_eq!(merged, p);
+        // The last shard has no right neighbour.
+        assert!(p.merge_at(3).is_none());
+        assert!(p.merge_at(4).is_none());
+        assert_valid(&p.merge_at(0).unwrap(), "merge_at(0)");
+    }
+
+    #[test]
+    fn move_boundary_shifts_load_between_neighbours() {
+        let p = DomainPartition::new(8, 2); // boundaries [0, 128]
+        let q = p.move_boundary(1, 96).expect("interior move");
+        assert_eq!(q.boundaries(), &[0, 96]);
+        assert_eq!(q.shard_of(97), 1);
+        assert_valid(&q, "move_boundary(1, 96)");
+        // Boundary 0 is pinned at the origin; moves must keep both
+        // neighbours non-empty.
+        assert!(p.move_boundary(0, 64).is_none());
+        assert!(p.move_boundary(2, 64).is_none());
+        assert!(p.move_boundary(1, 0).is_none());
+        assert!(p.move_boundary(1, 255).is_some());
+        assert!(q.move_boundary(1, 96).is_none()); // no-op move is rejected
+    }
+
+    #[test]
+    fn slab_bits_tracks_finest_boundary() {
+        let p = DomainPartition::new(8, 1);
+        assert_eq!(p.slab_bits(), 8);
+        let halves = p.split_at(0, 128).unwrap();
+        assert_eq!(halves.slab_bits(), 7);
+        let fine = halves.split_at(0, 3).unwrap();
+        assert_eq!(fine.slab_bits(), 0);
+        // Merging the fine boundary away restores the coarse level.
+        assert_eq!(fine.merge_at(0).unwrap().slab_bits(), 7);
+        assert_eq!(fine.merge_at(1).unwrap().slab_bits(), 0);
+    }
+
+    #[test]
+    fn split_interval_handles_degenerate_single_slab_shards() {
+        // Satellite: shards one coordinate wide. Build [0,1), [1,2), [2,8).
+        let p = DomainPartition::new(3, 1)
+            .split_at(0, 1)
+            .unwrap()
+            .split_at(1, 2)
+            .unwrap();
+        assert_eq!(p.span(0), Interval::new(0, 0));
+        assert_eq!(p.span(1), Interval::new(1, 1));
+        assert_eq!(p.slab_bits(), 0);
+        assert_valid(&p, "single-slab shards");
+
+        let pieces = p.split_interval(&Interval::new(0, 7));
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0], (0, Interval::new(0, 0)));
+        assert_eq!(pieces[1], (1, Interval::new(1, 1)));
+        assert_eq!(pieces[2], (2, Interval::new(2, 7)));
+        // A one-coordinate query inside a one-coordinate shard.
+        assert_eq!(
+            p.split_interval(&Interval::new(1, 1)),
+            vec![(1, Interval::new(1, 1))]
+        );
+        // Covers of degenerate pieces are single leaves — trivially inside.
+        let d = DyadicDomain::new(3);
+        for (_, piece) in p.split_interval(&Interval::new(0, 7)) {
+            for id in interval_cover(&d, &piece, 3) {
+                assert!(p.node_within_one_shard(&d, id));
+            }
+        }
+    }
+
+    #[test]
+    fn split_interval_at_dyadic_block_edges() {
+        // Satellite: boundaries sitting exactly on dyadic block edges at
+        // several levels, and queries whose endpoints touch them.
+        let d = DyadicDomain::new(6);
+        let p = DomainPartition::new(6, 1)
+            .split_at(0, 32) // level-5 edge
+            .unwrap()
+            .split_at(0, 16) // level-4 edge
+            .unwrap()
+            .split_at(2, 48) // level-4 edge in the right half
+            .unwrap();
+        assert_eq!(p.boundaries(), &[0, 16, 32, 48]);
+        assert_valid(&p, "dyadic block edges");
+        for (lo, hi) in [
+            (0u64, 63u64),
+            (15, 16), // straddles the finest boundary
+            (16, 31), // exactly one shard's span
+            (31, 48), // touches two boundaries
+            (0, 32),
+            (47, 48),
+        ] {
+            let iv = Interval::new(lo, hi);
+            let mut next = lo;
+            for (s, piece) in p.split_interval(&iv) {
+                assert_eq!(piece.lo(), next);
+                assert!(p.span(s).contains_interval(&piece));
+                for id in interval_cover(&d, &piece, 6) {
+                    assert!(
+                        p.node_within_one_shard(&d, id),
+                        "piece=[{},{}] node {id}",
+                        piece.lo(),
+                        piece.hi()
+                    );
+                }
+                next = piece.hi() + 1;
+            }
+            assert_eq!(next, hi + 1);
+        }
     }
 }

@@ -117,6 +117,9 @@ fn assert_wire_matches(want: &Estimate, got: &WireReply, label: &str) {
         WireReply::Error { code, message } => {
             panic!("{label}: expected an estimate, got {code:?}: {message}")
         }
+        WireReply::Partial { .. } => {
+            panic!("{label}: expected a boosted estimate, got a partial grid")
+        }
     }
 }
 
@@ -284,6 +287,9 @@ fn main() {
                             }
                             WireReply::Error { code, message } => {
                                 panic!("client {t} mid-churn error {code:?}: {message}")
+                            }
+                            WireReply::Partial { .. } => {
+                                panic!("client {t} got a partial grid for a boosted query")
                             }
                         }
                     }

@@ -4,9 +4,9 @@
 //! kernel (`SKETCH_KERNEL=batched|wide|wide512`).
 //!
 //! Usage: cargo run --release -p spatial-serve --bin serve_soak --
-//!          [--iters N] [--shards N] [--seed N] [--readers N]
+//!          [--iters N] [--shards N] [--seed N] [--readers N] [--rebalance N]
 //!
-//! Two phases:
+//! Three phases:
 //!
 //! 1. **Differential soak** — each round ingests a batch (inserts plus
 //!    deletes of earlier objects) into a sharded range store, two sharded
@@ -16,6 +16,14 @@
 //!    the main thread keeps swapping epochs in; estimates must stay finite
 //!    and, once quiescent, converge to the oracle bitwise from every pooled
 //!    context.
+//! 3. **Rebalance soak** (`--rebalance N` rounds, default 6; 0 disables) —
+//!    each round ingests a fresh batch, then applies an online topology op
+//!    chosen from the store's own load report (split the hottest shard /
+//!    move a boundary / merge the coldest neighbours, log-replay rebuilds),
+//!    then re-asserts bit-identity against the oracle; a final burst runs
+//!    the full op storm *under* concurrent readers, whose every answer must
+//!    bit-match the oracle — a query may never observe a half-rebalanced
+//!    topology.
 //!
 //! Everything is seeded; a nonzero exit (assert) means a real router bug.
 
@@ -25,7 +33,7 @@ use rand::{Rng, SeedableRng};
 use serve::{ContextPool, QueryRouter, ShardedStore, WorkerContext};
 use sketch::estimators::joins::{EndpointStrategy, SpatialJoin};
 use sketch::estimators::SketchConfig;
-use sketch::{Estimate, QueryContext, RangeQuery, RangeStrategy};
+use sketch::{Estimate, LogRetention, QueryContext, RangeQuery, RangeStrategy};
 
 const BITS: u32 = 8;
 
@@ -34,6 +42,7 @@ struct Args {
     shards: usize,
     seed: u64,
     readers: usize,
+    rebalance: usize,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +51,7 @@ fn parse_args() -> Args {
         shards: 3,
         seed: 7,
         readers: 2,
+        rebalance: 6,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,8 +66,9 @@ fn parse_args() -> Args {
             "--shards" => args.shards = (parsed as usize).max(1),
             "--seed" => args.seed = parsed,
             "--readers" => args.readers = (parsed as usize).max(1),
+            "--rebalance" => args.rebalance = parsed as usize,
             other => die(&format!(
-                "unknown flag `{other}` (supported: --iters --shards --seed --readers)"
+                "unknown flag `{other}` (supported: --iters --shards --seed --readers --rebalance)"
             )),
         }
     }
@@ -115,7 +126,10 @@ fn main() {
         [BITS, BITS],
         EndpointStrategy::Transform,
     );
-    let range_store = ShardedStore::like(&rq.new_sketch(), args.shards);
+    // A full update log so the rebalance phase can log-replay shard
+    // rebuilds; memory stays bounded by the soak's own batch count.
+    let range_store =
+        ShardedStore::like(&rq.new_sketch(), args.shards).with_log(LogRetention::Full);
     let r_store = ShardedStore::like(&join.new_sketch_r(), args.shards);
     let s_store = ShardedStore::like(&join.new_sketch_s(), args.shards);
     let mut range_oracle = rq.new_sketch();
@@ -212,11 +226,110 @@ fn main() {
         checks += 1;
     }
 
+    // Phase 3: rebalance soak — online topology churn with bit-match
+    // assertions after every op, then an op storm under concurrent readers.
+    let mut topo_ops = 0u64;
+    for round in 0..args.rebalance {
+        let batch = rand_rects(&mut rng, 20);
+        range_store.insert_slice(&batch).unwrap();
+        range_oracle.insert_slice(&batch).unwrap();
+        live.extend_from_slice(&batch);
+
+        // Steer by the store's own load report, like a rebalancer would:
+        // grow while below 2× the starting width, then shrink back.
+        let report = range_store.load_report();
+        let grow = range_store.shard_count() < (args.shards * 2).max(2);
+        if grow {
+            if round % 3 == 2 {
+                // An occasional boundary move at a deliberately odd offset.
+                let spans: Vec<_> = report.shards().iter().map(|s| s.span).collect();
+                let b = 1 + round % (spans.len() - 1);
+                let at = spans[b - 1].lo() + (spans[b].hi() - spans[b - 1].lo()) / 2 + 1;
+                if range_store.move_shard_boundary(b, at).is_ok() {
+                    topo_ops += 1;
+                }
+            } else if let Some((shard, at)) = report.split_candidate() {
+                range_store.split_shard(shard, at).unwrap();
+                topo_ops += 1;
+            }
+        } else if let Some(left) = report.merge_candidate() {
+            range_store.merge_shards(left).unwrap();
+            topo_ops += 1;
+        }
+
+        for qi in 0..3 {
+            let label = format!("rebalance round {round} query {qi}");
+            let q = rand_rects(&mut rng, 1)[0];
+            let got = router
+                .estimate_range(&rq, &range_store, &mut ctx, &q)
+                .unwrap();
+            let want = rq.estimate_with(&mut octx, &range_oracle, &q).unwrap();
+            assert_bit_identical(&want, &got, &label);
+            checks += 1;
+        }
+        let anchor = live[rng.gen_range(0..live.len())];
+        let p = [anchor.range(0).lo(), anchor.range(1).lo()];
+        let got = router
+            .estimate_stab(&rq, &range_store, &mut ctx, &p)
+            .unwrap();
+        let want = rq.estimate_stab_with(&mut octx, &range_oracle, &p).unwrap();
+        assert_bit_identical(&want, &got, &format!("rebalance round {round} stab"));
+        checks += 1;
+    }
+    if args.rebalance > 0 {
+        // Data held constant: every concurrent answer must bit-match the
+        // one oracle no matter which epoch the reader catches mid-storm.
+        let queries = rand_rects(&mut rng, 6);
+        let wants: Vec<Estimate> = queries
+            .iter()
+            .map(|q| rq.estimate_with(&mut octx, &range_oracle, q).unwrap())
+            .collect();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let racing_checks = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..args.readers {
+                let (pool, router, rq, store) = (&pool, &router, &rq, &range_store);
+                let (queries, wants, stop, racing) = (&queries, &wants, &stop, &racing_checks);
+                scope.spawn(move || {
+                    let mut i = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let qi = (t + i) % queries.len();
+                        let got = pool
+                            .with(|c| router.estimate_range(rq, store, c, &queries[qi]))
+                            .unwrap();
+                        assert_bit_identical(
+                            &wants[qi],
+                            &got,
+                            &format!("mid-rebalance reader {t} pass {i}"),
+                        );
+                        racing.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..args.rebalance {
+                let report = range_store.load_report();
+                if range_store.shard_count() > 2 {
+                    if let Some(left) = report.merge_candidate() {
+                        range_store.merge_shards(left).unwrap();
+                        topo_ops += 1;
+                    }
+                } else if let Some((shard, at)) = report.split_candidate() {
+                    range_store.split_shard(shard, at).unwrap();
+                    topo_ops += 1;
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        checks += racing_checks.load(std::sync::atomic::Ordering::Relaxed);
+    }
+
     let epoch = range_store.load();
     println!(
-        "serve-smoke OK: {} rounds, {} bit-match checks, {} shards, final epoch {}, {} net objects",
+        "serve-smoke OK: {} rounds, {} bit-match checks, {} topology ops, {} shards, final epoch {}, {} net objects",
         args.iters,
         checks,
+        topo_ops,
         range_store.shard_count(),
         epoch.epoch(),
         epoch.total_len()

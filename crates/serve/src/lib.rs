@@ -29,6 +29,25 @@
 //! passes, bounded-queue backpressure with load shedding, and graceful
 //! drain — see `DESIGN.md` § "Network front-end".
 //!
+//! On top of those, the elastic layer (`DESIGN.md` § "Elastic sharding"):
+//!
+//! * [`rebalance`] — hot-shard detection ([`ShardLoadReport`]) and online
+//!   topology changes ([`store::ShardedStore::split_shard`] /
+//!   [`store::ShardedStore::merge_shards`] /
+//!   [`store::ShardedStore::move_shard_boundary`]): affected shards are
+//!   rebuilt by replaying the store's update journal through the new
+//!   partition and published as one atomic epoch swap — ingest pauses for
+//!   the rebuild, queries never do, and answers stay bit-identical to an
+//!   unsharded oracle throughout.
+//! * [`replica`] — snapshot-based replicas ([`Replica`]): restore a
+//!   [`StoreSnapshot`] against the shared schema, tail the primary's
+//!   bounded journal to catch up, and serve bit-identical answers after a
+//!   [`ReplicaSet`] failover.
+//! * [`cluster`] — a scatter-gather [`ClusterRouter`] fronting remote
+//!   store nodes over [`net`]: nodes return pre-boost
+//!   [`sketch::PartialEstimate`] grids, merged in fixed node order and
+//!   boosted once at the router, with per-node replica-address failover.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -59,14 +78,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod context;
 pub mod net;
+pub mod rebalance;
+pub mod replica;
 pub mod router;
 pub mod shard;
 pub mod store;
 
+pub use cluster::{ClusterError, ClusterNode, ClusterRouter, NodeHealth};
 pub use context::{ContextPool, WorkerContext};
 pub use net::{ClientConfig, ServeConfig, ServeStats, ServerHandle, SketchClient, SketchService};
+pub use rebalance::{RebalanceError, ShardLoad, ShardLoadReport};
+pub use replica::{Replica, ReplicaSet, ReplicaState};
 pub use router::{QueryRouter, RouterMode};
 pub use shard::SketchShard;
 pub use store::{ShardedStore, StoreEpoch, StoreSnapshot};

@@ -283,3 +283,22 @@ pub fn stab_query<const D: usize>(store: u32, p: &Point<D>) -> WireQuery {
         point: p.to_vec(),
     }
 }
+
+/// The wire form of a partial-estimate range query against store `store` —
+/// answered with an unboosted [`super::codec::WireReply::Partial`] grid for
+/// a gatherer to merge (see [`crate::cluster`]).
+pub fn range_partial_query<const D: usize>(store: u32, q: &HyperRect<D>) -> WireQuery {
+    WireQuery::RangePartial {
+        store,
+        ranges: (0..D).map(|d| (q.range(d).lo(), q.range(d).hi())).collect(),
+    }
+}
+
+/// The wire form of a partial-estimate stabbing query at `p` against store
+/// `store`.
+pub fn stab_partial_query<const D: usize>(store: u32, p: &Point<D>) -> WireQuery {
+    WireQuery::StabPartial {
+        store,
+        point: p.to_vec(),
+    }
+}

@@ -45,8 +45,10 @@ pub const MAGIC: u16 = 0x4B53;
 
 /// Protocol version carried by every frame; peers reject mismatches
 /// rather than misinterpreting payload bytes. Version 2 added the
-/// `frame id` header field (pipelined out-of-order replies).
-pub const VERSION: u8 = 2;
+/// `frame id` header field (pipelined out-of-order replies); version 3
+/// added the partial-estimate query kinds and reply (the scatter-gather
+/// distributed query path).
+pub const VERSION: u8 = 3;
 
 /// Bytes in a frame header: magic, version, opcode, frame id, payload len.
 pub const HEADER_LEN: usize = 12;
@@ -58,6 +60,11 @@ pub const MAX_PAYLOAD: usize = 1 << 20;
 /// Most queries a single batch frame may carry; bounds the work one frame
 /// can enqueue (admission control still applies per query).
 pub const MAX_BATCH: usize = 4096;
+
+/// Most atomic-estimate entries a partial-estimate reply may declare
+/// (`k1 · k2`); 1 MiB of `f64`s, matching [`MAX_PAYLOAD`] — a hostile
+/// shape field must not drive a huge allocation before the length check.
+pub const MAX_PARTIAL_GRID: usize = 1 << 17;
 
 /// Frame kinds. Requests flow client → server, replies server → client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,12 +125,32 @@ pub enum WireQuery {
     /// configured with fault injection enabled (soak tests / CI); answered
     /// with [`WireErrorCode::BadRequest`] otherwise.
     FaultPanic,
+    /// Like [`WireQuery::Range`], but answered with the **unboosted**
+    /// partial grid ([`WireReply::Partial`]) instead of a finished
+    /// estimate — the mergeable form a cluster router gathers from shard
+    /// owners (see [`crate::cluster`]).
+    RangePartial {
+        /// Index of the target store in the service's store table.
+        store: u32,
+        /// Per-dimension `(lo, hi)` bounds of the query rectangle.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Like [`WireQuery::Stab`], but answered with the unboosted partial
+    /// grid.
+    StabPartial {
+        /// Index of the target store in the service's store table.
+        store: u32,
+        /// The stabbing point, one coordinate per dimension.
+        point: Vec<u64>,
+    },
 }
 
 const QUERY_RANGE: u8 = 0;
 const QUERY_STAB: u8 = 1;
 const QUERY_JOIN: u8 = 2;
 const QUERY_FAULT_PANIC: u8 = 3;
+const QUERY_RANGE_PARTIAL: u8 = 4;
+const QUERY_STAB_PARTIAL: u8 = 5;
 
 /// One per-query reply. `Estimate` carries the boosted value *and* every
 /// row mean, bit-exact (f64 bit patterns travel as `u64`), so a networked
@@ -146,9 +173,22 @@ pub enum WireReply {
         /// stability contract).
         message: String,
     },
+    /// An unboosted partial-estimate grid (the answer to
+    /// [`WireQuery::RangePartial`] / [`WireQuery::StabPartial`]): the
+    /// boosting-grid shape plus `k1 · k2` instance-major atomic estimates,
+    /// bit-exact. The gatherer merges grids instance-wise and boosts once.
+    Partial {
+        /// Boosting-grid columns (means per row).
+        k1: u16,
+        /// Boosting-grid rows (the median is over `k2` row means).
+        k2: u16,
+        /// The atomic grid, instance-major, `k1 · k2` entries.
+        atomic: Vec<f64>,
+    },
 }
 
 const REPLY_ESTIMATE: u8 = 0;
+const REPLY_PARTIAL: u8 = 0x10;
 
 /// Machine-readable per-query failure classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,6 +318,23 @@ pub fn encode_queries(queries: &[WireQuery]) -> Vec<u8> {
                 out.extend_from_slice(&s_store.to_le_bytes());
             }
             WireQuery::FaultPanic => out.push(QUERY_FAULT_PANIC),
+            WireQuery::RangePartial { store, ranges } => {
+                out.push(QUERY_RANGE_PARTIAL);
+                out.extend_from_slice(&store.to_le_bytes());
+                out.push(ranges.len() as u8);
+                for &(lo, hi) in ranges {
+                    out.extend_from_slice(&lo.to_le_bytes());
+                    out.extend_from_slice(&hi.to_le_bytes());
+                }
+            }
+            WireQuery::StabPartial { store, point } => {
+                out.push(QUERY_STAB_PARTIAL);
+                out.extend_from_slice(&store.to_le_bytes());
+                out.push(point.len() as u8);
+                for &c in point {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
         }
     }
     out
@@ -316,6 +373,24 @@ pub fn decode_queries(payload: &[u8]) -> Result<Vec<WireQuery>, WireError> {
                 s_store: r.u32()?,
             },
             QUERY_FAULT_PANIC => WireQuery::FaultPanic,
+            QUERY_RANGE_PARTIAL => {
+                let store = r.u32()?;
+                let dims = r.u8()? as usize;
+                let mut ranges = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    ranges.push((r.u64()?, r.u64()?));
+                }
+                WireQuery::RangePartial { store, ranges }
+            }
+            QUERY_STAB_PARTIAL => {
+                let store = r.u32()?;
+                let dims = r.u8()? as usize;
+                let mut point = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    point.push(r.u64()?);
+                }
+                WireQuery::StabPartial { store, point }
+            }
             other => return Err(WireError::BadQueryKind(other)),
         });
     }
@@ -345,6 +420,19 @@ pub fn encode_replies(replies: &[WireReply]) -> Vec<u8> {
                 out.extend_from_slice(&(len as u16).to_le_bytes());
                 out.extend_from_slice(&bytes[..len]);
             }
+            WireReply::Partial { k1, k2, atomic } => {
+                assert_eq!(
+                    atomic.len(),
+                    *k1 as usize * *k2 as usize,
+                    "partial grid length must match its k1 x k2 shape"
+                );
+                out.push(REPLY_PARTIAL);
+                out.extend_from_slice(&k1.to_le_bytes());
+                out.extend_from_slice(&k2.to_le_bytes());
+                for &a in atomic {
+                    out.extend_from_slice(&a.to_bits().to_le_bytes());
+                }
+            }
         }
     }
     out
@@ -368,6 +456,19 @@ pub fn decode_replies(payload: &[u8]) -> Result<Vec<WireReply>, WireError> {
                     row_means.push(f64::from_bits(r.u64()?));
                 }
                 WireReply::Estimate { value, row_means }
+            }
+            REPLY_PARTIAL => {
+                let k1 = r.u16()?;
+                let k2 = r.u16()?;
+                let grid = k1 as usize * k2 as usize;
+                if grid > MAX_PARTIAL_GRID {
+                    return Err(WireError::Oversize(grid));
+                }
+                let mut atomic = Vec::with_capacity(grid);
+                for _ in 0..grid {
+                    atomic.push(f64::from_bits(r.u64()?));
+                }
+                WireReply::Partial { k1, k2, atomic }
             }
             status => {
                 let code = WireErrorCode::from_u8(status)?;
@@ -435,7 +536,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn rand_query(rng: &mut StdRng) -> WireQuery {
-        match rng.gen_range(0..4u32) {
+        match rng.gen_range(0..6u32) {
             0 => WireQuery::Range {
                 store: rng.gen_range(0..9u32),
                 ranges: (0..rng.gen_range(1..=4usize))
@@ -455,29 +556,56 @@ mod tests {
                 r_store: rng.gen_range(0..9u32),
                 s_store: rng.gen_range(0..9u32),
             },
-            _ => WireQuery::FaultPanic,
+            3 => WireQuery::FaultPanic,
+            4 => WireQuery::RangePartial {
+                store: rng.gen_range(0..9u32),
+                ranges: (0..rng.gen_range(1..=4usize))
+                    .map(|_| {
+                        let lo = rng.gen_range(0..u64::MAX / 2);
+                        (lo, lo + rng.gen_range(0..1000u64))
+                    })
+                    .collect(),
+            },
+            _ => WireQuery::StabPartial {
+                store: rng.gen_range(0..9u32),
+                point: (0..rng.gen_range(1..=4usize))
+                    .map(|_| rng.gen_range(0..u64::MAX))
+                    .collect(),
+            },
         }
     }
 
     fn rand_reply(rng: &mut StdRng) -> WireReply {
-        if rng.gen_range(0..3u32) > 0 {
-            WireReply::Estimate {
+        match rng.gen_range(0..4u32) {
+            0 | 1 => WireReply::Estimate {
                 value: f64::from_bits(rng.gen_range(0..u64::MAX)),
                 row_means: (0..rng.gen_range(0..6usize))
                     .map(|_| rng.gen_range(0..1u64 << 52) as f64 * 0.5)
                     .collect(),
+            },
+            2 => {
+                let k1 = rng.gen_range(1..=6u16);
+                let k2 = rng.gen_range(1..=6u16);
+                WireReply::Partial {
+                    k1,
+                    k2,
+                    atomic: (0..k1 as usize * k2 as usize)
+                        .map(|_| f64::from_bits(rng.gen_range(0..u64::MAX)))
+                        .collect(),
+                }
             }
-        } else {
-            let code = match rng.gen_range(1..=4u8) {
-                1 => WireErrorCode::Overloaded,
-                2 => WireErrorCode::BadRequest,
-                3 => WireErrorCode::Estimate,
-                _ => WireErrorCode::Internal,
-            };
-            let len = rng.gen_range(0..40usize);
-            WireReply::Error {
-                code,
-                message: "shard fault: 早め".chars().cycle().take(len).collect(),
+            _ => {
+                let code = match rng.gen_range(1..=4u8) {
+                    1 => WireErrorCode::Overloaded,
+                    2 => WireErrorCode::BadRequest,
+                    3 => WireErrorCode::Estimate,
+                    _ => WireErrorCode::Internal,
+                };
+                let len = rng.gen_range(0..40usize);
+                WireReply::Error {
+                    code,
+                    message: "shard fault: 早め".chars().cycle().take(len).collect(),
+                }
             }
         }
     }
@@ -518,6 +646,24 @@ mod tests {
                         assert_eq!(va.to_bits(), vb.to_bits(), "round {round}");
                         assert_eq!(ra.len(), rb.len());
                         for (x, y) in ra.iter().zip(rb.iter()) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "round {round}");
+                        }
+                    }
+                    (
+                        WireReply::Partial {
+                            k1: ka,
+                            k2: kb,
+                            atomic: aa,
+                        },
+                        WireReply::Partial {
+                            k1: kc,
+                            k2: kd,
+                            atomic: ab,
+                        },
+                    ) => {
+                        assert_eq!((ka, kb), (kc, kd), "round {round}");
+                        assert_eq!(aa.len(), ab.len());
+                        for (x, y) in aa.iter().zip(ab.iter()) {
                             assert_eq!(x.to_bits(), y.to_bits(), "round {round}");
                         }
                     }

@@ -39,6 +39,9 @@ pub mod codec;
 pub mod io;
 pub mod server;
 
-pub use client::{range_query, stab_query, ClientConfig, SketchClient, Ticket};
+pub use client::{
+    range_partial_query, range_query, stab_partial_query, stab_query, ClientConfig, SketchClient,
+    Ticket,
+};
 pub use codec::{WireError, WireErrorCode, WireQuery, WireReply};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle, SketchService};

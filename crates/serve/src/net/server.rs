@@ -282,6 +282,28 @@ impl<const D: usize> SketchService<D> {
                 }
                 bad_request("fault injection is disabled on this server".into())
             }
+            WireQuery::RangePartial { store, ranges } => {
+                let store = match self.store(*store) {
+                    Ok(s) => s,
+                    Err(reply) => return reply,
+                };
+                let Some(rect) = rect_of::<D>(ranges) else {
+                    return bad_request(format!(
+                        "range query needs {D} non-inverted (lo, hi) pairs"
+                    ));
+                };
+                partial_reply(self.router.partial_range(&self.range, store, ctx, &rect))
+            }
+            WireQuery::StabPartial { store, point } => {
+                let store = match self.store(*store) {
+                    Ok(s) => s,
+                    Err(reply) => return reply,
+                };
+                let Ok(p) = <[u64; D]>::try_from(point.as_slice()) else {
+                    return bad_request(format!("stab query needs {D} coordinates"));
+                };
+                partial_reply(self.router.partial_stab(&self.range, store, ctx, &p))
+            }
         }
     }
 
@@ -352,7 +374,8 @@ impl<const D: usize> SketchService<D> {
                     };
                     push(*store, slot, sketch::BatchQuery::Stab(p));
                 }
-                // Joins and fault injection keep their per-query path.
+                // Joins, partial-estimate queries and fault injection keep
+                // their per-query path.
                 _ => replies[slot] = Some(self.answer(ctx, query, fault_injection)),
             }
         }
@@ -398,6 +421,29 @@ fn estimate_reply(result: sketch::Result<sketch::Estimate>) -> WireReply {
             value: est.value,
             row_means: est.row_means,
         },
+        Err(e) => WireReply::Error {
+            code: WireErrorCode::Estimate,
+            message: e.to_string(),
+        },
+    }
+}
+
+fn partial_reply(result: sketch::Result<sketch::PartialEstimate>) -> WireReply {
+    match result {
+        Ok(partial) => {
+            let shape = partial.shape();
+            if shape.k1 > u16::MAX as usize || shape.k2 > u16::MAX as usize {
+                return WireReply::Error {
+                    code: WireErrorCode::Internal,
+                    message: "boosting shape exceeds the wire's u16 grid bounds".into(),
+                };
+            }
+            WireReply::Partial {
+                k1: shape.k1 as u16,
+                k2: shape.k2 as u16,
+                atomic: partial.atomic().to_vec(),
+            }
+        }
         Err(e) => WireReply::Error {
             code: WireErrorCode::Estimate,
             message: e.to_string(),

@@ -35,7 +35,7 @@ use crate::context::{view_of, WorkerContext};
 use crate::store::{ShardedStore, StoreEpoch};
 use geometry::{HyperRect, Point};
 use sketch::estimators::joins::SpatialJoin;
-use sketch::{BatchQuery, Estimate, RangeQuery, Result, SketchSet};
+use sketch::{BatchQuery, Estimate, PartialEstimate, RangeQuery, Result, SketchSet};
 
 /// How the router selects the shards a query merges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,6 +116,13 @@ impl QueryRouter {
 
     /// Fills `mask` with the shard selection (cleared first), so warm
     /// serving paths reuse one buffer instead of allocating per query.
+    ///
+    /// Each selected shard's query tally is bumped here — the read-side
+    /// half of [`crate::rebalance::ShardLoadReport`]. Tallies count
+    /// selection passes, so an exact-mode batch (one pass for the whole
+    /// batch) counts once per selected shard, and diagnostics through
+    /// [`QueryRouter::selection`] count too — load telemetry, not an exact
+    /// query ledger.
     fn selection_into<const D: usize>(
         &self,
         epoch: &StoreEpoch<D>,
@@ -127,10 +134,14 @@ impl QueryRouter {
             if s.is_untouched() {
                 return false;
             }
-            match (self.mode, q) {
+            let selected = match (self.mode, q) {
                 (RouterMode::Exact, _) | (RouterMode::Pruned, None) => true,
                 (RouterMode::Pruned, Some(q)) => s.covers(q),
+            };
+            if selected {
+                s.record_query();
             }
+            selected
         }));
     }
 
@@ -257,6 +268,42 @@ impl QueryRouter {
                     .collect()
             }
         }
+    }
+
+    /// Routes a range-selectivity estimate but stops **before boosting**,
+    /// returning the shard-merged partial grid — the mergeable form a
+    /// distributed scatter-gather path ships from a store node to its
+    /// router (see [`crate::cluster`]). Boosting the result of a single
+    /// node's partial is bit-identical to [`QueryRouter::estimate_range`];
+    /// merging partials from *several* nodes is deterministic in a fixed
+    /// merge order but sums in `f64`, so it is unbiased rather than
+    /// bit-identical to a one-node counter merge (see
+    /// [`PartialEstimate`]'s merge rules).
+    pub fn partial_range<const D: usize>(
+        &self,
+        rq: &RangeQuery<D>,
+        store: &ShardedStore<D>,
+        ctx: &mut WorkerContext<D>,
+        q: &HyperRect<D>,
+    ) -> Result<PartialEstimate> {
+        self.route(store, ctx, Some(q))?;
+        let (query, views) = ctx.split();
+        rq.estimate_partial_with(query, view_of(views, store.id()), q)
+    }
+
+    /// Routes a stabbing-count estimate, unboosted — the stabbing
+    /// counterpart of [`QueryRouter::partial_range`].
+    pub fn partial_stab<const D: usize>(
+        &self,
+        rq: &RangeQuery<D>,
+        store: &ShardedStore<D>,
+        ctx: &mut WorkerContext<D>,
+        p: &Point<D>,
+    ) -> Result<PartialEstimate> {
+        let footprint = HyperRect::from_point(*p);
+        self.route(store, ctx, Some(&footprint))?;
+        let (query, views) = ctx.split();
+        rq.estimate_stab_partial_with(query, view_of(views, store.id()), p)
     }
 
     /// Routes a spatial-join estimate over two sharded stores sharing the
@@ -459,6 +506,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn boosted_partials_bit_match_direct_estimates() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(13, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let store = ShardedStore::like(&rq.new_sketch(), 3);
+        store.insert_slice(&rects(60, 32, 255)).unwrap();
+        let router = QueryRouter::new();
+        let mut ctx = WorkerContext::new();
+        let q = rect2(20, 180, 5, 200);
+        // One node's partial, boosted, IS the direct estimate: the partial
+        // stops just short of the final (deterministic) boosting step.
+        let partial = router.partial_range(&rq, &store, &mut ctx, &q).unwrap();
+        let direct = router.estimate_range(&rq, &store, &mut ctx, &q).unwrap();
+        assert_eq!(partial.boost().value.to_bits(), direct.value.to_bits());
+        assert_eq!(partial.boost().row_means, direct.row_means);
+        let p = [30u64, 40u64];
+        let partial = router.partial_stab(&rq, &store, &mut ctx, &p).unwrap();
+        let direct = router.estimate_stab(&rq, &store, &mut ctx, &p).unwrap();
+        assert_eq!(partial.boost().value.to_bits(), direct.value.to_bits());
+    }
+
+    #[test]
+    fn selection_tallies_queries_per_shard() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let rq = RangeQuery::<2>::new(
+            &mut rng,
+            SketchConfig::new(5, 3),
+            [8, 8],
+            RangeStrategy::Transform,
+        );
+        let store = ShardedStore::like(&rq.new_sketch(), 2);
+        store.insert_slice(&rects(20, 34, 255)).unwrap();
+        let router = QueryRouter::new();
+        let mut ctx = WorkerContext::new();
+        let before: u64 = store.load().shards().iter().map(|s| s.queries()).sum();
+        router
+            .estimate_range(&rq, &store, &mut ctx, &rect2(0, 255, 0, 255))
+            .unwrap();
+        let after: u64 = store.load().shards().iter().map(|s| s.queries()).sum();
+        assert_eq!(after - before, 2, "both touched shards tallied once");
     }
 
     #[test]

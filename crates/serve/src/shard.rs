@@ -4,6 +4,7 @@
 
 use geometry::{HyperRect, Interval};
 use sketch::{Result, SketchSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One shard: a sketch set summarizing the objects routed to this shard's
 /// partition region, and a monotone coverage bounding box.
@@ -11,8 +12,9 @@ use sketch::{Result, SketchSet};
 /// Shards are immutable once published (ingest clones the affected shard,
 /// updates the clone — the *staging* shard — and swaps it into a new store
 /// epoch), so readers can hold a shard across an entire query without any
-/// lock.
-#[derive(Debug, Clone)]
+/// lock. The one exception is the query tally, a relaxed atomic the router
+/// bumps on the read path — load telemetry, not shard state.
+#[derive(Debug)]
 pub struct SketchShard<const D: usize> {
     sketch: SketchSet<D>,
     /// Bounding box of every object ever referenced by an update, in data
@@ -24,6 +26,21 @@ pub struct SketchShard<const D: usize> {
     /// all-zero counters, which is the only *exact* skip condition: a net
     /// length of zero can hide nonzero counters (insert A, delete B).
     updates: u64,
+    /// Queries the router selected this shard for — the read-side half of
+    /// the load report feeding rebalance decisions. Relaxed: a tally, not
+    /// a synchronization point.
+    queries: AtomicU64,
+}
+
+impl<const D: usize> Clone for SketchShard<D> {
+    fn clone(&self) -> Self {
+        Self {
+            sketch: self.sketch.clone(),
+            coverage: self.coverage,
+            updates: self.updates,
+            queries: AtomicU64::new(self.queries.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<const D: usize> SketchShard<D> {
@@ -33,6 +50,7 @@ impl<const D: usize> SketchShard<D> {
             sketch,
             coverage: None,
             updates: 0,
+            queries: AtomicU64::new(0),
         }
     }
 
@@ -49,6 +67,19 @@ impl<const D: usize> SketchShard<D> {
     /// Gross updates applied to this shard.
     pub fn updates(&self) -> u64 {
         self.updates
+    }
+
+    /// Queries the router has selected this shard for, across every epoch
+    /// this shard has been carried through (ingest clones preserve the
+    /// tally). Counts selection-pass decisions: in exact batch mode a whole
+    /// batch routed in one pass bumps each selected shard once.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the query tally (router read path; relaxed — telemetry only).
+    pub(crate) fn record_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether no update ever touched this shard. Untouched shards have
@@ -76,7 +107,8 @@ impl<const D: usize> SketchShard<D> {
         Ok(())
     }
 
-    /// Restores the bookkeeping of a snapshotted shard.
+    /// Restores the bookkeeping of a snapshotted shard (the query tally is
+    /// process-local telemetry and starts fresh).
     pub(crate) fn with_restored_meta(
         sketch: SketchSet<D>,
         coverage: Option<HyperRect<D>>,
@@ -86,7 +118,32 @@ impl<const D: usize> SketchShard<D> {
             sketch,
             coverage,
             updates,
+            queries: AtomicU64::new(0),
         }
+    }
+
+    /// The shard owning both inputs' objects: counters merged linearly,
+    /// coverage boxes unioned, update and query tallies summed. The
+    /// counter merge is exact (sketches are linear), so a rebalancer can
+    /// fuse two neighbouring shards without touching the update log.
+    pub(crate) fn merged_with(&self, other: &Self) -> Result<Self> {
+        let mut sketch = self.sketch.clone();
+        sketch.merge_from(&other.sketch)?;
+        let coverage = match (self.coverage, other.coverage) {
+            (None, c) | (c, None) => c,
+            (Some(a), Some(b)) => Some(HyperRect::new(std::array::from_fn(|d| {
+                Interval::new(
+                    a.range(d).lo().min(b.range(d).lo()),
+                    a.range(d).hi().max(b.range(d).hi()),
+                )
+            }))),
+        };
+        Ok(Self {
+            sketch,
+            coverage,
+            updates: self.updates + other.updates,
+            queries: AtomicU64::new(self.queries() + other.queries()),
+        })
     }
 
     fn grow_coverage(&mut self, r: &HyperRect<D>) {

@@ -3,7 +3,7 @@
 //!
 //! A [`ShardedStore`] partitions the keyed domain (dimension 0 of the data
 //! coordinate space) across `N` [`SketchShard`]s along a dyadic-aligned
-//! [`DomainPartition`], so shard boundaries sit on dyadic slab boundaries
+//! [`DomainPartition`], so shard boundaries sit on dyadic node boundaries
 //! and range/stab covers split cleanly at them (see
 //! [`dyadic::partition`]). Every shard shares one [`SketchSchema`], word
 //! set and endpoint policy — the precondition for the router's exact
@@ -13,10 +13,12 @@
 //! ## Epoch/swap concurrency
 //!
 //! Readers never lock on the hot path. The store publishes immutable
-//! [`StoreEpoch`]s (an `Arc`'d shard vector); ingest **builds into staging
-//! shards** — clones of just the shards a batch touches — assembles a new
-//! epoch, and atomically swaps it in. An epoch *tag* is mirrored in an
-//! `AtomicU64` outside the lock: a reader holding a cached
+//! [`StoreEpoch`]s (an `Arc`'d shard vector **plus the partition that
+//! routed it** — topology is epoch state, so a rebalance cutover is the
+//! same single atomic swap as an ingest batch); ingest **builds into
+//! staging shards** — clones of just the shards a batch touches —
+//! assembles a new epoch, and atomically swaps it in. An epoch *tag* is
+//! mirrored in an `AtomicU64` outside the lock: a reader holding a cached
 //! `Arc<StoreEpoch>` (every pooled [`crate::context::WorkerContext`] does)
 //! revalidates with a single atomic load and only touches the `RwLock` on
 //! an actual epoch change — steady-state queries are one atomic load plus
@@ -25,33 +27,65 @@
 //! Writers are serialized by the swap lock; batches are atomic (readers
 //! see either the previous epoch or the fully ingested one, never a
 //! partial batch).
+//!
+//! ## The update log
+//!
+//! Stores opted in via [`ShardedStore::with_log`] journal every published
+//! batch into an [`UpdateLog`]. [`LogRetention::Full`] is what the
+//! rebalancer replays to rebuild shards across a topology change (see
+//! [`crate::rebalance`]); [`LogRetention::Entries`] gives replicas a
+//! bounded catch-up window (see [`crate::replica`]). The default,
+//! [`LogRetention::None`], journals nothing and costs nothing.
 
 use crate::shard::SketchShard;
 use dyadic::DomainPartition;
 use geometry::HyperRect;
 use serde::{Deserialize, Serialize};
 use sketch::{
-    restore_schema, restore_sketch_with_schema, snapshot_sketch, EndpointPolicy, Result,
-    SketchError, SketchSchema, SketchSet, SketchSnapshot, Word,
+    restore_schema, restore_sketch_with_schema, snapshot_sketch, EndpointPolicy, LogRetention,
+    Result, SketchError, SketchSchema, SketchSet, SketchSnapshot, UpdateLog, Word,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 static STORE_COUNTER: AtomicU64 = AtomicU64::new(1);
 
-/// An immutable published state of a [`ShardedStore`]: the shard vector of
-/// one ingest generation. Readers clone the `Arc` once per epoch change and
-/// evaluate whole queries against it without further synchronization.
+/// An immutable published state of a [`ShardedStore`]: the shard vector
+/// and routing partition of one generation. Readers clone the `Arc` once
+/// per epoch change and evaluate whole queries against it without further
+/// synchronization.
 #[derive(Debug)]
 pub struct StoreEpoch<const D: usize> {
     epoch: u64,
+    partition: DomainPartition,
     shards: Vec<Arc<SketchShard<D>>>,
 }
 
 impl<const D: usize> StoreEpoch<D> {
-    /// The generation number (strictly increasing per ingest batch).
+    pub(crate) fn assemble(
+        epoch: u64,
+        partition: DomainPartition,
+        shards: Vec<Arc<SketchShard<D>>>,
+    ) -> Self {
+        debug_assert_eq!(partition.shards(), shards.len());
+        Self {
+            epoch,
+            partition,
+            shards,
+        }
+    }
+
+    /// The generation number (strictly increasing per published change —
+    /// ingest batch or topology cutover).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The partition that routed this generation's shards. Topology is
+    /// epoch state: a query evaluated against one epoch sees one
+    /// partition, never a half-rebalanced mixture.
+    pub fn partition(&self) -> &DomainPartition {
+        &self.partition
     }
 
     /// The shards of this generation.
@@ -72,15 +106,18 @@ pub struct ShardedStore<const D: usize> {
     schema: Arc<SketchSchema<D>>,
     words: Arc<Vec<Word<D>>>,
     policy: EndpointPolicy,
-    partition: DomainPartition,
     /// Admissible data-domain bits per dimension (schema bits minus the
     /// policy's transform headroom) — the ingest validation bound.
     data_bits: [u32; D],
     current: RwLock<Arc<StoreEpoch<D>>>,
     /// Epoch tag mirrored outside the lock for the reader fast path.
     epoch_tag: AtomicU64,
-    /// Serializes ingest batches (clone → update → swap).
+    /// Serializes ingest batches and topology changes (clone → update →
+    /// swap).
     writer: Mutex<()>,
+    /// Journal of published batches; retention [`LogRetention::None`]
+    /// unless [`ShardedStore::with_log`] opted in.
+    log: Mutex<UpdateLog<D>>,
 }
 
 impl<const D: usize> ShardedStore<D> {
@@ -110,11 +147,11 @@ impl<const D: usize> ShardedStore<D> {
             schema,
             words,
             policy,
-            partition,
             data_bits,
-            current: RwLock::new(Arc::new(StoreEpoch { epoch: 1, shards })),
+            current: RwLock::new(Arc::new(StoreEpoch::assemble(1, partition, shards))),
             epoch_tag: AtomicU64::new(1),
             writer: Mutex::new(()),
+            log: Mutex::new(UpdateLog::new(LogRetention::None)),
         }
     }
 
@@ -130,6 +167,25 @@ impl<const D: usize> ShardedStore<D> {
         )
     }
 
+    /// Opts the store into journaling published batches under `retention`
+    /// (builder style — chain after [`ShardedStore::new`] or
+    /// [`ShardedStore::like`]). [`LogRetention::Full`] enables topology
+    /// changes, [`LogRetention::Entries`] bounds memory for replica
+    /// catch-up. The truncation floor carries over, so re-configuring a
+    /// restored store keeps its history honest.
+    pub fn with_log(self, retention: LogRetention) -> Self {
+        {
+            let mut log = self.log.lock().expect("log lock poisoned");
+            *log = UpdateLog::new_with_floor(retention, log.floor());
+        }
+        self
+    }
+
+    /// The journal's retention policy.
+    pub fn log_retention(&self) -> LogRetention {
+        self.log().retention()
+    }
+
     /// Process-unique store identity (worker caches key on it).
     pub fn id(&self) -> u64 {
         self.id
@@ -140,14 +196,16 @@ impl<const D: usize> ShardedStore<D> {
         &self.schema
     }
 
-    /// The dimension-0 partition routing objects to shards.
-    pub fn partition(&self) -> &DomainPartition {
-        &self.partition
+    /// The dimension-0 partition currently routing objects to shards (a
+    /// clone of the published epoch's — topology is epoch state and may
+    /// change at the next rebalance cutover).
+    pub fn partition(&self) -> DomainPartition {
+        self.load().partition.clone()
     }
 
-    /// Effective shard count.
+    /// Current shard count (like [`ShardedStore::partition`], epoch state).
     pub fn shard_count(&self) -> usize {
-        self.partition.shards()
+        self.load().shards.len()
     }
 
     /// An empty sketch over the store's schema/words/policy — the merge
@@ -158,6 +216,12 @@ impl<const D: usize> ShardedStore<D> {
             Arc::clone(&self.words),
             self.policy,
         )
+    }
+
+    /// An empty shard over the store's schema (staging target for
+    /// rebalance replays).
+    pub(crate) fn empty_shard(&self) -> SketchShard<D> {
+        SketchShard::new(self.empty_sketch())
     }
 
     /// The current epoch tag without taking any lock (reader fast path:
@@ -171,6 +235,25 @@ impl<const D: usize> ShardedStore<D> {
     /// calling this per query).
     pub fn load(&self) -> Arc<StoreEpoch<D>> {
         Arc::clone(&self.current.read().expect("store lock poisoned"))
+    }
+
+    /// Serializes this caller against ingest and other topology changes.
+    pub(crate) fn writer_lock(&self) -> MutexGuard<'_, ()> {
+        self.writer.lock().expect("writer lock poisoned")
+    }
+
+    /// The update journal.
+    pub(crate) fn log(&self) -> MutexGuard<'_, UpdateLog<D>> {
+        self.log.lock().expect("log lock poisoned")
+    }
+
+    /// Publishes `next` as the current epoch: swap behind the write lock,
+    /// then advance the tag — a reader observing the new tag will find (at
+    /// least) the new epoch behind the lock. Callers hold the writer lock.
+    pub(crate) fn publish(&self, next: Arc<StoreEpoch<D>>) {
+        let epoch = next.epoch;
+        *self.current.write().expect("store lock poisoned") = next;
+        self.epoch_tag.store(epoch, Ordering::Release);
     }
 
     /// Inserts a batch; see [`ShardedStore::update_slice`].
@@ -195,12 +278,12 @@ impl<const D: usize> ShardedStore<D> {
         for r in rects {
             self.validate(r)?;
         }
-        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let _writer = self.writer_lock();
         let cur = self.load();
-        // Route into per-shard groups.
+        // Route into per-shard groups along this epoch's partition.
         let mut groups: Vec<Vec<HyperRect<D>>> = vec![Vec::new(); cur.shards.len()];
         for r in rects {
-            groups[self.partition.shard_of(r.range(0).lo())].push(*r);
+            groups[cur.partition.shard_of(r.range(0).lo())].push(*r);
         }
         // Build staging shards for the touched partitions only.
         let mut shards = cur.shards.clone();
@@ -212,14 +295,22 @@ impl<const D: usize> ShardedStore<D> {
             staging.apply(group, delta).expect("validated above");
             shards[s] = Arc::new(staging);
         }
-        let next = Arc::new(StoreEpoch {
-            epoch: cur.epoch + 1,
+        let next = Arc::new(StoreEpoch::assemble(
+            cur.epoch + 1,
+            cur.partition.clone(),
             shards,
-        });
-        // Swap, then advance the tag: a reader observing the new tag will
-        // find (at least) the new epoch behind the lock.
-        *self.current.write().expect("store lock poisoned") = Arc::clone(&next);
-        self.epoch_tag.store(next.epoch, Ordering::Release);
+        ));
+        self.publish(Arc::clone(&next));
+        // Journal under the new epoch, still inside the writer lock so
+        // entries land in epoch order. A no-retention log only advances
+        // its floor — skip copying the batch.
+        let mut log = self.log();
+        let batch = if matches!(log.retention(), LogRetention::None) {
+            Arc::new(Vec::new())
+        } else {
+            Arc::new(rects.to_vec())
+        };
+        log.record(next.epoch, delta, batch);
         Ok(())
     }
 
@@ -241,6 +332,8 @@ impl<const D: usize> ShardedStore<D> {
     pub fn snapshot(&self) -> StoreSnapshot {
         let epoch = self.load();
         StoreSnapshot {
+            epoch: epoch.epoch,
+            boundaries: epoch.partition.boundaries().to_vec(),
             shards: epoch
                 .shards
                 .iter()
@@ -265,12 +358,27 @@ impl<const D: usize> ShardedStore<D> {
         let first = snap.shards.first().ok_or(SketchError::InvalidParameter(
             "store snapshot carries no shards",
         ))?;
+        let schema = restore_schema::<D>(first.schema())?;
+        Self::restore_with_schema(snap, schema)
+    }
+
+    /// Restores a store from a snapshot **against a caller-supplied
+    /// schema** — the replica path, where every node must share the
+    /// cluster's schema rather than trust whatever a snapshot carries.
+    /// Every shard is validated against `schema` as it is rebuilt
+    /// ([`SketchError::SchemaMismatch`] on any disagreement), so a
+    /// mismatched snapshot fails cleanly before any state is published.
+    pub fn restore_with_schema(snap: &StoreSnapshot, schema: Arc<SketchSchema<D>>) -> Result<Self> {
+        if snap.shards.is_empty() {
+            return Err(SketchError::InvalidParameter(
+                "store snapshot carries no shards",
+            ));
+        }
         if snap.coverage.len() != snap.shards.len() || snap.updates.len() != snap.shards.len() {
             return Err(SketchError::InvalidParameter(
                 "store snapshot metadata arity mismatch",
             ));
         }
-        let schema = restore_schema::<D>(first.schema())?;
         let mut shards = Vec::with_capacity(snap.shards.len());
         for (i, shard_snap) in snap.shards.iter().enumerate() {
             let sketch = restore_sketch_with_schema(shard_snap, Arc::clone(&schema))?;
@@ -303,37 +411,57 @@ impl<const D: usize> ShardedStore<D> {
         }
         let data_bits: [u32; D] =
             std::array::from_fn(|i| schema.dims()[i].sketch_bits - policy.extra_bits());
-        let partition = DomainPartition::new(data_bits[0], shards.len());
+        let partition = DomainPartition::from_boundaries(data_bits[0], snap.boundaries.clone())
+            .ok_or(SketchError::InvalidParameter(
+                "store snapshot carries an invalid partition",
+            ))?;
         if partition.shards() != shards.len() {
             return Err(SketchError::InvalidParameter(
-                "store snapshot shard count exceeds the partition domain",
+                "store snapshot partition does not match its shard count",
             ));
         }
+        // The restored store resumes at the snapshot's epoch; its journal
+        // starts truncated there — updates before the snapshot exist only
+        // inside it.
+        let epoch = snap.epoch.max(1);
         Ok(Self {
             id: STORE_COUNTER.fetch_add(1, Ordering::Relaxed),
             schema,
             words,
             policy,
-            partition,
             data_bits,
-            current: RwLock::new(Arc::new(StoreEpoch { epoch: 1, shards })),
-            epoch_tag: AtomicU64::new(1),
+            current: RwLock::new(Arc::new(StoreEpoch::assemble(epoch, partition, shards))),
+            epoch_tag: AtomicU64::new(epoch),
             writer: Mutex::new(()),
+            log: Mutex::new(UpdateLog::new_with_floor(LogRetention::None, epoch)),
         })
     }
 }
 
 /// Serializable form of a [`ShardedStore`]: per-shard sketch snapshots
 /// (sharing one schema on restore) plus the shard bookkeeping the pruned
-/// router mode depends on.
+/// router mode depends on, the partition boundaries, and the epoch the
+/// snapshot captured — the point a replica tails the update log from.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StoreSnapshot {
+    /// The epoch this snapshot captured.
+    epoch: u64,
+    /// The partition's shard start coordinates
+    /// ([`DomainPartition::boundaries`]).
+    boundaries: Vec<u64>,
     shards: Vec<SketchSnapshot>,
     /// Per shard, the coverage box as `(lo, hi)` per dimension (`None` for
     /// untouched shards).
     coverage: Vec<Option<Vec<(u64, u64)>>>,
     /// Per shard, the gross update count.
     updates: Vec<u64>,
+}
+
+impl StoreSnapshot {
+    /// The epoch this snapshot captured — where replica catch-up resumes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -447,10 +575,13 @@ mod tests {
         st.insert_slice(&data).unwrap();
         st.delete_slice(&data[..10]).unwrap();
         let snap = st.snapshot();
+        assert_eq!(snap.epoch(), 3);
         let json = serde_json::to_string(&snap).unwrap();
         let back: StoreSnapshot = serde_json::from_str(&json).unwrap();
         let restored: ShardedStore<2> = ShardedStore::restore(&back).unwrap();
         assert_eq!(restored.shard_count(), st.shard_count());
+        assert_eq!(restored.partition(), st.partition());
+        assert_eq!(restored.epoch_tag(), 3);
         let (a, b) = (st.load(), restored.load());
         for (x, y) in a.shards().iter().zip(b.shards().iter()) {
             assert_eq!(x.updates(), y.updates());
@@ -469,6 +600,59 @@ mod tests {
             merged.merge_from(s.sketch()).unwrap();
         }
         assert_eq!(merged.len(), 50);
+    }
+
+    #[test]
+    fn restore_with_schema_rejects_mismatched_snapshots() {
+        // Satellite: restoring against the wrong schema must error (the
+        // per-shard validation inside `restore_sketch_with_schema`), not
+        // hand back a corrupt store.
+        let st = store(2, 11);
+        st.insert_slice(&rects(20, 12)).unwrap();
+        let snap = st.snapshot();
+        let mut other_rng = StdRng::seed_from_u64(999);
+        let other = SketchSchema::<2>::new(
+            &mut other_rng,
+            fourwise::XiKind::Bch,
+            BoostShape::new(13, 3),
+            [DimSpec::dyadic(8); 2],
+        );
+        assert!(matches!(
+            ShardedStore::restore_with_schema(&snap, other),
+            Err(SketchError::SchemaMismatch)
+        ));
+        // The matching schema restores fine.
+        let ok = ShardedStore::restore_with_schema(&snap, Arc::clone(st.schema())).unwrap();
+        assert_eq!(ok.load().total_len(), 20);
+    }
+
+    #[test]
+    fn update_log_journals_under_published_epochs() {
+        let st = store(2, 13).with_log(LogRetention::Full);
+        let data = rects(12, 14);
+        st.insert_slice(&data).unwrap();
+        st.delete_slice(&data[..4]).unwrap();
+        let log = st.log();
+        assert!(log.is_complete());
+        let entries: Vec<(u64, i64, usize)> = log
+            .entries()
+            .map(|e| (e.epoch(), e.delta(), e.rects().len()))
+            .collect();
+        assert_eq!(entries, vec![(2, 1, 12), (3, -1, 4)]);
+    }
+
+    #[test]
+    fn restored_stores_log_is_truncated_at_the_snapshot() {
+        let st = store(2, 15).with_log(LogRetention::Full);
+        st.insert_slice(&rects(10, 16)).unwrap();
+        let restored = ShardedStore::<2>::restore(&st.snapshot())
+            .unwrap()
+            .with_log(LogRetention::Full);
+        // History before the snapshot lives only in the snapshot: the
+        // journal reports itself truncated there even after opting in.
+        let log = restored.log();
+        assert!(!log.is_complete());
+        assert_eq!(log.floor(), 2);
     }
 
     #[test]
